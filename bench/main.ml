@@ -1,0 +1,602 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§6), plus ablations for the design choices DESIGN.md calls
+   out.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, reduced sizes
+     dune exec bench/main.exe -- fig5a fig6b  # a subset
+     SAGMA_BENCH_FULL=1 dune exec bench/main.exe   # paper-scale sweeps
+
+   Absolute numbers differ from the paper's Java/2×Xeon testbed; the
+   reproduced quantity is the *shape* of each curve (who wins, growth
+   orders, crossover points). EXPERIMENTS.md records both. *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Tpch = Sagma_db.Tpch
+module Workload = Sagma_db.Workload
+module Drbg = Sagma_crypto.Drbg
+module Bgn = Sagma_bgn.Bgn
+module Paillier = Sagma_paillier.Paillier
+open Sagma
+
+let full = Sys.getenv_opt "SAGMA_BENCH_FULL" <> None
+
+let str s = Value.Str s
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let header title = Printf.printf "\n== %s ==\n%!" title
+
+(* --- Figure 5: processing time vs number of rows --------------------------- *)
+
+(* Group by l_returnflag (B = 2 → 2 buckets over {A, N, R}), SUM and COUNT
+   of l_quantity, exactly one grouping attribute as in the row sweep. *)
+let fig5 () =
+  header "Figure 5a/5b: aggregation and decryption time vs rows (SUM, COUNT)";
+  Printf.printf "%8s %14s %14s %14s %14s\n%!" "rows" "agg SUM (ms)" "agg COUNT (ms)"
+    "dec SUM (ms)" "dec COUNT (ms)";
+  let row_counts = if full then [ 1000; 2500; 5000; 7500; 10000 ] else [ 50; 100; 150; 200 ] in
+  (* One client (one key) across the sweep so per-point keygen variance
+     does not pollute the curve. *)
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+      (Drbg.create "fig5-client")
+  in
+  List.iter
+    (fun rows ->
+      let table = Tpch.generate ~rows (Drbg.create (Printf.sprintf "fig5-%d" rows)) in
+      let enc = Scheme.encrypt_table client table in
+      let q_sum = Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity") in
+      let q_cnt = Query.make ~group_by:[ "l_returnflag" ] Query.Count in
+      let tok_sum = Scheme.token client q_sum in
+      let tok_cnt = Scheme.token client q_cnt in
+      let agg_sum, t_agg_sum = time_ms (fun () -> Scheme.aggregate enc tok_sum) in
+      let agg_cnt, t_agg_cnt = time_ms (fun () -> Scheme.aggregate enc tok_cnt) in
+      let _, t_dec_sum =
+        time_ms (fun () -> Scheme.decrypt client tok_sum agg_sum ~total_rows:rows)
+      in
+      let _, t_dec_cnt =
+        time_ms (fun () -> Scheme.decrypt client tok_cnt agg_cnt ~total_rows:rows)
+      in
+      Printf.printf "%8d %14.1f %14.1f %14.1f %14.1f\n%!" rows t_agg_sum t_agg_cnt t_dec_sum
+        t_dec_cnt)
+    row_counts;
+  print_endline
+    "(paper: both aggregations linear in rows, COUNT cheaper than SUM; SUM decryption grows\n\
+    \ with rows through the CRT dlog bound while COUNT decryption stays nearly flat)"
+
+(* --- Figure 6a: aggregation time vs bucket size ----------------------------- *)
+
+let fig6a () =
+  header "Figure 6a: aggregation time vs bucket size B (SUM, COUNT)";
+  Printf.printf "%8s %14s %14s\n%!" "B" "SUM (ms)" "COUNT (ms)";
+  let rows = if full then 1000 else 60 in
+  let sizes = if full then [ 2; 3; 4; 5; 6; 7 ] else [ 2; 3; 4; 5 ] in
+  let table = Tpch.generate ~rows (Drbg.create "fig6a") in
+  let domain = Array.to_list (Array.map str Tpch.ship_modes) in
+  List.iter
+    (fun b ->
+      let config =
+        Config.make ~bucket_size:b ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+          ~group_columns:[ "l_shipmode" ] ()
+      in
+      let client =
+        Scheme.setup config ~domains:[ ("l_shipmode", domain) ]
+          (Drbg.create (Printf.sprintf "fig6a-%d" b))
+      in
+      let enc = Scheme.encrypt_table client table in
+      let tok_sum =
+        Scheme.token client (Query.make ~group_by:[ "l_shipmode" ] (Query.Sum "l_quantity"))
+      in
+      let tok_cnt = Scheme.token client (Query.make ~group_by:[ "l_shipmode" ] Query.Count) in
+      let _, t_sum = time_ms (fun () -> Scheme.aggregate enc tok_sum) in
+      let _, t_cnt = time_ms (fun () -> Scheme.aggregate enc tok_cnt) in
+      Printf.printf "%8d %14.1f %14.1f\n%!" b t_sum t_cnt)
+    sizes;
+  print_endline
+    "(paper: superlinear growth in B — B indicator polynomials of degree B each;\n\
+    \ COUNT cheaper than SUM)"
+
+(* --- Figure 6b: time vs number of grouping attributes ----------------------- *)
+
+let fig6b () =
+  header "Figure 6b: aggregate and decrypt time vs grouping attributes";
+  Printf.printf "%8s %14s %14s\n%!" "attrs" "aggregate (ms)" "decrypt (ms)";
+  let rows = if full then 1000 else 40 in
+  let table = Tpch.generate ~rows (Drbg.create "fig6b") in
+  let all_groups = [ "l_returnflag"; "l_linestatus"; "l_shipmonth"; "l_shippriority" ] in
+  let domains =
+    [ ("l_returnflag", [ str "A"; str "N"; str "R" ]);
+      ("l_linestatus", [ str "O"; str "F" ]);
+      ("l_shipmonth", List.init 12 (fun i -> Value.Int (i + 1)));
+      ("l_shippriority", List.init 5 (fun i -> Value.Int i)) ]
+  in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:4 ~value_columns:[ "l_quantity" ]
+      ~group_columns:all_groups ()
+  in
+  let client = Scheme.setup config ~domains (Drbg.create "fig6b-client") in
+  let enc = Scheme.encrypt_table client table in
+  List.iteri
+    (fun i _ ->
+      let group_by = List.filteri (fun j _ -> j <= i) all_groups in
+      let tok = Scheme.token client (Query.make ~group_by (Query.Sum "l_quantity")) in
+      let agg, t_agg = time_ms (fun () -> Scheme.aggregate enc tok) in
+      let _, t_dec = time_ms (fun () -> Scheme.decrypt client tok agg ~total_rows:rows) in
+      Printf.printf "%8d %14.1f %14.1f\n%!" (i + 1) t_agg t_dec)
+    all_groups;
+  print_endline "(paper: superlinear growth in the number of combined attributes)"
+
+(* --- Figure 7: grouping-attribute counts per application --------------------- *)
+
+let fig7 () =
+  header "Figure 7: share of grouping queries with <=1 / <=2 / <=3 attributes";
+  Printf.printf "%-12s %8s %8s %8s   (paper)\n%!" "Application" "<=1" "<=2" "<=3";
+  let n = if full then 20000 else 4000 in
+  let d = Drbg.create "fig7" in
+  List.iter
+    (fun (app, paper) ->
+      let queries = Workload.generate app d n in
+      Printf.printf "%-12s %7.0f%% %7.0f%% %7.0f%%   (%s)\n%!"
+        (Workload.application_name app)
+        (Workload.share_at_most queries 1)
+        (Workload.share_at_most queries 2)
+        (Workload.share_at_most queries 3)
+        paper)
+    [ (Workload.Nextcloud, "100/100/100");
+      (Workload.Wordpress, "97/99/100");
+      (Workload.Piwik, "25/83/95") ]
+
+(* --- Figure 8 / Table 10: server storage comparison --------------------------- *)
+
+let fig8 () =
+  header "Figure 8a: server storage vs threshold t (l=4, k=2, r=1000, n=2, B=2, |D|=12)";
+  Printf.printf "%4s %16s %16s %16s\n%!" "t" "Pre-computed" "Seabed" "SAGMA";
+  List.iter
+    (fun r ->
+      Printf.printf "%4d %16d %16d %16d\n%!" r.Storage.x r.Storage.precomputed r.Storage.seabed
+        r.Storage.sagma)
+    (Storage.figure8a ());
+  header "Figure 8b: server storage vs domain size |D| (t=3)";
+  Printf.printf "%4s %16s %16s %16s\n%!" "|D|" "Pre-computed" "Seabed" "SAGMA";
+  List.iter
+    (fun r ->
+      Printf.printf "%4d %16d %16d %16d\n%!" r.Storage.x r.Storage.precomputed r.Storage.seabed
+        r.Storage.sagma)
+    (Storage.figure8b ());
+  print_endline
+    "(paper: Seabed needs excessive storage; SAGMA beats pre-computation for t>=3 and |D|>=10)"
+
+(* --- Table 9: monomial counts -------------------------------------------------- *)
+
+let table9 () =
+  header "Table 9: monomials m(l,t) - m(l,t-1) to support grouping t attributes";
+  let l = 5 in
+  List.iter
+    (fun b ->
+      Printf.printf "l=%d, B=%d:\n" l b;
+      Printf.printf "%4s %18s %14s %14s\n%!" "t" "increment" "m(l,t)" "enumerated";
+      for t = 1 to l do
+        let enumerated =
+          Monomials.count (Monomials.make ~num_columns:l ~bucket_size:b ~threshold:t)
+        in
+        Printf.printf "%4d %18d %14d %14d\n%!" t
+          (Storage.monomial_increment ~l ~t ~b)
+          (Storage.monomial_count ~l ~t ~b)
+          enumerated
+      done)
+    [ 2; 3 ]
+
+(* --- Table 10: measured storage and client cost ---------------------------------- *)
+
+let table10 () =
+  header "Table 10: storage/client-cost models and a measured SAGMA instance";
+  let l = 4 and t = 3 and k = 2 and r = 1000 and n = 2 and b = 2 and d = 12 in
+  Printf.printf "parameters: l=%d t=%d k=%d r=%d n=%d B=%d |D|=%d\n\n" l t k r n b d;
+  Printf.printf "%-14s %20s %20s\n%!" "Scheme" "server (ciphertexts)" "client (operations)";
+  Printf.printf "%-14s %20d %20d\n" "Pre-computed"
+    (Storage.precomputed_server ~l ~t ~k ~n ~d)
+    Storage.precomputed_client;
+  Printf.printf "%-14s %20d %20d   (rho=50)\n" "Seabed"
+    (Storage.seabed_server ~l ~t ~k ~r ~b)
+    (Storage.seabed_client ~rho:50 ~t ~d);
+  Printf.printf "%-14s %20d %20d\n\n" "SAGMA" (Storage.sagma_server ~l ~t ~k ~r ~b)
+    (Storage.sagma_client ~t ~d);
+  (* Cross-check the model against an actual encrypted table. *)
+  let rows = 30 in
+  let table =
+    Table.of_rows
+      [ { Table.name = "v1"; ty = Value.TInt };
+        { Table.name = "v2"; ty = Value.TInt };
+        { Table.name = "g1"; ty = Value.TInt };
+        { Table.name = "g2"; ty = Value.TInt };
+        { Table.name = "g3"; ty = Value.TInt };
+        { Table.name = "g4"; ty = Value.TInt } ]
+      (List.init rows (fun i ->
+           [| Value.Int i; Value.Int (i * 2); Value.Int (i mod 3); Value.Int (i mod 4);
+              Value.Int (i mod 2); Value.Int (i mod 5) |]))
+  in
+  let config =
+    Config.make ~bucket_size:b ~max_group_attrs:t ~value_columns:[ "v1"; "v2" ]
+      ~group_columns:[ "g1"; "g2"; "g3"; "g4" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:
+        [ ("g1", List.init 3 (fun i -> Value.Int i)); ("g2", List.init 4 (fun i -> Value.Int i));
+          ("g3", List.init 2 (fun i -> Value.Int i)); ("g4", List.init 5 (fun i -> Value.Int i)) ]
+      (Drbg.create "table10")
+  in
+  let enc = Scheme.encrypt_table client table in
+  let row0 = enc.Scheme.rows.(0) in
+  let monomials = Array.length row0.Scheme.monomial_cts in
+  Printf.printf
+    "measured instance (r=%d): %d monomial cts/row (model m(%d,%d)=%d), %d value cols x %d CRT channels + 1 count ct\n%!"
+    rows monomials l t
+    (Storage.monomial_count ~l ~t ~b)
+    (Array.length row0.Scheme.values)
+    (Array.length row0.Scheme.values.(0))
+
+(* --- Table 11 --------------------------------------------------------------------- *)
+
+let table11 () =
+  header "Table 11: comparison of related schemes";
+  print_string (Comparison.render ())
+
+(* --- Ablations --------------------------------------------------------------------- *)
+
+let ablation_karatsuba () =
+  header "Ablation: Karatsuba vs schoolbook multiplication crossover";
+  Printf.printf "%8s %16s %16s\n%!" "bits" "schoolbook (us)" "karatsuba (us)";
+  let drbg = Drbg.create "karatsuba" in
+  List.iter
+    (fun bits ->
+      let a = Z.random_bits (Drbg.rng drbg) bits in
+      let b = Z.random_bits (Drbg.rng drbg) bits in
+      let na = Sagma_bigint.Nat.of_hex (Z.to_hex a) in
+      let nb = Sagma_bigint.Nat.of_hex (Z.to_hex b) in
+      let time_us f =
+        let t0 = Unix.gettimeofday () in
+        let iters = ref 0 in
+        while Unix.gettimeofday () -. t0 < 0.2 do
+          ignore (f ());
+          incr iters
+        done;
+        (Unix.gettimeofday () -. t0) *. 1_000_000. /. float_of_int !iters
+      in
+      let t_school = time_us (fun () -> Sagma_bigint.Nat.mul_schoolbook na nb) in
+      let t_kara = time_us (fun () -> Sagma_bigint.Nat.mul na nb) in
+      Printf.printf "%8d %16.2f %16.2f\n%!" bits t_school t_kara)
+    [ 256; 512; 1024; 2048; 4096; 8192 ]
+
+let ablation_crt () =
+  header "Ablation: CRT channel width vs aggregation/decryption time (Hu et al. trade-off)";
+  Printf.printf "%14s %9s %14s %14s\n%!" "channel bits" "channels" "aggregate (ms)" "decrypt (ms)";
+  let rows = if full then 500 else 60 in
+  let table = Tpch.generate ~rows (Drbg.create "crt-ablation") in
+  List.iter
+    (fun channel_bits ->
+      let config =
+        Config.make ~bucket_size:2 ~max_group_attrs:1 ~channel_bits
+          ~value_columns:[ "l_quantity" ] ~group_columns:[ "l_returnflag" ] ()
+      in
+      let client =
+        Scheme.setup config
+          ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+          (Drbg.create (Printf.sprintf "crt-%d" channel_bits))
+      in
+      let enc = Scheme.encrypt_table client table in
+      let tok =
+        Scheme.token client (Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity"))
+      in
+      let agg, t_agg = time_ms (fun () -> Scheme.aggregate enc tok) in
+      let _, t_dec = time_ms (fun () -> Scheme.decrypt client tok agg ~total_rows:rows) in
+      Printf.printf "%14d %9d %14.1f %14.1f\n%!" channel_bits
+        (Sagma_bgn.Crt_channels.channels client.Scheme.pp.Scheme.channels)
+        t_agg t_dec)
+    [ 8; 10; 12; 14; 16 ]
+
+let ablation_shift_strategy () =
+  header "Ablation: unit-shift indicators (Scheme) vs packed shifts (Dynamic, §3.3)";
+  let rows = if full then 400 else 60 in
+  let bucket_size = 4 in
+  let domain = List.init 8 (fun i -> Value.Int i) in
+  let d = Drbg.create "shift-data" in
+  let data = List.init rows (fun _ -> (Drbg.int_below d 800, Drbg.int_below d 8)) in
+  (* Unit shifts: the full scheme on a single group column. *)
+  let table =
+    Table.of_rows
+      [ { Table.name = "v"; ty = Value.TInt }; { Table.name = "g"; ty = Value.TInt } ]
+      (List.map (fun (v, g) -> [| Value.Int v; Value.Int g |]) data)
+  in
+  let config =
+    Config.make ~bucket_size ~max_group_attrs:1 ~value_columns:[ "v" ] ~group_columns:[ "g" ] ()
+  in
+  let client = Scheme.setup config ~domains:[ ("g", domain) ] (Drbg.create "shift-unit") in
+  let enc = Scheme.encrypt_table client table in
+  let tok = Scheme.token client (Query.make ~group_by:[ "g" ] (Query.Sum "v")) in
+  let agg, t_agg_unit = time_ms (fun () -> Scheme.aggregate enc tok) in
+  let _, t_dec_unit = time_ms (fun () -> Scheme.decrypt client tok agg ~total_rows:rows) in
+  (* Packed shifts: the §3.3 construction. *)
+  let dyn =
+    Dynamic.setup ~bgn_bits:64 ~value_bits:12 ~channel_bits:8 ~bucket_size ~domain
+      (Drbg.create "shift-packed")
+  in
+  let dyn_rows = List.map (fun (v, g) -> Dynamic.enc_row dyn ~value:v ~group:(Value.Int g)) data in
+  let dyn_agg, t_agg_packed = time_ms (fun () -> Dynamic.aggregate dyn dyn_rows) in
+  let _, t_dec_packed = time_ms (fun () -> Dynamic.decrypt dyn dyn_agg ~total_rows:rows) in
+  Printf.printf "%-28s %14s %14s\n" "strategy" "aggregate (ms)" "decrypt (ms)";
+  Printf.printf "%-28s %14.1f %14.1f\n" "unit shifts (B aggregates)" t_agg_unit t_dec_unit;
+  Printf.printf "%-28s %14.1f %14.1f\n%!" "packed shift (1 aggregate)" t_agg_packed t_dec_packed;
+  print_endline
+    "(packed needs one pairing per row per channel but a (d-1)^2-range dlog;\n\
+    \ unit shifts need B pairings per row with a (d-1)-range dlog — the paper's choice)"
+
+let ablation_bsgs () =
+  header "Ablation: BSGS table size vs discrete-log solve time";
+  Printf.printf "%14s %12s %16s\n%!" "dlog bound" "table size" "solve (us)";
+  let drbg = Drbg.create "bsgs" in
+  let kp = Bgn.keygen ~bits:64 drbg in
+  List.iter
+    (fun max ->
+      let table = Bgn.make_dec1_table kp ~max in
+      let cts = List.init 20 (fun i -> Bgn.enc1_int kp.Bgn.pk drbg (i * (max / 20))) in
+      let t0 = Unix.gettimeofday () in
+      List.iter (fun c -> ignore (Bgn.dec1 kp table ~max c)) cts;
+      let dt = (Unix.gettimeofday () -. t0) *. 1_000_000. /. 20. in
+      Printf.printf "%14d %12d %16.1f\n%!" max (int_of_float (sqrt (float_of_int max)) + 1) dt)
+    [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let ablation_mapping () =
+  header "Ablation: bucket partitioning strategy vs exposure coefficient (§5)";
+  (* Chosen so one frequency-balancing partition exists among the 15
+     pairings: 12+2 = 10+4 = 8+6 = 14. *)
+  let hist =
+    [ (str "a", 12); (str "b", 10); (str "c", 8); (str "d", 6); (str "e", 4); (str "f", 2) ]
+  in
+  let domain = List.map fst hist in
+  Printf.printf "histogram: %s\n\n"
+    (String.concat ", " (List.map (fun (v, c) -> Printf.sprintf "%s=%d" (Value.to_string v) c) hist));
+  Printf.printf "%-22s %10s\n%!" "strategy" "exposure";
+  let strategies =
+    [ ("prf (random)", Mapping.make Mapping.Prf_random "bench-demo-key" domain ~bucket_size:2);
+      ("balanced heuristic", Mapping.make (Mapping.Optimal hist) "bench-demo-key" domain ~bucket_size:2);
+      ("optimal (exhaustive)", Bucketing.optimal_mapping hist ~bucket_size:2) ]
+  in
+  List.iter
+    (fun (name, m) -> Printf.printf "%-22s %10.4f\n%!" name (Bucketing.exposure m hist))
+    strategies;
+  let opt = Bucketing.optimal_mapping hist ~bucket_size:2 in
+  let dummies = Bucketing.dummy_plan_for_column opt hist in
+  Printf.printf "\ndummy rows to flatten the optimal mapping completely: %d\n%!"
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 dummies)
+
+let ablation_attack () =
+  header "Ablation: frequency-analysis attack (Naveed et al.) vs each scheme's leakage";
+  (* Zipf-ish department distribution with distinct frequencies — the
+     attacker's best case. *)
+  let dept_freqs =
+    [ ("eng", 100); ("sales", 61); ("support", 37); ("hr", 22); ("legal", 13); ("ops", 8);
+      ("it", 5); ("pr", 3) ]
+  in
+  let hist = List.map (fun (d, n) -> (str d, n)) dept_freqs in
+  let aux : Attacks.auxiliary = hist in
+  Printf.printf "distribution: %s\n\n"
+    (String.concat ", " (List.map (fun (d, n) -> Printf.sprintf "%s=%d" d n) dept_freqs));
+  Printf.printf "%-40s %14s\n%!" "leakage surface" "recovery rate";
+  (* CryptDB: the full histogram leaks; frequencies distinct → 100%. *)
+  let tags = List.map (fun (d, n) -> ("tag-" ^ d, n)) dept_freqs in
+  let truth = List.map (fun (d, _) -> ("tag-" ^ d, str d)) dept_freqs in
+  Printf.printf "%-40s %13.1f%%\n" "CryptDB (deterministic column)"
+    (100. *. Attacks.attack_cryptdb ~leaked:tags ~aux ~truth);
+  List.iter
+    (fun b ->
+      let m = Mapping.make Mapping.Prf_random "attack-bench" (List.map fst hist) ~bucket_size:b in
+      Printf.printf "%-40s %13.1f%%\n"
+        (Printf.sprintf "SAGMA buckets, B=%d (prf mapping)" b)
+        (100. *. Attacks.attack_sagma_buckets m ~histogram:hist))
+    [ 2; 3; 4 ];
+  let m_opt = Bucketing.optimal_mapping ~max_domain:8 hist ~bucket_size:2 in
+  Printf.printf "%-40s %13.1f%%\n" "SAGMA buckets, B=2 (optimal mapping)"
+    (100. *. Attacks.attack_sagma_buckets m_opt ~histogram:hist);
+  let padded = hist @ Bucketing.dummy_plan_for_column m_opt hist in
+  Printf.printf "%-40s %13.1f%%\n" "SAGMA B=2 optimal + dummy rows"
+    (100. *. Attacks.attack_sagma_buckets m_opt ~histogram:padded);
+  Printf.printf "%-40s %13.1f%%\n%!" "blind guess (auxiliary mode)"
+    (100. *. Attacks.baseline_guess aux ~histogram:hist);
+  print_endline
+    "(the paper's motivation, measured: deterministic encryption falls to frequency\n\
+    \ matching; bucketization caps the attack; dummy rows flatten it to near-guessing)"
+
+let ablation_montgomery () =
+  header "Ablation: Montgomery (CIOS) vs divide-and-reduce modular exponentiation";
+  Printf.printf "%8s %18s %18s %9s\n%!" "bits" "binary powm (ms)" "montgomery (ms)" "speedup";
+  let drbg = Drbg.create "montgomery" in
+  (* Division-based reference exponentiation. *)
+  let powm_naive base expo m =
+    let nbits = Z.num_bits expo in
+    let b = ref (Z.erem base m) and acc = ref Z.one in
+    for i = 0 to nbits - 1 do
+      if Z.bit expo i then acc := Z.mulm !acc !b m;
+      if i < nbits - 1 then b := Z.mulm !b !b m
+    done;
+    !acc
+  in
+  List.iter
+    (fun bits ->
+      let m = Z.random_prime (Drbg.rng drbg) ~bits in
+      let base = Z.random_below (Drbg.rng drbg) m in
+      let expo = Z.random_below (Drbg.rng drbg) m in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let iters = ref 0 in
+        while Unix.gettimeofday () -. t0 < 0.3 do
+          ignore (f ());
+          incr iters
+        done;
+        (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int !iters
+      in
+      let t_naive = time (fun () -> powm_naive base expo m) in
+      let t_mont = time (fun () -> Z.powm base expo m) in
+      Printf.printf "%8d %18.3f %18.3f %8.2fx\n%!" bits t_naive t_mont (t_naive /. t_mont))
+    [ 128; 256; 512; 1024; 2048 ]
+
+let ablation_joint_index () =
+  header "Ablation: per-attribute vs joint bucket index (§3.4 Boolean-SSE alternative)";
+  let rows = if full then 500 else 80 in
+  let table = Tpch.generate ~rows (Drbg.create "joint-ablation") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:2 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag"; "l_linestatus" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:
+        [ ("l_returnflag", [ str "A"; str "N"; str "R" ]); ("l_linestatus", [ str "O"; str "F" ]) ]
+      (Drbg.create "joint-ablation-client")
+  in
+  let q = Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity") in
+  Printf.printf "%-16s %12s %16s %14s\n%!" "index mode" "SSE entries" "tokens per query"
+    "aggregate (ms)";
+  List.iter
+    (fun (name, mode) ->
+      let enc = Scheme.encrypt_table ~index_mode:mode client table in
+      let tok = Scheme.token ~index_mode:mode client q in
+      let tokens =
+        match tok.Scheme.source with
+        | Scheme.Per_attribute_tokens per -> Array.fold_left (fun a p -> a + Array.length p) 0 per
+        | Scheme.Joint_tokens e -> Array.length e
+        | Scheme.Oxt_tokens e -> Array.length e
+      in
+      let _, t = time_ms (fun () -> Scheme.aggregate enc tok) in
+      Printf.printf "%-16s %12d %16d %14.1f\n%!" name (Sagma_sse.Sse.size enc.Scheme.index) tokens t)
+    [ ("per-attribute", Scheme.Per_attribute); ("joint", Scheme.Joint) ];
+  print_endline
+    "(joint mode never reveals per-attribute bucket membership, at the cost of\n\
+    \ sum_{i<=t} C(l,i) postings per row instead of l)"
+
+let ablation_parallel () =
+  header "Ablation: multi-domain aggregation (paper: 16-core parallel query execution)";
+  Printf.printf "%10s %14s %10s\n%!" "domains" "aggregate (ms)" "speedup";
+  let rows = if full then 400 else 100 in
+  let table = Tpch.generate ~rows (Drbg.create "parallel") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+      (Drbg.create "parallel-client")
+  in
+  let enc = Scheme.encrypt_table client table in
+  let tok = Scheme.token client (Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity")) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "(%d core(s) available to this process)\n%!" cores;
+  let base = ref 0. in
+  List.iter
+    (fun d ->
+      let _, t = time_ms (fun () -> Scheme.aggregate ~domains:d enc tok) in
+      if d = 1 then base := t;
+      Printf.printf "%10d %14.1f %9.2fx\n%!" d t (!base /. t))
+    (List.filter (fun d -> d = 1 || d <= 2 * cores) [ 1; 2; 4; 8 ]);
+  if cores = 1 then
+    print_endline
+      "(single-core container: domain overhead dominates; on multi-core hosts the speedup\n\
+      \ tracks core count, matching the paper's parallelized evaluation)"
+
+(* --- Bechamel micro-benchmarks of the crypto substrate ------------------------------ *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel): crypto substrate primitives";
+  let open Bechamel in
+  let drbg = Drbg.create "micro" in
+  let kp = Bgn.keygen ~bits:64 drbg in
+  let pk = kp.Bgn.pk in
+  let c1 = Bgn.enc1_int pk drbg 5 and c2 = Bgn.enc1_int pk drbg 7 in
+  let curve = pk.Bgn.group.Sagma_pairing.Pairing.curve in
+  let scalar = Z.of_string "9876543210987654321" in
+  let pkp = Paillier.keygen ~bits:512 drbg in
+  let msg = String.make 1024 'x' in
+  let tests =
+    Test.make_grouped ~name:"crypto"
+      [ Test.make ~name:"sha256 (1 KiB)" (Staged.stage (fun () -> Sagma_crypto.Sha256.digest msg));
+        Test.make ~name:"hmac-sha256" (Staged.stage (fun () -> Sagma_crypto.Hmac.mac ~key:"k" msg));
+        Test.make ~name:"chacha20 (1 KiB)"
+          (Staged.stage (fun () ->
+               Sagma_crypto.Chacha20.encrypt ~key:(String.make 32 'k') ~nonce:(String.make 12 'n')
+                 msg));
+        Test.make ~name:"bgn pairing (64-bit n)" (Staged.stage (fun () -> Bgn.mul pk c1 c2));
+        Test.make ~name:"curve scalar mul"
+          (Staged.stage (fun () -> Sagma_pairing.Curve.mul curve scalar c1));
+        Test.make ~name:"bgn enc1" (Staged.stage (fun () -> Bgn.enc1_int pk drbg 42));
+        Test.make ~name:"paillier enc (512)"
+          (Staged.stage (fun () -> Paillier.encrypt_int pkp.Paillier.pk drbg 42)) ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  Printf.printf "%-36s %16s\n%!" "operation" "time";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1_000_000. then Printf.sprintf "%.2f ms" (ns /. 1_000_000.)
+        else if ns > 1_000. then Printf.sprintf "%.2f us" (ns /. 1_000.)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-36s %16s\n%!" name pretty)
+    rows
+
+(* --- driver ---------------------------------------------------------------------------- *)
+
+let benches =
+  [ ("fig5a", fig5); ("fig5b", fig5); ("fig6a", fig6a); ("fig6b", fig6b); ("fig7", fig7);
+    ("fig8a", fig8); ("fig8b", fig8); ("table9", table9); ("table10", table10);
+    ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
+    ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
+    ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("micro", micro) ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    if requested = [] then
+      (* fig5a/fig5b and fig8a/fig8b share implementations; run each once. *)
+      [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
+        ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
+        ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel; micro ]
+    else
+      List.map
+        (fun name ->
+          match List.assoc_opt name benches with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "unknown bench %S; available: %s\n" name
+              (String.concat ", " (List.map fst benches));
+            exit 1)
+        requested
+  in
+  Printf.printf "SAGMA benchmark harness (%s sizes)\n%!" (if full then "paper-scale" else "reduced");
+  List.iter (fun f -> f ()) to_run

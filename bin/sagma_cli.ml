@@ -1,0 +1,390 @@
+(* sagma — command-line front end.
+
+   One-shot demonstration tool: it loads a CSV, sets up a fresh SAGMA
+   client, encrypts the table in memory and answers aggregation queries
+   over the ciphertexts, reporting timings and the leakage profile.
+
+     sagma query --csv data.csv --schema "salary:int,dept:str" \
+                 --sum salary --group-by dept [--where dept=Sales] \
+                 [--bucket-size 2] [--threshold 3]
+
+     sagma inspect --csv data.csv --schema ... --column dept
+         histogram, bucket exposure under PRF vs optimal partitioning,
+         and the dummy-row budget to flatten the leakage
+
+     sagma storage --l 4 --t 3 --k 2 --rows 1000 --domain 12
+         the Table 10 / Figure 8 storage comparison at given parameters
+
+     sagma demo
+         the paper's worked example (Tables 1-7)                         *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Csv = Sagma_db.Csv
+module Drbg = Sagma_crypto.Drbg
+open Sagma
+open Cmdliner
+
+let parse_schema (spec : string) : Table.schema =
+  List.map
+    (fun field ->
+      match String.split_on_char ':' (String.trim field) with
+      | [ name; "int" ] -> { Table.name; ty = Value.TInt }
+      | [ name; "str" ] -> { Table.name; ty = Value.TStr }
+      | _ -> invalid_arg (Printf.sprintf "bad schema field %S (want name:int|str)" field))
+    (String.split_on_char ',' spec)
+
+let load_table ~csv ~schema =
+  let ic = open_in csv in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  let schema = parse_schema schema in
+  (schema, Csv.parse ~schema contents)
+
+let parse_where (t : Table.t) (clauses : string list) : (string * Value.t) list =
+  List.map
+    (fun clause ->
+      match String.index_opt clause '=' with
+      | None -> invalid_arg (Printf.sprintf "bad --where %S (want col=value)" clause)
+      | Some i ->
+        let col = String.sub clause 0 i in
+        let raw = String.sub clause (i + 1) (String.length clause - i - 1) in
+        (col, Value.parse (Table.column_ty t col) raw))
+    clauses
+
+(* --- query ----------------------------------------------------------------- *)
+
+let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed =
+  let _, table = load_table ~csv ~schema in
+  let q =
+    match sql with
+    | Some statement ->
+      (* Full SQL front end, including BETWEEN range filters. *)
+      Sagma_db.Sql.parse_query statement
+    | None ->
+      let aggregate =
+        match (sum, count_flag, avg) with
+        | Some c, false, None -> Query.Sum c
+        | None, true, None -> Query.Count
+        | None, false, Some c -> Query.Avg c
+        | None, false, None -> Query.Count
+        | _ -> invalid_arg "choose exactly one of --sum/--count/--avg"
+      in
+      if group_by = [] then invalid_arg "--group-by is required without --sql";
+      Query.make ~where:(parse_where table where) ~group_by aggregate
+  in
+  let group_by = q.Query.group_by in
+  let where = q.Query.where in
+  let value_columns =
+    match Query.value_column q.Query.aggregate with
+    | Some c -> [ c ]
+    | None -> begin
+      (* COUNT-only query: pick any int column as a placeholder value. *)
+      match
+        List.find_opt
+          (fun c ->
+            Table.column_ty table c.Table.name = Value.TInt
+            && not (List.mem c.Table.name group_by))
+          (Table.schema table)
+      with
+      | Some c -> [ c.Table.name ]
+      | None -> invalid_arg "no int column available as value column"
+    end
+  in
+  let config =
+    Config.make ~bucket_size ~max_group_attrs:(min threshold (List.length group_by))
+      ~filter_columns:(List.map fst where)
+      ~range_filter_columns:(List.map (fun (c, _, _) -> c) q.Query.ranges)
+      ~value_columns ~group_columns:group_by ()
+  in
+  let domains = List.map (fun col -> (col, Table.distinct table col)) group_by in
+  let drbg = Drbg.create seed in
+  let t0 = Unix.gettimeofday () in
+  let client = Scheme.setup config ~domains drbg in
+  let t1 = Unix.gettimeofday () in
+  let enc = Scheme.encrypt_table client table in
+  let t2 = Unix.gettimeofday () in
+  let tok = Scheme.token client q in
+  let agg = Scheme.aggregate enc tok in
+  let t3 = Unix.gettimeofday () in
+  let results = Scheme.decrypt client tok agg ~total_rows:(Array.length enc.Scheme.rows) in
+  let t4 = Unix.gettimeofday () in
+  Printf.printf "%s\n" (Query.to_sql q);
+  Printf.printf "%-14s | %s\n" (Query.aggregate_name q.Query.aggregate) (String.concat " | " group_by);
+  List.iter
+    (fun r ->
+      Printf.printf "%-14g | %s\n" (Scheme.aggregate_value q r)
+        (String.concat " | " (List.map Value.to_string r.Scheme.group)))
+    results;
+  Printf.printf
+    "\nrows: %d   setup: %.2fs   encrypt: %.2fs   server aggregate: %.2fs   decrypt: %.2fs\n"
+    (Table.row_count table) (t1 -. t0) (t2 -. t1) (t3 -. t2) (t4 -. t3);
+  let leak = Leakage.profile enc [ tok ] in
+  Printf.printf "leakage: %d SSE index entries; query touched %d bucket/filter tokens\n"
+    leak.Leakage.index_size
+    (List.length (List.concat_map (fun ql -> ql.Leakage.observations) leak.Leakage.queries))
+
+(* --- inspect --------------------------------------------------------------- *)
+
+let run_inspect csv schema column bucket_size =
+  let _, table = load_table ~csv ~schema in
+  let hist = Bucketing.histogram table column in
+  Printf.printf "histogram of %s (%d distinct values, %d rows):\n" column (List.length hist)
+    (Table.row_count table);
+  List.iter (fun (v, c) -> Printf.printf "  %-20s %d\n" (Value.to_string v) c) hist;
+  let domain = List.map fst hist in
+  let prf = Mapping.make Mapping.Prf_random "inspect" domain ~bucket_size in
+  let opt = Bucketing.optimal_mapping hist ~bucket_size in
+  Printf.printf "\nexposure (B=%d): prf=%.4f optimal=%.4f\n" bucket_size
+    (Bucketing.exposure prf hist) (Bucketing.exposure opt hist);
+  let plan = Bucketing.dummy_plan_for_column opt hist in
+  Printf.printf "dummy rows to flatten optimal buckets: %d\n"
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 plan)
+
+(* --- storage --------------------------------------------------------------- *)
+
+let run_storage l t k rows n b d =
+  Printf.printf "server storage in ciphertexts (l=%d t=%d k=%d r=%d n=%d B=%d |D|=%d):\n" l t k
+    rows n b d;
+  Printf.printf "  pre-computed: %d\n" (Storage.precomputed_server ~l ~t ~k ~n ~d);
+  Printf.printf "  seabed:       %d\n" (Storage.seabed_server ~l ~t ~k ~r:rows ~b);
+  Printf.printf "  sagma:        %d  (m(l,t) = %d monomials/row)\n"
+    (Storage.sagma_server ~l ~t ~k ~r:rows ~b)
+    (Storage.monomial_count ~l ~t ~b);
+  Printf.printf "client operations per query: pre-computed=%d seabed(rho=50)=%d sagma=%d\n"
+    Storage.precomputed_client
+    (Storage.seabed_client ~rho:50 ~t ~d)
+    (Storage.sagma_client ~t ~d)
+
+(* --- demo ------------------------------------------------------------------- *)
+
+let run_demo () =
+  let str s = Value.Str s and vi i = Value.Int i in
+  let schema : Table.schema =
+    [ { Table.name = "ID"; ty = Value.TInt }; { Table.name = "Salary"; ty = Value.TInt };
+      { Table.name = "Gender"; ty = Value.TStr }; { Table.name = "Name"; ty = Value.TStr };
+      { Table.name = "Department"; ty = Value.TStr } ]
+  in
+  let table =
+    Table.of_rows schema
+      [ [| vi 1; vi 1000; str "male"; str "Henry"; str "Sales" |];
+        [| vi 2; vi 5000; str "female"; str "Jessica"; str "Sales" |];
+        [| vi 3; vi 1500; str "female"; str "Alice"; str "Finance" |];
+        [| vi 4; vi 3000; str "male"; str "Bob"; str "Sales" |];
+        [| vi 5; vi 2000; str "male"; str "Paul"; str "Facility" |] ]
+  in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:2 ~filter_columns:[ "Department" ]
+      ~value_columns:[ "Salary" ] ~group_columns:[ "Gender"; "Department" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:
+        [ ("Gender", [ str "male"; str "female" ]);
+          ("Department", [ str "Sales"; str "Finance"; str "Facility" ]) ]
+      (Drbg.create "cli-demo")
+  in
+  let enc = Scheme.encrypt_table client table in
+  List.iter
+    (fun q ->
+      Printf.printf "%s\n" (Query.to_sql q);
+      List.iter
+        (fun r ->
+          Printf.printf "  %-10g %s\n" (Scheme.aggregate_value q r)
+            (String.concat " | " (List.map Value.to_string r.Scheme.group)))
+        (Scheme.query client enc q);
+      print_newline ())
+    [ Query.make ~group_by:[ "Gender"; "Department" ] (Query.Sum "Salary");
+      Query.make ~where:[ ("Department", str "Sales") ] ~group_by:[ "Gender"; "Department" ]
+        (Query.Sum "Salary");
+      Query.make ~group_by:[ "Department" ] Query.Count ]
+
+(* --- remote mode (against bin/sagma_server.ml) ------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Encrypt a CSV locally, persist the secret client state to [key_file]
+   (private!), and upload the ciphertexts to the server. *)
+let run_remote_upload csv schema group_by value_cols filter_cols bucket_size threshold seed port
+    name key_file =
+  let _, table = load_table ~csv ~schema in
+  let config =
+    Config.make ~bucket_size ~max_group_attrs:threshold ~filter_columns:filter_cols
+      ~value_columns:value_cols ~group_columns:group_by ()
+  in
+  let domains = List.map (fun col -> (col, Table.distinct table col)) group_by in
+  let client = Scheme.setup config ~domains (Drbg.create seed) in
+  let enc = Scheme.encrypt_table client table in
+  write_file key_file (Serialize.client_to_string client);
+  let fd = Sagma_protocol.Transport.connect ~port in
+  let resp =
+    Sagma_protocol.Transport.call fd (Sagma_protocol.Protocol.Upload { name; table = enc })
+  in
+  Unix.close fd;
+  (match resp with
+   | Sagma_protocol.Protocol.Ack ->
+     Printf.printf "uploaded %d encrypted rows as %S; client key saved to %s\n"
+       (Table.row_count table) name key_file
+   | Sagma_protocol.Protocol.Failed msg -> failwith msg
+   | _ -> failwith "unexpected response")
+
+(* Query a previously uploaded table: only the token goes up, only
+   ciphertext aggregates come back. *)
+let run_remote_query sum count_flag avg group_by where_raw port name key_file seed =
+  let client = Serialize.client_of_string ~drbg:(Drbg.create (seed ^ "-session")) (read_file key_file) in
+  let aggregate =
+    match (sum, count_flag, avg) with
+    | Some c, false, None -> Query.Sum c
+    | None, _, None -> Query.Count
+    | None, false, Some c -> Query.Avg c
+    | _ -> invalid_arg "choose exactly one of --sum/--count/--avg"
+  in
+  let where =
+    List.map
+      (fun clause ->
+        match String.index_opt clause '=' with
+        | None -> invalid_arg (Printf.sprintf "bad --where %S" clause)
+        | Some i ->
+          let col = String.sub clause 0 i in
+          let raw = String.sub clause (i + 1) (String.length clause - i - 1) in
+          (* Filter values are parsed as strings unless they look numeric. *)
+          (col, (match int_of_string_opt raw with Some v -> Value.Int v | None -> Value.Str raw)))
+      where_raw
+  in
+  let q = Query.make ~where ~group_by aggregate in
+  let tok = Scheme.token client q in
+  let fd = Sagma_protocol.Transport.connect ~port in
+  let listing = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.List_tables in
+  let total_rows =
+    match listing with
+    | Sagma_protocol.Protocol.Tables ts ->
+      (match List.assoc_opt name ts with
+       | Some rows -> rows
+       | None -> failwith (Printf.sprintf "no such remote table %S" name))
+    | _ -> failwith "unexpected response"
+  in
+  let resp =
+    Sagma_protocol.Transport.call fd (Sagma_protocol.Protocol.Aggregate { name; token = tok })
+  in
+  Unix.close fd;
+  match resp with
+  | Sagma_protocol.Protocol.Aggregates agg ->
+    let results = Scheme.decrypt client tok agg ~total_rows in
+    Printf.printf "%s\n" (Query.to_sql q);
+    List.iter
+      (fun r ->
+        Printf.printf "%-14g | %s\n" (Scheme.aggregate_value q r)
+          (String.concat " | " (List.map Value.to_string r.Scheme.group)))
+      results
+  | Sagma_protocol.Protocol.Failed msg -> failwith msg
+  | _ -> failwith "unexpected response"
+
+(* --- cmdliner wiring ----------------------------------------------------------- *)
+
+let csv_arg = Arg.(required & opt (some file) None & info [ "csv" ] ~doc:"Input CSV file.")
+let schema_arg =
+  Arg.(required & opt (some string) None & info [ "schema" ] ~doc:"Schema, e.g. salary:int,dept:str.")
+
+let query_cmd =
+  let sql =
+    Arg.(value & opt (some string) None
+         & info [ "sql" ] ~doc:"Full SQL statement (supports WHERE ... BETWEEN).")
+  in
+  let sum = Arg.(value & opt (some string) None & info [ "sum" ] ~doc:"SUM this column.") in
+  let count = Arg.(value & flag & info [ "count" ] ~doc:"COUNT rows per group.") in
+  let avg = Arg.(value & opt (some string) None & info [ "avg" ] ~doc:"AVG this column.") in
+  let group_by =
+    Arg.(value & opt (list string) [] & info [ "group-by" ] ~doc:"Grouping columns.")
+  in
+  let where =
+    Arg.(value & opt_all string [] & info [ "where" ] ~doc:"Equality filter col=value (repeatable).")
+  in
+  let bucket = Arg.(value & opt int 2 & info [ "bucket-size" ] ~doc:"Bucket size B.") in
+  let threshold = Arg.(value & opt int 3 & info [ "threshold" ] ~doc:"Max grouping attributes t.") in
+  let seed = Arg.(value & opt string "sagma-cli" & info [ "seed" ] ~doc:"DRBG seed.") in
+  Cmd.v (Cmd.info "query" ~doc:"Encrypt a CSV and answer an aggregation query over ciphertexts.")
+    Term.(
+      const run_query $ csv_arg $ schema_arg $ sql $ sum $ count $ avg $ group_by $ where
+      $ bucket $ threshold $ seed)
+
+let inspect_cmd =
+  let column = Arg.(required & opt (some string) None & info [ "column" ] ~doc:"Column to inspect.") in
+  let bucket = Arg.(value & opt int 2 & info [ "bucket-size" ] ~doc:"Bucket size B.") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Histogram, exposure and dummy-row budget of a column.")
+    Term.(const run_inspect $ csv_arg $ schema_arg $ column $ bucket)
+
+let storage_cmd =
+  let l = Arg.(value & opt int 4 & info [ "l" ] ~doc:"Group columns.") in
+  let t = Arg.(value & opt int 3 & info [ "t" ] ~doc:"Threshold.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Value columns.") in
+  let rows = Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Rows.") in
+  let n = Arg.(value & opt int 2 & info [ "filters" ] ~doc:"Filtering clauses.") in
+  let b = Arg.(value & opt int 2 & info [ "bucket-size" ] ~doc:"Bucket size B.") in
+  let d = Arg.(value & opt int 12 & info [ "domain" ] ~doc:"Group domain size |D|.") in
+  Cmd.v (Cmd.info "storage" ~doc:"Table 10 / Figure 8 storage comparison.")
+    Term.(const run_storage $ l $ t $ k $ rows $ n $ b $ d)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"The paper's worked example.") Term.(const run_demo $ const ())
+
+let port_arg = Arg.(value & opt int 7477 & info [ "port" ] ~doc:"Server port.")
+let name_arg = Arg.(value & opt string "default" & info [ "name" ] ~doc:"Remote table name.")
+let key_file_arg =
+  Arg.(value & opt string "sagma.key" & info [ "key-file" ] ~doc:"Secret client state file.")
+
+let remote_upload_cmd =
+  let group_by =
+    Arg.(non_empty & opt (list string) [] & info [ "group-by" ] ~doc:"Group columns.")
+  in
+  let value_cols =
+    Arg.(non_empty & opt (list string) [] & info [ "values" ] ~doc:"Value columns.")
+  in
+  let filter_cols =
+    Arg.(value & opt (list string) [] & info [ "filters" ] ~doc:"Filter columns.")
+  in
+  let bucket = Arg.(value & opt int 2 & info [ "bucket-size" ] ~doc:"Bucket size B.") in
+  let threshold = Arg.(value & opt int 2 & info [ "threshold" ] ~doc:"Max grouping attributes t.") in
+  let seed = Arg.(value & opt string "sagma-cli" & info [ "seed" ] ~doc:"DRBG seed.") in
+  Cmd.v
+    (Cmd.info "remote-upload"
+       ~doc:"Encrypt a CSV, save the client key locally and upload ciphertexts to a sagma_server.")
+    Term.(
+      const run_remote_upload $ csv_arg $ schema_arg $ group_by $ value_cols $ filter_cols
+      $ bucket $ threshold $ seed $ port_arg $ name_arg $ key_file_arg)
+
+let remote_query_cmd =
+  let sum = Arg.(value & opt (some string) None & info [ "sum" ] ~doc:"SUM this column.") in
+  let count = Arg.(value & flag & info [ "count" ] ~doc:"COUNT rows per group.") in
+  let avg = Arg.(value & opt (some string) None & info [ "avg" ] ~doc:"AVG this column.") in
+  let group_by =
+    Arg.(non_empty & opt (list string) [] & info [ "group-by" ] ~doc:"Grouping columns.")
+  in
+  let where =
+    Arg.(value & opt_all string [] & info [ "where" ] ~doc:"Equality filter col=value.")
+  in
+  let seed = Arg.(value & opt string "sagma-cli" & info [ "seed" ] ~doc:"DRBG seed.") in
+  Cmd.v
+    (Cmd.info "remote-query"
+       ~doc:"Send a grouping token to a sagma_server and decrypt the returned aggregates.")
+    Term.(
+      const run_remote_query $ sum $ count $ avg $ group_by $ where $ port_arg $ name_arg
+      $ key_file_arg $ seed)
+
+let () =
+  let info = Cmd.info "sagma" ~version:"1.0.0" ~doc:"Secure aggregation grouped by multiple attributes." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd ]))

@@ -1,0 +1,14 @@
+(* sagma_server — the untrusted storage/compute half of the deployment.
+
+   Holds uploaded encrypted tables in memory and answers Aggregate and
+   Append requests using only public parameters; it never sees a key.
+
+     dune exec bin/sagma_server.exe -- --port 7477                        *)
+
+let () =
+  let port = ref 7477 in
+  let args = [ ("--port", Arg.Set_int port, "Listen port (default 7477)") ] in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "sagma_server [--port P]";
+  let state = Sagma_protocol.Server.create () in
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d\n%!" !port;
+  Sagma_protocol.Transport.listen_and_serve ~port:!port state

@@ -1,0 +1,44 @@
+(* Additively Symmetric Homomorphic Encryption (ASHE), the cipher behind
+   Seabed (Papadimitriou et al., OSDI'16).
+
+   Enc_k(m, id) = m + F_k(id) (mod 2^b). Addition of ciphertexts adds the
+   plaintexts and accumulates the id multiset; decryption subtracts the
+   pads Σ F_k(id). Symmetric-key and far cheaper than Paillier, but the
+   client's decryption work grows with the id set — the effect that makes
+   Seabed degrade under selective WHERE clauses (§6.2: client cost
+   ρ_i · C). *)
+
+module Prf = Sagma_crypto.Prf
+module Drbg = Sagma_crypto.Drbg
+
+let modulus_bits = 40
+let modulus = 1 lsl modulus_bits
+let mask = modulus - 1
+
+type key = Prf.key
+
+let gen_key (drbg : Drbg.t) : key = Prf.gen_key drbg
+
+let pad (k : key) (id : int) : int = Prf.eval_int k (string_of_int id) ~bound:modulus
+
+type ciphertext = {
+  body : int;      (* Σ m + Σ pads, mod 2^b *)
+  ids : int list;  (* multiset of contributing row ids *)
+}
+
+let encrypt (k : key) ~(id : int) (m : int) : ciphertext =
+  if m < 0 || m >= modulus then invalid_arg "Ashe.encrypt: out of range";
+  { body = (m + pad k id) land mask; ids = [ id ] }
+
+let zero : ciphertext = { body = 0; ids = [] }
+
+let add (a : ciphertext) (b : ciphertext) : ciphertext =
+  { body = (a.body + b.body) land mask; ids = List.rev_append a.ids b.ids }
+
+(* Client-side decryption: one PRF evaluation per contributing id. *)
+let decrypt (k : key) (c : ciphertext) : int =
+  let pads = List.fold_left (fun acc id -> (acc + pad k id) land mask) 0 c.ids in
+  (c.body - pads) land mask
+
+(* The client work metric Table 10 tracks. *)
+let decryption_operations (c : ciphertext) : int = List.length c.ids

@@ -1,0 +1,152 @@
+(* CryptDB-style baseline (§2, §7; Popa et al., SOSP'11).
+
+   Group and filter columns are encrypted deterministically so the server
+   can group/compare ciphertexts directly; value columns use Paillier for
+   homomorphic summation. Supports arbitrary GROUP BY combinations — at
+   the price of leaking the full frequency histogram of every queried
+   column, the leakage that Naveed-style attacks exploit and that SAGMA
+   eliminates. *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module Det = Sagma_crypto.Deterministic
+module Paillier = Sagma_paillier.Paillier
+
+type client = {
+  kp : Paillier.keypair;
+  det : Det.key;
+  drbg : Drbg.t;
+  value_columns : string list;
+  group_columns : string list;
+  filter_columns : string list;
+}
+
+type enc_row = {
+  groups : string array;   (* deterministic ciphertexts *)
+  filters : string array;  (* deterministic ciphertexts *)
+  values : Paillier.ciphertext array;
+}
+
+type enc_table = { rows : enc_row array }
+
+let setup ?(paillier_bits = 512) ~value_columns ~group_columns ?(filter_columns = [])
+    (drbg : Drbg.t) : client =
+  { kp = Paillier.keygen ~bits:paillier_bits drbg;
+    det = Det.gen_key drbg;
+    drbg;
+    value_columns;
+    group_columns;
+    filter_columns }
+
+let det_value (c : client) (v : Value.t) : string = Det.encrypt c.det (Value.encode v)
+
+let encrypt_table (c : client) (t : Table.t) : enc_table =
+  let vidx = List.map (Table.column_index t) c.value_columns in
+  let gidx = List.map (Table.column_index t) c.group_columns in
+  let fidx = List.map (Table.column_index t) c.filter_columns in
+  let rows =
+    List.map
+      (fun row ->
+        { groups = Array.of_list (List.map (fun i -> det_value c row.(i)) gidx);
+          filters = Array.of_list (List.map (fun i -> det_value c row.(i)) fidx);
+          values =
+            Array.of_list
+              (List.map
+                 (fun i -> Paillier.encrypt_int c.kp.Paillier.pk c.drbg (Value.as_int row.(i)))
+                 vidx) })
+      (Table.rows t)
+  in
+  { rows = Array.of_list rows }
+
+type token = {
+  t_value : int option;                (* value column position *)
+  t_groups : int list;                 (* group column positions *)
+  t_filters : (int * string) list;     (* filter position, det ciphertext *)
+}
+
+let position xs name =
+  let rec go i = function
+    | [] -> invalid_arg ("Cryptdb: unknown column " ^ name)
+    | x :: rest -> if x = name then i else go (i + 1) rest
+  in
+  go 0 xs
+
+let token (c : client) (q : Query.t) : token =
+  { t_value = Option.map (position c.value_columns) (Query.value_column q.Query.aggregate);
+    t_groups = List.map (position c.group_columns) q.Query.group_by;
+    t_filters =
+      List.map (fun (col, v) -> (position c.filter_columns col, det_value c v)) q.Query.where }
+
+type group_aggregate = {
+  det_group : string list;          (* deterministic group key (leaked!) *)
+  sum_ct : Paillier.ciphertext option;
+  count : int;                      (* plaintext count — CryptDB leaks it *)
+}
+
+(* Server-side: group rows by deterministic ciphertext tuples. *)
+let aggregate (c : client) (et : enc_table) (tok : token) : group_aggregate list =
+  let pk = c.kp.Paillier.pk in
+  let tbl : (string list, Paillier.ciphertext option * int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun row ->
+      let keep = List.for_all (fun (i, ct) -> row.filters.(i) = ct) tok.t_filters in
+      if keep then begin
+        let key = List.map (fun i -> row.groups.(i)) tok.t_groups in
+        let prev_sum, prev_count =
+          Option.value (Hashtbl.find_opt tbl key) ~default:(None, 0)
+        in
+        let sum =
+          match tok.t_value with
+          | None -> None
+          | Some v ->
+            Some
+              (match prev_sum with
+               | None -> row.values.(v)
+               | Some acc -> Paillier.add pk acc row.values.(v))
+        in
+        Hashtbl.replace tbl key (sum, prev_count + 1)
+      end)
+    et.rows;
+  Hashtbl.fold (fun det_group (sum_ct, count) acc -> { det_group; sum_ct; count } :: acc) tbl []
+
+type result_row = { group : Value.t list; sum : int; count : int }
+
+let decode_value (c : client) (ct : string) : Value.t =
+  match Det.decrypt c.det ct with
+  | None -> invalid_arg "Cryptdb.decode_value: bad ciphertext"
+  | Some enc ->
+    (match String.index_opt enc ':' with
+     | Some 1 when enc.[0] = 'i' ->
+       Value.Int (int_of_string (String.sub enc 2 (String.length enc - 2)))
+     | Some 1 when enc.[0] = 's' -> Value.Str (String.sub enc 2 (String.length enc - 2))
+     | _ -> invalid_arg "Cryptdb.decode_value: bad encoding")
+
+let decrypt (c : client) (aggs : group_aggregate list) : result_row list =
+  List.map
+    (fun a ->
+      { group = List.map (decode_value c) a.det_group;
+        sum =
+          (match a.sum_ct with
+           | None -> 0
+           | Some ct -> Z.to_int_exn (Paillier.decrypt c.kp ct));
+        count = a.count })
+    aggs
+  |> List.sort (fun a b ->
+         Stdlib.compare (List.map Value.to_string a.group) (List.map Value.to_string b.group))
+
+let query (c : client) (et : enc_table) (q : Query.t) : result_row list =
+  decrypt c (aggregate c et (token c q))
+
+(* The leakage CryptDB concedes: the exact histogram of a group column is
+   readable off the deterministic ciphertexts without any query. *)
+let leaked_histogram (et : enc_table) ~(column : int) : (string * int) list =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun row ->
+      let ct = row.groups.(column) in
+      Hashtbl.replace tbl ct (1 + Option.value (Hashtbl.find_opt tbl ct) ~default:0))
+    et.rows;
+  Hashtbl.fold (fun ct c acc -> (ct, c) :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,44 @@
+(* The trivial "download everything" baseline: rows are stored under
+   semantically secure symmetric encryption; the client fetches the whole
+   table, decrypts and aggregates locally. Perfect security, no server
+   computation, maximal bandwidth — the yardstick §6.2 invokes when it
+   notes Seabed's filtered-query client cost can exceed even this. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Executor = Sagma_db.Executor
+module Drbg = Sagma_crypto.Drbg
+module Secretbox = Sagma_crypto.Secretbox
+
+type client = { key : Secretbox.key; drbg : Drbg.t; schema : Table.schema }
+
+type enc_table = { rows : string array }
+
+let setup ~(schema : Table.schema) (drbg : Drbg.t) : client =
+  { key = Secretbox.gen_key drbg; drbg; schema }
+
+let encode_row (row : Value.t array) : string =
+  String.concat "\x00" (Array.to_list (Array.map Value.encode row))
+
+let decode_row (c : client) (s : string) : Value.t array =
+  let fields = String.split_on_char '\x00' s in
+  Array.of_list
+    (List.map2
+       (fun (col : Table.column) f ->
+         match col.Table.ty with
+         | Value.TInt -> Value.Int (int_of_string (String.sub f 2 (String.length f - 2)))
+         | Value.TStr -> Value.Str (String.sub f 2 (String.length f - 2)))
+       c.schema fields)
+
+let encrypt_table (c : client) (t : Table.t) : enc_table =
+  { rows =
+      Array.of_list (List.map (fun r -> Secretbox.seal c.key c.drbg (encode_row r)) (Table.rows t)) }
+
+(* Bandwidth the client pays per query: the whole table, every time. *)
+let bytes_transferred (et : enc_table) : int =
+  Array.fold_left (fun acc r -> acc + String.length r) 0 et.rows
+
+let query (c : client) (et : enc_table) (q : Query.t) : Executor.result_row list =
+  let rows = Array.to_list (Array.map (fun r -> decode_row c (Secretbox.open_exn c.key r)) et.rows) in
+  Executor.run (Table.of_rows c.schema rows) q

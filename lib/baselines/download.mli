@@ -1,0 +1,20 @@
+(** The trivial "download everything" baseline: semantically secure rows,
+    client fetches the whole table and aggregates locally. Perfect
+    security, maximal bandwidth — the yardstick §6.2 invokes for Seabed's
+    filtered-query client cost. *)
+
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Executor = Sagma_db.Executor
+module Drbg = Sagma_crypto.Drbg
+
+type client
+type enc_table
+
+val setup : schema:Table.schema -> Drbg.t -> client
+val encrypt_table : client -> Table.t -> enc_table
+
+val bytes_transferred : enc_table -> int
+(** Bandwidth per query: the whole table, every time. *)
+
+val query : client -> enc_table -> Query.t -> Executor.result_row list

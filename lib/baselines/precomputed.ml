@@ -1,0 +1,103 @@
+(* The naïve pre-computation baseline (§2, §6.2).
+
+   Every aggregate for every grouping-attribute combination (size ≤ t),
+   every group-value tuple and every supported filtering clause is
+   computed client-side at encryption time and stored encrypted; a query
+   is a dictionary lookup plus one decryption (client cost 1, Table 10).
+   The storage explodes combinatorially — that is the point of the
+   comparison. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Executor = Sagma_db.Executor
+module Drbg = Sagma_crypto.Drbg
+module Secretbox = Sagma_crypto.Secretbox
+
+type client = { key : Secretbox.key; drbg : Drbg.t }
+
+type enc_store = {
+  cells : (string, string) Hashtbl.t;  (* query fingerprint -> sealed result *)
+}
+
+let setup (drbg : Drbg.t) : client = { key = Secretbox.gen_key drbg; drbg }
+
+let fingerprint (q : Query.t) : string =
+  Query.to_sql q
+
+let seal_results (c : client) (results : Executor.result_row list) : string =
+  let body =
+    String.concat ";"
+      (List.map
+         (fun r ->
+           Printf.sprintf "%s=%d,%d"
+             (String.concat "|" (List.map Value.encode r.Executor.group))
+             r.Executor.sum r.Executor.count)
+         results)
+  in
+  Secretbox.seal c.key c.drbg body
+
+(* All subsets of [cols] with size in [1, t]. *)
+let rec subsets_upto t cols =
+  match cols with
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets_upto t rest in
+    let with_x =
+      List.filter_map
+        (fun s -> if List.length s < t then Some (x :: s) else None)
+        without
+    in
+    with_x @ without
+
+(* Pre-compute every aggregate. [filter_values] lists the filtering
+   clauses to materialize (the paper notes the full space is impractical —
+   callers choose a finite set). *)
+let precompute (c : client) (t : Table.t) ~(aggregates : Query.aggregate list)
+    ~(group_columns : string list) ~(threshold : int)
+    ~(filters : (string * Value.t) list list) : enc_store =
+  let cells = Hashtbl.create 256 in
+  let combos = List.filter (fun s -> s <> []) (subsets_upto threshold group_columns) in
+  List.iter
+    (fun agg ->
+      List.iter
+        (fun combo ->
+          List.iter
+            (fun where ->
+              let q = Query.make ~where ~group_by:combo agg in
+              Hashtbl.replace cells (fingerprint q) (seal_results c (Executor.run t q)))
+            ([] :: filters))
+        combos)
+    aggregates;
+  { cells }
+
+let storage_cells (s : enc_store) : int = Hashtbl.length s.cells
+
+type result_row = { group : Value.t list; sum : int; count : int }
+
+let parse_value (s : string) : Value.t =
+  if String.length s >= 2 && s.[0] = 'i' && s.[1] = ':' then
+    Value.Int (int_of_string (String.sub s 2 (String.length s - 2)))
+  else if String.length s >= 2 && s.[0] = 's' && s.[1] = ':' then
+    Value.Str (String.sub s 2 (String.length s - 2))
+  else invalid_arg "Precomputed.parse_value"
+
+(* Query = lookup + single decryption. *)
+let query (c : client) (store : enc_store) (q : Query.t) : result_row list option =
+  match Hashtbl.find_opt store.cells (fingerprint q) with
+  | None -> None
+  | Some sealed ->
+    let body = Secretbox.open_exn c.key sealed in
+    if body = "" then Some []
+    else
+      Some
+        (List.map
+           (fun cell ->
+             match String.split_on_char '=' cell with
+             | [ groups; nums ] ->
+               let group = List.map parse_value (String.split_on_char '|' groups) in
+               (match String.split_on_char ',' nums with
+                | [ s; n ] -> { group; sum = int_of_string s; count = int_of_string n }
+                | _ -> invalid_arg "Precomputed.query: bad cell")
+             | _ -> invalid_arg "Precomputed.query: bad cell")
+           (String.split_on_char ';' body))

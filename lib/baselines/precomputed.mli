@@ -1,0 +1,32 @@
+(** The naïve pre-computation baseline (§2, §6.2): every aggregate for
+    every grouping combination, group tuple and materialized filter is
+    computed client-side and stored encrypted; queries are one lookup +
+    one decryption (client cost 1), storage explodes combinatorially. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+
+type client
+type enc_store
+
+val setup : Drbg.t -> client
+
+val precompute :
+  client ->
+  Table.t ->
+  aggregates:Query.aggregate list ->
+  group_columns:string list ->
+  threshold:int ->
+  filters:(string * Value.t) list list ->
+  enc_store
+(** Materialize every aggregate over every column combination of size
+    ≤ threshold, for the unfiltered table and each listed filter. *)
+
+val storage_cells : enc_store -> int
+
+type result_row = { group : Value.t list; sum : int; count : int }
+
+val query : client -> enc_store -> Query.t -> result_row list option
+(** [None] when the query (e.g. its filter) was not materialized. *)

@@ -1,0 +1,161 @@
+(* Seabed-style baseline (Papadimitriou et al., OSDI'16; §2, §6.2, §7).
+
+   Grouping by one attribute is realized by *splaying* the value column:
+   one ASHE column per common group value (v_j holds the value when the
+   row's group equals the j-th common value, else 0) plus a single
+   overflow column paired with a deterministic group ciphertext for
+   uncommon values. Dummy rows with zero contributions pad the
+   deterministic column so that the leaked frequencies are flat.
+
+   Grouping by attribute *combinations* is not supported natively
+   (Table 11); the §6.2 comparison assumes the client pre-computes and
+   uploads each needed combination — reflected here by [splay_columns]
+   counting (B+1)^i − 1 columns per combination. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Drbg = Sagma_crypto.Drbg
+module Det = Sagma_crypto.Deterministic
+
+type client = {
+  ashe : Ashe.key;
+  det : Det.key;
+  common : Value.t array;  (* the "common values" given splay columns *)
+  drbg : Drbg.t;
+}
+
+type enc_row = {
+  id : int;
+  splay : Ashe.ciphertext array;    (* one per common value *)
+  splay_count : Ashe.ciphertext array;  (* 1-or-0 columns for COUNT *)
+  other : Ashe.ciphertext;          (* overflow column *)
+  other_count : Ashe.ciphertext;
+  det_group : string option;        (* det(group) for uncommon rows, None on dummies *)
+}
+
+type enc_table = { rows : enc_row array; num_dummies : int }
+
+let setup ~(common : Value.t list) (drbg : Drbg.t) : client =
+  { ashe = Ashe.gen_key drbg; det = Det.gen_key drbg; common = Array.of_list common; drbg }
+
+let index_of_common (c : client) (v : Value.t) : int option =
+  let rec go i =
+    if i >= Array.length c.common then None
+    else if Value.equal c.common.(i) v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let enc_row (c : client) ~(id : int) ~(value : int) ~(group : Value.t) : enc_row =
+  let m = Array.length c.common in
+  match index_of_common c group with
+  | Some j ->
+    { id;
+      splay = Array.init m (fun i -> Ashe.encrypt c.ashe ~id (if i = j then value else 0));
+      splay_count = Array.init m (fun i -> Ashe.encrypt c.ashe ~id (if i = j then 1 else 0));
+      other = Ashe.encrypt c.ashe ~id 0;
+      other_count = Ashe.encrypt c.ashe ~id 0;
+      (* Common rows fill the det column with a dummy that flattens the
+         histogram (Seabed's padding trick). *)
+      det_group = None }
+  | None ->
+    { id;
+      splay = Array.init m (fun _ -> Ashe.encrypt c.ashe ~id 0);
+      splay_count = Array.init m (fun _ -> Ashe.encrypt c.ashe ~id 0);
+      other = Ashe.encrypt c.ashe ~id value;
+      other_count = Ashe.encrypt c.ashe ~id 1;
+      det_group = Some (Det.encrypt c.det (Value.encode group)) }
+
+let encrypt_table (c : client) (t : Table.t) ~(value_column : string) ~(group_column : string) :
+    enc_table =
+  let vi = Table.column_index t value_column and gi = Table.column_index t group_column in
+  let rows =
+    List.mapi
+      (fun id row -> enc_row c ~id ~value:(Value.as_int row.(vi)) ~group:row.(gi))
+      (Table.rows t)
+  in
+  { rows = Array.of_list rows; num_dummies = 0 }
+
+type result_row = { group : Value.t; sum : int; count : int }
+
+(* Server + client: sum every splay column; group the overflow column by
+   its deterministic tag. The returned decryption-operation count is the
+   client-cost metric of Table 10. *)
+let query (c : client) (et : enc_table) : result_row list * int =
+  let ops = ref 0 in
+  let dec ct =
+    ops := !ops + Ashe.decryption_operations ct;
+    Ashe.decrypt c.ashe ct
+  in
+  let common_results =
+    Array.to_list
+      (Array.mapi
+         (fun j g ->
+           let sum =
+             Array.fold_left (fun acc row -> Ashe.add acc row.splay.(j)) Ashe.zero et.rows
+           in
+           let count =
+             Array.fold_left (fun acc row -> Ashe.add acc row.splay_count.(j)) Ashe.zero et.rows
+           in
+           { group = g; sum = dec sum; count = dec count })
+         c.common)
+  in
+  (* Uncommon values: group by deterministic tag. *)
+  let tbl : (string, Ashe.ciphertext * Ashe.ciphertext) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun row ->
+      match row.det_group with
+      | None -> ()
+      | Some tag ->
+        let s, n = Option.value (Hashtbl.find_opt tbl tag) ~default:(Ashe.zero, Ashe.zero) in
+        Hashtbl.replace tbl tag (Ashe.add s row.other, Ashe.add n row.other_count))
+    et.rows;
+  let uncommon =
+    Hashtbl.fold
+      (fun tag (s, n) acc ->
+        let group =
+          match Det.decrypt c.det tag with
+          | Some enc when String.length enc > 2 && enc.[0] = 's' ->
+            Value.Str (String.sub enc 2 (String.length enc - 2))
+          | Some enc when String.length enc > 2 && enc.[0] = 'i' ->
+            Value.Int (int_of_string (String.sub enc 2 (String.length enc - 2)))
+          | _ -> invalid_arg "Seabed.query: bad det ciphertext"
+        in
+        { group; sum = dec s; count = dec n } :: acc)
+      tbl []
+  in
+  let results =
+    List.filter (fun r -> r.count > 0) (common_results @ uncommon)
+    |> List.sort (fun a b -> Value.compare a.group b.group)
+  in
+  (results, !ops)
+
+(* Storage model (§6.2): (B+1)^i − 1 columns per combination of i
+   grouping attributes, per value column, per row. *)
+let splay_columns ~(l : int) ~(t : int) ~(b : int) : int =
+  let choose n k =
+    if k < 0 || k > n then 0
+    else begin
+      let acc = ref 1 in
+      for i = 0 to k - 1 do
+        acc := !acc * (n - i) / (i + 1)
+      done;
+      !acc
+    end
+  in
+  let rec pow acc e = if e = 0 then acc else pow (acc * (b + 1)) (e - 1) in
+  let rec sum i acc = if i > t then acc else sum (i + 1) (acc + (choose l i * (pow 1 i - 1))) in
+  sum 1 0
+
+(* The flattened leakage: frequencies of the deterministic column after
+   splaying — common values are invisible, so the histogram the server
+   sees is only over uncommon values. *)
+let leaked_histogram (et : enc_table) : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun row ->
+      match row.det_group with
+      | None -> ()
+      | Some tag -> Hashtbl.replace tbl tag (1 + Option.value (Hashtbl.find_opt tbl tag) ~default:0))
+    et.rows;
+  Hashtbl.fold (fun tag c acc -> (tag, c) :: acc) tbl [] |> List.sort compare

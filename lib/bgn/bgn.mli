@@ -1,0 +1,92 @@
+(** The Boneh–Goh–Nissim somewhat homomorphic encryption scheme (TCC'05).
+
+    Plaintexts live in Z_n, n = q₁q₂. Level-1 ciphertexts are points of
+    the order-n curve subgroup: Enc(m) = m·g + r·h with h generating the
+    order-q₁ blinding subgroup. Ciphertexts add homomorphically and admit
+    {e one} multiplication via the pairing, landing in the target group
+    G_T ⊆ F_p² (level 2), which is again additively homomorphic.
+
+    Decryption raises to q₁ (killing the blinding) and solves a bounded
+    discrete log — the constraint SAGMA's CRT channels
+    ({!Crt_channels}) work around. *)
+
+module Z = Sagma_bigint.Bigint
+module Curve = Sagma_pairing.Curve
+module Fp2 = Sagma_pairing.Fp2
+module Pairing = Sagma_pairing.Pairing
+module Drbg = Sagma_crypto.Drbg
+
+type public_key = {
+  group : Pairing.group;
+  g : Curve.point;   (** generator of G, order n *)
+  h : Curve.point;   (** generator of the order-q₁ blinding subgroup *)
+  e_gg : Fp2.t;      (** ê(g, g): level-2 generator (cached) *)
+  e_gh : Fp2.t;      (** ê(g, h): level-2 blinding generator (cached) *)
+}
+
+type secret_key = { q1 : Z.t; q2 : Z.t }
+
+type keypair = { pk : public_key; sk : secret_key }
+
+type c1 = Curve.point
+(** Level-1 ciphertext. *)
+
+type c2 = Fp2.t
+(** Level-2 (post-pairing) ciphertext. *)
+
+val n : public_key -> Z.t
+(** The plaintext modulus n = q₁q₂ (public). *)
+
+val keygen : bits:int -> Drbg.t -> keypair
+(** [keygen ~bits] draws two primes of [bits/2] each. The paper's setting
+    is 1024-bit n; tests and default benches use smaller moduli. *)
+
+val random_blinding : public_key -> Drbg.t -> Z.t
+
+(** {1 Level 1} *)
+
+val enc1 : public_key -> Drbg.t -> Z.t -> c1
+val enc1_int : public_key -> Drbg.t -> int -> c1
+val add1 : public_key -> c1 -> c1 -> c1
+val neg1 : public_key -> c1 -> c1
+
+val smul1 : public_key -> Z.t -> c1 -> c1
+(** Multiply the plaintext by a public scalar (the ⊗-by-plaintext used
+    for SAGMA's polynomial coefficients). *)
+
+val zero1 : c1
+(** The trivial encryption of 0. *)
+
+val rerandomize1 : public_key -> Drbg.t -> c1 -> c1
+
+(** {1 Level 2} *)
+
+val enc2 : public_key -> Drbg.t -> Z.t -> c2
+val add2 : public_key -> c2 -> c2 -> c2
+val smul2 : public_key -> Z.t -> c2 -> c2
+val zero2 : c2
+val rerandomize2 : public_key -> Drbg.t -> c2 -> c2
+
+val mul : public_key -> c1 -> c1 -> c2
+(** The one ciphertext–ciphertext multiplication: ê(C₁, C₂). *)
+
+(** {1 Decryption}
+
+    Tables are exposed for reuse: building one costs O(√max) group
+    operations; each decryption is then O(√max) lookups. *)
+
+type dec1_table
+type dec2_table
+
+val curve_ops : public_key -> Curve.point Dlog.ops
+val gt_ops : public_key -> Fp2.t Dlog.ops
+
+val make_dec1_table : keypair -> max:int -> dec1_table
+val dec1 : keypair -> dec1_table -> max:int -> c1 -> int option
+val make_dec2_table : keypair -> max:int -> dec2_table
+val dec2 : keypair -> dec2_table -> max:int -> c2 -> int option
+
+val dec1_once : keypair -> max:int -> c1 -> int option
+(** One-shot decryption with a throwaway table. *)
+
+val dec2_once : keypair -> max:int -> c2 -> int option

@@ -1,0 +1,83 @@
+(* CRT plaintext channels for BGN (Hu, Martin, Sunar — ACNS'12).
+
+   BGN decryption is a bounded discrete log, so large plaintexts are
+   undecryptable. The fix the SAGMA evaluation adopts: split each value
+   into residues modulo small pairwise-coprime channel moduli d_1..d_k,
+   encrypt each residue separately, run the homomorphic computation
+   channel-wise, decrypt each channel with a small dlog and recombine via
+   the Chinese remainder theorem.
+
+   After summing [rows] products of two residues, channel i's exponent is
+   bounded by rows·(d_i−1)² (or rows·(d_i−1) when one factor is a 0/1
+   indicator, as in SAGMA's unit shifts) — the caller supplies the bound
+   that matches its computation. *)
+
+module Z = Sagma_bigint.Bigint
+
+type t = {
+  moduli : int array;   (* pairwise coprime, ascending *)
+  product : Z.t;        (* Π moduli: the effective plaintext capacity *)
+}
+
+let product_of moduli =
+  Array.fold_left (fun acc d -> Z.mul acc (Z.of_int d)) Z.one moduli
+
+let make (moduli : int array) : t =
+  if Array.length moduli = 0 then invalid_arg "Crt_channels.make: empty";
+  Array.iter (fun d -> if d < 2 then invalid_arg "Crt_channels.make: modulus < 2") moduli;
+  (* Verify pairwise coprimality up front; a violation silently corrupts
+     every decryption later. *)
+  let k = Array.length moduli in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let g = Z.gcd (Z.of_int moduli.(i)) (Z.of_int moduli.(j)) in
+      if not (Z.equal g Z.one) then invalid_arg "Crt_channels.make: moduli not coprime"
+    done
+  done;
+  { moduli; product = product_of moduli }
+
+(* Small primes starting just below 2^channel_bits, enough of them that
+   the product covers [capacity_bits] bits of plaintext. *)
+let choose ~(channel_bits : int) ~(capacity_bits : int) : t =
+  if channel_bits < 2 || channel_bits > 20 then
+    invalid_arg "Crt_channels.choose: channel_bits out of range";
+  let is_prime x =
+    let rec go d = d * d > x || (x mod d <> 0 && go (d + 1)) in
+    x >= 2 && go 2
+  in
+  let target = Z.shift_left Z.one capacity_bits in
+  let rec collect acc prod candidate =
+    if Z.geq prod target then List.rev acc
+    else if candidate < 2 then
+      invalid_arg "Crt_channels.choose: capacity unreachable with given channel_bits"
+    else if is_prime candidate then
+      collect (candidate :: acc) (Z.mul prod (Z.of_int candidate)) (candidate - 1)
+    else collect acc prod (candidate - 1)
+  in
+  let start = (1 lsl channel_bits) - 1 in
+  make (Array.of_list (collect [] Z.one start))
+
+let channels (t : t) = Array.length t.moduli
+
+let capacity_bits (t : t) = Z.num_bits t.product - 1
+
+(* Residue vector of a (possibly big) non-negative value. *)
+let encode (t : t) (v : Z.t) : int array =
+  if Z.sign v < 0 then invalid_arg "Crt_channels.encode: negative";
+  Array.map (fun d -> Z.to_int_exn (Z.erem v (Z.of_int d))) t.moduli
+
+let encode_int (t : t) (v : int) : int array = encode t (Z.of_int v)
+
+(* Recombine channel results. Channel values may exceed their modulus
+   (they are sums of residues); they are reduced here. The true value must
+   be < product for the result to be exact. *)
+let decode (t : t) (channel_values : int array) : Z.t =
+  if Array.length channel_values <> Array.length t.moduli then
+    invalid_arg "Crt_channels.decode: arity mismatch";
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun i v -> (Z.of_int (v mod t.moduli.(i)), Z.of_int t.moduli.(i)))
+         channel_values)
+  in
+  Z.crt pairs

@@ -1,0 +1,34 @@
+(** CRT plaintext channels for BGN (Hu, Martin, Sunar — ACNS'12).
+
+    BGN decryption is a bounded discrete log, so large plaintexts are
+    undecryptable directly. Values are split into residues modulo small
+    pairwise-coprime channel moduli, the homomorphic computation runs
+    channel-wise, each channel decrypts with a small dlog, and the client
+    recombines via the Chinese remainder theorem (§6 of the SAGMA
+    paper). *)
+
+module Z = Sagma_bigint.Bigint
+
+type t = {
+  moduli : int array;  (** pairwise coprime *)
+  product : Z.t;       (** Π moduli — the plaintext capacity *)
+}
+
+val make : int array -> t
+(** @raise Invalid_argument when the moduli are not pairwise coprime. *)
+
+val choose : channel_bits:int -> capacity_bits:int -> t
+(** Primes just below [2^channel_bits], enough that the product covers
+    [capacity_bits] bits of plaintext. *)
+
+val channels : t -> int
+val capacity_bits : t -> int
+
+val encode : t -> Z.t -> int array
+(** Residue vector of a non-negative value. *)
+
+val encode_int : t -> int -> int array
+
+val decode : t -> int array -> Z.t
+(** Recombine channel results (which may exceed their modulus — they are
+    reduced first). Exact when the true value is below [product]. *)

@@ -1,0 +1,118 @@
+(* Montgomery modular multiplication (CIOS variant) over 26-bit limbs.
+
+   For an odd modulus n of k limbs, numbers are represented as
+   x·R mod n with R = base^k. One Montgomery multiplication costs
+   ~2k² limb products with no division — substantially faster than
+   multiply-then-Knuth-divide for the exponentiation loads in this
+   repository (Paillier over n², Miller–Rabin, F_p² final
+   exponentiations). [Bigint.powm] dispatches here for large odd moduli;
+   `bench ablation:montgomery` measures the gain. *)
+
+type ctx = {
+  n : Nat.t;           (* the modulus, odd, normalized *)
+  k : int;             (* limb count of n *)
+  n0_inv : int;        (* -n^{-1} mod base *)
+  r2 : Nat.t;          (* R² mod n, for conversion into Montgomery form *)
+  one_mont : Nat.t;    (* R mod n = Montgomery form of 1 *)
+}
+
+(* Inverse of an odd limb modulo 2^26 by Newton iteration. *)
+let limb_inverse (n0 : int) : int =
+  let x = ref 1 in
+  for _ = 1 to 5 do
+    x := !x * (2 - (n0 * !x)) land Nat.limb_mask
+  done;
+  !x land Nat.limb_mask
+
+let make (n : Nat.t) : ctx =
+  if Nat.is_zero n || n.(0) land 1 = 0 then invalid_arg "Montgomery.make: modulus must be odd";
+  let k = Array.length n in
+  let n0_inv = Nat.limb_mask land (Nat.base - limb_inverse n.(0)) in
+  (* R² mod n via shifting (no division beyond Nat.rem). *)
+  let r = Nat.rem (Nat.shift_left (Nat.of_int 1) (k * Nat.limb_bits)) n in
+  let r2 = Nat.rem (Nat.mul r r) n in
+  { n; k; n0_inv; r2; one_mont = r }
+
+(* CIOS Montgomery multiplication: returns a·b·R⁻¹ mod n. Operands are
+   k-limb arrays (zero-padded); the result is a fresh k-limb array. *)
+let mont_mul (c : ctx) (a : int array) (b : int array) : int array =
+  let k = c.k in
+  let n = c.n in
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    (* t := t + a_i * b *)
+    let ai = a.(i) in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(j) + (ai * b.(j)) + !carry in
+      t.(j) <- s land Nat.limb_mask;
+      carry := s lsr Nat.limb_bits
+    done;
+    let s = t.(k) + !carry in
+    t.(k) <- s land Nat.limb_mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr Nat.limb_bits);
+    (* m := t_0 · n' mod base; t := (t + m·n) / base *)
+    let m = (t.(0) * c.n0_inv) land Nat.limb_mask in
+    let s = t.(0) + (m * n.(0)) in
+    let carry = ref (s lsr Nat.limb_bits) in
+    for j = 1 to k - 1 do
+      let s = t.(j) + (m * n.(j)) + !carry in
+      t.(j - 1) <- s land Nat.limb_mask;
+      carry := s lsr Nat.limb_bits
+    done;
+    let s = t.(k) + !carry in
+    t.(k - 1) <- s land Nat.limb_mask;
+    t.(k) <- t.(k + 1) + (s lsr Nat.limb_bits);
+    t.(k + 1) <- 0
+  done;
+  (* t may be >= n (but < 2n): one conditional subtraction. *)
+  let result = Array.sub t 0 k in
+  let ge =
+    t.(k) > 0
+    ||
+    let rec cmp i = if i < 0 then true else if result.(i) <> n.(i) then result.(i) > n.(i) else cmp (i - 1) in
+    cmp (k - 1)
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = result.(j) - n.(j) - !borrow in
+      if d < 0 then begin
+        result.(j) <- d + Nat.base;
+        borrow := 1
+      end
+      else begin
+        result.(j) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  result
+
+let pad (c : ctx) (a : Nat.t) : int array =
+  let out = Array.make c.k 0 in
+  Array.blit a 0 out 0 (Array.length a);
+  out
+
+(* Convert into / out of Montgomery form. *)
+let to_mont (c : ctx) (a : Nat.t) : int array = mont_mul c (pad c (Nat.rem a c.n)) (pad c c.r2)
+
+let of_mont (c : ctx) (a : int array) : Nat.t =
+  let one = Array.make c.k 0 in
+  one.(0) <- 1;
+  Nat.normalize (mont_mul c a one)
+
+(* Modular exponentiation: base^expo mod n, left-to-right square-and-
+   multiply in Montgomery form. *)
+let powm (c : ctx) (base : Nat.t) (expo : Nat.t) : Nat.t =
+  let nbits = Nat.num_bits expo in
+  if nbits = 0 then Nat.rem (Nat.of_int 1) c.n
+  else begin
+    let base_m = to_mont c base in
+    let acc = ref (pad c c.one_mont) in
+    for i = nbits - 1 downto 0 do
+      acc := mont_mul c !acc !acc;
+      if Nat.bit expo i then acc := mont_mul c !acc base_m
+    done;
+    of_mont c !acc
+  end

@@ -1,0 +1,23 @@
+(** Montgomery modular multiplication (CIOS) over 26-bit limbs.
+
+    Numbers are carried as x·R mod n with R = base^k; a multiplication
+    costs ~2k² limb products and no division. {!Bigint.powm} dispatches
+    here for large odd moduli. *)
+
+type ctx
+
+val make : Nat.t -> ctx
+(** @raise Invalid_argument for even or zero moduli. *)
+
+val limb_inverse : int -> int
+(** Inverse of an odd limb mod 2^26 (exposed for tests). *)
+
+val mont_mul : ctx -> int array -> int array -> int array
+(** a·b·R⁻¹ mod n on k-limb padded operands (exposed for tests). *)
+
+val pad : ctx -> Nat.t -> int array
+val to_mont : ctx -> Nat.t -> int array
+val of_mont : ctx -> int array -> Nat.t
+
+val powm : ctx -> Nat.t -> Nat.t -> Nat.t
+(** base^expo mod n. *)

@@ -1,0 +1,259 @@
+(* AES-128/AES-256 block cipher (FIPS 197) and AES-GCM authenticated
+   encryption (NIST SP 800-38D).
+
+   The paper's introduction names AES-GCM as the standard encryption that
+   protects data while "render[ing] database operations impossible"; the
+   download-everything baseline can run on it, and it serves as a second,
+   standards-based AEAD next to the ChaCha20 secretbox. Table-based
+   S-box, byte-oriented — correctness-first, not constant-time. *)
+
+(* --- S-box, computed from the algebraic definition at module init ------- *)
+
+let sbox = Bytes.create 256
+let inv_sbox = Bytes.create 256
+
+(* GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1. *)
+let gf_mul (a : int) (b : int) : int =
+  let a = ref a and b = ref b and p = ref 0 in
+  for _ = 0 to 7 do
+    if !b land 1 = 1 then p := !p lxor !a;
+    let hi = !a land 0x80 in
+    a := (!a lsl 1) land 0xff;
+    if hi <> 0 then a := !a lxor 0x1b;
+    b := !b lsr 1
+  done;
+  !p
+
+let () =
+  (* Multiplicative inverses by brute force (256² once at startup), then
+     the affine transformation. *)
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gf_mul a b = 1 then inv.(a) <- b
+    done
+  done;
+  for a = 0 to 255 do
+    let x = inv.(a) in
+    let s =
+      x
+      lxor ((x lsl 1) lor (x lsr 7))
+      lxor ((x lsl 2) lor (x lsr 6))
+      lxor ((x lsl 3) lor (x lsr 5))
+      lxor ((x lsl 4) lor (x lsr 4))
+      lxor 0x63
+    in
+    let s = s land 0xff in
+    Bytes.set sbox a (Char.chr s);
+    Bytes.set inv_sbox s (Char.chr a)
+  done
+
+let sub (b : int) : int = Char.code (Bytes.get sbox b)
+
+(* --- key expansion -------------------------------------------------------- *)
+
+type key = {
+  round_keys : int array array;  (* (rounds+1) × 16 bytes *)
+  rounds : int;
+}
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36; 0x6c; 0xd8 |]
+  [@ocamlformat "disable"]
+
+let expand_key (raw : string) : key =
+  let nk = String.length raw / 4 in
+  if nk <> 4 && nk <> 8 then invalid_arg "Aes.expand_key: key must be 16 or 32 bytes";
+  let rounds = nk + 6 in
+  let words = Array.make (4 * (rounds + 1)) [| 0; 0; 0; 0 |] in
+  for i = 0 to nk - 1 do
+    words.(i) <- Array.init 4 (fun j -> Char.code raw.[(4 * i) + j])
+  done;
+  for i = nk to (4 * (rounds + 1)) - 1 do
+    let temp = Array.copy words.(i - 1) in
+    let temp =
+      if i mod nk = 0 then begin
+        (* RotWord + SubWord + Rcon *)
+        let t = [| sub temp.(1); sub temp.(2); sub temp.(3); sub temp.(0) |] in
+        t.(0) <- t.(0) lxor rcon.((i / nk) - 1);
+        t
+      end
+      else if nk = 8 && i mod nk = 4 then Array.map sub temp
+      else temp
+    in
+    words.(i) <- Array.init 4 (fun j -> words.(i - nk).(j) lxor temp.(j))
+  done;
+  let round_keys =
+    Array.init (rounds + 1) (fun r ->
+        Array.init 16 (fun j -> words.((4 * r) + (j / 4)).(j mod 4)))
+  in
+  { round_keys; rounds }
+
+(* --- block encryption ------------------------------------------------------ *)
+
+let add_round_key (state : int array) (rk : int array) : unit =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes (state : int array) : unit =
+  for i = 0 to 15 do
+    state.(i) <- sub state.(i)
+  done
+
+(* State is column-major: byte (row, col) at index 4*col + row. *)
+let shift_rows (state : int array) : unit =
+  let copy = Array.copy state in
+  for col = 0 to 3 do
+    for row = 1 to 3 do
+      state.((4 * col) + row) <- copy.((4 * ((col + row) mod 4)) + row)
+    done
+  done
+
+let mix_columns (state : int array) : unit =
+  for col = 0 to 3 do
+    let o = 4 * col in
+    let a0 = state.(o) and a1 = state.(o + 1) and a2 = state.(o + 2) and a3 = state.(o + 3) in
+    state.(o) <- gf_mul a0 2 lxor gf_mul a1 3 lxor a2 lxor a3;
+    state.(o + 1) <- a0 lxor gf_mul a1 2 lxor gf_mul a2 3 lxor a3;
+    state.(o + 2) <- a0 lxor a1 lxor gf_mul a2 2 lxor gf_mul a3 3;
+    state.(o + 3) <- gf_mul a0 3 lxor a1 lxor a2 lxor gf_mul a3 2
+  done
+
+(* [encrypt_block k block] is the forward cipher on one 16-byte block
+   (the only direction GCM needs). *)
+let encrypt_block (k : key) (block : string) : string =
+  if String.length block <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state k.round_keys.(0);
+  for round = 1 to k.rounds - 1 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state k.round_keys.(round)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state k.round_keys.(k.rounds);
+  String.init 16 (fun i -> Char.chr state.(i))
+
+(* --- GCM --------------------------------------------------------------------
+
+   GHASH over GF(2^128) with the polynomial x^128 + x^7 + x^2 + x + 1,
+   bit-reflected per SP 800-38D. Blocks are (hi, lo) 64-bit pairs. *)
+
+type block128 = { hi : int64; lo : int64 }
+
+let block_of_string (s : string) (off : int) : block128 =
+  let word o =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + o + i]))
+    done;
+    !v
+  in
+  { hi = word 0; lo = word 8 }
+
+let string_of_block (b : block128) : string =
+  String.init 16 (fun i ->
+      let w = if i < 8 then b.hi else b.lo in
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * (7 - (i mod 8)))) 0xffL)))
+
+let block_xor a b = { hi = Int64.logxor a.hi b.hi; lo = Int64.logxor a.lo b.lo }
+
+let zero_block = { hi = 0L; lo = 0L }
+
+(* GF(2^128) multiply, MSB-first bit order (SP 800-38D algorithm 1). *)
+let gf128_mul (x : block128) (y : block128) : block128 =
+  let z = ref zero_block in
+  let v = ref y in
+  for i = 0 to 127 do
+    let bit =
+      if i < 64 then Int64.logand (Int64.shift_right_logical x.hi (63 - i)) 1L
+      else Int64.logand (Int64.shift_right_logical x.lo (127 - i)) 1L
+    in
+    if bit = 1L then z := block_xor !z !v;
+    (* v := v >> 1, with conditional reduction by R = 11100001 || 0^120. *)
+    let lsb = Int64.logand !v.lo 1L in
+    let lo = Int64.logor (Int64.shift_right_logical !v.lo 1) (Int64.shift_left !v.hi 63) in
+    let hi = Int64.shift_right_logical !v.hi 1 in
+    v := if lsb = 1L then { hi = Int64.logxor hi 0xe100000000000000L; lo } else { hi; lo }
+  done;
+  !z
+
+let ghash (h : block128) (data : string) : block128 =
+  let n = String.length data in
+  let y = ref zero_block in
+  let i = ref 0 in
+  while !i < n do
+    let chunk =
+      if !i + 16 <= n then block_of_string data !i
+      else begin
+        let padded = Bytes.make 16 '\000' in
+        Bytes.blit_string data !i padded 0 (n - !i);
+        block_of_string (Bytes.unsafe_to_string padded) 0
+      end
+    in
+    y := gf128_mul (block_xor !y chunk) h;
+    i := !i + 16
+  done;
+  !y
+
+let inc32 (b : block128) : block128 =
+  let ctr = Int64.logand b.lo 0xffffffffL in
+  let ctr' = Int64.logand (Int64.add ctr 1L) 0xffffffffL in
+  { b with lo = Int64.logor (Int64.logand b.lo 0xffffffff00000000L) ctr' }
+
+let gctr (k : key) (icb : block128) (data : string) : string =
+  let n = String.length data in
+  let out = Bytes.create n in
+  let cb = ref icb in
+  let i = ref 0 in
+  while !i < n do
+    let ks = encrypt_block k (string_of_block !cb) in
+    let take = min 16 (n - !i) in
+    for j = 0 to take - 1 do
+      Bytes.set out (!i + j) (Char.chr (Char.code data.[!i + j] lxor Char.code ks.[j]))
+    done;
+    cb := inc32 !cb;
+    i := !i + 16
+  done;
+  Bytes.unsafe_to_string out
+
+let be64_string (v : int) : string =
+  String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+
+let tag_size = 16
+let nonce_size = 12
+
+(* [gcm_encrypt k ~nonce ~aad pt] is (ciphertext, tag) per SP 800-38D
+   with a 96-bit nonce. *)
+let gcm_encrypt (k : key) ~(nonce : string) ?(aad = "") (plaintext : string) : string * string =
+  if String.length nonce <> nonce_size then invalid_arg "Aes.gcm_encrypt: nonce must be 12 bytes";
+  let h = block_of_string (encrypt_block k (String.make 16 '\000')) 0 in
+  let j0 = block_of_string (nonce ^ "\000\000\000\001") 0 in
+  let ct = gctr k (inc32 j0) plaintext in
+  let pad_len s = (16 - (String.length s mod 16)) mod 16 in
+  let ghash_input =
+    aad ^ String.make (pad_len aad) '\000' ^ ct ^ String.make (pad_len ct) '\000'
+    ^ be64_string (8 * String.length aad)
+    ^ be64_string (8 * String.length ct)
+  in
+  let s = ghash h ghash_input in
+  let tag = gctr k j0 (string_of_block s) in
+  (ct, tag)
+
+let gcm_decrypt (k : key) ~(nonce : string) ?(aad = "") ~(tag : string) (ct : string) :
+    string option =
+  if String.length nonce <> nonce_size then invalid_arg "Aes.gcm_decrypt: nonce must be 12 bytes";
+  (* Recompute the tag over the received ciphertext, then decrypt. *)
+  let h = block_of_string (encrypt_block k (String.make 16 '\000')) 0 in
+  let j0 = block_of_string (nonce ^ "\000\000\000\001") 0 in
+  let pad_len s = (16 - (String.length s mod 16)) mod 16 in
+  let ghash_input =
+    aad ^ String.make (pad_len aad) '\000' ^ ct ^ String.make (pad_len ct) '\000'
+    ^ be64_string (8 * String.length aad)
+    ^ be64_string (8 * String.length ct)
+  in
+  let s = ghash h ghash_input in
+  let tag' = gctr k j0 (string_of_block s) in
+  if Encoding.equal_ct tag tag' then Some (gctr k (inc32 j0) ct) else None

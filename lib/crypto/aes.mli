@@ -1,0 +1,26 @@
+(** AES-128/AES-256 (FIPS 197) and AES-GCM authenticated encryption
+    (NIST SP 800-38D) — the standard scheme the paper's introduction
+    references. Byte-oriented and correctness-first (not constant-time);
+    used by the baselines and available as a second AEAD next to the
+    ChaCha20 {!Secretbox}. *)
+
+type key
+
+val expand_key : string -> key
+(** 16- or 32-byte raw keys. @raise Invalid_argument otherwise. *)
+
+val encrypt_block : key -> string -> string
+(** Forward cipher on one 16-byte block. *)
+
+val gf_mul : int -> int -> int
+(** GF(2⁸) multiplication (exposed for tests). *)
+
+val tag_size : int
+val nonce_size : int
+
+val gcm_encrypt : key -> nonce:string -> ?aad:string -> string -> string * string
+(** [(ciphertext, tag)] with a 96-bit nonce. Never reuse a nonce under
+    one key. *)
+
+val gcm_decrypt : key -> nonce:string -> ?aad:string -> tag:string -> string -> string option
+(** [None] on authentication failure. *)

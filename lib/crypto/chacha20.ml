@@ -1,0 +1,68 @@
+(* ChaCha20 stream cipher (RFC 8439). *)
+
+let m32 = 0xffffffff
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land m32
+
+let quarter_round (st : int array) a b c d =
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let key_size = 32
+let nonce_size = 12
+let block_size = 64
+
+(* One 64-byte keystream block for (key, nonce, counter). *)
+let block ~(key : string) ~(nonce : string) (counter : int) : string =
+  if String.length key <> key_size then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865; st.(1) <- 0x3320646e; st.(2) <- 0x79622d32; st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- Encoding.le32_get key (4 * i)
+  done;
+  st.(12) <- counter land m32;
+  for i = 0 to 2 do
+    st.(13 + i) <- Encoding.le32_get nonce (4 * i)
+  done;
+  let w = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round w 0 4 8 12;
+    quarter_round w 1 5 9 13;
+    quarter_round w 2 6 10 14;
+    quarter_round w 3 7 11 15;
+    quarter_round w 0 5 10 15;
+    quarter_round w 1 6 11 12;
+    quarter_round w 2 7 8 13;
+    quarter_round w 3 4 9 14
+  done;
+  let out = Bytes.create block_size in
+  for i = 0 to 15 do
+    Encoding.le32_set out (4 * i) ((w.(i) + st.(i)) land m32)
+  done;
+  Bytes.unsafe_to_string out
+
+(* XOR [msg] with the keystream starting at block [counter] (RFC default 1
+   for encryption, 0 reserved for MAC keys; the caller chooses). *)
+let xor_stream ?(counter = 1) ~key ~nonce (msg : string) : string =
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + block_size - 1) / block_size in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~nonce (counter + b) in
+    let off = b * block_size in
+    let n = min block_size (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i) (Char.chr (Char.code msg.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let encrypt = xor_stream
+let decrypt = xor_stream

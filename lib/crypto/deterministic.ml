@@ -1,0 +1,35 @@
+(* Deterministic authenticated encryption (SIV construction):
+
+       tag = HMAC_{k1}(m)            (synthetic IV, truncated to 16 bytes)
+       ct  = ChaCha20_{k2}(nonce = tag[0..11], m)
+       out = tag ‖ ct
+
+   Equal plaintexts yield equal ciphertexts — the property CryptDB's DET
+   layer relies on for server-side grouping, and exactly the leakage the
+   SAGMA paper criticizes (frequency of every group value). Decryption
+   re-derives the tag for authenticity. *)
+
+type key = { siv : string; enc : string }
+
+let tag_size = 16
+
+let of_master (master : string) : key =
+  let okm = Hmac.hkdf ~salt:"sagma-det" ~ikm:master 64 in
+  { siv = String.sub okm 0 32; enc = String.sub okm 32 32 }
+
+let gen_key (drbg : Drbg.t) : key = of_master (Drbg.bytes drbg 32)
+
+let encrypt (k : key) (m : string) : string =
+  let tag = String.sub (Hmac.mac ~key:k.siv m) 0 tag_size in
+  let nonce = String.sub tag 0 Chacha20.nonce_size in
+  tag ^ Chacha20.encrypt ~key:k.enc ~nonce m
+
+let decrypt (k : key) (c : string) : string option =
+  if String.length c < tag_size then None
+  else begin
+    let tag = String.sub c 0 tag_size in
+    let nonce = String.sub tag 0 Chacha20.nonce_size in
+    let m = Chacha20.decrypt ~key:k.enc ~nonce (String.sub c tag_size (String.length c - tag_size)) in
+    if Encoding.equal_ct tag (String.sub (Hmac.mac ~key:k.siv m) 0 tag_size) then Some m
+    else None
+  end

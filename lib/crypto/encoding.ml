@@ -1,0 +1,58 @@
+(* Byte-string helpers shared by the crypto modules and their tests. *)
+
+let to_hex (s : string) : string =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex (s : string) : string =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Encoding.of_hex: odd length";
+  String.init (n / 2) (fun i ->
+      let v = int_of_string ("0x" ^ String.sub s (2 * i) 2) in
+      Char.chr v)
+
+let xor (a : string) (b : string) : string =
+  if String.length a <> String.length b then invalid_arg "Encoding.xor: length mismatch";
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Constant-time(ish) equality: good enough against remote timing in a
+   reproduction; OCaml strings preclude true constant-time guarantees. *)
+let equal_ct (a : string) (b : string) : bool =
+  String.length a = String.length b
+  && begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end
+
+(* Little-endian 32-bit integer codecs (ChaCha20). *)
+let le32_get (s : string) (off : int) : int =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let le32_set (b : Bytes.t) (off : int) (v : int) : unit =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+(* Big-endian 32-bit (SHA-256) and 64-bit length codecs. *)
+let be32_get (s : string) (off : int) : int =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let be32_set (b : Bytes.t) (off : int) (v : int) : unit =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let be64_set (b : Bytes.t) (off : int) (v : int) : unit =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+  done

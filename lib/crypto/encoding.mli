@@ -1,0 +1,18 @@
+(** Byte-string helpers shared by the crypto modules and their tests. *)
+
+val to_hex : string -> string
+val of_hex : string -> string
+
+val xor : string -> string -> string
+(** Bytewise XOR of equal-length strings. *)
+
+val equal_ct : string -> string -> bool
+(** Timing-balanced equality (best-effort in OCaml). *)
+
+(** 32-bit little-endian (ChaCha20) and big-endian (SHA-256) codecs. *)
+
+val le32_get : string -> int -> int
+val le32_set : Bytes.t -> int -> int -> unit
+val be32_get : string -> int -> int
+val be32_set : Bytes.t -> int -> int -> unit
+val be64_set : Bytes.t -> int -> int -> unit

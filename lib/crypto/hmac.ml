@@ -1,0 +1,29 @@
+(* HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). *)
+
+let block_size = 64
+let tag_size = Sha256.digest_size
+
+(* [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. *)
+let mac ~(key : string) (msg : string) : string =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
+  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let verify ~key msg tag = Encoding.equal_ct (mac ~key msg) tag
+
+(* HKDF-Extract then HKDF-Expand, SHA-256 based. *)
+let hkdf ?(salt = "") ?(info = "") ~(ikm : string) (len : int) : string =
+  if len > 255 * tag_size then invalid_arg "Hmac.hkdf: output too long";
+  let prk = mac ~key:(if salt = "" then String.make tag_size '\000' else salt) ikm in
+  let buf = Buffer.create len in
+  let rec go t i =
+    if Buffer.length buf < len then begin
+      let t = mac ~key:prk (t ^ info ^ String.make 1 (Char.chr i)) in
+      Buffer.add_string buf t;
+      go t (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len

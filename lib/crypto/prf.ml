@@ -1,0 +1,34 @@
+(* Keyed pseudorandom functions.
+
+   SAGMA needs PRFs in two places: the secret bucket-mapping functions
+   [f_i : D_i -> N] (Algorithm 1) and the SSE label/mask derivations. Both
+   are HMAC-SHA256 under domain-separated keys. *)
+
+type key = string
+
+let key_size = 32
+
+let gen_key (drbg : Drbg.t) : key = Drbg.bytes drbg key_size
+
+(* Derive an independent sub-key for a named domain. *)
+let derive (k : key) ~(domain : string) : key =
+  Hmac.hkdf ~salt:"sagma-prf-derive" ~info:domain ~ikm:k key_size
+
+(* Raw PRF: 32 pseudorandom bytes. *)
+let eval (k : key) (input : string) : string = Hmac.mac ~key:k input
+
+(* PRF with output in [0, bound), bias < 2^-64 (128-bit reduction). *)
+let eval_int (k : key) (input : string) ~(bound : int) : int =
+  if bound <= 0 then invalid_arg "Prf.eval_int: bound <= 0";
+  let raw = eval k input in
+  (* Fold 16 bytes into an integer mod bound, Horner style. *)
+  let acc = ref 0 in
+  for i = 0 to 15 do
+    acc := ((!acc * 256) + Char.code raw.[i]) mod bound
+  done;
+  !acc
+
+(* Truncated PRF output, for labels. *)
+let eval_trunc (k : key) (input : string) ~(len : int) : string =
+  if len <= Hmac.tag_size then String.sub (eval k input) 0 len
+  else Hmac.hkdf ~salt:"sagma-prf-long" ~info:input ~ikm:k len

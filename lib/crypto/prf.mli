@@ -1,0 +1,23 @@
+(** Keyed pseudorandom functions (HMAC-SHA256 based).
+
+    SAGMA uses PRFs for the secret bucket-mapping functions [f_i]
+    (Algorithm 1) and for the SSE label/mask derivations. *)
+
+type key = string
+
+val key_size : int
+(** 32 bytes. *)
+
+val gen_key : Drbg.t -> key
+
+val derive : key -> domain:string -> key
+(** [derive k ~domain] is an independent sub-key for a named domain. *)
+
+val eval : key -> string -> string
+(** Raw PRF: 32 pseudorandom bytes. *)
+
+val eval_int : key -> string -> bound:int -> int
+(** PRF with output in [\[0, bound)]; bias below [2^-64]. *)
+
+val eval_trunc : key -> string -> len:int -> string
+(** PRF with arbitrary output length. *)

@@ -1,0 +1,91 @@
+(* SHA-256 (FIPS 180-4), pure OCaml.
+
+   32-bit words live in native ints; every operation masks back to 32 bits
+   with [m32]. *)
+
+let m32 = 0xffffffff
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
+
+type state = {
+  mutable h0 : int; mutable h1 : int; mutable h2 : int; mutable h3 : int;
+  mutable h4 : int; mutable h5 : int; mutable h6 : int; mutable h7 : int;
+}
+
+let init_state () =
+  { h0 = 0x6a09e667; h1 = 0xbb67ae85; h2 = 0x3c6ef372; h3 = 0xa54ff53a;
+    h4 = 0x510e527f; h5 = 0x9b05688c; h6 = 0x1f83d9ab; h7 = 0x5be0cd19 }
+
+let compress (st : state) (block : string) (off : int) : unit =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    w.(i) <- Encoding.be32_get block (off + 4 * i)
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
+    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land m32
+  done;
+  let a = ref st.h0 and b = ref st.h1 and c = ref st.h2 and d = ref st.h3 in
+  let e = ref st.h4 and f = ref st.h5 and g = ref st.h6 and h = ref st.h7 in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!h + s1 + ch + k.(i) + w.(i)) land m32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land m32 in
+    h := !g; g := !f; f := !e;
+    e := (!d + t1) land m32;
+    d := !c; c := !b; b := !a;
+    a := (t1 + t2) land m32
+  done;
+  st.h0 <- (st.h0 + !a) land m32;
+  st.h1 <- (st.h1 + !b) land m32;
+  st.h2 <- (st.h2 + !c) land m32;
+  st.h3 <- (st.h3 + !d) land m32;
+  st.h4 <- (st.h4 + !e) land m32;
+  st.h5 <- (st.h5 + !f) land m32;
+  st.h6 <- (st.h6 + !g) land m32;
+  st.h7 <- (st.h7 + !h) land m32
+
+let digest_size = 32
+
+(* [digest msg] is the 32-byte SHA-256 hash of [msg]. *)
+let digest (msg : string) : string =
+  let st = init_state () in
+  let len = String.length msg in
+  let full_blocks = len / 64 in
+  for i = 0 to full_blocks - 1 do
+    compress st msg (64 * i)
+  done;
+  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
+  let remaining = len - (64 * full_blocks) in
+  let tail_len = if remaining < 56 then 64 else 128 in
+  let tail = Bytes.make tail_len '\000' in
+  Bytes.blit_string msg (64 * full_blocks) tail 0 remaining;
+  Bytes.set tail remaining '\x80';
+  Encoding.be64_set tail (tail_len - 8) (len * 8);
+  let tail = Bytes.unsafe_to_string tail in
+  compress st tail 0;
+  if tail_len = 128 then compress st tail 64;
+  let out = Bytes.create 32 in
+  List.iteri
+    (fun i v -> Encoding.be32_set out (4 * i) v)
+    [ st.h0; st.h1; st.h2; st.h3; st.h4; st.h5; st.h6; st.h7 ];
+  Bytes.unsafe_to_string out
+
+let hexdigest (msg : string) : string = Encoding.to_hex (digest msg)

@@ -1,0 +1,10 @@
+(** SHA-256 (FIPS 180-4), pure OCaml. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte SHA-256 hash of [msg]. *)
+
+val hexdigest : string -> string
+(** [digest] rendered as lowercase hex. *)

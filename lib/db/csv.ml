@@ -1,0 +1,82 @@
+(* Minimal CSV support (RFC 4180 subset: quoted fields, embedded commas
+   and quotes; no embedded newlines). *)
+
+let split_line (line : string) : string list =
+  let n = String.length line in
+  let fields = ref [] and buf = Buffer.create 16 in
+  let rec go i in_quotes =
+    if i >= n then begin
+      fields := Buffer.contents buf :: !fields
+    end
+    else begin
+      let c = line.[i] in
+      if in_quotes then begin
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      end
+      else if c = '"' && Buffer.length buf = 0 then go (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+    end
+  in
+  go 0 false;
+  List.rev !fields
+
+let escape_field (s : string) : string =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* [parse ~schema contents] reads a CSV with a header line; header names
+   must match the schema order. *)
+let parse ~(schema : Table.schema) (contents : string) : Table.t =
+  match String.split_on_char '\n' (String.trim contents) with
+  | [] -> Table.make schema
+  | header :: data ->
+    let names = split_line header in
+    let expected = List.map (fun c -> c.Table.name) schema in
+    if names <> expected then
+      invalid_arg
+        (Printf.sprintf "Csv.parse: header mismatch (got %s, want %s)"
+           (String.concat "," names) (String.concat "," expected));
+    let rows =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else begin
+            let fields = split_line line in
+            if List.length fields <> List.length schema then
+              invalid_arg ("Csv.parse: bad row: " ^ line);
+            Some (Array.of_list (List.map2 (fun c f -> Value.parse c.Table.ty f) schema fields))
+          end)
+        data
+    in
+    Table.of_rows schema rows
+
+let render (t : Table.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (Table.column_names t));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map (fun v -> escape_field (Value.to_string v)) row)));
+      Buffer.add_char buf '\n')
+    (Table.rows t);
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(* The aggregation query fragment SAGMA supports:
+
+       SELECT AGG(value_col) FROM t
+       [WHERE col = v AND ... [AND col BETWEEN lo AND hi ...]]
+       GROUP BY g1, ..., gq                                            *)
+
+type aggregate =
+  | Sum of string    (* SUM(col) *)
+  | Count            (* COUNT of the group's rows *)
+  | Avg of string    (* AVG(col), computed as SUM/COUNT client-side *)
+
+type t = {
+  aggregate : aggregate;
+  group_by : string list;                  (* grouping attributes, q >= 1 *)
+  where : (string * Value.t) list;         (* conjunctive equality filters *)
+  ranges : (string * int * int) list;      (* conjunctive BETWEEN filters, inclusive *)
+}
+
+let make ?(where = []) ?(ranges = []) ~group_by aggregate =
+  if group_by = [] then invalid_arg "Query.make: empty GROUP BY";
+  let uniq = List.sort_uniq compare group_by in
+  if List.length uniq <> List.length group_by then
+    invalid_arg "Query.make: duplicate grouping attribute";
+  List.iter
+    (fun (col, lo, hi) ->
+      if lo > hi then invalid_arg (Printf.sprintf "Query.make: empty range on %s" col))
+    ranges;
+  { aggregate; group_by; where; ranges }
+
+let value_column = function
+  | Sum c | Avg c -> Some c
+  | Count -> None
+
+let aggregate_name = function Sum c -> "SUM(" ^ c ^ ")" | Count -> "COUNT(*)" | Avg c -> "AVG(" ^ c ^ ")"
+
+let to_sql (q : t) : string =
+  let select =
+    aggregate_name q.aggregate ^ ", " ^ String.concat ", " q.group_by
+  in
+  let literal = function
+    | Value.Int v -> string_of_int v
+    | Value.Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  in
+  let clauses =
+    List.map (fun (c, v) -> Printf.sprintf "%s = %s" c (literal v)) q.where
+    @ List.map (fun (c, lo, hi) -> Printf.sprintf "%s BETWEEN %d AND %d" c lo hi) q.ranges
+  in
+  let where = match clauses with [] -> "" | cs -> " WHERE " ^ String.concat " AND " cs in
+  Printf.sprintf "SELECT %s FROM t%s GROUP BY %s;" select where (String.concat ", " q.group_by)

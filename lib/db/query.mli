@@ -1,0 +1,34 @@
+(** The aggregation query fragment SAGMA supports:
+
+    {[ SELECT AGG(col) FROM t [WHERE c = v AND ...] GROUP BY g1, ..., gq ]} *)
+
+type aggregate =
+  | Sum of string
+  | Count
+  | Avg of string  (** computed as SUM/COUNT client-side *)
+
+type t = {
+  aggregate : aggregate;
+  group_by : string list;           (** q ≥ 1 grouping attributes *)
+  where : (string * Value.t) list;  (** conjunctive equality filters *)
+  ranges : (string * int * int) list;
+      (** conjunctive BETWEEN filters on int columns, inclusive bounds *)
+}
+
+val make :
+  ?where:(string * Value.t) list ->
+  ?ranges:(string * int * int) list ->
+  group_by:string list ->
+  aggregate ->
+  t
+(** @raise Invalid_argument on an empty or duplicated GROUP BY list or an
+    empty range. *)
+
+val value_column : aggregate -> string option
+(** The aggregated column, [None] for COUNT. *)
+
+val aggregate_name : aggregate -> string
+
+val to_sql : t -> string
+(** Render as SQL (used for display and as the pre-computation
+    baseline's cell fingerprint). *)

@@ -1,0 +1,225 @@
+(* A parser for the SQL fragment SAGMA supports:
+
+       SELECT AGG(col)[, g1, ...] FROM ident
+       [WHERE col = lit [AND ...] | col BETWEEN n AND m]
+       GROUP BY g1[, g2 ...] [;]
+
+   with AGG ∈ {SUM, COUNT, AVG}, string literals in single quotes and
+   case-insensitive keywords. Produces a {!Query.t}. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Star
+  | Eq
+  | Semi
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize (input : string) : token list =
+  let n = String.length input in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (out := Lparen :: !out; incr i)
+    else if c = ')' then (out := Rparen :: !out; incr i)
+    else if c = ',' then (out := Comma :: !out; incr i)
+    else if c = '*' then (out := Star :: !out; incr i)
+    else if c = '=' then (out := Eq :: !out; incr i)
+    else if c = ';' then (out := Semi :: !out; incr i)
+    else if c = '\'' then begin
+      (* single-quoted string, '' escapes a quote *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "unterminated string literal";
+        if input.[!i] = '\'' then begin
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      out := Str_lit (Buffer.contents buf) :: !out
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do
+        incr i
+      done;
+      out := Int_lit (int_of_string (String.sub input start (!i - start))) :: !out
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      out := Ident (String.sub input start (!i - start)) :: !out
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !out
+
+(* --- recursive-descent parser over a mutable token stream ----------------- *)
+
+type stream = { mutable toks : token list }
+
+let peek (s : stream) : token option = match s.toks with [] -> None | t :: _ -> Some t
+
+let advance (s : stream) : unit = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let keyword_eq (t : token) (kw : string) : bool =
+  match t with Ident id -> String.lowercase_ascii id = kw | _ -> false
+
+let expect_keyword (s : stream) (kw : string) : unit =
+  match peek s with
+  | Some t when keyword_eq t kw -> advance s
+  | Some _ | None -> fail "expected %s" (String.uppercase_ascii kw)
+
+let accept_keyword (s : stream) (kw : string) : bool =
+  match peek s with
+  | Some t when keyword_eq t kw ->
+    advance s;
+    true
+  | _ -> false
+
+let expect_ident (s : stream) ~(what : string) : string =
+  match peek s with
+  | Some (Ident id) ->
+    advance s;
+    id
+  | _ -> fail "expected %s" what
+
+let expect (s : stream) (t : token) ~(what : string) : unit =
+  match peek s with
+  | Some t' when t' = t -> advance s
+  | _ -> fail "expected %s" what
+
+let parse_aggregate (s : stream) : Query.aggregate =
+  let name = String.lowercase_ascii (expect_ident s ~what:"aggregate function") in
+  expect s Lparen ~what:"(";
+  let agg =
+    match name with
+    | "sum" -> Query.Sum (expect_ident s ~what:"column name")
+    | "avg" -> Query.Avg (expect_ident s ~what:"column name")
+    | "count" -> begin
+      match peek s with
+      | Some Star ->
+        advance s;
+        Query.Count
+      | Some (Ident _) ->
+        advance s;
+        (* COUNT over a non-null column equals a row count here *)
+        Query.Count
+      | _ -> fail "expected * or column in COUNT"
+    end
+    | other -> fail "unsupported aggregate %S" other
+  in
+  expect s Rparen ~what:")";
+  agg
+
+let parse_literal (s : stream) : Value.t =
+  match peek s with
+  | Some (Int_lit v) ->
+    advance s;
+    Value.Int v
+  | Some (Str_lit v) ->
+    advance s;
+    Value.Str v
+  | _ -> fail "expected literal"
+
+let parse_int (s : stream) ~(what : string) : int =
+  match peek s with
+  | Some (Int_lit v) ->
+    advance s;
+    v
+  | _ -> fail "expected integer %s" what
+
+(* One WHERE clause: col = lit, or col BETWEEN n AND m. *)
+let parse_clause (s : stream) :
+    [ `Eq of string * Value.t | `Between of string * int * int ] =
+  let col = expect_ident s ~what:"filter column" in
+  match peek s with
+  | Some Eq ->
+    advance s;
+    `Eq (col, parse_literal s)
+  | Some t when keyword_eq t "between" ->
+    advance s;
+    let lo = parse_int s ~what:"range lower bound" in
+    expect_keyword s "and";
+    let hi = parse_int s ~what:"range upper bound" in
+    `Between (col, lo, hi)
+  | _ -> fail "expected = or BETWEEN after %S" col
+
+type statement = {
+  query : Query.t;
+  table : string;
+  selected : string list;  (* non-aggregate select columns, if any *)
+}
+
+let parse (input : string) : statement =
+  let s = { toks = tokenize input } in
+  expect_keyword s "select";
+  let aggregate = parse_aggregate s in
+  let selected = ref [] in
+  while peek s = Some Comma do
+    advance s;
+    selected := expect_ident s ~what:"select column" :: !selected
+  done;
+  expect_keyword s "from";
+  let table = expect_ident s ~what:"table name" in
+  let where = ref [] and ranges = ref [] in
+  if accept_keyword s "where" then begin
+    let continue = ref true in
+    while !continue do
+      (match parse_clause s with
+       | `Eq (c, v) -> where := (c, v) :: !where
+       | `Between (c, lo, hi) -> ranges := (c, lo, hi) :: !ranges);
+      continue := accept_keyword s "and"
+    done
+  end;
+  expect_keyword s "group";
+  expect_keyword s "by";
+  let group_by = ref [ expect_ident s ~what:"grouping column" ] in
+  while peek s = Some Comma do
+    advance s;
+    group_by := expect_ident s ~what:"grouping column" :: !group_by
+  done;
+  (match peek s with Some Semi -> advance s | _ -> ());
+  (match peek s with
+   | None -> ()
+   | Some _ -> fail "trailing tokens after statement");
+  let group_by = List.rev !group_by in
+  let selected = List.rev !selected in
+  (* Paper-style statements select the grouping columns alongside the
+     aggregate; when present they must agree. *)
+  if selected <> [] && List.sort compare selected <> List.sort compare group_by then
+    fail "selected columns %s do not match GROUP BY %s" (String.concat "," selected)
+      (String.concat "," group_by);
+  { query = Query.make ~where:(List.rev !where) ~ranges:(List.rev !ranges) ~group_by aggregate;
+    table;
+    selected }
+
+let parse_query (input : string) : Query.t = (parse input).query

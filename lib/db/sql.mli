@@ -1,0 +1,23 @@
+(** A parser for the SQL fragment SAGMA supports:
+
+    {[ SELECT AGG(col)[, g1, ...] FROM t
+       [WHERE col = lit AND ... AND col BETWEEN n AND m]
+       GROUP BY g1[, ...] [;]                                  ]}
+
+    AGG ∈ {{!Query.Sum}, {!Query.Count}, {!Query.Avg}}; string literals
+    in single quotes ('' escapes a quote); keywords case-insensitive. *)
+
+exception Parse_error of string
+
+type statement = {
+  query : Query.t;
+  table : string;
+  selected : string list;  (** non-aggregate select columns, if any *)
+}
+
+val parse : string -> statement
+(** @raise Parse_error with a human-readable message. When grouping
+    columns are selected alongside the aggregate (paper style) they must
+    agree with the GROUP BY list. *)
+
+val parse_query : string -> Query.t

@@ -1,0 +1,91 @@
+(* Application grouping-query workloads.
+
+   §6.1 (Figure 7) reports, for Nextcloud, WordPress and Piwik, the share
+   of GROUP BY queries that use at most 1 / 2 / 3 grouping attributes:
+
+       Nextcloud  100 / 100 / 100 %   (single attribute only, COUNT only)
+       WordPress   97 /  99 / 100 %   (largest query: 3 attributes)
+       Piwik       25 /  83 /  95 %   (largest query: 5 attributes)
+
+   The applications' query logs are not redistributable, so we model each
+   application as a weighted set of query templates whose GROUP BY
+   attribute-count distribution matches the reported percentages; the
+   bench then *recomputes* the table from generated workloads, exercising
+   the same measurement code a log analysis would. *)
+
+module Drbg = Sagma_crypto.Drbg
+
+type application = Nextcloud | Wordpress | Piwik
+
+let application_name = function
+  | Nextcloud -> "Nextcloud"
+  | Wordpress -> "Wordpress"
+  | Piwik -> "Piwik"
+
+type template = {
+  weight : int;               (* relative frequency, percent *)
+  aggregate : Query.aggregate;
+  group_by : string list;
+}
+
+(* Attribute pools per application (used to synthesize distinct queries
+   with the right attribute counts). *)
+
+let nextcloud_templates =
+  [ { weight = 40; aggregate = Query.Count; group_by = [ "mimetype" ] };
+    { weight = 30; aggregate = Query.Count; group_by = [ "storage" ] };
+    { weight = 20; aggregate = Query.Count; group_by = [ "share_type" ] };
+    { weight = 10; aggregate = Query.Count; group_by = [ "uid_owner" ] } ]
+
+let wordpress_templates =
+  [ { weight = 47; aggregate = Query.Count; group_by = [ "post_status" ] };
+    { weight = 30; aggregate = Query.Count; group_by = [ "comment_approved" ] };
+    { weight = 20; aggregate = Query.Count; group_by = [ "post_type" ] };
+    { weight = 2; aggregate = Query.Count; group_by = [ "post_type"; "post_status" ] };
+    { weight = 1; aggregate = Query.Sum "comment_count";
+      group_by = [ "post_type"; "post_status"; "post_author" ] } ]
+
+let piwik_templates =
+  [ { weight = 25; aggregate = Query.Count; group_by = [ "country" ] };
+    { weight = 33; aggregate = Query.Count; group_by = [ "country"; "browser" ] };
+    { weight = 25; aggregate = Query.Sum "visit_total_time";
+      group_by = [ "referer_type"; "device" ] };
+    { weight = 12; aggregate = Query.Count; group_by = [ "country"; "browser"; "os" ] };
+    { weight = 3; aggregate = Query.Sum "visit_total_actions";
+      group_by = [ "country"; "browser"; "os"; "device" ] };
+    { weight = 2; aggregate = Query.Count;
+      group_by = [ "country"; "browser"; "os"; "device"; "referer_type" ] } ]
+
+let templates = function
+  | Nextcloud -> nextcloud_templates
+  | Wordpress -> wordpress_templates
+  | Piwik -> piwik_templates
+
+(* Weighted sample of one template. *)
+let sample_template (d : Drbg.t) (ts : template list) : template =
+  let total = List.fold_left (fun acc t -> acc + t.weight) 0 ts in
+  let roll = Drbg.int_below d total in
+  let rec pick acc = function
+    | [] -> List.hd ts
+    | t :: rest -> if roll < acc + t.weight then t else pick (acc + t.weight) rest
+  in
+  pick 0 ts
+
+(* [generate app d n] synthesizes a log of [n] grouping queries. *)
+let generate (app : application) (d : Drbg.t) (n : int) : Query.t list =
+  List.init n (fun _ ->
+      let t = sample_template d (templates app) in
+      Query.make ~group_by:t.group_by t.aggregate)
+
+(* Share of queries with at most [k] grouping attributes, in percent
+   (the Figure 7 measurement). *)
+let share_at_most (queries : Query.t list) (k : int) : float =
+  let n = List.length queries in
+  if n = 0 then 0.
+  else begin
+    let hits = List.length (List.filter (fun q -> List.length q.Query.group_by <= k) queries) in
+    100. *. float_of_int hits /. float_of_int n
+  end
+
+let max_attributes (queries : Query.t list) : int =
+  List.fold_left (fun acc q -> max acc (List.length q.Query.group_by)) 0 queries

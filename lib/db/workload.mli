@@ -1,0 +1,20 @@
+(** Application grouping-query workloads (Figure 7).
+
+    Each application is modelled as a weighted set of query templates
+    whose GROUP BY attribute-count distribution matches the percentages
+    the paper reports (Nextcloud 100/100/100, WordPress 97/99/100, Piwik
+    25/83/95); benchmarks recompute the table from generated logs. *)
+
+module Drbg = Sagma_crypto.Drbg
+
+type application = Nextcloud | Wordpress | Piwik
+
+val application_name : application -> string
+
+val generate : application -> Drbg.t -> int -> Query.t list
+(** Synthesize a log of n grouping queries. *)
+
+val share_at_most : Query.t list -> int -> float
+(** Percentage of queries with at most k grouping attributes. *)
+
+val max_attributes : Query.t list -> int

@@ -1,0 +1,40 @@
+(** The modified Tate pairing ê : G × G → μ_n ⊆ F_p²^* on the
+    supersingular curve y² = x³ + x.
+
+    G is the order-n subgroup of E(F_p) with p = ℓ·n − 1. The pairing is
+    ê(P, Q) = f_{n,P}(φ(Q))^((p²−1)/n) with distortion map
+    φ(x, y) = (−x, i·y), computed by Miller's algorithm with denominator
+    elimination. It is bilinear, symmetric and non-degenerate — the
+    bilinear group BGN requires. *)
+
+module Z = Sagma_bigint.Bigint
+
+type group = {
+  p : Z.t;          (** field prime, p = ℓ·n − 1 ≡ 3 (mod 4) *)
+  n : Z.t;          (** order of the pairing subgroup (odd; composite for BGN) *)
+  l : Z.t;          (** cofactor ℓ *)
+  curve : Curve.params;
+  final_exp : Z.t;  (** (p² − 1)/n *)
+}
+
+val make_group : ?rng:Z.rng -> Z.t -> group
+(** [make_group n] finds the smallest cofactor ℓ ≡ 0 (mod 4) with
+    ℓ·n − 1 prime. Deterministic given [n] when [rng] is omitted, so a
+    group can be reconstructed from [n] alone (serialization relies on
+    this). @raise Invalid_argument when [n] is even. *)
+
+val random_order_n_point : group -> Z.rng -> Curve.point
+(** Cofactor-cleared random point; for composite n the caller should
+    verify neither prime factor kills it (BGN keygen does). *)
+
+val pairing : group -> Curve.point -> Curve.point -> Fp2.t
+(** ê(P, Q); returns 1 when either argument is the point at infinity. *)
+
+(** Target-group (μ_n ⊆ F_p²) helpers. *)
+
+val gt_mul : group -> Fp2.t -> Fp2.t -> Fp2.t
+val gt_sqr : group -> Fp2.t -> Fp2.t
+val gt_inv : group -> Fp2.t -> Fp2.t
+val gt_pow : group -> Fp2.t -> Z.t -> Fp2.t
+val gt_one : Fp2.t
+val gt_equal : Fp2.t -> Fp2.t -> bool

@@ -1,0 +1,108 @@
+(* The client/server protocol: message types and their wire codecs.
+
+   The deployment model of the paper — a thin trusted client and an
+   untrusted storage/compute server — made concrete: the client uploads
+   encrypted tables, sends grouping tokens, and receives encrypted
+   aggregates it decrypts locally. The server side (see {!Server}) only
+   ever calls public-parameter operations.
+
+   Framing is left to {!Transport}; this module encodes single messages. *)
+
+module W = Sagma_wire.Wire
+module Sse = Sagma_sse.Sse
+module Scheme = Sagma.Scheme
+module Serialize = Sagma.Serialize
+
+type request =
+  | Upload of { name : string; table : Scheme.enc_table }
+      (** Store an encrypted table under [name] (replaces silently). *)
+  | Aggregate of { name : string; token : Scheme.token }
+      (** Run AggGrpBy (Algorithm 5) over table [name]. *)
+  | Append of { name : string; row : Scheme.enc_row; keywords : Sse.token list }
+      (** Append one encrypted row; the server extends the SSE postings of
+          each keyword token itself (leaking those keywords' identities —
+          the usual dynamic-SSE update leakage). *)
+  | List_tables
+  | Drop of string
+
+type response =
+  | Ack
+  | Tables of (string * int) list  (** table name, row count *)
+  | Aggregates of Scheme.agg_result
+  | Failed of string
+
+(* --- codecs ------------------------------------------------------------------ *)
+
+let put_request (s : W.sink) (r : request) : unit =
+  match r with
+  | Upload { name; table } ->
+    W.put_u8 s 0;
+    W.put_bytes s name;
+    Serialize.put_enc_table s table
+  | Aggregate { name; token } ->
+    W.put_u8 s 1;
+    W.put_bytes s name;
+    Serialize.put_token s token
+  | Append { name; row; keywords } ->
+    W.put_u8 s 2;
+    W.put_bytes s name;
+    Serialize.put_enc_row s row;
+    W.put_list s Serialize.put_sse_token keywords
+  | List_tables -> W.put_u8 s 3
+  | Drop name ->
+    W.put_u8 s 4;
+    W.put_bytes s name
+
+let get_request (s : W.source) : request =
+  match W.get_u8 s with
+  | 0 ->
+    let name = W.get_bytes s in
+    let table = Serialize.get_enc_table s in
+    Upload { name; table }
+  | 1 ->
+    let name = W.get_bytes s in
+    let token = Serialize.get_token s in
+    Aggregate { name; token }
+  | 2 ->
+    let name = W.get_bytes s in
+    let row = Serialize.get_enc_row s in
+    let keywords = W.get_list s Serialize.get_sse_token in
+    Append { name; row; keywords }
+  | 3 -> List_tables
+  | 4 -> Drop (W.get_bytes s)
+  | v -> W.fail "bad request tag %d" v
+
+let put_response (s : W.sink) (r : response) : unit =
+  match r with
+  | Ack -> W.put_u8 s 0
+  | Tables ts ->
+    W.put_u8 s 1;
+    W.put_list s
+      (fun s (name, rows) ->
+        W.put_bytes s name;
+        W.put_int s rows)
+      ts
+  | Aggregates a ->
+    W.put_u8 s 2;
+    Serialize.put_agg_result s a
+  | Failed msg ->
+    W.put_u8 s 3;
+    W.put_bytes s msg
+
+let get_response (s : W.source) : response =
+  match W.get_u8 s with
+  | 0 -> Ack
+  | 1 ->
+    Tables
+      (W.get_list s (fun s ->
+           let name = W.get_bytes s in
+           let rows = W.get_int s in
+           (name, rows)))
+  | 2 -> Aggregates (Serialize.get_agg_result s)
+  | 3 -> Failed (W.get_bytes s)
+  | v -> W.fail "bad response tag %d" v
+
+let encode_request (r : request) : string = W.encode put_request r
+let decode_request (s : string) : request = W.decode get_request s
+let encode_response (r : response) : string = W.encode put_response r
+let decode_response (s : string) : response = W.decode get_response s

@@ -1,0 +1,33 @@
+(** Client/server protocol messages and their wire codecs.
+
+    The paper's deployment model made concrete: a thin trusted client
+    uploads encrypted tables, sends grouping tokens, and decrypts the
+    returned encrypted aggregates. Framing is {!Transport}'s job. *)
+
+module Sse = Sagma_sse.Sse
+module Scheme = Sagma.Scheme
+
+type request =
+  | Upload of { name : string; table : Scheme.enc_table }
+  | Aggregate of { name : string; token : Scheme.token }
+  | Append of { name : string; row : Scheme.enc_row; keywords : Sse.token list }
+      (** The server extends each keyword token's postings itself —
+          standard dynamic-SSE update leakage. *)
+  | List_tables
+  | Drop of string
+
+type response =
+  | Ack
+  | Tables of (string * int) list  (** name, row count *)
+  | Aggregates of Scheme.agg_result
+  | Failed of string
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+val put_request : Sagma_wire.Wire.sink -> request -> unit
+val get_request : Sagma_wire.Wire.source -> request
+val put_response : Sagma_wire.Wire.sink -> response -> unit
+val get_response : Sagma_wire.Wire.source -> response

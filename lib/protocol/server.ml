@@ -1,0 +1,69 @@
+(* The untrusted server's request handler.
+
+   Deliberately key-free: the state holds only what the client uploaded
+   (semantically secure ciphertexts, the SSE index, public parameters),
+   and every operation is expressible from public data — aggregation is
+   {!Sagma.Scheme.aggregate}, appends extend SSE postings from tokens.
+   The handler is transport-agnostic; {!Transport} adds framing. *)
+
+module Sse = Sagma_sse.Sse
+module Scheme = Sagma.Scheme
+
+type t = { tables : (string, Scheme.enc_table) Hashtbl.t }
+
+let create () : t = { tables = Hashtbl.create 8 }
+
+let table_names (s : t) : (string * int) list =
+  Hashtbl.fold (fun name et acc -> (name, Array.length et.Scheme.rows) :: acc) s.tables []
+  |> List.sort compare
+
+let handle (s : t) (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Upload { name; table } ->
+    Hashtbl.replace s.tables name table;
+    Protocol.Ack
+  | Protocol.List_tables -> Protocol.Tables (table_names s)
+  | Protocol.Drop name ->
+    if Hashtbl.mem s.tables name then begin
+      Hashtbl.remove s.tables name;
+      Protocol.Ack
+    end
+    else Protocol.Failed (Printf.sprintf "no such table %S" name)
+  | Protocol.Aggregate { name; token } -> begin
+    match Hashtbl.find_opt s.tables name with
+    | None -> Protocol.Failed (Printf.sprintf "no such table %S" name)
+    | Some et -> (
+      try Protocol.Aggregates (Scheme.aggregate et token)
+      with Invalid_argument msg | Failure msg -> Protocol.Failed msg)
+  end
+  | Protocol.Append { name; row; keywords } -> begin
+    match Hashtbl.find_opt s.tables name with
+    | None -> Protocol.Failed (Printf.sprintf "no such table %S" name)
+    | Some et when et.Scheme.index_mode = Scheme.Oxt_conjunctive ->
+      ignore (row, keywords);
+      Protocol.Failed "remote appends are unsupported for OXT-indexed tables"
+    | Some et -> (
+      try
+        let id = Array.length et.Scheme.rows in
+        let index =
+          List.fold_left
+            (fun index tok ->
+              let counter = List.length (Sse.search index tok) in
+              Sse.add_with_token index tok ~counter id)
+            et.Scheme.index keywords
+        in
+        Hashtbl.replace s.tables name
+          { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
+        Protocol.Ack
+      with Invalid_argument msg | Failure msg -> Protocol.Failed msg)
+  end
+
+(* Handle a raw encoded request, never letting an exception cross the
+   transport boundary. *)
+let handle_encoded (s : t) (raw : string) : string =
+  let response =
+    try handle s (Protocol.decode_request raw) with
+    | Sagma_wire.Wire.Decode_error msg -> Protocol.Failed ("malformed request: " ^ msg)
+    | Invalid_argument msg | Failure msg -> Protocol.Failed msg
+  in
+  Protocol.encode_response response

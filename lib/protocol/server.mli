@@ -1,0 +1,19 @@
+(** The untrusted server's request handler.
+
+    Deliberately key-free: the state holds only uploaded ciphertexts and
+    SSE indexes; aggregation is [Sagma.Scheme.aggregate], appends extend
+    postings from tokens. Transport-agnostic. *)
+
+module Scheme = Sagma.Scheme
+
+type t
+
+val create : unit -> t
+
+val table_names : t -> (string * int) list
+
+val handle : t -> Protocol.request -> Protocol.response
+
+val handle_encoded : t -> string -> string
+(** Decode, handle, encode; never lets an exception escape (malformed
+    requests yield [Failed]). *)

@@ -1,0 +1,80 @@
+(* Length-prefixed message framing over file descriptors, plus the
+   blocking TCP loops used by the sagma_server binary and the CLI's
+   remote commands. *)
+
+let max_frame = 1 lsl 30
+
+let write_all (fd : Unix.file_descr) (data : string) : unit =
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let read_exactly (fd : Unix.file_descr) (len : int) : string =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then failwith "Transport.read_exactly: peer closed";
+      go (off + n)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+(* Frame: 4-byte big-endian length, then the payload. *)
+let send (fd : Unix.file_descr) (msg : string) : unit =
+  let len = String.length msg in
+  if len > max_frame then invalid_arg "Transport.send: frame too large";
+  let hdr =
+    String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+  in
+  write_all fd (hdr ^ msg)
+
+let recv (fd : Unix.file_descr) : string =
+  let hdr = read_exactly fd 4 in
+  let len = ref 0 in
+  String.iter (fun c -> len := (!len lsl 8) lor Char.code c) hdr;
+  if !len > max_frame then failwith "Transport.recv: frame too large";
+  read_exactly fd !len
+
+(* One client request/response exchange. *)
+let call (fd : Unix.file_descr) (req : Protocol.request) : Protocol.response =
+  send fd (Protocol.encode_request req);
+  Protocol.decode_response (recv fd)
+
+(* Serve one connection until the peer closes. *)
+let serve_connection (state : Server.t) (fd : Unix.file_descr) : unit =
+  let rec loop () =
+    match recv fd with
+    | raw ->
+      send fd (Server.handle_encoded state raw);
+      loop ()
+    | exception (Failure _ | End_of_file | Unix.Unix_error _) -> ()
+  in
+  loop ()
+
+(* Blocking accept loop; connections are served sequentially (the server
+   holds mutable shared state). *)
+let listen_and_serve ?(backlog = 8) ~(port : int) (state : Server.t) : unit =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock backlog;
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    (try serve_connection state conn with _ -> ());
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()
+
+let connect ~(port : int) : Unix.file_descr =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  sock

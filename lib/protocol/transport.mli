@@ -1,0 +1,24 @@
+(** Length-prefixed message framing over file descriptors, plus blocking
+    TCP loops for the sagma_server binary and the CLI's remote
+    commands. *)
+
+val max_frame : int
+
+val send : Unix.file_descr -> string -> unit
+(** One frame: 4-byte big-endian length, then the payload. *)
+
+val recv : Unix.file_descr -> string
+(** @raise Failure when the peer closes mid-frame or the frame is
+    oversized. *)
+
+val call : Unix.file_descr -> Protocol.request -> Protocol.response
+(** One request/response exchange. *)
+
+val serve_connection : Server.t -> Unix.file_descr -> unit
+(** Serve one connection until the peer closes. *)
+
+val listen_and_serve : ?backlog:int -> port:int -> Server.t -> unit
+(** Blocking accept loop on localhost; connections served
+    sequentially. *)
+
+val connect : port:int -> Unix.file_descr

@@ -1,0 +1,240 @@
+(* Bucket-partitioning analysis and the §5 protection mechanisms:
+   exposure measurement, dummy-row planning and attribute value splits. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Drbg = Sagma_crypto.Drbg
+
+(* Histogram of one column. *)
+let histogram (table : Table.t) (column : string) : (Value.t * int) list =
+  let idx = Table.column_index table column in
+  let tbl : (Value.t, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let v = row.(idx) in
+      Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0))
+    (Table.rows table);
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+(* Total observed frequency of each bucket of a mapping. *)
+let bucket_frequencies (m : Mapping.t) (hist : (Value.t * int) list) : int array =
+  let freqs = Array.make (Mapping.num_buckets m) 0 in
+  List.iter
+    (fun (v, c) ->
+      if Mapping.mem m v then begin
+        let b = Mapping.bucket m v in
+        freqs.(b) <- freqs.(b) + c
+      end)
+    hist;
+  freqs
+
+(* Exposure coefficient (after Ceselli et al., specialized to the
+   bucket-frequency attack of §5): the adversary sees one access-pattern
+   frequency per bucket and knows the plaintext histogram. A value's
+   bucket is identifiable with probability 1/c where c is the number of
+   buckets sharing its bucket's total frequency; within a bucket of size
+   s, a slot is a 1/s guess. Exposure is the average, weighted by value
+   frequency, of 1/(c·s) — 1.0 means every row's group value is uniquely
+   reconstructable from leakage, 1/|D| is the blind-guess floor. *)
+let exposure (m : Mapping.t) (hist : (Value.t * int) list) : float =
+  let freqs = bucket_frequencies m hist in
+  let same_freq f = Array.fold_left (fun acc g -> if g = f then acc + 1 else acc) 0 freqs in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  if total = 0 then 0.
+  else begin
+    let weighted =
+      List.fold_left
+        (fun acc (v, c) ->
+          if not (Mapping.mem m v) then acc
+          else begin
+            let b = Mapping.bucket m v in
+            let candidates = same_freq freqs.(b) in
+            let bucket_members = List.length (Mapping.bucket_members m b) in
+            acc +. (float_of_int c /. (float_of_int candidates *. float_of_int bucket_members))
+          end)
+        0. hist
+    in
+    weighted /. float_of_int total
+  end
+
+(* Exhaustive optimal partition for small domains: try every assignment of
+   values to ⌈|D|/B⌉ buckets (sizes ≤ B) and keep the minimal exposure.
+   Exponential — guarded by [max_domain]. *)
+let optimal_mapping ?(max_domain = 8) (hist : (Value.t * int) list) ~(bucket_size : int) :
+    Mapping.t =
+  let values = List.map fst hist in
+  let nv = List.length values in
+  if nv > max_domain then
+    (* Fall back to the balanced heuristic the Mapping module provides. *)
+    Mapping.make (Mapping.Optimal hist) "optimal-fallback" values ~bucket_size
+  else begin
+    let num_buckets = (nv + bucket_size - 1) / bucket_size in
+    (* The index scheme (bucket = ⌊f(g)/B⌋) can only express partitions
+       where every bucket except the last is full. *)
+    let capacity b =
+      if b < num_buckets - 1 then bucket_size else nv - (bucket_size * (num_buckets - 1))
+    in
+    let best = ref None in
+    let buckets = Array.make num_buckets [] in
+    let rec assign = function
+      | [] ->
+        let order = Array.to_list buckets |> List.concat_map List.rev in
+        let m = Mapping.of_order order ~bucket_size in
+        let e = exposure m hist in
+        (match !best with
+         | Some (be, _) when be <= e -> ()
+         | _ -> best := Some (e, m))
+      | v :: rest ->
+        (* Canonical form: among equal-capacity buckets, fill an empty one
+           only if it is the first empty one (they are interchangeable). *)
+        let seen_empty_full_cap = ref false in
+        for b = 0 to num_buckets - 1 do
+          let size = List.length buckets.(b) in
+          let full_cap = capacity b = bucket_size in
+          let prune = size = 0 && full_cap && !seen_empty_full_cap in
+          if size < capacity b && not prune then begin
+            if size = 0 && full_cap then seen_empty_full_cap := true;
+            buckets.(b) <- v :: buckets.(b);
+            assign rest;
+            buckets.(b) <- List.tl buckets.(b)
+          end
+        done
+    in
+    assign values;
+    match !best with
+    | Some (_, m) -> m
+    | None -> Mapping.of_order values ~bucket_size
+  end
+
+(* --- dummy rows (§5) ------------------------------------------------------
+
+   Pad every bucket of a column to the maximum bucket frequency so all
+   buckets leak the same access-pattern size. Dummy rows carry zero
+   values and a zero count channel, so results are unaffected. *)
+
+let dummy_plan_for_column (m : Mapping.t) (hist : (Value.t * int) list) : (Value.t * int) list =
+  let freqs = bucket_frequencies m hist in
+  let target = Array.fold_left max 0 freqs in
+  List.filter_map
+    (fun b ->
+      let deficit = target - freqs.(b) in
+      if deficit <= 0 then None
+      else begin
+        match Mapping.bucket_members m b with
+        | [] -> None
+        | v :: _ -> Some (v, deficit)  (* any member value lands in bucket b *)
+      end)
+    (List.init (Mapping.num_buckets m) (fun b -> b))
+
+(* Build full dummy rows (one group value per group column) equalizing
+   every column's buckets simultaneously: per column compute its plan,
+   then zip the per-column dummy streams, padding shorter streams with a
+   repeat of that column's first domain value. *)
+let dummy_rows (mappings : Mapping.t array) (hists : (Value.t * int) list array) :
+    Value.t array list =
+  let streams =
+    Array.mapi
+      (fun i m ->
+        let plan = dummy_plan_for_column m hists.(i) in
+        List.concat_map (fun (v, k) -> List.init k (fun _ -> v)) plan)
+      mappings
+  in
+  let longest = Array.fold_left (fun acc s -> max acc (List.length s)) 0 streams in
+  let filler i =
+    match Mapping.domain mappings.(i) with
+    | v :: _ -> v
+    | [] -> invalid_arg "Bucketing.dummy_rows: empty domain"
+  in
+  List.init longest (fun r ->
+      Array.mapi
+        (fun i s -> match List.nth_opt s r with Some v -> v | None -> filler i)
+        streams)
+
+(* --- attribute value splits (§5) ------------------------------------------
+
+   Replace a high-frequency group value [g] by sub-values g.1 … g.k,
+   assigned round-robin, thinning its frequency. The client merges the
+   sub-groups back after decryption. Only string columns are splittable
+   (sub-values need distinct encodings in the same domain). *)
+
+let split_name (s : string) (i : int) : string = Printf.sprintf "%s.%d" s (i + 1)
+
+let split_column (table : Table.t) ~(column : string) ~(value : Value.t) ~(parts : int) :
+    Table.t =
+  if parts < 2 then invalid_arg "Bucketing.split_column: parts < 2";
+  let base =
+    match value with
+    | Value.Str s -> s
+    | Value.Int _ -> invalid_arg "Bucketing.split_column: only string values are splittable"
+  in
+  let idx = Table.column_index table column in
+  let counter = ref 0 in
+  let rows =
+    List.map
+      (fun row ->
+        if Value.equal row.(idx) value then begin
+          let row = Array.copy row in
+          row.(idx) <- Value.Str (split_name base (!counter mod parts));
+          incr counter;
+          row
+        end
+        else row)
+      (Table.rows table)
+  in
+  Table.of_rows (Table.schema table) rows
+
+(* The domain after splitting: [value] replaced by its sub-values. *)
+let split_domain (domain : Value.t list) ~(value : Value.t) ~(parts : int) : Value.t list =
+  let base =
+    match value with
+    | Value.Str s -> s
+    | Value.Int _ -> invalid_arg "Bucketing.split_domain: only string values are splittable"
+  in
+  List.concat_map
+    (fun v ->
+      if Value.equal v value then List.init parts (fun i -> Value.Str (split_name base i))
+      else [ v ])
+    domain
+
+(* Merge split sub-groups in decrypted results: "g.i" → "g" in the given
+   group position, summing sums and counts. *)
+let merge_split_results (results : Scheme.result_row list) ~(position : int)
+    ~(value : Value.t) ~(parts : int) : Scheme.result_row list =
+  let base =
+    match value with
+    | Value.Str s -> s
+    | Value.Int _ -> invalid_arg "Bucketing.merge_split_results: string values only"
+  in
+  let subnames = List.init parts (fun i -> split_name base i) in
+  let canon (r : Scheme.result_row) : Scheme.result_row =
+    let group =
+      List.mapi
+        (fun i g ->
+          if i = position then
+            match g with
+            | Value.Str s when List.mem s subnames -> value
+            | other -> other
+          else g)
+        r.Scheme.group
+    in
+    { r with Scheme.group }
+  in
+  let tbl : (string, Scheme.result_row) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let r = canon r in
+      let key = String.concat "\x00" (List.map Value.encode r.Scheme.group) in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.add tbl key r
+      | Some prev ->
+        Hashtbl.replace tbl key
+          { prev with
+            Scheme.sum = prev.Scheme.sum + r.Scheme.sum;
+            Scheme.count = prev.Scheme.count + r.Scheme.count })
+    results;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b ->
+         Stdlib.compare
+           (List.map Value.to_string a.Scheme.group)
+           (List.map Value.to_string b.Scheme.group))

@@ -1,0 +1,42 @@
+(* Table 11: qualitative comparison of related work. *)
+
+type security = None_ | Partial | Full
+
+type scheme_row = {
+  name : string;
+  aggregation : bool;           (* server-side aggregation *)
+  grouping : bool;              (* server-side grouping *)
+  security : security;          (* ○ / ◐ / ● in the paper *)
+  proof : bool;                 (* formal security proof *)
+  multiple_attributes : bool;   (* GROUP BY over attribute combinations *)
+}
+
+let rows : scheme_row list =
+  [ { name = "Bucketization [17]"; aggregation = false; grouping = true;
+      security = Partial; proof = false; multiple_attributes = false };
+    { name = "CryptDB [26]"; aggregation = true; grouping = true;
+      security = None_; proof = false; multiple_attributes = true };
+    { name = "Seabed [25]"; aggregation = true; grouping = true;
+      security = Partial; proof = true; multiple_attributes = false };
+    { name = "SAGMA w/o buckets (§3.1)"; aggregation = true; grouping = true;
+      security = Full; proof = true; multiple_attributes = false };
+    { name = "SAGMA"; aggregation = true; grouping = true;
+      security = Partial; proof = true; multiple_attributes = true } ]
+
+let security_glyph = function None_ -> "O" | Partial -> "(*)" | Full -> "(#)"
+
+let bool_glyph b = if b then "yes" else "no"
+
+let render () : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %-12s %-9s %-9s %-6s %s\n" "Scheme" "Aggregation" "Grouping"
+       "Security" "Proof" "Multi-attr");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-12s %-9s %-9s %-6s %s\n" r.name (bool_glyph r.aggregation)
+           (bool_glyph r.grouping) (security_glyph r.security) (bool_glyph r.proof)
+           (bool_glyph r.multiple_attributes)))
+    rows;
+  Buffer.contents buf

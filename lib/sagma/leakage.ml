@@ -1,0 +1,138 @@
+(* The leakage function L of §4.2 and the simulator of Theorem 1,
+   executable.
+
+   L(T, (V₁,Q₁), …, (Vᵢ,Qᵢ)) = ((V₁,Q₁), …, (Vᵢ,Qᵢ), τᵢ): the queried
+   attribute *identifiers* plus the SSE trace — per keyword query its
+   search pattern (token repetition) and access pattern (matching row
+   ids). Table dimensions, the bucket size and the monomial count are
+   public parameters.
+
+   The simulator consumes exactly this and emits an encrypted database and
+   grouping tokens; the accompanying test checks that (a) the simulated
+   transcript is structurally identical to the real one and (b) replaying
+   the simulated tokens against the simulated index reproduces the leaked
+   access patterns — the operational content of adaptive L-security. *)
+
+module Drbg = Sagma_crypto.Drbg
+module Sse = Sagma_sse.Sse
+module Bgn = Sagma_bgn.Bgn
+
+type sse_observation = {
+  token_tag : string;   (* search pattern: equal tags = same keyword *)
+  matches : int list;   (* access pattern *)
+}
+
+type query_leakage = {
+  value_column : int option;   (* V: queried value-column identifier *)
+  group_columns : int array;   (* Q: queried group-column identifiers *)
+  observations : sse_observation list;  (* one per bucket token + filter *)
+}
+
+type t = {
+  num_rows : int;
+  num_monomials : int;
+  num_value_columns : int;
+  num_channels : int;
+  index_size : int;
+  queries : query_leakage list;
+}
+
+(* Replay a real token against the real index to materialize the trace —
+   what a persistent honest-but-curious server records. *)
+let observe_token (index : Sse.index) (tok : Sse.token) : sse_observation =
+  { token_tag = Sse.token_id tok; matches = Sse.search index tok }
+
+let of_query (et : Scheme.enc_table) (tok : Scheme.token) : query_leakage =
+  let bucket_observations =
+    match tok.Scheme.source with
+    | Scheme.Per_attribute_tokens per_column ->
+      Array.to_list per_column
+      |> List.concat_map (fun per_bucket ->
+             Array.to_list (Array.map (observe_token et.Scheme.index) per_bucket))
+    | Scheme.Joint_tokens entries ->
+      Array.to_list (Array.map (fun (_, t) -> observe_token et.Scheme.index t) entries)
+    | Scheme.Oxt_tokens entries ->
+      (* OXT leakage per conjunction: the matching rows; the tag is the
+         s-term stag's identity. *)
+      let oxt = Option.get et.Scheme.oxt_index in
+      let params = Scheme.oxt_params () in
+      Array.to_list
+        (Array.map
+           (fun (_, st, xtoks) ->
+             { token_tag =
+                 Sagma_crypto.Encoding.to_hex
+                   (String.sub st.Sagma_sse.Oxt.s_keyword_key 0 8);
+               matches = List.sort compare (Sagma_sse.Oxt.search params oxt st xtoks) })
+           entries)
+  in
+  let observations =
+    bucket_observations
+    @ List.map (observe_token et.Scheme.index) tok.Scheme.filter_tokens
+    @ List.concat_map
+        (List.map (observe_token et.Scheme.index))
+        tok.Scheme.range_token_groups
+  in
+  { value_column = tok.Scheme.value_column;
+    group_columns = tok.Scheme.group_columns;
+    observations }
+
+let profile (et : Scheme.enc_table) (tokens : Scheme.token list) : t =
+  let pp = et.Scheme.pp in
+  { num_rows = Array.length et.Scheme.rows;
+    num_monomials = Monomials.count pp.Scheme.monomials;
+    num_value_columns = Config.num_value_columns pp.Scheme.config;
+    num_channels = Sagma_bgn.Crt_channels.channels pp.Scheme.channels;
+    index_size = Sse.size et.Scheme.index;
+    queries = List.map (of_query et) tokens }
+
+(* --- simulator ------------------------------------------------------------ *)
+
+type simulated = {
+  sim_rows : Scheme.enc_row array;
+  sim_index : Sse.index;
+  sim_tokens : (string * Sse.token) list;  (* token per distinct tag *)
+}
+
+(* Build an encrypted database + tokens from the leakage alone. Ciphertext
+   components are fresh encryptions of 0 under the public key (semantic
+   security makes them indistinguishable from the real contents); the SSE
+   dictionary is programmed so each simulated token's counter walk hits
+   exactly the leaked access pattern, then padded with random entries to
+   the leaked index size. *)
+let simulate (pk : Bgn.public_key) (leak : t) (drbg : Drbg.t) : simulated =
+  let zero () = Bgn.enc1_int pk drbg 0 in
+  let sim_rows =
+    Array.init leak.num_rows (fun _ ->
+        { Scheme.values =
+            Array.init leak.num_value_columns (fun _ ->
+                Array.init leak.num_channels (fun _ -> zero ()));
+          count_ct = zero ();
+          monomial_cts = Array.init leak.num_monomials (fun _ -> zero ()) })
+  in
+  (* One simulated token per distinct search-pattern tag; program its
+     postings from the (first-seen) access pattern. *)
+  let dict : (string, string) Hashtbl.t = Hashtbl.create (2 * leak.index_size) in
+  let tokens : (string, Sse.token) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun obs ->
+          if not (Hashtbl.mem tokens obs.token_tag) then begin
+            let tok = Sse.simulate_token drbg in
+            Hashtbl.add tokens obs.token_tag tok;
+            List.iteri
+              (fun counter id ->
+                let label, value = Sse.entry tok counter id in
+                Hashtbl.replace dict label value)
+              obs.matches
+          end)
+        q.observations)
+    leak.queries;
+  (* Pad to the public index size with random garbage entries. *)
+  while Hashtbl.length dict < leak.index_size do
+    Hashtbl.replace dict (Drbg.bytes drbg Sse.label_size) (Drbg.bytes drbg Sse.id_size)
+  done;
+  let sim_index = { Sse.dict; entries = Hashtbl.length dict } in
+  { sim_rows;
+    sim_index;
+    sim_tokens = Hashtbl.fold (fun tag tok acc -> (tag, tok) :: acc) tokens [] }

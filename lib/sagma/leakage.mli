@@ -1,0 +1,53 @@
+(** The leakage function L of §4.2 and the simulator of Theorem 1,
+    executable.
+
+    L(T, (V₁,Q₁), …) = ((V₁,Q₁), …, τ): the queried attribute
+    {e identifiers} plus the SSE trace (search pattern and bucket-level
+    access pattern). The simulator consumes exactly this and emits an
+    encrypted database and tokens; tests check the simulated transcript
+    is structurally identical to the real one and replays the leaked
+    access patterns — the operational content of adaptive L-security. *)
+
+module Drbg = Sagma_crypto.Drbg
+module Sse = Sagma_sse.Sse
+module Bgn = Sagma_bgn.Bgn
+
+type sse_observation = {
+  token_tag : string;  (** search pattern: equal tags = same keyword *)
+  matches : int list;  (** access pattern *)
+}
+
+type query_leakage = {
+  value_column : int option;
+  group_columns : int array;
+  observations : sse_observation list;
+}
+
+type t = {
+  num_rows : int;
+  num_monomials : int;
+  num_value_columns : int;
+  num_channels : int;
+  index_size : int;
+  queries : query_leakage list;
+}
+
+val observe_token : Sse.index -> Sse.token -> sse_observation
+(** What a persistent honest-but-curious server records per keyword. *)
+
+val of_query : Scheme.enc_table -> Scheme.token -> query_leakage
+
+val profile : Scheme.enc_table -> Scheme.token list -> t
+(** Materialize L for a query sequence. *)
+
+type simulated = {
+  sim_rows : Scheme.enc_row array;
+  sim_index : Sse.index;
+  sim_tokens : (string * Sse.token) list;
+}
+
+val simulate : Bgn.public_key -> t -> Drbg.t -> simulated
+(** Build a fake encrypted database + tokens from the leakage alone:
+    encryptions of 0 (semantic security), a programmed SSE dictionary
+    reproducing the leaked access patterns, random padding to the leaked
+    index size. *)

@@ -1,0 +1,113 @@
+(* The secret mapping functions f_i : D_i → {0, …, |D_i|−1} (Algorithm 1).
+
+   Each group column gets an injective mapping of its (setup-time) value
+   domain onto indices; index ÷ B is the bucket identifier, index mod B the
+   offset inside the bucket. The mapping must be secret — it decides which
+   values share a bucket and are therefore indistinguishable (§5).
+
+   Strategies:
+   - [Prf]: a PRF-keyed uniformly random permutation of the domain — the
+     paper's default ("the mapping function f can be seeded with an
+     additional secret key").
+   - [Optimal]: frequency-aware partitioning minimizing the exposure
+     coefficient (§5 "optimal choice of the mapping function"); needs the
+     plaintext histogram.
+   - [Explicit]: caller-supplied order, used by tests to pin the paper's
+     worked example. *)
+
+module Value = Sagma_db.Value
+module Drbg = Sagma_crypto.Drbg
+module Prf = Sagma_crypto.Prf
+
+type strategy =
+  | Prf_random
+  | Optimal of (Value.t * int) list  (* histogram: value -> frequency *)
+  | Explicit of Value.t list          (* values in index order *)
+
+type t = {
+  forward : (Value.t, int) Hashtbl.t;   (* value -> index *)
+  backward : Value.t array;             (* index -> value *)
+  domain_size : int;
+  bucket_size : int;
+}
+
+let of_order (order : Value.t list) ~(bucket_size : int) : t =
+  let backward = Array.of_list order in
+  let forward = Hashtbl.create (2 * Array.length backward) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem forward v then invalid_arg "Mapping.of_order: duplicate domain value";
+      Hashtbl.add forward v i)
+    backward;
+  { forward; backward; domain_size = Array.length backward; bucket_size }
+
+(* PRF-keyed permutation: canonical sort, then Fisher–Yates driven by a
+   DRBG derived from the column key (deterministic per key). *)
+let prf_permutation (key : Prf.key) (domain : Value.t list) ~bucket_size : t =
+  let arr = Array.of_list (List.sort_uniq Value.compare domain) in
+  let drbg = Drbg.create ("mapping-perm:" ^ key) in
+  Drbg.shuffle drbg arr;
+  of_order (Array.to_list arr) ~bucket_size
+
+(* Frequency-balancing partition (§5): spread values over buckets so
+   bucket total-frequencies collide as much as possible. Values are
+   assigned largest-frequency-first to the currently lightest bucket with
+   free capacity (LPT multiway partitioning) — a standard heuristic for
+   minimizing the spread of bucket sums, hence exposure. *)
+let balanced_partition (histogram : (Value.t * int) list) ~bucket_size : t =
+  let values = List.sort (fun (_, a) (_, b) -> compare b a) histogram in
+  let n = List.length values in
+  let num_buckets = (n + bucket_size - 1) / bucket_size in
+  let loads = Array.make num_buckets 0 in
+  let members = Array.make num_buckets [] in
+  List.iter
+    (fun (v, freq) ->
+      (* lightest bucket with capacity left *)
+      let best = ref (-1) in
+      for b = num_buckets - 1 downto 0 do
+        if List.length members.(b) < bucket_size && (!best = -1 || loads.(b) <= loads.(!best))
+        then best := b
+      done;
+      loads.(!best) <- loads.(!best) + freq;
+      members.(!best) <- v :: members.(!best))
+    values;
+  (* Lay members out bucket by bucket; pad order irrelevant. *)
+  let order = Array.to_list members |> List.concat_map List.rev in
+  of_order order ~bucket_size
+
+let make (strategy : strategy) (key : Prf.key) (domain : Value.t list) ~(bucket_size : int) : t =
+  match strategy with
+  | Prf_random -> prf_permutation key domain ~bucket_size
+  | Optimal histogram ->
+    (* Domain values missing from the histogram get frequency 0. *)
+    let known = List.map fst histogram in
+    let missing =
+      List.filter (fun v -> not (List.exists (Value.equal v) known)) (List.sort_uniq Value.compare domain)
+    in
+    balanced_partition (histogram @ List.map (fun v -> (v, 0)) missing) ~bucket_size
+  | Explicit order -> of_order order ~bucket_size
+
+let index (m : t) (v : Value.t) : int =
+  match Hashtbl.find_opt m.forward v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Mapping.index: value %S outside setup domain" (Value.to_string v))
+
+let mem (m : t) (v : Value.t) : bool = Hashtbl.mem m.forward v
+
+(* Bucket identifier and in-bucket offset of a value (Algorithm 2). *)
+let bucket (m : t) (v : Value.t) : int = index m v / m.bucket_size
+let offset (m : t) (v : Value.t) : int = index m v mod m.bucket_size
+
+let num_buckets (m : t) : int = (m.domain_size + m.bucket_size - 1) / m.bucket_size
+
+(* Inverse lookup: the domain value stored at (bucket, offset), if that
+   slot is inhabited (the last bucket may be partial). *)
+let value_at (m : t) ~(bucket : int) ~(offset : int) : Value.t option =
+  let i = (bucket * m.bucket_size) + offset in
+  if i < m.domain_size && offset < m.bucket_size then Some m.backward.(i) else None
+
+(* All values in one bucket. *)
+let bucket_members (m : t) (b : int) : Value.t list =
+  List.filter_map (fun o -> value_at m ~bucket:b ~offset:o) (List.init m.bucket_size (fun i -> i))
+
+let domain (m : t) : Value.t list = Array.to_list m.backward

@@ -1,0 +1,50 @@
+(** The secret mapping functions f_i : D_i → {0, …, |D_i|−1}
+    (Algorithm 1).
+
+    Each group column's setup-time domain is mapped injectively onto
+    indices; index ÷ B is the bucket identifier, index mod B the offset
+    inside the bucket. The mapping is secret — it decides which values
+    share a bucket and are therefore indistinguishable (§5). *)
+
+module Value = Sagma_db.Value
+module Prf = Sagma_crypto.Prf
+
+type strategy =
+  | Prf_random
+      (** PRF-keyed uniformly random permutation (the paper's default) *)
+  | Optimal of (Value.t * int) list
+      (** frequency-balancing partition given the histogram (§5) *)
+  | Explicit of Value.t list
+      (** caller-supplied index order (tests pin the paper's example) *)
+
+type t = {
+  forward : (Value.t, int) Hashtbl.t;
+  backward : Value.t array;
+  domain_size : int;
+  bucket_size : int;
+}
+
+val of_order : Value.t list -> bucket_size:int -> t
+(** @raise Invalid_argument on duplicate domain values. *)
+
+val make : strategy -> Prf.key -> Value.t list -> bucket_size:int -> t
+
+val index : t -> Value.t -> int
+(** @raise Invalid_argument for values outside the setup domain. *)
+
+val mem : t -> Value.t -> bool
+
+val bucket : t -> Value.t -> int
+(** ⌊f(g)/B⌋ — what the SSE index reveals. *)
+
+val offset : t -> Value.t -> int
+(** f(g) mod B — the in-bucket slot, never revealed. *)
+
+val num_buckets : t -> int
+
+val value_at : t -> bucket:int -> offset:int -> Value.t option
+(** Inverse lookup; [None] for uninhabited slots of a partial last
+    bucket. *)
+
+val bucket_members : t -> int -> Value.t list
+val domain : t -> Value.t list

@@ -1,0 +1,61 @@
+(* The naïve multi-attribute scheme (§3.4 "Naïve scheme") — modelled for
+   its storage cost and its leakage, which motivate the improved scheme.
+
+   It instantiates the single-attribute construction once per attribute
+   subset of size ≤ t. To keep the combined-attribute buckets from leaking
+   more than the individual ones (the Table 4 attack), a subset of i
+   attributes needs bucket size B^i. *)
+
+module Value = Sagma_db.Value
+
+(* All subsets of size in [1, t], as index lists. *)
+let subsets ~(l : int) ~(t : int) : int list list =
+  let rec go from size =
+    if size = 0 then [ [] ]
+    else begin
+      let out = ref [] in
+      for i = from to l - 1 do
+        List.iter (fun rest -> out := (i :: rest) :: !out) (go (i + 1) (size - 1))
+      done;
+      !out
+    end
+  in
+  List.concat_map (fun size -> go 0 size) (List.init t (fun i -> i + 1))
+
+(* Monomials stored per row: B^i − 1 per subset of size i (no reuse). *)
+let monomials_per_row ~(l : int) ~(t : int) ~(b : int) : int =
+  List.fold_left
+    (fun acc s ->
+      let i = List.length s in
+      let rec pow acc e = if e = 0 then acc else pow (acc * b) (e - 1) in
+      acc + (pow 1 i - 1))
+    0
+    (subsets ~l ~t)
+
+(* --- the Table 4 leakage ---------------------------------------------------
+
+   With per-attribute bucket size B and combined-attribute bucket size
+   also B (i.e. *without* raising it to B^i), two rows that share every
+   individual bucket can still part ways in a combined bucket, revealing
+   that their value tuples differ. [combined_leak] reports whether a pair
+   of rows is separated by the combined attribute while being identical
+   under the individual ones. *)
+
+type row_buckets = {
+  individual : int array;  (* bucket per attribute *)
+  combined : int;          (* bucket of the attribute combination *)
+}
+
+let buckets_of_row (mappings : Mapping.t array) (combined : Mapping.t) (groups : Value.t array)
+    : row_buckets =
+  { individual = Array.mapi (fun i g -> Mapping.bucket mappings.(i) g) groups;
+    combined = Mapping.bucket combined (Value.Str (String.concat "|" (Array.to_list (Array.map Value.encode groups)))) }
+
+let distinguishable (a : row_buckets) (b : row_buckets) : bool =
+  a.individual = b.individual && a.combined <> b.combined
+
+(* Required combined bucket size to avoid the attack: every combination of
+   the individual buckets' members must share one combined bucket. *)
+let safe_combined_bucket_size ~(b : int) ~(arity : int) : int =
+  let rec pow acc e = if e = 0 then acc else pow (acc * b) (e - 1) in
+  pow 1 arity

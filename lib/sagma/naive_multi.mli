@@ -1,0 +1,26 @@
+(** The naïve multi-attribute scheme (§3.4 "Naïve scheme") — modelled for
+    its storage cost and the Table 4 leakage that motivates the improved
+    scheme. A subset of i attributes needs bucket size B^i to avoid
+    leaking that rows sharing all individual buckets differ. *)
+
+module Value = Sagma_db.Value
+
+val subsets : l:int -> t:int -> int list list
+(** All attribute subsets of size 1..t. *)
+
+val monomials_per_row : l:int -> t:int -> b:int -> int
+(** B^i − 1 per subset — no reuse (§4.1). *)
+
+type row_buckets = {
+  individual : int array;
+  combined : int;
+}
+
+val buckets_of_row : Mapping.t array -> Mapping.t -> Value.t array -> row_buckets
+
+val distinguishable : row_buckets -> row_buckets -> bool
+(** The Table 4 attack: same individual buckets, different combined
+    bucket. *)
+
+val safe_combined_bucket_size : b:int -> arity:int -> int
+(** B^arity. *)

@@ -1,0 +1,116 @@
+(* Shift polynomials over Z_n (§3.3–§3.4).
+
+   The server derives each row's shift by evaluating a polynomial with
+   public coefficients over the row's encrypted monomials. Two flavours:
+
+   - Unit-shift (indicator) polynomials: I_j(x) = 1 iff x = j on the grid
+     {0, …, B−1} — the form the paper's evaluation uses ("B polynomials
+     are required to evaluate the shifts", §6.1), because it keeps the
+     exponents that reach BGN's discrete-log decryption tiny.
+
+   - Packed shift polynomial: P(x) = |D_V|^x on the grid — the textbook
+     §3.3 form, usable with Paillier-style direct decryption and kept as
+     an ablation.
+
+   All arithmetic is mod n = q₁q₂. Lagrange denominators are products of
+   integers < B ≪ q₁, hence invertible. *)
+
+module Z = Sagma_bigint.Bigint
+
+(* Coefficients of Π_{k ∈ ks} (X − k) mod n, lowest degree first. *)
+let expand_roots ~(n : Z.t) (ks : int list) : Z.t array =
+  let coeffs = ref [| Z.one |] in
+  List.iter
+    (fun k ->
+      let old = !coeffs in
+      let deg = Array.length old in
+      let next = Array.make (deg + 1) Z.zero in
+      Array.iteri
+        (fun i c ->
+          (* multiply by X: degree i -> i+1 *)
+          next.(i + 1) <- Z.addm next.(i + 1) c n;
+          (* multiply by -k *)
+          next.(i) <- Z.erem (Z.sub next.(i) (Z.mul_int c k)) n)
+        old;
+      coeffs := next)
+    ks;
+  !coeffs
+
+(* Horner evaluation mod n (used by tests as an oracle). *)
+let eval ~(n : Z.t) (coeffs : Z.t array) (x : int) : Z.t =
+  let acc = ref Z.zero in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Z.erem (Z.add (Z.mul_int !acc x) coeffs.(i)) n
+  done;
+  !acc
+
+(* Lagrange indicator for slot [j] on the grid {0..B-1}:
+   I_j(X) = Π_{k≠j} (X−k)/(j−k); coefficient array of length B. *)
+let indicator ~(n : Z.t) ~(bucket_size : int) (j : int) : Z.t array =
+  if j < 0 || j >= bucket_size then invalid_arg "Polynomial.indicator: slot out of range";
+  let others = List.filter (fun k -> k <> j) (List.init bucket_size (fun i -> i)) in
+  let numerator = expand_roots ~n others in
+  let denom =
+    List.fold_left (fun acc k -> Z.erem (Z.mul_int acc (j - k)) n) Z.one others
+  in
+  let inv = Z.invm_exn denom n in
+  Array.map (fun c -> Z.mulm c inv n) numerator
+
+(* Interpolation through arbitrary grid targets: P(x) = targets.(x) for
+   x ∈ {0..B−1} — Σ_j targets(j) · I_j. *)
+let interpolate ~(n : Z.t) (targets : Z.t array) : Z.t array =
+  let bucket_size = Array.length targets in
+  if bucket_size = 0 then invalid_arg "Polynomial.interpolate: empty";
+  let acc = Array.make bucket_size Z.zero in
+  Array.iteri
+    (fun j target ->
+      let ind = indicator ~n ~bucket_size j in
+      Array.iteri (fun i c -> acc.(i) <- Z.addm acc.(i) (Z.mulm c target n) n) ind)
+    targets;
+  acc
+
+(* The §3.3 packed shift polynomial: P(x) = 2^(value_bits·x). *)
+let packed_shift ~(n : Z.t) ~(bucket_size : int) ~(value_bits : int) : Z.t array =
+  interpolate ~n
+    (Array.init bucket_size (fun j -> Z.erem (Z.shift_left Z.one (value_bits * j)) n))
+
+(* --- multivariate indicators ---------------------------------------------
+
+   For a query over q attributes and block vector j = (j_1..j_q), the
+   joint indicator is the product of univariate ones:
+
+       I_j(x_1..x_q) = Π_c I_{j_c}(x_c)
+
+   expanded into the monomial basis {x_1^{e_1}···x_q^{e_q}} with
+   0 ≤ e_c < B. The exponent vector [e] indexes the stored monomials. *)
+
+type term = { exponents : int array; coeff : Z.t }
+(* [exponents] is parallel to the query's attribute list. *)
+
+let multivariate_indicator ~(n : Z.t) ~(bucket_size : int) (j : int array) : term list =
+  let q = Array.length j in
+  if q = 0 then invalid_arg "Polynomial.multivariate_indicator: no attributes";
+  let unis = Array.map (fun jc -> indicator ~n ~bucket_size jc) j in
+  (* Cartesian product over per-attribute degrees. *)
+  let rec go c exponents coeff acc =
+    if c = q then { exponents = Array.of_list (List.rev exponents); coeff } :: acc
+    else begin
+      let acc = ref acc in
+      Array.iteri
+        (fun e uc ->
+          if not (Z.is_zero uc) then
+            acc := go (c + 1) (e :: exponents) (Z.mulm coeff uc n) !acc)
+        unis.(c);
+      !acc
+    end
+  in
+  go 0 [] Z.one []
+
+(* Oracle evaluation of a term list (tests). *)
+let eval_terms ~(n : Z.t) (terms : term list) (xs : int array) : Z.t =
+  List.fold_left
+    (fun acc { exponents; coeff } ->
+      let m = ref Z.one in
+      Array.iteri (fun c e -> m := Z.erem (Z.mul !m (Z.pow (Z.of_int xs.(c)) e)) n) exponents;
+      Z.addm acc (Z.mulm coeff !m n) n)
+    Z.zero terms

@@ -1,0 +1,871 @@
+(* The full SAGMA construction (§3.4, Algorithms 1–6).
+
+   Client-side state: a BGN keypair, an SSE key and one secret mapping per
+   group column. Server-side state: per row, BGN level-1 encryptions of
+   (a) each value column split into CRT residue channels, (b) a hidden
+   count column fixed to 1 (0 for dummy rows) and (c) the monomials of the
+   bucketized group offsets; plus an SSE index over bucket identifiers and
+   filter keywords.
+
+   Query processing (AggGrpBy): the server locates each queried bucket's
+   rows through SSE, intersects them into joint buckets, derives every
+   row's unit-shift indicator values S_r^{(j)} by evaluating public
+   Lagrange coefficients over the encrypted monomials (additive
+   homomorphism only), and pairs them with the value/count ciphertexts —
+   the scheme's single ciphertext multiplication — before summing in the
+   target group. The client decrypts each aggregate with a bounded
+   discrete log and recombines CRT channels.
+
+   The server never sees a group value, only bucket identifiers: the
+   leakage is exactly L of §4.2. *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module Bgn = Sagma_bgn.Bgn
+module Crt = Sagma_bgn.Crt_channels
+module Sse = Sagma_sse.Sse
+module Oxt = Sagma_sse.Oxt
+module Curve = Sagma_pairing.Curve
+
+(* --- public parameters and keys (Algorithm 1: Setup) -------------------- *)
+
+(* Shared OXT group parameters: public, deterministic, independent of any
+   key. Lazy so the underlying prime search runs only when the OXT index
+   mode is actually used. *)
+let oxt_params_lazy = lazy (Oxt.make_params ())
+let oxt_params () = Lazy.force oxt_params_lazy
+
+type public_params = {
+  config : Config.t;
+  bgn_pk : Bgn.public_key;
+  channels : Crt.t;
+  monomials : Monomials.t;
+  num_buckets : int array;  (* s_i = ⌈|D_i| / B⌉ per group column *)
+}
+
+type client = {
+  pp : public_params;
+  kp : Bgn.keypair;
+  sse_key : Sse.key;
+  oxt_key : Oxt.key;            (* for the Oxt_conjunctive index mode *)
+  mappings : Mapping.t array;   (* f_i, one per group column *)
+  drbg : Drbg.t;
+  (* decryption tables, lazily built and reused across queries *)
+  mutable dec1_tables : (int * Bgn.dec1_table) list;
+  mutable dec2_tables : (int * Bgn.dec2_table) list;
+}
+
+(* [setup config ~domains drbg] runs Algorithm 1. [domains] must cover
+   every group column with its full value domain. [mapping_strategy] keys
+   the §5 bucket-partitioning choice. *)
+let setup ?(mapping_strategy = fun (_ : string) -> Mapping.Prf_random) (config : Config.t)
+    ~(domains : (string * Value.t list) list) (drbg : Drbg.t) : client =
+  let kp = Bgn.keygen ~bits:config.Config.bgn_bits drbg in
+  let sse_key = Sse.gen drbg in
+  let master = Sagma_crypto.Prf.gen_key drbg in
+  let mappings =
+    Array.of_list
+      (List.map
+         (fun col ->
+           let domain =
+             match List.assoc_opt col domains with
+             | Some d -> d
+             | None -> invalid_arg (Printf.sprintf "Scheme.setup: no domain for group column %S" col)
+           in
+           let key = Sagma_crypto.Prf.derive master ~domain:("mapping:" ^ col) in
+           Mapping.make (mapping_strategy col) key domain ~bucket_size:config.Config.bucket_size)
+         config.Config.group_columns)
+  in
+  (* CRT capacity: a sum of up to 2^24 rows of value_bits-sized values. *)
+  let channels =
+    Crt.choose ~channel_bits:config.Config.channel_bits
+      ~capacity_bits:(config.Config.value_bits + 24)
+  in
+  let monomials =
+    Monomials.make
+      ~num_columns:(Config.num_group_columns config)
+      ~bucket_size:config.Config.bucket_size
+      ~threshold:config.Config.max_group_attrs
+  in
+  let num_buckets = Array.map Mapping.num_buckets mappings in
+  let oxt_key = Oxt.gen drbg in
+  { pp = { config; bgn_pk = kp.Bgn.pk; channels; monomials; num_buckets };
+    kp; sse_key; oxt_key; mappings; drbg; dec1_tables = []; dec2_tables = [] }
+
+(* --- encrypted rows and tables (Algorithms 2–3) -------------------------- *)
+
+type enc_row = {
+  values : Bgn.c1 array array;  (* k × channels: Enc(v_j mod d_c) *)
+  count_ct : Bgn.c1;            (* Enc(1); Enc(0) for dummy rows *)
+  monomial_cts : Bgn.c1 array;  (* Enc(Π offsets^e) in storage order *)
+}
+
+type count_mode = Count_level1 | Count_paired
+(* Level-1 counting aggregates the indicators directly (the paper's "count
+   aggregates the shifts") — one curve addition per row, no pairing. It
+   counts dummy rows too, so tables padded with dummies switch to paired
+   counting against the hidden count column (dummies encrypt 0 there). *)
+
+type index_mode = Per_attribute | Joint | Oxt_conjunctive
+(* [Per_attribute] is the paper's Algorithm 2: one SSE keyword per
+   (column, bucket); the server intersects posting lists, learning each
+   queried attribute's bucket membership individually.
+
+   [Joint] realizes §3.4's remark that "an SSE scheme that supports
+   Boolean queries can be used to determine joint bucket membership
+   without leaking the bucket membership of individual attributes": one
+   keyword per (column subset of size ≤ t, joint bucket vector). A query
+   then touches exactly its own combination's buckets and the server
+   never sees per-attribute memberships — at a storage cost of
+   Σ_{i≤t} C(l,i) postings per row instead of l.
+
+   [Oxt_conjunctive] reaches the same goal with O(l) storage through the
+   OXT Boolean-SSE protocol (Cash et al. [6]): bucket membership lives in
+   an OXT TSet/XSet, joint membership is resolved by a cross-tag
+   conjunction. Leakage sits between the other two modes: the s-term
+   column's bucket access pattern plus which of its rows satisfy the
+   conjunction. *)
+
+type enc_table = {
+  pp : public_params;
+  rows : enc_row array;
+  index : Sse.index;            (* Π_bas index: filters (+ buckets unless OXT) *)
+  oxt_index : Oxt.index option; (* bucket membership in Oxt_conjunctive mode *)
+  count_mode : count_mode;
+  index_mode : index_mode;
+}
+
+(* Encrypt one row given its value-column entries and its group-column
+   bucket offsets (Algorithm 3). *)
+let enc_row_raw (c : client) ~(values : int array) ~(offsets : int array) ~(dummy : bool) : enc_row =
+  let pp = c.pp in
+  let pk = pp.bgn_pk in
+  let enc_values =
+    Array.map
+      (fun v ->
+        if v < 0 then invalid_arg "Scheme.enc_row: negative value";
+        Array.map (fun r -> Bgn.enc1_int pk c.drbg r) (Crt.encode_int pp.channels v))
+      values
+  in
+  let count_ct = Bgn.enc1_int pk c.drbg (if dummy then 0 else 1) in
+  let monomial_cts =
+    Array.map
+      (fun e -> Bgn.enc1 pk c.drbg (Monomials.eval_monomial e offsets))
+      pp.monomials.Monomials.vectors
+  in
+  { values = enc_values; count_ct; monomial_cts }
+
+let bucket_keyword ~(column : int) ~(bucket : int) : string =
+  Printf.sprintf "grp:%d:%d" column bucket
+
+(* Joint-bucket keyword for a column subset and its bucket-id vector;
+   canonicalized by column so query order does not matter. *)
+let joint_keyword ~(columns : int array) ~(buckets : int array) : string =
+  let pairs = Array.init (Array.length columns) (fun i -> (columns.(i), buckets.(i))) in
+  Array.sort compare pairs;
+  Printf.sprintf "jgrp:%s:%s"
+    (String.concat "," (Array.to_list (Array.map (fun (c, _) -> string_of_int c) pairs)))
+    (String.concat "," (Array.to_list (Array.map (fun (_, b) -> string_of_int b) pairs)))
+
+(* Subsets of {0..l-1} of size in [1, t], each as a sorted int array. *)
+let column_subsets ~(l : int) ~(t : int) : int array array =
+  let out = ref [] in
+  let rec go from current size =
+    if size > 0 then
+      for i = from to l - 1 do
+        let current = i :: current in
+        out := Array.of_list (List.rev current) :: !out;
+        go (i + 1) current (size - 1)
+      done
+  in
+  go 0 [] t;
+  Array.of_list (List.rev !out)
+
+let filter_keyword ~(column : string) (v : Value.t) : string =
+  Printf.sprintf "flt:%s:%s" column (Value.encode v)
+
+(* Dyadic-interval keyword for range filtering (Faber-et-al.-style cover
+   over single-keyword SSE). *)
+let range_keyword ~(column : string) (i : Sagma_sse.Dyadic.interval) : string =
+  Printf.sprintf "rng:%s:%s" column (Sagma_sse.Dyadic.keyword_tag i)
+
+(* [encrypt_table c table ~dummy_groups] runs Algorithm 2 over the
+   plaintext [table] and appends one all-zero dummy row per entry of
+   [dummy_groups] (each an array of group-column values, §5).
+   [index_mode] selects per-attribute bucket keywords (Algorithm 2) or
+   the joint-bucket index (see {!index_mode}). *)
+let encrypt_table ?(dummy_groups : Value.t array list = []) ?(index_mode = Per_attribute)
+    (c : client) (table : Table.t) : enc_table =
+  let pp = c.pp in
+  let config = pp.config in
+  let value_idxs =
+    Array.of_list (List.map (Table.column_index table) config.Config.value_columns)
+  in
+  let group_idxs =
+    Array.of_list (List.map (Table.column_index table) config.Config.group_columns)
+  in
+  let real_rows = Array.of_list (Table.rows table) in
+  let l = Config.num_group_columns config in
+  (* Per-row group values: real rows read from the table, dummies from the
+     caller-provided assignments. *)
+  let group_values =
+    Array.append
+      (Array.map (fun row -> Array.map (fun i -> row.(i)) group_idxs) real_rows)
+      (Array.of_list
+         (List.map
+            (fun g ->
+              if Array.length g <> l then
+                invalid_arg "Scheme.encrypt_table: dummy group arity mismatch";
+              g)
+            dummy_groups))
+  in
+  let num_real = Array.length real_rows in
+  let total = Array.length group_values in
+  let enc_rows =
+    Array.init total (fun r ->
+        let offsets = Array.mapi (fun i g -> Mapping.offset c.mappings.(i) g) group_values.(r) in
+        let values =
+          if r < num_real then
+            Array.map (fun i -> Value.as_int real_rows.(r).(i)) value_idxs
+          else Array.make (Array.length value_idxs) 0
+        in
+        enc_row_raw c ~values ~offsets ~dummy:(r >= num_real))
+  in
+  (* SSE postings: bucket membership for every group column (Algorithm 2)
+     plus filter keywords for real rows. *)
+  let postings : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let post kw id =
+    match Hashtbl.find_opt postings kw with
+    | Some l -> l := id :: !l
+    | None -> Hashtbl.add postings kw (ref [ id ])
+  in
+  (match index_mode with
+   | Per_attribute ->
+     Array.iteri
+       (fun r groups ->
+         Array.iteri
+           (fun i g -> post (bucket_keyword ~column:i ~bucket:(Mapping.bucket c.mappings.(i) g)) r)
+           groups)
+       group_values
+   | Joint ->
+     let subsets =
+       column_subsets ~l:(Config.num_group_columns config) ~t:config.Config.max_group_attrs
+     in
+     Array.iteri
+       (fun r groups ->
+         Array.iter
+           (fun columns ->
+             let buckets =
+               Array.map (fun i -> Mapping.bucket c.mappings.(i) groups.(i)) columns
+             in
+             post (joint_keyword ~columns ~buckets) r)
+           subsets)
+       group_values
+   | Oxt_conjunctive ->
+     (* Bucket membership lives in the OXT structures, built below. *)
+     ());
+  List.iteri
+    (fun i col ->
+      ignore i;
+      let idx = Table.column_index table col in
+      Array.iteri (fun r row -> post (filter_keyword ~column:col row.(idx)) r) real_rows)
+    config.Config.filter_columns;
+  (* Range-filter columns: post every value under its dyadic ancestors. *)
+  List.iter
+    (fun col ->
+      let idx = Table.column_index table col in
+      Array.iteri
+        (fun r row ->
+          let v = Value.as_int row.(idx) in
+          List.iter
+            (fun interval -> post (range_keyword ~column:col interval) r)
+            (Sagma_sse.Dyadic.keywords_for_value ~depth:config.Config.range_bits v))
+        real_rows)
+    config.Config.range_filter_columns;
+  let assoc = Hashtbl.fold (fun kw ids acc -> (kw, List.rev !ids) :: acc) postings [] in
+  let index = Sse.build c.sse_key (List.sort compare assoc) in
+  (* OXT mode: bucket keywords go into the TSet/XSet instead. *)
+  let oxt_index =
+    match index_mode with
+    | Per_attribute | Joint -> None
+    | Oxt_conjunctive ->
+      let oxt_postings : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun r groups ->
+          Array.iteri
+            (fun i g ->
+              let kw = bucket_keyword ~column:i ~bucket:(Mapping.bucket c.mappings.(i) g) in
+              match Hashtbl.find_opt oxt_postings kw with
+              | Some l -> l := r :: !l
+              | None -> Hashtbl.add oxt_postings kw (ref [ r ]))
+            groups)
+        group_values;
+      let oxt_assoc =
+        Hashtbl.fold (fun kw ids acc -> (kw, List.rev !ids) :: acc) oxt_postings []
+      in
+      Some (Oxt.build (oxt_params ()) c.oxt_key (List.sort compare oxt_assoc))
+  in
+  { pp;
+    rows = enc_rows;
+    index;
+    oxt_index;
+    count_mode = (if dummy_groups = [] then Count_level1 else Count_paired);
+    index_mode }
+
+(* The grouping keywords a new row must be posted under, depending on the
+   table's index mode. *)
+let row_keywords (c : client) (index_mode : index_mode) (groups : Value.t array) : string list =
+  let config = c.pp.config in
+  match index_mode with
+  | Per_attribute | Oxt_conjunctive ->
+    Array.to_list
+      (Array.mapi
+         (fun i g -> bucket_keyword ~column:i ~bucket:(Mapping.bucket c.mappings.(i) g))
+         groups)
+  | Joint ->
+    let subsets =
+      column_subsets ~l:(Config.num_group_columns config) ~t:config.Config.max_group_attrs
+    in
+    Array.to_list
+      (Array.map
+         (fun columns ->
+           let buckets = Array.map (fun i -> Mapping.bucket c.mappings.(i) groups.(i)) columns in
+           joint_keyword ~columns ~buckets)
+         subsets)
+
+let filter_keywords (c : client) (filters : (string * Value.t) list) ~(caller : string) :
+    string list =
+  List.map
+    (fun (col, v) ->
+      if not (List.mem col c.pp.config.Config.filter_columns) then
+        invalid_arg (Printf.sprintf "Scheme.%s: %S is not a filter column" caller col);
+      filter_keyword ~column:col v)
+    filters
+
+let range_keywords (c : client) (range_values : (string * int) list) ~(caller : string) :
+    string list =
+  List.concat_map
+    (fun (col, v) ->
+      if not (List.mem col c.pp.config.Config.range_filter_columns) then
+        invalid_arg (Printf.sprintf "Scheme.%s: %S is not a range filter column" caller col);
+      List.map
+        (fun interval -> range_keyword ~column:col interval)
+        (Sagma_sse.Dyadic.keywords_for_value ~depth:c.pp.config.Config.range_bits v))
+    range_values
+
+let check_append_arity (c : client) ~(caller : string) (values : int array)
+    (groups : Value.t array) : unit =
+  let config = c.pp.config in
+  if Array.length values <> Config.num_value_columns config then
+    invalid_arg (Printf.sprintf "Scheme.%s: value arity mismatch" caller);
+  if Array.length groups <> Config.num_group_columns config then
+    invalid_arg (Printf.sprintf "Scheme.%s: group arity mismatch" caller)
+
+(* Database updates (§3/§8: "this algorithm can be used for database
+   updates after the initial table encryption if the bucket index I is
+   updated correspondingly"): encrypt one new row and extend the SSE
+   postings. The per-keyword counters are recovered by replaying the
+   keyword search, which only uses key material the client holds. *)
+let append_row ?(range_values : (string * int) list = []) (c : client) (et : enc_table)
+    ~(values : int array) ~(groups : Value.t array) ~(filters : (string * Value.t) list) :
+    enc_table =
+  check_append_arity c ~caller:"append_row" values groups;
+  let id = Array.length et.rows in
+  let offsets = Array.mapi (fun i g -> Mapping.offset c.mappings.(i) g) groups in
+  let row = enc_row_raw c ~values ~offsets ~dummy:false in
+  let add_keyword index kw =
+    let counter = List.length (Sse.search index (Sse.token c.sse_key kw)) in
+    Sse.add c.sse_key index kw ~counter id
+  in
+  let aux_keywords =
+    filter_keywords c filters ~caller:"append_row"
+    @ range_keywords c range_values ~caller:"append_row"
+  in
+  match et.index_mode with
+  | Per_attribute | Joint ->
+    let index =
+      List.fold_left add_keyword et.index (row_keywords c et.index_mode groups @ aux_keywords)
+    in
+    { et with rows = Array.append et.rows [| row |]; index }
+  | Oxt_conjunctive ->
+    (* Bucket keywords extend the OXT structures; filters stay in Π_bas. *)
+    let params = oxt_params () in
+    let oxt =
+      List.fold_left
+        (fun oxt kw ->
+          let counter = Oxt.stag_count oxt (Oxt.stag c.oxt_key kw) in
+          Oxt.add params c.oxt_key oxt kw ~counter id)
+        (Option.get et.oxt_index)
+        (row_keywords c et.index_mode groups)
+    in
+    let index = List.fold_left add_keyword et.index aux_keywords in
+    { et with rows = Array.append et.rows [| row |]; index; oxt_index = Some oxt }
+
+(* Client-side half of a *remote* append: the encrypted row plus the SSE
+   tokens of its keywords. A server holding the encrypted table can
+   derive the new postings from the tokens alone (Sse.add_with_token);
+   see Sagma_protocol.Server. [index_mode] must match the remote table. *)
+let append_payload ?(index_mode = Per_attribute) ?(range_values : (string * int) list = [])
+    (c : client) ~(values : int array) ~(groups : Value.t array)
+    ~(filters : (string * Value.t) list) : enc_row * Sse.token list =
+  if index_mode = Oxt_conjunctive then
+    invalid_arg
+      "Scheme.append_payload: remote appends need secret OXT keys; append client-side instead";
+  check_append_arity c ~caller:"append_payload" values groups;
+  let offsets = Array.mapi (fun i g -> Mapping.offset c.mappings.(i) g) groups in
+  let row = enc_row_raw c ~values ~offsets ~dummy:false in
+  let keywords =
+    row_keywords c index_mode groups
+    @ filter_keywords c filters ~caller:"append_payload"
+    @ range_keywords c range_values ~caller:"append_payload"
+  in
+  (row, List.map (Sse.token c.sse_key) keywords)
+
+(* --- grouping tokens (Algorithm 4) --------------------------------------- *)
+
+type bucket_source =
+  | Per_attribute_tokens of Sse.token array array
+      (* per queried column, one token per bucket; the server intersects *)
+  | Joint_tokens of (int array * Sse.token) array
+      (* one token per joint bucket-id vector; no intersection, and no
+         per-attribute membership leaks *)
+  | Oxt_tokens of (int array * Oxt.stag * Curve.point array array) array
+      (* one OXT conjunction per joint bucket-id vector: the first
+         queried column's bucket keyword is the s-term, the rest are
+         resolved through cross-tags *)
+
+type token = {
+  value_column : int option;           (* index into config.value_columns *)
+  group_columns : int array;           (* indices into config.group_columns *)
+  source : bucket_source;
+  filter_tokens : Sse.token list;      (* equality clauses: intersection *)
+  range_token_groups : Sse.token list list;
+  (* one group per BETWEEN clause: union within a group (its dyadic
+     cover), intersection across groups and with filter_tokens *)
+  t_num_buckets : int array;           (* s_q per queried column *)
+}
+
+(* [token c q] is Algorithm 4. [index_mode] must match the mode the table
+   was encrypted with; [oxt_rows] (required in OXT mode) bounds the
+   x-token rows by the table's public row count. *)
+let token ?(index_mode = Per_attribute) ?(oxt_rows : int option) (c : client) (q : Query.t) :
+    token =
+  let config = c.pp.config in
+  if List.length q.Query.group_by > config.Config.max_group_attrs then
+    invalid_arg
+      (Printf.sprintf "Scheme.token: %d grouping attributes exceed threshold t=%d"
+         (List.length q.Query.group_by) config.Config.max_group_attrs);
+  let group_columns =
+    Array.of_list (List.map (Config.group_column_index config) q.Query.group_by)
+  in
+  let value_column =
+    match Query.value_column q.Query.aggregate with
+    | None -> None
+    | Some col -> Some (Config.value_column_index config col)
+  in
+  let t_num_buckets = Array.map (fun col -> c.pp.num_buckets.(col)) group_columns in
+  let source =
+    match index_mode with
+    | Per_attribute ->
+      Per_attribute_tokens
+        (Array.map
+           (fun col ->
+             let s = c.pp.num_buckets.(col) in
+             Array.init s (fun b -> Sse.token c.sse_key (bucket_keyword ~column:col ~bucket:b)))
+           group_columns)
+    | Joint | Oxt_conjunctive -> begin
+      (* One token per element of the cartesian product of the queried
+         columns' buckets. *)
+      let arity = Array.length group_columns in
+      let total = Array.fold_left ( * ) 1 t_num_buckets in
+      let decode idx =
+        let buckets = Array.make arity 0 in
+        let rem = ref idx in
+        for i = arity - 1 downto 0 do
+          buckets.(i) <- !rem mod t_num_buckets.(i);
+          rem := !rem / t_num_buckets.(i)
+        done;
+        buckets
+      in
+      match index_mode with
+      | Joint ->
+        Joint_tokens
+          (Array.init total (fun idx ->
+               let buckets = decode idx in
+               ( buckets,
+                 Sse.token c.sse_key (joint_keyword ~columns:group_columns ~buckets) )))
+      | Oxt_conjunctive ->
+        let rows =
+          match oxt_rows with
+          | Some r -> r
+          | None -> invalid_arg "Scheme.token: OXT mode needs ~oxt_rows (the table's row count)"
+        in
+        Oxt_tokens
+          (Array.init total (fun idx ->
+               let buckets = decode idx in
+               let keywords =
+                 Array.mapi
+                   (fun i col -> bucket_keyword ~column:col ~bucket:buckets.(i))
+                   group_columns
+               in
+               let s_term = keywords.(0) in
+               let x_terms = Array.to_list (Array.sub keywords 1 (arity - 1)) in
+               ( buckets,
+                 Oxt.stag c.oxt_key s_term,
+                 Oxt.xtokens (oxt_params ()) c.oxt_key ~s_term ~x_terms ~count:rows )))
+      | Per_attribute -> assert false
+    end
+  in
+  let filter_tokens =
+    List.map
+      (fun (col, v) ->
+        if not (List.mem col config.Config.filter_columns) then
+          invalid_arg (Printf.sprintf "Scheme.token: %S is not a filter column" col);
+        Sse.token c.sse_key (filter_keyword ~column:col v))
+      q.Query.where
+  in
+  let range_token_groups =
+    List.map
+      (fun (col, lo, hi) ->
+        if not (List.mem col config.Config.range_filter_columns) then
+          invalid_arg (Printf.sprintf "Scheme.token: %S is not a range filter column" col);
+        List.map
+          (fun interval -> Sse.token c.sse_key (range_keyword ~column:col interval))
+          (Sagma_sse.Dyadic.cover ~depth:config.Config.range_bits ~lo ~hi))
+      q.Query.ranges
+  in
+  { value_column; group_columns; source; filter_tokens; range_token_groups; t_num_buckets }
+
+(* --- server-side aggregation (Algorithm 5) -------------------------------
+
+   This function deliberately takes only public data: the encrypted table
+   (which embeds the public parameters) and a token. *)
+
+type block_aggregates = {
+  sums : Bgn.c2 array array option;  (* per block vector, per channel *)
+  counts_l1 : Bgn.c1 array option;   (* per block vector (level-1 mode) *)
+  counts_l2 : Bgn.c2 array option;   (* per block vector (paired mode) *)
+}
+
+type bucket_aggregate = {
+  bucket_ids : int array;   (* one bucket per queried column *)
+  group_size : int;         (* rows feeding this joint bucket (leaked) *)
+  blocks : block_aggregates;
+}
+
+type agg_result = {
+  buckets : bucket_aggregate list;
+  touched_rows : int;
+}
+
+module Int_set = Set.Make (Int)
+
+(* Decompose a block index into the per-column offset vector (mixed radix
+   base B, least-significant = last queried column). *)
+let block_vector ~(bucket_size : int) ~(arity : int) (idx : int) : int array =
+  let v = Array.make arity 0 in
+  let rec go i rem =
+    if i >= 0 then begin
+      v.(i) <- rem mod bucket_size;
+      go (i - 1) (rem / bucket_size)
+    end
+  in
+  go (arity - 1) idx;
+  v
+
+(* [aggregate et tok] is Algorithm 5 (pure server side). [domains] > 1
+   splits each joint bucket's row work across that many OCaml domains. *)
+let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
+  let pp = et.pp in
+  let pk = pp.bgn_pk in
+  let n = Bgn.n pk in
+  let config = pp.config in
+  let bucket_size = config.Config.bucket_size in
+  let arity = Array.length tok.group_columns in
+  let num_blocks = int_of_float (float_of_int bucket_size ** float_of_int arity) in
+  (* Filter rows first (WHERE composition, §2): intersect the equality
+     clauses' results; each range clause contributes the union of its
+     dyadic cover. *)
+  let filtered =
+    let equality_sets =
+      List.map (fun t -> Int_set.of_list (Sse.search et.index t)) tok.filter_tokens
+    in
+    let range_sets =
+      List.map
+        (fun group ->
+          List.fold_left
+            (fun acc t -> Int_set.union acc (Int_set.of_list (Sse.search et.index t)))
+            Int_set.empty group)
+        tok.range_token_groups
+    in
+    match equality_sets @ range_sets with
+    | [] -> None
+    | s0 :: rest -> Some (List.fold_left Int_set.inter s0 rest)
+  in
+  let keep r = match filtered with None -> true | Some s -> Int_set.mem r s in
+  (* Materialize the joint buckets: per-attribute mode intersects the
+     queried columns' bucket posting lists; joint mode reads each joint
+     bucket's rows in one SSE query. *)
+  let joint_bucket_rows : (int array * int list) list =
+    match tok.source with
+    | Joint_tokens entries ->
+      Array.to_list entries
+      |> List.filter_map (fun (buckets, t) ->
+             match List.filter keep (Sse.search et.index t) with
+             | [] -> None
+             | rows -> Some (buckets, rows))
+    | Oxt_tokens entries ->
+      let oxt =
+        match et.oxt_index with
+        | Some oxt -> oxt
+        | None -> invalid_arg "Scheme.aggregate: OXT token against a non-OXT table"
+      in
+      let params = oxt_params () in
+      Array.to_list entries
+      |> List.filter_map (fun (buckets, st, xtoks) ->
+             match List.filter keep (List.sort compare (Oxt.search params oxt st xtoks)) with
+             | [] -> None
+             | rows -> Some (buckets, rows))
+    | Per_attribute_tokens per_column ->
+      let bucket_rows =
+        Array.map
+          (fun tokens -> Array.map (fun t -> List.filter keep (Sse.search et.index t)) tokens)
+          per_column
+      in
+      let rec enumerate col chosen rows acc =
+        if col = arity then begin
+          match rows with
+          | [] -> acc
+          | rows -> (Array.of_list (List.rev chosen), rows) :: acc
+        end
+        else begin
+          let acc = ref acc in
+          Array.iteri
+            (fun b rows_b ->
+              let inter =
+                if col = 0 then rows_b
+                else begin
+                  let set = Int_set.of_list rows in
+                  List.filter (fun r -> Int_set.mem r set) rows_b
+                end
+              in
+              acc := enumerate (col + 1) (b :: chosen) inter !acc)
+            bucket_rows.(col);
+          !acc
+        end
+      in
+      enumerate 0 [] [] []
+  in
+  (* Public indicator coefficients per block vector: the constant term and
+     (monomial position, coefficient) pairs. Shared across joint buckets. *)
+  let block_coeffs =
+    Array.init num_blocks (fun bi ->
+        let j = block_vector ~bucket_size ~arity bi in
+        let terms = Polynomial.multivariate_indicator ~n ~bucket_size j in
+        let constant = ref Z.zero in
+        let monos = ref [] in
+        List.iter
+          (fun { Polynomial.exponents; coeff } ->
+            if Array.for_all (fun e -> e = 0) exponents then constant := coeff
+            else begin
+              let full =
+                Monomials.lift_exponents pp.monomials ~query_columns:tok.group_columns exponents
+              in
+              monos := (Monomials.position pp.monomials full, coeff) :: !monos
+            end)
+          terms;
+        (!constant, !monos))
+  in
+  (* Unit shift S_r^{(j)} = Enc(1 iff offsets = j): a trivial encryption of
+     the constant term plus coefficient-weighted monomial ciphertexts. The
+     constant-term point a₀·g is shared by every row. *)
+  let curve = pk.Bgn.group.Sagma_pairing.Pairing.curve in
+  let block_const_points =
+    Array.map (fun (constant, _) -> Curve.mul curve constant pk.Bgn.g) block_coeffs
+  in
+  let shift_of_row row_idx bi : Bgn.c1 =
+    let row = et.rows.(row_idx) in
+    let _, monos = block_coeffs.(bi) in
+    let acc = ref block_const_points.(bi) in
+    List.iter
+      (fun (pos, coeff) ->
+        acc := Bgn.add1 pk !acc (Bgn.smul1 pk coeff row.monomial_cts.(pos)))
+      monos;
+    !acc
+  in
+  let touched = ref 0 in
+  (* Aggregate one joint bucket: compute every row's shift per block once
+     and feed it to both the sum and the count accumulators. Row chunks
+     are processed on separate domains when [domains] > 1 (the paper
+     parallelizes query execution the same way). *)
+  let aggregate_bucket (bucket_ids, rows) =
+    touched := !touched + List.length rows;
+    let num_channels = Crt.channels pp.channels in
+        let accumulate (chunk : int list) =
+          let sums =
+            Option.map
+              (fun _ -> Array.init num_blocks (fun _ -> Array.make num_channels Bgn.zero2))
+              tok.value_column
+          in
+          let counts_l1 =
+            match et.count_mode with
+            | Count_level1 -> Some (Array.make num_blocks Bgn.zero1)
+            | Count_paired -> None
+          in
+          let counts_l2 =
+            match et.count_mode with
+            | Count_paired -> Some (Array.make num_blocks Bgn.zero2)
+            | Count_level1 -> None
+          in
+          List.iter
+            (fun r ->
+              for bi = 0 to num_blocks - 1 do
+                let s = shift_of_row r bi in
+                (match (sums, tok.value_column) with
+                 | Some sums, Some vcol ->
+                   for ch = 0 to num_channels - 1 do
+                     sums.(bi).(ch) <-
+                       Bgn.add2 pk sums.(bi).(ch) (Bgn.mul pk et.rows.(r).values.(vcol).(ch) s)
+                   done
+                 | _ -> ());
+                (match counts_l1 with
+                 | Some c -> c.(bi) <- Bgn.add1 pk c.(bi) s
+                 | None -> ());
+                (match counts_l2 with
+                 | Some c -> c.(bi) <- Bgn.add2 pk c.(bi) (Bgn.mul pk et.rows.(r).count_ct s)
+                 | None -> ())
+              done)
+            chunk;
+          (sums, counts_l1, counts_l2)
+        in
+        let merge (s1, c1a, c1b) (s2, c2a, c2b) =
+          let merge_arr2 a b = Array.map2 (Array.map2 (Bgn.add2 pk)) a b in
+          ( (match (s1, s2) with
+             | Some a, Some b -> Some (merge_arr2 a b)
+             | a, None -> a
+             | None, b -> b),
+            (match (c1a, c2a) with
+             | Some a, Some b -> Some (Array.map2 (Bgn.add1 pk) a b)
+             | a, None -> a
+             | None, b -> b),
+            (match (c1b, c2b) with
+             | Some a, Some b -> Some (Array.map2 (Bgn.add2 pk) a b)
+             | a, None -> a
+             | None, b -> b) )
+        in
+    let sums, counts_l1, counts_l2 =
+      if domains <= 1 || List.length rows < 2 * domains then accumulate rows
+      else begin
+        (* Round-robin split keeps chunks balanced. *)
+        let chunks = Array.make domains [] in
+        List.iteri (fun i r -> chunks.(i mod domains) <- r :: chunks.(i mod domains)) rows;
+        let spawned =
+          Array.to_list
+            (Array.map (fun chunk -> Domain.spawn (fun () -> accumulate chunk))
+               (Array.sub chunks 1 (domains - 1)))
+        in
+        let first = accumulate chunks.(0) in
+        List.fold_left (fun acc d -> merge acc (Domain.join d)) first spawned
+      end
+    in
+    { bucket_ids; group_size = List.length rows; blocks = { sums; counts_l1; counts_l2 } }
+  in
+  let buckets = List.map aggregate_bucket joint_bucket_rows in
+  { buckets; touched_rows = !touched }
+
+(* --- decryption (Algorithm 6) -------------------------------------------- *)
+
+type result_row = {
+  group : Value.t list;  (* in queried-column order *)
+  sum : int;
+  count : int;
+}
+
+let dec1_table (c : client) ~(max : int) : Bgn.dec1_table =
+  match List.assoc_opt max c.dec1_tables with
+  | Some t -> t
+  | None ->
+    let t = Bgn.make_dec1_table c.kp ~max in
+    c.dec1_tables <- (max, t) :: c.dec1_tables;
+    t
+
+let dec2_table (c : client) ~(max : int) : Bgn.dec2_table =
+  match List.assoc_opt max c.dec2_tables with
+  | Some t -> t
+  | None ->
+    let t = Bgn.make_dec2_table c.kp ~max in
+    c.dec2_tables <- (max, t) :: c.dec2_tables;
+    t
+
+let decrypt (c : client) (tok : token) (agg : agg_result) ~(total_rows : int) : result_row list =
+  let pp = c.pp in
+  let config = pp.config in
+  let bucket_size = config.Config.bucket_size in
+  let arity = Array.length tok.group_columns in
+  let num_blocks = int_of_float (float_of_int bucket_size ** float_of_int arity) in
+  let count_max = total_rows in
+  let results = ref [] in
+  List.iter
+    (fun ba ->
+      for bi = 0 to num_blocks - 1 do
+        let offsets = block_vector ~bucket_size ~arity bi in
+        (* Map (bucket, offset) back to the group value per column; slots
+           beyond a partial last bucket are uninhabited. *)
+        let group =
+          Array.to_list
+            (Array.mapi
+               (fun cidx col ->
+                 Mapping.value_at c.mappings.(col) ~bucket:ba.bucket_ids.(cidx)
+                   ~offset:offsets.(cidx))
+               tok.group_columns)
+        in
+        if List.for_all Option.is_some group then begin
+          let group = List.map Option.get group in
+          let count =
+            match (ba.blocks.counts_l1, ba.blocks.counts_l2) with
+            | Some cts, _ ->
+              Option.value
+                (Bgn.dec1 c.kp (dec1_table c ~max:count_max) ~max:count_max cts.(bi))
+                ~default:0
+            | None, Some cts ->
+              Option.value
+                (Bgn.dec2 c.kp (dec2_table c ~max:count_max) ~max:count_max cts.(bi))
+                ~default:0
+            | None, None -> 0
+          in
+          let sum =
+            match ba.blocks.sums with
+            | None -> 0
+            | Some sums ->
+              let per_channel =
+                Array.mapi
+                  (fun ch ct ->
+                    let d = pp.channels.Crt.moduli.(ch) in
+                    let max = total_rows * (d - 1) in
+                    Option.value (Bgn.dec2 c.kp (dec2_table c ~max) ~max ct) ~default:0)
+                  sums.(bi)
+              in
+              Z.to_int_exn (Crt.decode pp.channels per_channel)
+          in
+          if count > 0 then results := { group; sum; count } :: !results
+        end
+      done)
+    agg.buckets;
+  List.sort
+    (fun a b -> Stdlib.compare (List.map Value.to_string a.group) (List.map Value.to_string b.group))
+    !results
+
+(* End-to-end convenience: token → aggregate → decrypt. *)
+let query (c : client) (et : enc_table) (q : Query.t) : result_row list =
+  let tok = token ~index_mode:et.index_mode ~oxt_rows:(Array.length et.rows) c q in
+  let agg = aggregate et tok in
+  decrypt c tok agg ~total_rows:(Array.length et.rows)
+
+let aggregate_value (q : Query.t) (r : result_row) : float =
+  match q.Query.aggregate with
+  | Query.Sum _ -> float_of_int r.sum
+  | Query.Count -> float_of_int r.count
+  | Query.Avg _ -> if r.count = 0 then 0. else float_of_int r.sum /. float_of_int r.count

@@ -1,0 +1,224 @@
+(** The full SAGMA construction (§3.4, Algorithms 1–6).
+
+    Client-side state: a BGN keypair, an SSE key and one secret mapping
+    per group column. Server-side state ({!enc_table}): per row, BGN
+    level-1 encryptions of (a) each value column split into CRT residue
+    channels, (b) a hidden count column fixed to 1 (0 for dummy rows) and
+    (c) the monomials of the bucketized group offsets; plus an SSE index
+    over bucket identifiers and filter keywords.
+
+    Query processing: the server locates each queried bucket's rows
+    through SSE, intersects them into joint buckets, derives every row's
+    unit-shift indicator S_r^(j) by evaluating public Lagrange
+    coefficients over the encrypted monomials (additive homomorphism
+    only), pairs it with the value/count ciphertexts — the scheme's
+    single ciphertext multiplication — and sums in the target group. The
+    client decrypts each aggregate with a bounded discrete log and
+    recombines CRT channels.
+
+    The server never sees a group value, only bucket identifiers: the
+    leakage is exactly L of §4.2 (see {!Leakage}). *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module Bgn = Sagma_bgn.Bgn
+module Crt = Sagma_bgn.Crt_channels
+module Sse = Sagma_sse.Sse
+module Curve = Sagma_pairing.Curve
+module Oxt = Sagma_sse.Oxt
+
+(** {1 Setup (Algorithm 1)} *)
+
+type public_params = {
+  config : Config.t;
+  bgn_pk : Bgn.public_key;
+  channels : Crt.t;
+  monomials : Monomials.t;
+  num_buckets : int array;  (** s_i = ⌈|D_i| / B⌉ per group column *)
+}
+
+type client = {
+  pp : public_params;
+  kp : Bgn.keypair;
+  sse_key : Sse.key;
+  oxt_key : Oxt.key;           (** for the {!Oxt_conjunctive} index mode *)
+  mappings : Mapping.t array;  (** f_i, one per group column *)
+  drbg : Drbg.t;
+  mutable dec1_tables : (int * Bgn.dec1_table) list;
+  mutable dec2_tables : (int * Bgn.dec2_table) list;
+}
+(** The trusted client. [dec*_tables] cache discrete-log tables across
+    queries. *)
+
+val setup :
+  ?mapping_strategy:(string -> Mapping.strategy) ->
+  Config.t ->
+  domains:(string * Value.t list) list ->
+  Drbg.t ->
+  client
+(** [setup config ~domains drbg] runs Algorithm 1. [domains] must cover
+    every group column with its full value domain; [mapping_strategy]
+    selects the §5 bucket-partitioning per column (default: PRF-keyed
+    random permutation). *)
+
+(** {1 Encryption (Algorithms 2–3)} *)
+
+type enc_row = {
+  values : Bgn.c1 array array;  (** k × channels: Enc(v_j mod d_c) *)
+  count_ct : Bgn.c1;            (** Enc(1); Enc(0) for dummy rows *)
+  monomial_cts : Bgn.c1 array;  (** Enc(Π offsetsᵉ) in storage order *)
+}
+
+type count_mode =
+  | Count_level1
+      (** aggregate the indicators directly — curve additions only, no
+          pairing; counts dummy rows, so only used without dummies *)
+  | Count_paired
+      (** pair the hidden count column — dummy-safe *)
+
+type index_mode =
+  | Per_attribute
+      (** Algorithm 2: one keyword per (column, bucket); the server
+          intersects posting lists and learns per-attribute bucket
+          membership *)
+  | Joint
+      (** §3.4's Boolean-SSE alternative: one keyword per column subset
+          (size ≤ t) and joint bucket vector; queries touch only their own
+          combination and individual memberships never leak, at a storage
+          cost of Σ_{{i≤t}} C(l,i) postings per row *)
+  | Oxt_conjunctive
+      (** the same goal with O(l) storage via the OXT Boolean-SSE
+          protocol (Cash et al. [6]): joint membership resolved by
+          cross-tag conjunctions. Leakage sits between the other modes —
+          the s-term column's bucket pattern plus which of its rows match
+          the conjunction *)
+
+type enc_table = {
+  pp : public_params;
+  rows : enc_row array;
+  index : Sse.index;             (** Π_bas: filters (+ buckets unless OXT) *)
+  oxt_index : Oxt.index option;  (** bucket membership in OXT mode *)
+  count_mode : count_mode;
+  index_mode : index_mode;
+}
+(** What the server stores: semantically secure ciphertexts plus the SSE
+    index — no keys. *)
+
+val enc_row_raw : client -> values:int array -> offsets:int array -> dummy:bool -> enc_row
+(** Algorithm 3 on pre-bucketized offsets (exposed for tests). *)
+
+val encrypt_table :
+  ?dummy_groups:Value.t array list -> ?index_mode:index_mode -> client -> Table.t -> enc_table
+(** Algorithm 2. [dummy_groups] appends one all-zero dummy row per entry
+    (each an array of group-column values, §5), switching counting to
+    {!Count_paired}. *)
+
+val bucket_keyword : column:int -> bucket:int -> string
+val joint_keyword : columns:int array -> buckets:int array -> string
+val filter_keyword : column:string -> Value.t -> string
+val range_keyword : column:string -> Sagma_sse.Dyadic.interval -> string
+val column_subsets : l:int -> t:int -> int array array
+
+(** {1 Database updates} *)
+
+val append_row :
+  ?range_values:(string * int) list ->
+  client ->
+  enc_table ->
+  values:int array ->
+  groups:Value.t array ->
+  filters:(string * Value.t) list ->
+  enc_table
+(** Encrypt and append one row, extending the SSE postings (the paper's
+    EncRow-based update). [range_values] supplies the row's entries for
+    range-filter columns. Non-destructive. *)
+
+val append_payload :
+  ?index_mode:index_mode ->
+  ?range_values:(string * int) list ->
+  client ->
+  values:int array ->
+  groups:Value.t array ->
+  filters:(string * Value.t) list ->
+  enc_row * Sse.token list
+(** Client half of a remote append: the encrypted row plus the SSE tokens
+    from which a server extends the postings itself
+    (see [Sagma_protocol.Server]). *)
+
+(** {1 Tokens (Algorithm 4)} *)
+
+type bucket_source =
+  | Per_attribute_tokens of Sse.token array array
+      (** per queried column, one token per bucket *)
+  | Joint_tokens of (int array * Sse.token) array
+      (** one token per joint bucket-id vector *)
+  | Oxt_tokens of (int array * Oxt.stag * Curve.point array array) array
+      (** one OXT conjunction per joint bucket-id vector *)
+
+type token = {
+  value_column : int option;
+  group_columns : int array;
+  source : bucket_source;
+  filter_tokens : Sse.token list;  (** equality clauses — intersected *)
+  range_token_groups : Sse.token list list;
+      (** one group per BETWEEN clause (its dyadic cover) — unioned
+          within a group, intersected across groups *)
+  t_num_buckets : int array;
+}
+
+val token : ?index_mode:index_mode -> ?oxt_rows:int -> client -> Query.t -> token
+(** [index_mode] must match the target table's; [oxt_rows] (the table's
+    public row count) is required in OXT mode to bound the x-token rows.
+    @raise Invalid_argument when the query exceeds the threshold t or
+    filters on a non-filter column. *)
+
+(** {1 Server-side aggregation (Algorithm 5)} *)
+
+type block_aggregates = {
+  sums : Bgn.c2 array array option;  (** per block vector, per channel *)
+  counts_l1 : Bgn.c1 array option;
+  counts_l2 : Bgn.c2 array option;
+}
+
+type bucket_aggregate = {
+  bucket_ids : int array;
+  group_size : int;  (** rows feeding this joint bucket (leaked) *)
+  blocks : block_aggregates;
+}
+
+type agg_result = {
+  buckets : bucket_aggregate list;
+  touched_rows : int;
+}
+
+val block_vector : bucket_size:int -> arity:int -> int -> int array
+
+val oxt_params : unit -> Oxt.params
+(** The shared public OXT group parameters (deterministic). *)
+
+val aggregate : ?domains:int -> enc_table -> token -> agg_result
+(** Algorithm 5. Deliberately takes only public data — no keys.
+    [domains] > 1 splits each joint bucket's row work across OCaml
+    domains (the paper's multi-core parallelization). *)
+
+(** {1 Decryption (Algorithm 6)} *)
+
+type result_row = {
+  group : Value.t list;  (** in queried-column order *)
+  sum : int;
+  count : int;
+}
+
+val decrypt : client -> token -> agg_result -> total_rows:int -> result_row list
+(** Bounded-dlog decryption of every aggregate component, CRT
+    recombination, inverse bucket mapping, and suppression of empty
+    groups. *)
+
+val query : client -> enc_table -> Query.t -> result_row list
+(** Convenience: token → aggregate → decrypt. *)
+
+val aggregate_value : Query.t -> result_row -> float
+(** SUM/COUNT/AVG as the query requested. *)

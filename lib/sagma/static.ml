@@ -1,0 +1,161 @@
+(* The static-shifting constructions (§3.1 and §3.2).
+
+   Both encode the group membership client-side by multiplying the value
+   into a block position of a packed Paillier plaintext; the additively
+   homomorphic sum then accumulates every group's subtotal in its own
+   block. Paillier decryption is direct (no discrete log), so the packed
+   plaintext can use the full 2·|key|-bit space.
+
+   §3.1 (Initial static shifting): one block per domain value, whole
+   domain packed, multiple ciphertexts per row when the domain exceeds the
+   per-ciphertext block count. Hides the access pattern entirely, at a
+   storage cost of ⌈|D|·value_bits / |M|⌉ ciphertexts per row.
+
+   §3.2 (Statically shifted bucketization): the domain is split into
+   buckets of B values; a row stores one ciphertext (its bucket's) and the
+   bucket membership is revealed to the server for aggregation, trading
+   leakage for storage. *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Drbg = Sagma_crypto.Drbg
+module Paillier = Sagma_paillier.Paillier
+
+type client = {
+  kp : Paillier.keypair;
+  mapping : Mapping.t;
+  value_bits : int;
+  blocks_per_ct : int;
+  drbg : Drbg.t;
+}
+
+(* How many value blocks fit one Paillier plaintext. *)
+let blocks_per_ciphertext (pk : Paillier.public_key) ~(value_bits : int) : int =
+  Paillier.plaintext_bits pk / value_bits
+
+let setup ?(paillier_bits = 512) ?(value_bits = 32)
+    ?(mapping_strategy = Mapping.Prf_random) ~(domain : Value.t list) (drbg : Drbg.t) : client =
+  let kp = Paillier.keygen ~bits:paillier_bits drbg in
+  let blocks = blocks_per_ciphertext kp.Paillier.pk ~value_bits in
+  if blocks < 1 then invalid_arg "Static.setup: value_bits exceed plaintext space";
+  let key = Sagma_crypto.Prf.gen_key drbg in
+  (* §3.1 packs the whole domain, so the "bucket" for mapping purposes is
+     the per-ciphertext block count. *)
+  let mapping = Mapping.make mapping_strategy key domain ~bucket_size:blocks in
+  { kp; mapping; value_bits; blocks_per_ct = blocks; drbg }
+
+(* --- §3.1: whole-domain packing ----------------------------------------- *)
+
+module Full_domain = struct
+  type enc_row = Paillier.ciphertext array
+  (* ⌈|D| / blocks_per_ct⌉ ciphertexts; all blocks zero except the row's. *)
+
+  let cts_per_row (c : client) : int =
+    (c.mapping.Mapping.domain_size + c.blocks_per_ct - 1) / c.blocks_per_ct
+
+  (* v' = v · |D_V|^f(g): the blockwise left shift of §3.1. *)
+  let enc_row (c : client) ~(value : int) ~(group : Value.t) : enc_row =
+    if value < 0 || (c.value_bits < 62 && value >= 1 lsl c.value_bits) then
+      invalid_arg "Static.enc_row: value out of domain";
+    let idx = Mapping.index c.mapping group in
+    let ct_idx = idx / c.blocks_per_ct in
+    let block = idx mod c.blocks_per_ct in
+    Array.init (cts_per_row c) (fun i ->
+        let m =
+          if i = ct_idx then Z.shift_left (Z.of_int value) (c.value_bits * block) else Z.zero
+        in
+        Paillier.encrypt c.kp.Paillier.pk c.drbg m)
+
+  (* Server-side: componentwise homomorphic sum over all rows. *)
+  let aggregate (c : client) (rows : enc_row list) : Paillier.ciphertext array =
+    match rows with
+    | [] -> Array.init (cts_per_row c) (fun _ -> Paillier.zero c.kp.Paillier.pk c.drbg)
+    | first :: rest ->
+      List.fold_left
+        (fun acc row -> Array.map2 (Paillier.add c.kp.Paillier.pk) acc row)
+        first rest
+
+  (* Client-side: decrypt, unpack blocks, map indices back to values. *)
+  let decrypt (c : client) (agg : Paillier.ciphertext array) : (Value.t * int) list =
+    let mask = Z.pred (Z.shift_left Z.one c.value_bits) in
+    let out = ref [] in
+    Array.iteri
+      (fun ct_idx ct ->
+        let packed = Paillier.decrypt c.kp ct in
+        for block = 0 to c.blocks_per_ct - 1 do
+          let idx = (ct_idx * c.blocks_per_ct) + block in
+          if idx < c.mapping.Mapping.domain_size then begin
+            let v =
+              Z.to_int_exn
+                (Z.erem (Z.shift_right packed (c.value_bits * block)) (Z.succ mask))
+            in
+            let group = Option.get (Mapping.value_at c.mapping ~bucket:ct_idx ~offset:block) in
+            out := (group, v) :: !out
+          end
+        done)
+      agg;
+    List.sort (fun (a, _) (b, _) -> Value.compare a b) !out
+end
+
+(* --- §3.2: bucketized packing -------------------------------------------- *)
+
+module Bucketized = struct
+  type client_b = {
+    base : client;
+    bucket_size : int;  (* B: blocks per bucket ciphertext *)
+  }
+
+  type enc_row = {
+    bucket : int;                 (* revealed to the server *)
+    ct : Paillier.ciphertext;     (* value shifted to its in-bucket block *)
+  }
+
+  let setup ?(paillier_bits = 512) ?(value_bits = 32) ?(mapping_strategy = Mapping.Prf_random)
+      ~(bucket_size : int) ~(domain : Value.t list) (drbg : Drbg.t) : client_b =
+    let kp = Paillier.keygen ~bits:paillier_bits drbg in
+    if bucket_size > blocks_per_ciphertext kp.Paillier.pk ~value_bits then
+      invalid_arg "Static.Bucketized.setup: bucket exceeds plaintext space";
+    let key = Sagma_crypto.Prf.gen_key drbg in
+    let mapping = Mapping.make mapping_strategy key domain ~bucket_size in
+    { base = { kp; mapping; value_bits; blocks_per_ct = bucket_size; drbg }; bucket_size }
+
+  (* The §3.2 shift: s(g) = |D_V|^(f(g) mod B). *)
+  let enc_row (cb : client_b) ~(value : int) ~(group : Value.t) : enc_row =
+    let c = cb.base in
+    if value < 0 || (c.value_bits < 62 && value >= 1 lsl c.value_bits) then
+      invalid_arg "Static.Bucketized.enc_row: value out of domain";
+    let bucket = Mapping.bucket c.mapping group in
+    let offset = Mapping.offset c.mapping group in
+    let m = Z.shift_left (Z.of_int value) (c.value_bits * offset) in
+    { bucket; ct = Paillier.encrypt c.kp.Paillier.pk c.drbg m }
+
+  (* Aggregation groups rows by their (leaked) bucket id. *)
+  let aggregate (cb : client_b) (rows : enc_row list) : (int * Paillier.ciphertext) list =
+    let tbl : (int, Paillier.ciphertext) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun { bucket; ct } ->
+        match Hashtbl.find_opt tbl bucket with
+        | None -> Hashtbl.add tbl bucket ct
+        | Some acc -> Hashtbl.replace tbl bucket (Paillier.add cb.base.kp.Paillier.pk acc ct))
+      rows;
+    Hashtbl.fold (fun b ct acc -> (b, ct) :: acc) tbl [] |> List.sort compare
+
+  let decrypt (cb : client_b) (aggs : (int * Paillier.ciphertext) list) : (Value.t * int) list =
+    let c = cb.base in
+    let modulus = Z.shift_left Z.one c.value_bits in
+    let out = ref [] in
+    List.iter
+      (fun (bucket, ct) ->
+        let packed = Paillier.decrypt c.kp ct in
+        for offset = 0 to cb.bucket_size - 1 do
+          match Mapping.value_at c.mapping ~bucket ~offset with
+          | None -> ()
+          | Some group ->
+            let v =
+              Z.to_int_exn (Z.erem (Z.shift_right packed (c.value_bits * offset)) modulus)
+            in
+            out := (group, v) :: !out
+        done)
+      aggs;
+    List.sort (fun (a, _) (b, _) -> Value.compare a b) !out
+end

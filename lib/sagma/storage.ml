@@ -1,0 +1,87 @@
+(* Storage and client-cost models (§4.1, §6.2 — Table 9, Table 10,
+   Figure 8).
+
+   All storage figures count ciphertexts, as the paper does. Parameters
+   follow Table 8: l group columns, threshold t, k value columns, r rows,
+   n filtering clauses, bucket size B, group domain size |D| (assumed
+   equal across columns, as in §6.2). *)
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let int_pow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+(* m(l,t) = Σ_{i=1..t} C(l,i)·(B−1)^i — monomials per row with reuse. *)
+let monomial_count ~l ~t ~b : int =
+  let rec sum i acc = if i > t then acc else sum (i + 1) (acc + (choose l i * int_pow (b - 1) i)) in
+  sum 1 0
+
+(* Table 9's increments: m(l,t) − m(l,t−1) = C(l,t)·(B−1)^t. *)
+let monomial_increment ~l ~t ~b : int = choose l t * int_pow (b - 1) t
+
+(* The naïve scheme (§4.1): C(l,i)·(B^i − 1) per subset size, no reuse. *)
+let monomial_count_naive ~l ~t ~b : int =
+  let rec sum i acc = if i > t then acc else sum (i + 1) (acc + (choose l i * (int_pow b i - 1))) in
+  sum 1 0
+
+(* --- Table 10: server storage in ciphertexts ----------------------------- *)
+
+(* Pre-computed: every aggregate for every grouping combination, value
+   column and filtering clause is materialized. *)
+let precomputed_server ~l ~t ~k ~n ~d : int =
+  let rec sum i acc = if i > t then acc else sum (i + 1) (acc + (choose l i * int_pow d i)) in
+  sum 1 0 * k * max n 1
+
+(* Seabed: (B+1)^i − 1 splayed columns per grouping combination, stored
+   once per value column per row. *)
+let seabed_server ~l ~t ~k ~r ~b : int =
+  let rec sum i acc =
+    if i > t then acc else sum (i + 1) (acc + (choose l i * (int_pow (b + 1) i - 1)))
+  in
+  sum 1 0 * k * r
+
+(* SAGMA: m(l,t) monomials plus k value ciphertexts per row. *)
+let sagma_server ~l ~t ~k ~r ~b : int = (monomial_count ~l ~t ~b + k) * r
+
+(* --- Table 10: client operations per aggregation query ------------------- *)
+
+(* C = |D|^t: the number of aggregation results for a t-attribute query. *)
+let result_count ~t ~d : int = int_pow d t
+
+let precomputed_client : int = 1
+let seabed_client ~rho ~t ~d : int = rho * result_count ~t ~d
+let sagma_client ~t ~d : int = result_count ~t ~d
+
+(* --- Figure 8 sweeps ------------------------------------------------------ *)
+
+type figure8_row = { x : int; precomputed : int; seabed : int; sagma : int }
+
+(* Figure 8a: storage vs threshold t, fixed l=4, k=2, r=1000, n=2. *)
+let figure8a ?(l = 4) ?(k = 2) ?(r = 1000) ?(n = 2) ?(b = 2) ?(d = 12) () : figure8_row list =
+  List.map
+    (fun t ->
+      { x = t;
+        precomputed = precomputed_server ~l ~t ~k ~n ~d;
+        seabed = seabed_server ~l ~t ~k ~r ~b;
+        sagma = sagma_server ~l ~t ~k ~r ~b })
+    [ 1; 2; 3; 4; 5 ]
+  |> List.filter (fun row -> row.x <= l)
+
+(* Figure 8b: storage vs domain size |D|, fixed t=3. *)
+let figure8b ?(l = 4) ?(t = 3) ?(k = 2) ?(r = 1000) ?(n = 2) ?(b = 2) () : figure8_row list =
+  List.map
+    (fun d ->
+      { x = d;
+        precomputed = precomputed_server ~l ~t ~k ~n ~d;
+        seabed = seabed_server ~l ~t ~k ~r ~b;
+        sagma = sagma_server ~l ~t ~k ~r ~b })
+    [ 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]

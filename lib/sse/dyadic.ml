@@ -1,0 +1,53 @@
+(* Dyadic range covering — the standard trick for range queries over
+   single-keyword SSE (cf. Faber et al., ESORICS'15, which the SAGMA
+   paper cites as composable filtering [11]).
+
+   Values live in [0, 2^depth). Each value is indexed under depth+1
+   keywords: its ancestors in the implicit binary trie, identified by
+   (level, prefix) with prefix = v >> level. Any inclusive range [lo, hi]
+   decomposes into at most 2·depth canonical dyadic intervals, so a range
+   query becomes a union of that many keyword searches. The server learns
+   the dyadic structure of the queried range and the matching rows —
+   nothing about non-matching values beyond their cover membership. *)
+
+type interval = { level : int; prefix : int }
+(* Covers [prefix·2^level, (prefix+1)·2^level). *)
+
+let interval_range (i : interval) : int * int =
+  let lo = i.prefix lsl i.level in
+  (lo, lo + (1 lsl i.level) - 1)
+
+(* The depth+1 trie ancestors of a value — the keywords it is indexed
+   under. *)
+let keywords_for_value ~(depth : int) (v : int) : interval list =
+  if v < 0 || (depth < 62 && v >= 1 lsl depth) then
+    invalid_arg "Dyadic.keywords_for_value: out of domain";
+  List.init (depth + 1) (fun level -> { level; prefix = v lsr level })
+
+(* Minimal canonical cover of [lo, hi] by dyadic intervals: walk the
+   segment tree from the root, emitting nodes fully inside the range. *)
+let cover ~(depth : int) ~(lo : int) ~(hi : int) : interval list =
+  if lo > hi then invalid_arg "Dyadic.cover: empty range";
+  if lo < 0 || (depth < 62 && hi >= 1 lsl depth) then
+    invalid_arg "Dyadic.cover: out of domain";
+  let out = ref [] in
+  let rec go (node : interval) =
+    let node_lo, node_hi = interval_range node in
+    if node_hi < lo || node_lo > hi then ()
+    else if lo <= node_lo && node_hi <= hi then out := node :: !out
+    else begin
+      (* node.level > 0 here: a level-0 node is a single value and is
+         either disjoint or contained. *)
+      go { level = node.level - 1; prefix = node.prefix lsl 1 };
+      go { level = node.level - 1; prefix = (node.prefix lsl 1) lor 1 }
+    end
+  in
+  go { level = depth; prefix = 0 };
+  List.rev !out
+
+let keyword_tag (i : interval) : string = Printf.sprintf "%d:%d" i.level i.prefix
+
+(* Membership oracle for tests. *)
+let interval_contains (i : interval) (v : int) : bool =
+  let lo, hi = interval_range i in
+  lo <= v && v <= hi

@@ -1,0 +1,25 @@
+(** Dyadic range covering — the standard construction for range queries
+    over single-keyword SSE (cf. Faber et al. [11], cited by the SAGMA
+    paper as composable filtering).
+
+    Values live in [\[0, 2^depth)]; each is indexed under its depth+1
+    binary-trie ancestors, and any inclusive range decomposes into at
+    most 2·depth canonical dyadic intervals — a range query is a union of
+    that many keyword searches. *)
+
+type interval = { level : int; prefix : int }
+(** Covers [\[prefix·2^level, (prefix+1)·2^level)]. *)
+
+val interval_range : interval -> int * int
+(** Inclusive bounds. *)
+
+val keywords_for_value : depth:int -> int -> interval list
+(** The trie ancestors a stored value is indexed under.
+    @raise Invalid_argument out of domain. *)
+
+val cover : depth:int -> lo:int -> hi:int -> interval list
+(** Minimal canonical cover of [\[lo, hi\]], in ascending order.
+    @raise Invalid_argument on empty or out-of-domain ranges. *)
+
+val keyword_tag : interval -> string
+val interval_contains : interval -> int -> bool

@@ -1,0 +1,69 @@
+(** Searchable symmetric encryption: the Π_bas scheme of Cash et al.
+    (NDSS'14), adaptively secure in the random-oracle model.
+
+    The encrypted index is a flat dictionary mapping PRF-derived labels
+    to masked row ids. A search token reveals one keyword's posting walk;
+    leakage is the standard SSE trace (search pattern + access pattern),
+    which is exactly what the SAGMA proof (§4.2) hands the simulator.
+
+    SAGMA indexes bucket identifiers and filter keywords through this
+    module. *)
+
+module Prf = Sagma_crypto.Prf
+module Drbg = Sagma_crypto.Drbg
+
+type key = Prf.key
+
+type index = {
+  dict : (string, string) Hashtbl.t;  (** label → masked id *)
+  entries : int;                      (** total postings *)
+}
+
+type token = {
+  t_label : Prf.key;  (** K₁: label derivation *)
+  t_mask : Prf.key;   (** K₂: id masking *)
+}
+
+val label_size : int
+val id_size : int
+
+val gen : Drbg.t -> key
+
+val token : key -> string -> token
+(** Per-keyword token (deterministic — token equality is the search
+    pattern). *)
+
+val token_id : token -> string
+(** Opaque tag identifying a token; equal tags = same keyword. *)
+
+val entry : token -> int -> int -> string * string
+(** [entry t counter id] is the [(label, masked id)] pair for the
+    [counter]-th posting of the token's keyword. Exposed for the
+    simulator and for server-side appends. *)
+
+val build : key -> (string * int list) list -> index
+(** Build the encrypted index from keyword → matching ids. *)
+
+val add : key -> index -> string -> counter:int -> int -> index
+(** Append one posting ([counter] = current posting count of the
+    keyword). Non-destructive: the input index remains valid. *)
+
+val add_with_token : index -> token -> counter:int -> int -> index
+(** Like {!add} but from a token — what a server does during remote
+    appends (trading forward privacy for update support). *)
+
+val search : index -> token -> int list
+(** Walk the token's counters until a label misses; returns matching row
+    ids in insertion order. *)
+
+val size : index -> int
+
+(** {1 Simulator} (for the §4.2 security experiment) *)
+
+val simulate_index : Drbg.t -> entries:int -> index
+(** Uniformly random dictionary of the given size. *)
+
+val simulate_token : Drbg.t -> token
+
+val encode_id : int -> string
+val decode_id : string -> int

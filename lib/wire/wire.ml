@@ -1,0 +1,160 @@
+(* Binary serialization combinators.
+
+   A minimal, dependency-free codec layer used to put keys, encrypted
+   tables, tokens and aggregates on the wire (lib/sagma/serialize.ml and
+   the client/server protocol). Encoding is canonical: big-endian fixed
+   u32/u64 words and u32-length-prefixed byte strings, so every codec is
+   deterministic and roundtrips byte-identically. *)
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* --- sinks ---------------------------------------------------------------- *)
+
+type sink = Buffer.t
+
+let sink () : sink = Buffer.create 256
+
+let contents (s : sink) : string = Buffer.contents s
+
+let put_u8 (s : sink) (v : int) : unit =
+  if v < 0 || v > 0xff then invalid_arg "Wire.put_u8";
+  Buffer.add_char s (Char.chr v)
+
+let put_u32 (s : sink) (v : int) : unit =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire.put_u32";
+  for i = 3 downto 0 do
+    Buffer.add_char s (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+(* Non-negative 63-bit integer. *)
+let put_u62 (s : sink) (v : int) : unit =
+  if v < 0 then invalid_arg "Wire.put_u62: negative";
+  for i = 7 downto 0 do
+    Buffer.add_char s (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+(* Signed native int (sign byte + magnitude; [min_int] excluded). *)
+let put_int (s : sink) (v : int) : unit =
+  if v = min_int then invalid_arg "Wire.put_int: min_int";
+  put_u8 s (if v < 0 then 1 else 0);
+  put_u62 s (abs v)
+
+let put_bool (s : sink) (v : bool) : unit = put_u8 s (if v then 1 else 0)
+
+let put_bytes (s : sink) (v : string) : unit =
+  put_u32 s (String.length v);
+  Buffer.add_string s v
+
+let put_list (s : sink) (put : sink -> 'a -> unit) (v : 'a list) : unit =
+  put_u32 s (List.length v);
+  List.iter (put s) v
+
+let put_array (s : sink) (put : sink -> 'a -> unit) (v : 'a array) : unit =
+  put_u32 s (Array.length v);
+  Array.iter (put s) v
+
+let put_option (s : sink) (put : sink -> 'a -> unit) (v : 'a option) : unit =
+  match v with
+  | None -> put_u8 s 0
+  | Some x ->
+    put_u8 s 1;
+    put s x
+
+let put_pair (s : sink) (pa : sink -> 'a -> unit) (pb : sink -> 'b -> unit) ((a, b) : 'a * 'b) :
+    unit =
+  pa s a;
+  pb s b
+
+(* --- sources --------------------------------------------------------------- *)
+
+type source = { data : string; mutable pos : int }
+
+let source (data : string) : source = { data; pos = 0 }
+
+let remaining (s : source) : int = String.length s.data - s.pos
+
+let ensure (s : source) (n : int) : unit =
+  if remaining s < n then fail "truncated input: need %d bytes, have %d" n (remaining s)
+
+let get_u8 (s : source) : int =
+  ensure s 1;
+  let v = Char.code s.data.[s.pos] in
+  s.pos <- s.pos + 1;
+  v
+
+let get_u32 (s : source) : int =
+  ensure s 4;
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v lsl 8) lor Char.code s.data.[s.pos];
+    s.pos <- s.pos + 1
+  done;
+  !v
+
+let get_u62 (s : source) : int =
+  ensure s 8;
+  let v = ref 0 in
+  for _ = 1 to 8 do
+    v := (!v lsl 8) lor Char.code s.data.[s.pos];
+    s.pos <- s.pos + 1
+  done;
+  if !v < 0 then fail "u62 overflow";
+  !v
+
+let get_int (s : source) : int =
+  let sign = get_u8 s in
+  let mag = get_u62 s in
+  match sign with
+  | 0 -> mag
+  | 1 -> -mag
+  | v -> fail "bad int sign %d" v
+
+let get_bool (s : source) : bool =
+  match get_u8 s with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "bad bool tag %d" v
+
+let get_bytes (s : source) : string =
+  let n = get_u32 s in
+  ensure s n;
+  let v = String.sub s.data s.pos n in
+  s.pos <- s.pos + n;
+  v
+
+let get_list (s : source) (get : source -> 'a) : 'a list =
+  let n = get_u32 s in
+  List.init n (fun _ -> get s)
+
+let get_array (s : source) (get : source -> 'a) : 'a array =
+  let n = get_u32 s in
+  Array.init n (fun _ -> get s)
+
+let get_option (s : source) (get : source -> 'a) : 'a option =
+  match get_u8 s with
+  | 0 -> None
+  | 1 -> Some (get s)
+  | v -> fail "bad option tag %d" v
+
+let get_pair (s : source) (ga : source -> 'a) (gb : source -> 'b) : 'a * 'b =
+  let a = ga s in
+  let b = gb s in
+  (a, b)
+
+let expect_end (s : source) : unit =
+  if remaining s <> 0 then fail "trailing garbage: %d bytes" (remaining s)
+
+(* --- whole-value helpers ------------------------------------------------------ *)
+
+let encode (put : sink -> 'a -> unit) (v : 'a) : string =
+  let s = sink () in
+  put s v;
+  contents s
+
+let decode (get : source -> 'a) (data : string) : 'a =
+  let s = source data in
+  let v = get s in
+  expect_end s;
+  v

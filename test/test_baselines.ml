@@ -1,0 +1,221 @@
+(* Tests for the comparison baselines: CryptDB (det + Paillier), Seabed
+   (ASHE + splayed columns), the pre-computation scheme and the
+   download-everything yardstick — each checked against the plaintext
+   executor and for its characteristic leakage. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Executor = Sagma_db.Executor
+module Drbg = Sagma_crypto.Drbg
+module Det = Sagma_crypto.Deterministic
+module B = Sagma_baselines
+
+let str s = Value.Str s
+let vi i = Value.Int i
+
+let schema : Table.schema =
+  [ { Table.name = "v"; ty = Value.TInt };
+    { Table.name = "g"; ty = Value.TStr };
+    { Table.name = "f"; ty = Value.TInt } ]
+
+let table =
+  let d = Drbg.create "baseline-data" in
+  Table.of_rows schema
+    (List.init 40 (fun _ ->
+         [| vi (Drbg.int_below d 200);
+            str [| "red"; "green"; "blue"; "cyan" |].(Drbg.int_below d 4);
+            vi (Drbg.int_below d 3) |]))
+
+let oracle q =
+  List.map
+    (fun r -> (List.map Value.to_string r.Executor.group, r.Executor.sum, r.Executor.count))
+    (Executor.run table q)
+
+(* --- deterministic encryption -------------------------------------------- *)
+
+let test_det_roundtrip () =
+  let k = Det.gen_key (Drbg.create "det") in
+  List.iter
+    (fun m ->
+      Alcotest.(check (option string)) "roundtrip" (Some m) (Det.decrypt k (Det.encrypt k m)))
+    [ ""; "a"; "hello"; String.make 500 'x' ];
+  Alcotest.(check string) "deterministic" (Det.encrypt k "m") (Det.encrypt k "m");
+  let k2 = Det.gen_key (Drbg.create "det2") in
+  Alcotest.(check bool) "keyed" true (Det.encrypt k "m" <> Det.encrypt k2 "m");
+  Alcotest.(check (option string)) "tamper" None
+    (Det.decrypt k (Det.encrypt k2 "m"))
+
+(* --- ASHE ------------------------------------------------------------------ *)
+
+let test_ashe_roundtrip () =
+  let k = B.Ashe.gen_key (Drbg.create "ashe") in
+  List.iter
+    (fun (id, m) ->
+      Alcotest.(check int) "roundtrip" m (B.Ashe.decrypt k (B.Ashe.encrypt k ~id m)))
+    [ (0, 0); (1, 42); (999, 123456); (7, B.Ashe.modulus - 1) ]
+
+let test_ashe_additive () =
+  let k = B.Ashe.gen_key (Drbg.create "ashe-add") in
+  let c =
+    List.fold_left
+      (fun acc (id, m) -> B.Ashe.add acc (B.Ashe.encrypt k ~id m))
+      B.Ashe.zero
+      [ (0, 10); (1, 20); (2, 30); (3, 40) ]
+  in
+  Alcotest.(check int) "sum" 100 (B.Ashe.decrypt k c);
+  Alcotest.(check int) "ops = ids" 4 (B.Ashe.decryption_operations c)
+
+let test_ashe_hides_values () =
+  let k = B.Ashe.gen_key (Drbg.create "ashe-sec") in
+  (* Same plaintext, different ids → different ciphertext bodies. *)
+  let a = B.Ashe.encrypt k ~id:1 7 and b = B.Ashe.encrypt k ~id:2 7 in
+  Alcotest.(check bool) "id-dependent" true (a.B.Ashe.body <> b.B.Ashe.body)
+
+(* --- CryptDB ----------------------------------------------------------------- *)
+
+let cdb_client =
+  B.Cryptdb.setup ~paillier_bits:256 ~value_columns:[ "v" ] ~group_columns:[ "g"; "f" ]
+    ~filter_columns:[ "f" ] (Drbg.create "cryptdb")
+
+let cdb_enc = B.Cryptdb.encrypt_table cdb_client table
+
+let cdb_results q =
+  List.map
+    (fun r ->
+      (List.map Value.to_string r.B.Cryptdb.group, r.B.Cryptdb.sum, r.B.Cryptdb.count))
+    (B.Cryptdb.query cdb_client cdb_enc q)
+
+let test_cryptdb_matches_oracle () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (list (triple (list string) int int))) (Query.to_sql q) (oracle q)
+        (cdb_results q))
+    [ Query.make ~group_by:[ "g" ] (Query.Sum "v");
+      Query.make ~group_by:[ "g"; "f" ] (Query.Sum "v");
+      Query.make ~group_by:[ "g" ] Query.Count;
+      Query.make ~where:[ ("f", vi 1) ] ~group_by:[ "g" ] (Query.Sum "v") ]
+
+let test_cryptdb_leaks_histogram () =
+  (* The deterministic column exposes the exact plaintext histogram —
+     the leakage-abuse vector SAGMA removes. *)
+  let leaked = B.Cryptdb.leaked_histogram cdb_enc ~column:0 in
+  let plain =
+    List.sort compare
+      (List.map
+         (fun r -> r.Executor.count)
+         (Executor.run table (Query.make ~group_by:[ "g" ] Query.Count)))
+  in
+  Alcotest.(check (list int)) "frequencies leak" plain
+    (List.sort compare (List.map snd leaked))
+
+(* --- Seabed ------------------------------------------------------------------- *)
+
+let test_seabed_matches_oracle () =
+  (* red and green are "common" (splayed); blue/cyan go to the overflow
+     column. *)
+  let c = B.Seabed.setup ~common:[ str "red"; str "green" ] (Drbg.create "seabed") in
+  let enc = B.Seabed.encrypt_table c table ~value_column:"v" ~group_column:"g" in
+  let results, _ops = B.Seabed.query c enc in
+  let got =
+    List.map (fun r -> ([ Value.to_string r.B.Seabed.group ], r.B.Seabed.sum, r.B.Seabed.count)) results
+  in
+  Alcotest.(check (list (triple (list string) int int))) "seabed vs oracle"
+    (oracle (Query.make ~group_by:[ "g" ] (Query.Sum "v")))
+    got
+
+let test_seabed_flattens_common_values () =
+  let c = B.Seabed.setup ~common:[ str "red"; str "green" ] (Drbg.create "seabed-leak") in
+  let enc = B.Seabed.encrypt_table c table ~value_column:"v" ~group_column:"g" in
+  let leaked = B.Seabed.leaked_histogram enc in
+  (* Only uncommon values appear in the det column. *)
+  Alcotest.(check int) "only 2 uncommon tags" 2 (List.length leaked)
+
+let test_seabed_client_cost_grows_with_rows () =
+  let c = B.Seabed.setup ~common:[ str "red" ] (Drbg.create "seabed-cost") in
+  let enc = B.Seabed.encrypt_table c table ~value_column:"v" ~group_column:"g" in
+  let _, ops = B.Seabed.query c enc in
+  (* Every row contributes its id to every decrypted column sum. *)
+  Alcotest.(check bool) (Printf.sprintf "ops %d >= rows" ops) true (ops >= Table.row_count table)
+
+let test_seabed_splay_storage_model () =
+  (* (B+1)^i − 1 columns per combination (§6.2). l=4, t=3, B=2:
+     4·2 + 6·8 + 4·26 = 160. *)
+  Alcotest.(check int) "splay columns" 160 (B.Seabed.splay_columns ~l:4 ~t:3 ~b:2)
+
+(* --- Pre-computed --------------------------------------------------------------- *)
+
+let test_precomputed_lookup () =
+  let c = B.Precomputed.setup (Drbg.create "precomp") in
+  let store =
+    B.Precomputed.precompute c table
+      ~aggregates:[ Query.Sum "v"; Query.Count ]
+      ~group_columns:[ "g"; "f" ] ~threshold:2
+      ~filters:[ [ ("f", vi 0) ]; [ ("f", vi 1) ] ]
+  in
+  let q = Query.make ~group_by:[ "g" ] (Query.Sum "v") in
+  (match B.Precomputed.query c store q with
+   | None -> Alcotest.fail "missing cell"
+   | Some rs ->
+     Alcotest.(check (list (triple (list string) int int))) "lookup" (oracle q)
+       (List.map
+          (fun r -> (List.map Value.to_string r.B.Precomputed.group, r.B.Precomputed.sum, r.B.Precomputed.count))
+          rs));
+  (* A filter that was not materialized is simply unavailable. *)
+  Alcotest.(check bool) "unmaterialized filter" true
+    (B.Precomputed.query c store (Query.make ~where:[ ("f", vi 2) ] ~group_by:[ "g" ] Query.Count)
+     = None);
+  (* Cells: 2 aggregates × 3 combos × 3 filter variants = 18. *)
+  Alcotest.(check int) "cells" 18 (B.Precomputed.storage_cells store)
+
+(* --- Download -------------------------------------------------------------------- *)
+
+let test_download_matches_oracle () =
+  let c = B.Download.setup ~schema (Drbg.create "download") in
+  let enc = B.Download.encrypt_table c table in
+  let q = Query.make ~group_by:[ "g"; "f" ] (Query.Sum "v") in
+  Alcotest.(check (list (triple (list string) int int))) "download vs oracle" (oracle q)
+    (List.map
+       (fun r -> (List.map Value.to_string r.Executor.group, r.Executor.sum, r.Executor.count))
+       (B.Download.query c enc q));
+  Alcotest.(check bool) "bandwidth accounted" true (B.Download.bytes_transferred enc > 0)
+
+let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let props =
+  [ qprop "ashe sum of random rows" 50
+      QCheck.(list_of_size (QCheck.Gen.int_range 0 20) (int_range 0 10000))
+      (fun ms ->
+        let k = B.Ashe.gen_key (Drbg.create "ashe-prop") in
+        let c =
+          List.fold_left
+            (fun (acc, id) m -> (B.Ashe.add acc (B.Ashe.encrypt k ~id m), id + 1))
+            (B.Ashe.zero, 0) ms
+          |> fst
+        in
+        B.Ashe.decrypt k c = List.fold_left ( + ) 0 ms);
+    qprop "det injective on distinct values" 100 QCheck.(pair small_string small_string)
+      (fun (a, b) ->
+        let k = Det.gen_key (Drbg.create "det-prop") in
+        a = b || Det.encrypt k a <> Det.encrypt k b);
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [ ("det", [ Alcotest.test_case "roundtrip" `Quick test_det_roundtrip ]);
+      ( "ashe",
+        [ Alcotest.test_case "roundtrip" `Quick test_ashe_roundtrip;
+          Alcotest.test_case "additive" `Quick test_ashe_additive;
+          Alcotest.test_case "id-dependent pads" `Quick test_ashe_hides_values ] );
+      ( "cryptdb",
+        [ Alcotest.test_case "matches oracle" `Quick test_cryptdb_matches_oracle;
+          Alcotest.test_case "leaks histogram" `Quick test_cryptdb_leaks_histogram ] );
+      ( "seabed",
+        [ Alcotest.test_case "matches oracle" `Quick test_seabed_matches_oracle;
+          Alcotest.test_case "flattens common values" `Quick test_seabed_flattens_common_values;
+          Alcotest.test_case "client cost" `Quick test_seabed_client_cost_grows_with_rows;
+          Alcotest.test_case "splay storage model" `Quick test_seabed_splay_storage_model ] );
+      ("precomputed", [ Alcotest.test_case "lookup" `Quick test_precomputed_lookup ]);
+      ("download", [ Alcotest.test_case "matches oracle" `Quick test_download_matches_oracle ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,270 @@
+(* Tests for the layered constructions: §3.1 initial static shifting,
+   §3.2 statically shifted bucketization, §3.3 dynamic shifting — plus the
+   storage cost models (Table 9/10, Figure 8) and the Table 11 record. *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Drbg = Sagma_crypto.Drbg
+open Sagma
+
+let str s = Value.Str s
+
+(* The paper's running tuples: (1000,male), (5000,female), (1500,female),
+   (3000,male), (2000,male). *)
+let tuples =
+  [ (1000, "male"); (5000, "female"); (1500, "female"); (3000, "male"); (2000, "male") ]
+
+let gender_domain = [ str "male"; str "female" ]
+
+(* --- §3.1 full-domain static shifting --------------------------------------- *)
+
+let test_static_full_domain_figure1 () =
+  (* With the explicit paper mapping (female → block 0, male → block 1),
+     the homomorphic total unpacks to female=6500, male=6000. *)
+  let drbg = Drbg.create "static-3.1" in
+  let c =
+    Static.setup ~paillier_bits:256 ~value_bits:32
+      ~mapping_strategy:(Mapping.Explicit [ str "female"; str "male" ])
+      ~domain:gender_domain drbg
+  in
+  let rows = List.map (fun (v, g) -> Static.Full_domain.enc_row c ~value:v ~group:(str g)) tuples in
+  let agg = Static.Full_domain.aggregate c rows in
+  Alcotest.(check (list (pair string int)))
+    "totals"
+    [ ("female", 6500); ("male", 6000) ]
+    (List.map (fun (g, v) -> (Value.to_string g, v)) (Static.Full_domain.decrypt c agg))
+
+let test_static_full_domain_multi_ct () =
+  (* Domain bigger than one ciphertext's block capacity: 20 values with
+     value_bits sized so a 256-bit Paillier plaintext holds few blocks. *)
+  let drbg = Drbg.create "static-3.1-wide" in
+  let domain = List.init 20 (fun i -> Value.Int i) in
+  let c = Static.setup ~paillier_bits:256 ~value_bits:32 ~domain drbg in
+  Alcotest.(check bool) "several cts per row" true (Static.Full_domain.cts_per_row c > 1);
+  let rows =
+    List.map
+      (fun i -> Static.Full_domain.enc_row c ~value:(100 + i) ~group:(Value.Int (i mod 20)))
+      (List.init 40 (fun i -> i))
+  in
+  let agg = Static.Full_domain.aggregate c rows in
+  let dec = Static.Full_domain.decrypt c agg in
+  (* Every group i got values (100+i) and (100+i+20). *)
+  List.iter
+    (fun (g, total) ->
+      let i = Value.as_int g in
+      Alcotest.(check int) (Printf.sprintf "group %d" i) ((100 + i) + (100 + i + 20)) total)
+    dec
+
+let test_static_empty_aggregate () =
+  let drbg = Drbg.create "static-empty" in
+  let c = Static.setup ~paillier_bits:256 ~domain:gender_domain drbg in
+  let dec = Static.Full_domain.decrypt c (Static.Full_domain.aggregate c []) in
+  List.iter (fun (_, v) -> Alcotest.(check int) "zero" 0 v) dec
+
+(* --- §3.2 bucketized static shifting ----------------------------------------- *)
+
+let test_static_bucketized () =
+  let drbg = Drbg.create "static-3.2" in
+  let domain = List.init 10 (fun i -> Value.Int i) in
+  let cb =
+    Static.Bucketized.setup ~paillier_bits:256 ~value_bits:16 ~bucket_size:4 ~domain drbg
+  in
+  let d = Drbg.create "data-3.2" in
+  let data = List.init 60 (fun _ -> (Drbg.int_below d 1000, Drbg.int_below d 10)) in
+  let rows =
+    List.map (fun (v, g) -> Static.Bucketized.enc_row cb ~value:v ~group:(Value.Int g)) data
+  in
+  let aggs = Static.Bucketized.aggregate cb rows in
+  let dec = Static.Bucketized.decrypt cb aggs in
+  (* Oracle: plain sums per group. *)
+  let expect = Hashtbl.create 10 in
+  List.iter
+    (fun (v, g) -> Hashtbl.replace expect g (v + Option.value (Hashtbl.find_opt expect g) ~default:0))
+    data;
+  List.iter
+    (fun (g, total) ->
+      let g = Value.as_int g in
+      Alcotest.(check int) (Printf.sprintf "group %d" g)
+        (Option.value (Hashtbl.find_opt expect g) ~default:0)
+        total)
+    dec
+
+let test_static_bucketized_leaks_only_bucket () =
+  (* Rows in the same bucket produce the same public tag, others differ. *)
+  let drbg = Drbg.create "static-3.2-leak" in
+  let domain = List.init 4 (fun i -> Value.Int i) in
+  let cb =
+    Static.Bucketized.setup ~paillier_bits:256 ~bucket_size:2
+      ~mapping_strategy:(Mapping.Explicit domain) ~domain drbg
+  in
+  let r0 = Static.Bucketized.enc_row cb ~value:1 ~group:(Value.Int 0) in
+  let r1 = Static.Bucketized.enc_row cb ~value:2 ~group:(Value.Int 1) in
+  let r2 = Static.Bucketized.enc_row cb ~value:3 ~group:(Value.Int 2) in
+  Alcotest.(check int) "same bucket" r0.Static.Bucketized.bucket r1.Static.Bucketized.bucket;
+  Alcotest.(check bool) "different bucket" true
+    (r0.Static.Bucketized.bucket <> r2.Static.Bucketized.bucket)
+
+(* --- §3.3 dynamic shifting (packed strategy) ---------------------------------- *)
+
+let test_dynamic_table3_shifts () =
+  (* Table 3: s(male) = 1, s(female) = 2^value_bits. *)
+  let drbg = Drbg.create "dynamic-3.3" in
+  let c =
+    Dynamic.setup ~bgn_bits:64 ~value_bits:12 ~bucket_size:2
+      ~mapping_strategy:(Mapping.Explicit gender_domain) ~domain:gender_domain drbg
+  in
+  Alcotest.(check string) "s(male)" "1" (Z.to_string (Dynamic.shift_value c (str "male")));
+  Alcotest.(check string) "s(female)" (Z.to_string (Z.shift_left Z.one 12))
+    (Z.to_string (Dynamic.shift_value c (str "female")))
+
+let test_dynamic_aggregation () =
+  let drbg = Drbg.create "dynamic-agg" in
+  let c =
+    Dynamic.setup ~bgn_bits:64 ~value_bits:12 ~channel_bits:8 ~bucket_size:2
+      ~mapping_strategy:(Mapping.Explicit gender_domain) ~domain:gender_domain drbg
+  in
+  (* Scale salaries to fit 12-bit blocks: /10. *)
+  let rows =
+    List.map (fun (v, g) -> Dynamic.enc_row c ~value:(v / 10) ~group:(str g)) tuples
+  in
+  let aggs = Dynamic.aggregate c rows in
+  let dec = Dynamic.decrypt c aggs ~total_rows:(List.length tuples) in
+  Alcotest.(check (list (triple string int int)))
+    "sums and counts"
+    [ ("female", 650, 2); ("male", 600, 3) ]
+    (List.map (fun r -> (Value.to_string r.Dynamic.group, r.Dynamic.sum, r.Dynamic.count)) dec)
+
+let test_dynamic_larger_bucket () =
+  let drbg = Drbg.create "dynamic-b4" in
+  let domain = List.init 8 (fun i -> Value.Int i) in
+  let c =
+    Dynamic.setup ~bgn_bits:64 ~value_bits:10 ~channel_bits:8 ~bucket_size:4 ~domain drbg
+  in
+  let d = Drbg.create "data-b4" in
+  let data = List.init 30 (fun _ -> (Drbg.int_below d 100, Drbg.int_below d 8)) in
+  let rows = List.map (fun (v, g) -> Dynamic.enc_row c ~value:v ~group:(Value.Int g)) data in
+  let dec = Dynamic.decrypt c (Dynamic.aggregate c rows) ~total_rows:30 in
+  let expect_sum = Hashtbl.create 8 and expect_cnt = Hashtbl.create 8 in
+  List.iter
+    (fun (v, g) ->
+      Hashtbl.replace expect_sum g (v + Option.value (Hashtbl.find_opt expect_sum g) ~default:0);
+      Hashtbl.replace expect_cnt g (1 + Option.value (Hashtbl.find_opt expect_cnt g) ~default:0))
+    data;
+  List.iter
+    (fun r ->
+      let g = Value.as_int r.Dynamic.group in
+      Alcotest.(check int) (Printf.sprintf "sum %d" g)
+        (Option.value (Hashtbl.find_opt expect_sum g) ~default:0) r.Dynamic.sum;
+      Alcotest.(check int) (Printf.sprintf "count %d" g)
+        (Option.value (Hashtbl.find_opt expect_cnt g) ~default:0) r.Dynamic.count)
+    dec
+
+(* --- storage models (Tables 9/10, Figure 8) ------------------------------------ *)
+
+let test_table10_paper_point () =
+  (* §6.2 fixes l=4, t=3, k=2, r=1000, n=2; with B=2 and |D|=12 the
+     ordering the paper reports holds — Seabed needs an excessive amount,
+     SAGMA beats pre-computation for t ≥ 3 and |D| ≥ 10. *)
+  let sagma = Storage.sagma_server ~l:4 ~t:3 ~k:2 ~r:1000 ~b:2 in
+  let seabed = Storage.seabed_server ~l:4 ~t:3 ~k:2 ~r:1000 ~b:2 in
+  let pre = Storage.precomputed_server ~l:4 ~t:3 ~k:2 ~n:2 ~d:12 in
+  Alcotest.(check bool) (Printf.sprintf "seabed (%d) worst" seabed) true
+    (seabed > sagma && seabed > pre);
+  Alcotest.(check bool) (Printf.sprintf "sagma (%d) < pre-computed (%d)" sagma pre) true
+    (sagma < pre)
+
+let test_figure8a_crossover () =
+  let rows = Storage.figure8a () in
+  (* SAGMA beats the pre-computed scheme from t = 3 onward. *)
+  List.iter
+    (fun r ->
+      if r.Storage.x >= 3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "t=%d sagma<pre" r.Storage.x)
+          true (r.Storage.sagma < r.Storage.precomputed))
+    rows;
+  (* Monotone growth in t for all three schemes. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "monotone" true
+        (a.Storage.sagma <= b.Storage.sagma && a.Storage.precomputed <= b.Storage.precomputed
+         && a.Storage.seabed <= b.Storage.seabed);
+      mono rest
+    | _ -> ()
+  in
+  mono rows
+
+let test_figure8b_crossover () =
+  let rows = Storage.figure8b () in
+  (* SAGMA's storage is independent of |D|; pre-computed grows and crosses
+     over around |D| = 10. *)
+  let sagma0 = (List.hd rows).Storage.sagma in
+  List.iter (fun r -> Alcotest.(check int) "flat sagma" sagma0 r.Storage.sagma) rows;
+  List.iter
+    (fun r ->
+      if r.Storage.x >= 10 then
+        Alcotest.(check bool)
+          (Printf.sprintf "D=%d sagma<pre" r.Storage.x)
+          true (r.Storage.sagma < r.Storage.precomputed))
+    rows
+
+let test_client_costs () =
+  Alcotest.(check int) "pre-computed client" 1 Storage.precomputed_client;
+  Alcotest.(check int) "sagma client C=|D|^t" (12 * 12 * 12) (Storage.sagma_client ~t:3 ~d:12);
+  Alcotest.(check bool) "seabed client rho*C" true
+    (Storage.seabed_client ~rho:50 ~t:3 ~d:12 = 50 * Storage.sagma_client ~t:3 ~d:12)
+
+let test_monomial_vs_naive_storage () =
+  (* §4.1: reuse reduces the per-row monomial count for every l,t,B. *)
+  List.iter
+    (fun (l, t, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "l=%d t=%d B=%d" l t b)
+        true
+        (Storage.monomial_count ~l ~t ~b <= Storage.monomial_count_naive ~l ~t ~b))
+    [ (2, 2, 2); (3, 3, 2); (4, 3, 3); (5, 4, 4) ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_comparison_table11 () =
+  let r = Comparison.render () in
+  Alcotest.(check bool) "mentions all five schemes" true
+    (List.for_all
+       (fun s -> contains ~needle:s r)
+       [ "Bucketization"; "CryptDB"; "Seabed"; "SAGMA" ]);
+  (* SAGMA is the only row with aggregation + grouping + proof +
+     multi-attribute support. *)
+  let full_rows =
+    List.filter
+      (fun row ->
+        row.Comparison.aggregation && row.Comparison.grouping && row.Comparison.proof
+        && row.Comparison.multiple_attributes)
+      Comparison.rows
+  in
+  Alcotest.(check (list string)) "only SAGMA" [ "SAGMA" ]
+    (List.map (fun r -> r.Comparison.name) full_rows)
+
+let () =
+  Alcotest.run "constructions"
+    [ ( "static-3.1",
+        [ Alcotest.test_case "figure 1 packing" `Quick test_static_full_domain_figure1;
+          Alcotest.test_case "multi-ciphertext domain" `Quick test_static_full_domain_multi_ct;
+          Alcotest.test_case "empty aggregate" `Quick test_static_empty_aggregate ] );
+      ( "static-3.2",
+        [ Alcotest.test_case "bucketized aggregation" `Quick test_static_bucketized;
+          Alcotest.test_case "leaks only bucket" `Quick test_static_bucketized_leaks_only_bucket ] );
+      ( "dynamic-3.3",
+        [ Alcotest.test_case "table 3 shifts" `Quick test_dynamic_table3_shifts;
+          Alcotest.test_case "aggregation" `Quick test_dynamic_aggregation;
+          Alcotest.test_case "bucket size 4" `Slow test_dynamic_larger_bucket ] );
+      ( "storage",
+        [ Alcotest.test_case "table 10 paper point" `Quick test_table10_paper_point;
+          Alcotest.test_case "figure 8a crossover" `Quick test_figure8a_crossover;
+          Alcotest.test_case "figure 8b crossover" `Quick test_figure8b_crossover;
+          Alcotest.test_case "client costs" `Quick test_client_costs;
+          Alcotest.test_case "reuse beats naive" `Quick test_monomial_vs_naive_storage ] );
+      ("comparison", [ Alcotest.test_case "table 11" `Quick test_comparison_table11 ]);
+    ]

@@ -1,0 +1,365 @@
+(* Tests for the relational substrate: tables, CSV, the plaintext
+   executor oracle, TPC-H generation, and the Figure 7 workloads. *)
+
+module Db = Sagma_db
+module Value = Db.Value
+module Table = Db.Table
+module Query = Db.Query
+module Executor = Db.Executor
+module Csv = Db.Csv
+module Tpch = Db.Tpch
+module Workload = Db.Workload
+module Drbg = Sagma_crypto.Drbg
+
+(* The paper's running example (Table 1). *)
+let example_schema : Table.schema =
+  [ { Table.name = "ID"; ty = Value.TInt };
+    { Table.name = "Salary"; ty = Value.TInt };
+    { Table.name = "Gender"; ty = Value.TStr };
+    { Table.name = "Name"; ty = Value.TStr };
+    { Table.name = "Department"; ty = Value.TStr } ]
+
+let example_table =
+  Table.of_rows example_schema
+    [ [| Value.Int 1; Value.Int 1000; Value.Str "male"; Value.Str "Henry"; Value.Str "Sales" |];
+      [| Value.Int 2; Value.Int 5000; Value.Str "female"; Value.Str "Jessica"; Value.Str "Sales" |];
+      [| Value.Int 3; Value.Int 1500; Value.Str "female"; Value.Str "Alice"; Value.Str "Finance" |];
+      [| Value.Int 4; Value.Int 3000; Value.Str "male"; Value.Str "Bob"; Value.Str "Sales" |];
+      [| Value.Int 5; Value.Int 2000; Value.Str "male"; Value.Str "Paul"; Value.Str "Facility" |] ]
+
+let result_to_list rs =
+  List.map (fun r -> (List.map Value.to_string r.Executor.group, r.Executor.sum, r.Executor.count)) rs
+
+(* --- table basics -------------------------------------------------------- *)
+
+let test_table_basics () =
+  Alcotest.(check int) "rows" 5 (Table.row_count example_table);
+  Alcotest.(check int) "salary idx" 1 (Table.column_index example_table "Salary");
+  Alcotest.(check (list string)) "distinct departments"
+    [ "Facility"; "Finance"; "Sales" ]
+    (List.map Value.to_string (Table.distinct example_table "Department"));
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Table.column_index: no column \"Nope\"") (fun () ->
+      ignore (Table.column_index example_table "Nope"))
+
+let test_table_type_checking () =
+  let t = Table.make example_schema in
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Table.insert: type mismatch in column \"Salary\"") (fun () ->
+      ignore
+        (Table.insert t
+           [| Value.Int 9; Value.Str "oops"; Value.Str "male"; Value.Str "X"; Value.Str "Y" |]))
+
+(* --- executor: the paper's Listing 1 and Listing 2 ---------------------- *)
+
+let test_listing1 () =
+  (* SELECT SUM(Salary) WHERE Department = 'Sales' GROUP BY Gender, Department *)
+  let q =
+    Query.make
+      ~where:[ ("Department", Value.Str "Sales") ]
+      ~group_by:[ "Gender"; "Department" ]
+      (Query.Sum "Salary")
+  in
+  Alcotest.(check (list (triple (list string) int int)))
+    "Table 2 result"
+    [ ([ "female"; "Sales" ], 5000, 1); ([ "male"; "Sales" ], 4000, 2) ]
+    (result_to_list (Executor.run example_table q))
+
+let test_listing2 () =
+  (* SELECT SUM(Salary) GROUP BY Gender, Department — Table 7. *)
+  let q = Query.make ~group_by:[ "Gender"; "Department" ] (Query.Sum "Salary") in
+  Alcotest.(check (list (triple (list string) int int)))
+    "Table 7 result"
+    [ ([ "female"; "Finance" ], 1500, 1);
+      ([ "female"; "Sales" ], 5000, 1);
+      ([ "male"; "Facility" ], 2000, 1);
+      ([ "male"; "Sales" ], 4000, 2) ]
+    (result_to_list (Executor.run example_table q))
+
+let test_count_and_avg () =
+  let qc = Query.make ~group_by:[ "Gender" ] Query.Count in
+  Alcotest.(check (list (triple (list string) int int)))
+    "count by gender"
+    [ ([ "female" ], 0, 2); ([ "male" ], 0, 3) ]
+    (result_to_list (Executor.run example_table qc));
+  let qa = Query.make ~group_by:[ "Gender" ] (Query.Avg "Salary") in
+  let results = Executor.run example_table qa in
+  let avgs = List.map (fun r -> Executor.aggregate_value qa r) results in
+  Alcotest.(check (list (float 0.001))) "avg" [ 3250.; 2000. ] avgs
+
+let test_where_empty_result () =
+  let q =
+    Query.make ~where:[ ("Department", Value.Str "Nowhere") ] ~group_by:[ "Gender" ]
+      Query.Count
+  in
+  Alcotest.(check int) "no groups" 0 (List.length (Executor.run example_table q))
+
+let test_multi_where () =
+  let q =
+    Query.make
+      ~where:[ ("Department", Value.Str "Sales"); ("Gender", Value.Str "male") ]
+      ~group_by:[ "Department" ] (Query.Sum "Salary")
+  in
+  Alcotest.(check (list (triple (list string) int int)))
+    "conjunction" [ ([ "Sales" ], 4000, 2) ]
+    (result_to_list (Executor.run example_table q))
+
+let test_query_validation () =
+  Alcotest.check_raises "empty group by" (Invalid_argument "Query.make: empty GROUP BY")
+    (fun () -> ignore (Query.make ~group_by:[] Query.Count));
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Query.make: duplicate grouping attribute") (fun () ->
+      ignore (Query.make ~group_by:[ "a"; "a" ] Query.Count))
+
+let test_to_sql () =
+  let q =
+    Query.make
+      ~where:[ ("Department", Value.Str "Sales") ]
+      ~group_by:[ "Gender"; "Department" ]
+      (Query.Sum "Salary")
+  in
+  Alcotest.(check string) "sql"
+    "SELECT SUM(Salary), Gender, Department FROM t WHERE Department = 'Sales' GROUP BY Gender, Department;"
+    (Query.to_sql q)
+
+(* --- csv ----------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let rendered = Csv.render example_table in
+  let parsed = Csv.parse ~schema:example_schema rendered in
+  Alcotest.(check int) "rows" 5 (Table.row_count parsed);
+  Alcotest.(check string) "stable" rendered (Csv.render parsed)
+
+let test_csv_quoting () =
+  let schema = [ { Table.name = "a"; ty = Value.TStr }; { Table.name = "b"; ty = Value.TInt } ] in
+  let t = Table.of_rows schema [ [| Value.Str "x,y\"z"; Value.Int 7 |] ] in
+  let parsed = Csv.parse ~schema (Csv.render t) in
+  (match Table.rows parsed with
+   | [ [| Value.Str s; Value.Int 7 |] ] -> Alcotest.(check string) "field" "x,y\"z" s
+   | _ -> Alcotest.fail "bad parse")
+
+(* --- tpch ---------------------------------------------------------------- *)
+
+let test_tpch_shape () =
+  let t = Tpch.generate ~rows:500 (Drbg.create "tpch-test") in
+  Alcotest.(check int) "rows" 500 (Table.row_count t);
+  let flags = List.map Value.to_string (Table.distinct t "l_returnflag") in
+  List.iter (fun f -> Alcotest.(check bool) ("flag " ^ f) true (List.mem f [ "A"; "N"; "R" ])) flags;
+  let statuses = List.map Value.to_string (Table.distinct t "l_linestatus") in
+  List.iter (fun s -> Alcotest.(check bool) ("status " ^ s) true (List.mem s [ "O"; "F" ])) statuses;
+  (* Quantities in [1, 50]. *)
+  List.iter
+    (fun row ->
+      let q = Value.as_int row.(Table.column_index t "l_quantity") in
+      Alcotest.(check bool) "quantity range" true (q >= 1 && q <= 50))
+    (Table.rows t)
+
+let test_tpch_deterministic () =
+  let t1 = Tpch.generate ~rows:50 (Drbg.create "seed-x") in
+  let t2 = Tpch.generate ~rows:50 (Drbg.create "seed-x") in
+  Alcotest.(check string) "same seed same table" (Csv.render t1) (Csv.render t2);
+  let t3 = Tpch.generate ~rows:50 (Drbg.create "seed-y") in
+  Alcotest.(check bool) "different seed differs" true (Csv.render t1 <> Csv.render t3)
+
+let test_tpch_queries_run () =
+  let t = Tpch.generate ~rows:200 (Drbg.create "tpch-q") in
+  let r1 = Executor.run t Tpch.query_sum_by_returnflag in
+  Alcotest.(check bool) "some groups" true (List.length r1 >= 2 && List.length r1 <= 3);
+  let r2 = Executor.run t Tpch.query_count_by_flag_status in
+  let total = List.fold_left (fun acc r -> acc + r.Executor.count) 0 r2 in
+  Alcotest.(check int) "counts partition rows" 200 total
+
+(* --- workloads (Figure 7) ------------------------------------------------ *)
+
+let test_workload_figure7_shape () =
+  let d = Drbg.create "workload" in
+  let check_app app spec =
+    let queries = Workload.generate app d 2000 in
+    List.iter
+      (fun (k, lo, hi) ->
+        let share = Workload.share_at_most queries k in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s <=%d attrs in [%g, %g] (got %g)"
+             (Workload.application_name app) k lo hi share)
+          true
+          (share >= lo && share <= hi))
+      spec
+  in
+  (* Paper: Nextcloud 100/100/100, WordPress 97/99/100, Piwik 25/83/95.
+     Allow sampling slack around the reported percentages. *)
+  check_app Workload.Nextcloud [ (1, 100., 100.); (2, 100., 100.); (3, 100., 100.) ];
+  check_app Workload.Wordpress [ (1, 94., 99.5); (2, 97., 100.); (3, 100., 100.) ];
+  check_app Workload.Piwik [ (1, 20., 30.); (2, 78., 88.); (3, 91., 98.) ]
+
+let test_workload_max_attributes () =
+  let d = Drbg.create "workload-max" in
+  Alcotest.(check int) "nextcloud max 1" 1
+    (Workload.max_attributes (Workload.generate Workload.Nextcloud d 500));
+  Alcotest.(check bool) "piwik max 5" true
+    (Workload.max_attributes (Workload.generate Workload.Piwik d 2000) = 5)
+
+let test_nextcloud_count_only () =
+  let d = Drbg.create "workload-agg" in
+  let queries = Workload.generate Workload.Nextcloud d 300 in
+  List.iter
+    (fun q ->
+      match q.Query.aggregate with
+      | Query.Count -> ()
+      | _ -> Alcotest.fail "Nextcloud uses COUNT exclusively (paper §6.1)")
+    queries
+
+(* --- SQL parser ----------------------------------------------------------- *)
+
+module Sql = Db.Sql
+
+let test_sql_basic () =
+  let stmt =
+    Sql.parse "SELECT SUM(Salary), Gender, Department FROM Example WHERE Department = 'Sales' GROUP BY Gender, Department;"
+  in
+  Alcotest.(check string) "table" "Example" stmt.Sql.table;
+  let q = stmt.Sql.query in
+  Alcotest.(check (list string)) "group by" [ "Gender"; "Department" ] q.Query.group_by;
+  Alcotest.(check bool) "aggregate" true (q.Query.aggregate = Query.Sum "Salary");
+  Alcotest.(check bool) "where" true (q.Query.where = [ ("Department", Value.Str "Sales") ])
+
+let test_sql_roundtrip_with_to_sql () =
+  (* Query.to_sql output parses back to the same query. *)
+  List.iter
+    (fun q ->
+      let q' = Sql.parse_query (Query.to_sql q) in
+      Alcotest.(check string) "roundtrip" (Query.to_sql q) (Query.to_sql q'))
+    [ Query.make ~group_by:[ "g" ] Query.Count;
+      Query.make ~group_by:[ "a"; "b" ] (Query.Avg "v");
+      Query.make ~where:[ ("f", Value.Str "x''y") ] ~group_by:[ "g" ] (Query.Sum "v");
+      Query.make ~ranges:[ ("t", 3, 9) ] ~group_by:[ "g" ] (Query.Sum "v") ]
+
+let test_sql_count_and_case () =
+  let q = Sql.parse_query "select count(*) from t group by g" in
+  Alcotest.(check bool) "count" true (q.Query.aggregate = Query.Count);
+  let q2 = Sql.parse_query "SELECT COUNT(*) FROM t GROUP BY g;" in
+  Alcotest.(check bool) "case-insensitive" true (q2.Query.aggregate = Query.Count)
+
+let test_sql_between () =
+  let q =
+    Sql.parse_query
+      "SELECT SUM(v) FROM t WHERE g = 'x' AND n BETWEEN 10 AND 20 AND m BETWEEN 1 AND 2 GROUP BY g"
+  in
+  Alcotest.(check bool) "eq clause" true (q.Query.where = [ ("g", Value.Str "x") ]);
+  Alcotest.(check bool) "ranges" true (q.Query.ranges = [ ("n", 10, 20); ("m", 1, 2) ])
+
+let test_sql_int_literal_and_quotes () =
+  let q = Sql.parse_query "SELECT SUM(v) FROM t WHERE f = 42 GROUP BY g" in
+  Alcotest.(check bool) "int literal" true (q.Query.where = [ ("f", Value.Int 42) ]);
+  let q2 = Sql.parse_query "SELECT SUM(v) FROM t WHERE f = 'it''s' GROUP BY g" in
+  Alcotest.(check bool) "escaped quote" true (q2.Query.where = [ ("f", Value.Str "it's") ])
+
+let test_sql_errors () =
+  let expect_error input =
+    Alcotest.(check bool) input true
+      (try
+         ignore (Sql.parse input);
+         false
+       with Sql.Parse_error _ -> true)
+  in
+  List.iter expect_error
+    [ "SELECT SUM(v) FROM t";                               (* no GROUP BY *)
+      "SELECT MAX(v) FROM t GROUP BY g";                    (* unsupported agg *)
+      "SELECT SUM(v), x FROM t GROUP BY g";                 (* select/group mismatch *)
+      "SELECT SUM(v) FROM t WHERE f GROUP BY g";            (* bad clause *)
+      "SELECT SUM(v) FROM t GROUP BY g extra";              (* trailing *)
+      "SELECT SUM(v) FROM t WHERE f = 'unterminated GROUP BY g" ]
+
+let test_executor_ranges () =
+  let q = Query.make ~ranges:[ ("v", 1000, 2000) ] ~group_by:[ "Gender" ] Query.Count in
+  (* Values 1000, 1500, 2000 fall inside; 3000, 5000 outside. *)
+  let q = { q with Query.ranges = [ ("Salary", 1000, 2000) ] } in
+  Alcotest.(check (list (triple (list string) int int)))
+    "between filter"
+    [ ([ "female" ], 0, 1); ([ "male" ], 0, 2) ]
+    (result_to_list (Executor.run example_table q))
+
+let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+(* Random small tables for executor properties. *)
+let random_table_gen =
+  QCheck.make
+    ~print:(fun rows -> string_of_int (List.length rows))
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (triple (int_range 0 500) (int_range 0 2) (int_range 0 3)))
+
+let mini_schema : Table.schema =
+  [ { Table.name = "v"; ty = Value.TInt };
+    { Table.name = "g1"; ty = Value.TInt };
+    { Table.name = "g2"; ty = Value.TInt } ]
+
+let mk_table rows =
+  Table.of_rows mini_schema
+    (List.map (fun (v, g1, g2) -> [| Value.Int v; Value.Int g1; Value.Int g2 |]) rows)
+
+let props =
+  [ qprop "group sums total to table sum" 100 random_table_gen
+      (fun rows ->
+        let t = mk_table rows in
+        let q = Query.make ~group_by:[ "g1" ] (Query.Sum "v") in
+        let results = Executor.run t q in
+        let total = List.fold_left (fun acc r -> acc + r.Executor.sum) 0 results in
+        total = List.fold_left (fun acc (v, _, _) -> acc + v) 0 rows);
+    qprop "group counts partition rows" 100 random_table_gen
+      (fun rows ->
+        let t = mk_table rows in
+        let q = Query.make ~group_by:[ "g1"; "g2" ] Query.Count in
+        let results = Executor.run t q in
+        List.fold_left (fun acc r -> acc + r.Executor.count) 0 results = List.length rows);
+    qprop "where filters are a restriction" 100 random_table_gen
+      (fun rows ->
+        let t = mk_table rows in
+        let q = Query.make ~where:[ ("g2", Value.Int 0) ] ~group_by:[ "g1" ] Query.Count in
+        let filtered = Executor.run t q in
+        let all = Executor.run t (Query.make ~group_by:[ "g1" ] Query.Count) in
+        List.for_all
+          (fun r ->
+            match List.find_opt (fun a -> a.Executor.group = r.Executor.group) all with
+            | None -> false
+            | Some a -> r.Executor.count <= a.Executor.count)
+          filtered);
+    qprop "csv roundtrip preserves table" 50 random_table_gen
+      (fun rows ->
+        let t = mk_table rows in
+        Csv.render (Csv.parse ~schema:mini_schema (Csv.render t)) = Csv.render t);
+  ]
+
+let () =
+  Alcotest.run "db"
+    [ ( "table",
+        [ Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "type checking" `Quick test_table_type_checking ] );
+      ( "executor",
+        [ Alcotest.test_case "listing 1 (Table 2)" `Quick test_listing1;
+          Alcotest.test_case "listing 2 (Table 7)" `Quick test_listing2;
+          Alcotest.test_case "count and avg" `Quick test_count_and_avg;
+          Alcotest.test_case "where empty" `Quick test_where_empty_result;
+          Alcotest.test_case "multi where" `Quick test_multi_where;
+          Alcotest.test_case "query validation" `Quick test_query_validation;
+          Alcotest.test_case "to_sql" `Quick test_to_sql ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting ] );
+      ( "tpch",
+        [ Alcotest.test_case "shape" `Quick test_tpch_shape;
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+          Alcotest.test_case "queries run" `Quick test_tpch_queries_run ] );
+      ( "sql",
+        [ Alcotest.test_case "basic" `Quick test_sql_basic;
+          Alcotest.test_case "to_sql roundtrip" `Quick test_sql_roundtrip_with_to_sql;
+          Alcotest.test_case "count + case" `Quick test_sql_count_and_case;
+          Alcotest.test_case "between" `Quick test_sql_between;
+          Alcotest.test_case "literals" `Quick test_sql_int_literal_and_quotes;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+          Alcotest.test_case "executor ranges" `Quick test_executor_ranges ] );
+      ( "workload",
+        [ Alcotest.test_case "figure 7 shape" `Quick test_workload_figure7_shape;
+          Alcotest.test_case "max attributes" `Quick test_workload_max_attributes;
+          Alcotest.test_case "nextcloud count-only" `Quick test_nextcloud_count_only ] );
+      ("properties", props);
+    ]

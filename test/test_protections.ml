@@ -1,0 +1,392 @@
+(* Tests for SAGMA's building blocks: bucket mappings, shift polynomials,
+   monomial management, and the §5 protection mechanisms (exposure,
+   optimal partitioning, dummy rows, value splits). *)
+
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Drbg = Sagma_crypto.Drbg
+open Sagma
+
+let n = Z.of_string "604462909807314587353111" (* random-ish 79-bit prime *)
+
+let str s = Value.Str s
+let vi i = Value.Int i
+
+(* --- mapping -------------------------------------------------------------- *)
+
+let domain5 = [ str "a"; str "b"; str "c"; str "d"; str "e" ]
+
+let test_mapping_permutation () =
+  let m = Mapping.make Mapping.Prf_random "key-1" domain5 ~bucket_size:2 in
+  (* Injective onto 0..4. *)
+  let idxs = List.sort compare (List.map (Mapping.index m) domain5) in
+  Alcotest.(check (list int)) "bijection" [ 0; 1; 2; 3; 4 ] idxs;
+  (* Deterministic per key, different across keys. *)
+  let m' = Mapping.make Mapping.Prf_random "key-1" domain5 ~bucket_size:2 in
+  List.iter
+    (fun v -> Alcotest.(check int) "stable" (Mapping.index m v) (Mapping.index m' v))
+    domain5;
+  let m2 = Mapping.make Mapping.Prf_random "key-2" domain5 ~bucket_size:2 in
+  Alcotest.(check bool) "keyed" true
+    (List.exists (fun v -> Mapping.index m v <> Mapping.index m2 v) domain5)
+
+let test_mapping_buckets () =
+  let m = Mapping.make (Mapping.Explicit domain5) "k" domain5 ~bucket_size:2 in
+  Alcotest.(check int) "num buckets" 3 (Mapping.num_buckets m);
+  Alcotest.(check int) "bucket a" 0 (Mapping.bucket m (str "a"));
+  Alcotest.(check int) "offset b" 1 (Mapping.offset m (str "b"));
+  Alcotest.(check int) "bucket e" 2 (Mapping.bucket m (str "e"));
+  Alcotest.(check int) "offset e" 0 (Mapping.offset m (str "e"));
+  (* Inverse lookups, including the uninhabited slot of the partial
+     last bucket. *)
+  Alcotest.(check bool) "value_at" true
+    (Mapping.value_at m ~bucket:1 ~offset:0 = Some (str "c"));
+  Alcotest.(check bool) "empty slot" true (Mapping.value_at m ~bucket:2 ~offset:1 = None);
+  Alcotest.(check (list string)) "bucket members" [ "c"; "d" ]
+    (List.map Value.to_string (Mapping.bucket_members m 1))
+
+let test_mapping_out_of_domain () =
+  let m = Mapping.make (Mapping.Explicit domain5) "k" domain5 ~bucket_size:2 in
+  Alcotest.(check bool) "mem" true (Mapping.mem m (str "a"));
+  Alcotest.(check bool) "not mem" false (Mapping.mem m (str "zz"));
+  Alcotest.check_raises "index raises"
+    (Invalid_argument "Mapping.index: value \"zz\" outside setup domain") (fun () ->
+      ignore (Mapping.index m (str "zz")))
+
+let test_mapping_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Mapping.of_order: duplicate domain value")
+    (fun () -> ignore (Mapping.of_order [ str "a"; str "a" ] ~bucket_size:2))
+
+(* --- polynomials ----------------------------------------------------------- *)
+
+let test_indicator_delta () =
+  for b = 1 to 7 do
+    for j = 0 to b - 1 do
+      let coeffs = Polynomial.indicator ~n ~bucket_size:b j in
+      Alcotest.(check int) "degree" b (Array.length coeffs);
+      for x = 0 to b - 1 do
+        let v = Polynomial.eval ~n coeffs x in
+        let expected = if x = j then Z.one else Z.zero in
+        Alcotest.(check string) (Printf.sprintf "I_%d(%d) B=%d" j x b)
+          (Z.to_string expected) (Z.to_string v)
+      done
+    done
+  done
+
+let test_interpolate () =
+  let targets = Array.map Z.of_int [| 7; 11; 13; 17 |] in
+  let coeffs = Polynomial.interpolate ~n targets in
+  Array.iteri
+    (fun x want ->
+      Alcotest.(check string) (Printf.sprintf "P(%d)" x) (Z.to_string want)
+        (Z.to_string (Polynomial.eval ~n coeffs x)))
+    targets
+
+let test_packed_shift () =
+  let coeffs = Polynomial.packed_shift ~n ~bucket_size:3 ~value_bits:8 in
+  List.iteri
+    (fun x want ->
+      Alcotest.(check string) (Printf.sprintf "2^(8*%d)" x) (string_of_int want)
+        (Z.to_string (Polynomial.eval ~n coeffs x)))
+    [ 1; 256; 65536 ]
+
+let test_multivariate_indicator () =
+  let b = 3 in
+  List.iter
+    (fun j ->
+      let terms = Polynomial.multivariate_indicator ~n ~bucket_size:b j in
+      for x1 = 0 to b - 1 do
+        for x2 = 0 to b - 1 do
+          let v = Polynomial.eval_terms ~n terms [| x1; x2 |] in
+          let expected = if [| x1; x2 |] = j then Z.one else Z.zero in
+          Alcotest.(check string)
+            (Printf.sprintf "I_%d%d(%d,%d)" j.(0) j.(1) x1 x2)
+            (Z.to_string expected) (Z.to_string v)
+        done
+      done)
+    [ [| 0; 0 |]; [| 1; 2 |]; [| 2; 2 |] ]
+
+let test_multivariate_term_count () =
+  (* At most B^q terms (the full monomial basis over the query). *)
+  let terms = Polynomial.multivariate_indicator ~n ~bucket_size:4 [| 1; 3 |] in
+  Alcotest.(check bool) "bounded" true (List.length terms <= 16)
+
+(* --- monomials ------------------------------------------------------------- *)
+
+let test_monomial_count_formula_vs_enumeration () =
+  List.iter
+    (fun (l, t, b) ->
+      let m = Monomials.make ~num_columns:l ~bucket_size:b ~threshold:t in
+      Alcotest.(check int)
+        (Printf.sprintf "m(l=%d,t=%d,B=%d)" l t b)
+        (Monomials.count_formula ~num_columns:l ~bucket_size:b ~threshold:t)
+        (Monomials.count m))
+    [ (1, 1, 2); (2, 1, 3); (3, 2, 2); (3, 3, 2); (4, 3, 3); (5, 2, 4); (4, 4, 2) ]
+
+let test_monomial_figure2_example () =
+  (* §3.4: three attributes, B = 2 — improved needs 7, naïve 19. *)
+  Alcotest.(check int) "improved" 7
+    (Monomials.count_formula ~num_columns:3 ~bucket_size:2 ~threshold:3);
+  Alcotest.(check int) "naive" 19
+    (Monomials.count_naive ~num_columns:3 ~bucket_size:2 ~threshold:3)
+
+let test_monomial_table9_increments () =
+  (* Table 9 row t: m(l,t) − m(l,t−1) = C(l,t)·(B−1)^t. *)
+  List.iter
+    (fun (l, b) ->
+      for t = 1 to l do
+        let inc =
+          Monomials.count_formula ~num_columns:l ~bucket_size:b ~threshold:t
+          - (if t = 1 then 0
+             else Monomials.count_formula ~num_columns:l ~bucket_size:b ~threshold:(t - 1))
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "increment l=%d t=%d B=%d" l t b)
+          (Storage.monomial_increment ~l ~t ~b)
+          inc
+      done)
+    [ (3, 2); (4, 3); (5, 2) ]
+
+let test_monomial_positions () =
+  let m = Monomials.make ~num_columns:3 ~bucket_size:3 ~threshold:2 in
+  (* Every enumerated vector is found at its own position. *)
+  Array.iteri
+    (fun i e -> Alcotest.(check int) "roundtrip" i (Monomials.position m e))
+    m.Monomials.vectors;
+  (* Vectors over threshold are rejected. *)
+  Alcotest.check_raises "over threshold"
+    (Invalid_argument "Monomials.position: unsupported exponent vector 1,1,1") (fun () ->
+      ignore (Monomials.position m [| 1; 1; 1 |]))
+
+let test_monomial_eval () =
+  Alcotest.(check string) "x^2*y" "12"
+    (Z.to_string (Monomials.eval_monomial [| 2; 1 |] [| 2; 3 |]));
+  Alcotest.(check string) "empty exponents" "1"
+    (Z.to_string (Monomials.eval_monomial [| 0; 0 |] [| 5; 7 |]))
+
+let test_lift_exponents () =
+  let m = Monomials.make ~num_columns:4 ~bucket_size:3 ~threshold:2 in
+  let full = Monomials.lift_exponents m ~query_columns:[| 2; 0 |] [| 1; 2 |] in
+  Alcotest.(check (array int)) "lift" [| 2; 0; 1; 0 |] full
+
+(* --- bucketing / §5 -------------------------------------------------------- *)
+
+let test_exposure_section5_example () =
+  (* §5: values with frequencies 1, 2, 3 and B = 2. Putting {g1,g3}
+     together gives unique bucket frequencies (4, 2) — full exposure of
+     bucket membership. Putting {g1,g2} together gives (3, 3) —
+     halved. *)
+  let hist = [ (str "g1", 1); (str "g2", 2); (str "g3", 3) ] in
+  let bad = Mapping.of_order [ str "g1"; str "g3"; str "g2" ] ~bucket_size:2 in
+  let good = Mapping.of_order [ str "g1"; str "g2"; str "g3" ] ~bucket_size:2 in
+  let e_bad = Bucketing.exposure bad hist in
+  let e_good = Bucketing.exposure good hist in
+  Alcotest.(check bool) (Printf.sprintf "good %g < bad %g" e_good e_bad) true (e_good < e_bad)
+
+let test_exposure_bounds () =
+  let hist = [ (str "a", 5); (str "b", 5); (str "c", 5); (str "d", 5) ] in
+  let m = Mapping.of_order [ str "a"; str "b"; str "c"; str "d" ] ~bucket_size:2 in
+  let e = Bucketing.exposure m hist in
+  (* Two buckets with equal frequency, two members each: 1/(2*2). *)
+  Alcotest.(check (float 0.0001)) "uniform case" 0.25 e;
+  (* Degenerate: single bucket holding everything. *)
+  let m1 = Mapping.of_order [ str "a"; str "b"; str "c"; str "d" ] ~bucket_size:4 in
+  Alcotest.(check (float 0.0001)) "single bucket" 0.25 (Bucketing.exposure m1 hist)
+
+let test_optimal_mapping_small () =
+  let hist = [ (str "g1", 1); (str "g2", 2); (str "g3", 3) ] in
+  let m = Bucketing.optimal_mapping hist ~bucket_size:2 in
+  (* The optimum pairs g1 with g2 (freq 3+3); exposure 1/2 weighted…
+     anything strictly better than the unique-frequency partition. *)
+  let freqs = Bucketing.bucket_frequencies m hist in
+  Array.sort compare freqs;
+  Alcotest.(check (array int)) "balanced buckets" [| 3; 3 |] freqs
+
+let test_optimal_mapping_undistinguishable_case () =
+  (* §5: frequencies 1, 2, 4 — all partitions distinguishable; the search
+     must still terminate and return some valid mapping. *)
+  let hist = [ (str "x", 1); (str "y", 2); (str "z", 4) ] in
+  let m = Bucketing.optimal_mapping hist ~bucket_size:2 in
+  Alcotest.(check int) "valid" 2 (Mapping.num_buckets m);
+  List.iter (fun (v, _) -> Alcotest.(check bool) "covers" true (Mapping.mem m v)) hist
+
+let test_dummy_plan_equalizes () =
+  let hist = [ (str "a", 10); (str "b", 2); (str "c", 7); (str "d", 1) ] in
+  let m = Mapping.of_order [ str "a"; str "b"; str "c"; str "d" ] ~bucket_size:2 in
+  let plan = Bucketing.dummy_plan_for_column m hist in
+  (* Apply the plan to the histogram and recheck bucket frequencies. *)
+  let padded = hist @ plan in
+  let freqs = Bucketing.bucket_frequencies m padded in
+  Alcotest.(check (array int)) "equalized" [| 12; 12 |] freqs;
+  (* Already-equal buckets need no dummies. *)
+  let even = [ (str "a", 3); (str "b", 3); (str "c", 3); (str "d", 3) ] in
+  Alcotest.(check int) "no dummies" 0 (List.length (Bucketing.dummy_plan_for_column m even))
+
+let test_dummy_rows_arity () =
+  let m1 = Mapping.of_order [ str "a"; str "b" ] ~bucket_size:1 in
+  let m2 = Mapping.of_order [ vi 1; vi 2 ] ~bucket_size:1 in
+  let h1 = [ (str "a", 3); (str "b", 1) ] in
+  let h2 = [ (vi 1, 2); (vi 2, 2) ] in
+  let rows = Bucketing.dummy_rows [| m1; m2 |] [| h1; h2 |] in
+  (* Column 1 needs 2 dummies, column 2 none → 2 rows of full arity. *)
+  Alcotest.(check int) "count" 2 (List.length rows);
+  List.iter (fun r -> Alcotest.(check int) "arity" 2 (Array.length r)) rows
+
+let test_split_column () =
+  let schema = [ { Table.name = "g"; ty = Value.TStr }; { Table.name = "v"; ty = Value.TInt } ] in
+  let t =
+    Table.of_rows schema
+      (List.init 6 (fun i -> [| str "hot"; vi i |]) @ [ [| str "cold"; vi 100 |] ])
+  in
+  let t' = Bucketing.split_column t ~column:"g" ~value:(str "hot") ~parts:2 in
+  let hist = Bucketing.histogram t' "g" in
+  Alcotest.(check (list (pair string int))) "split histogram"
+    [ ("cold", 1); ("hot.1", 3); ("hot.2", 3) ]
+    (List.map (fun (v, c) -> (Value.to_string v, c)) hist);
+  (* Totals preserved. *)
+  Alcotest.(check int) "rows preserved" 7 (Table.row_count t')
+
+let test_split_domain () =
+  let d = Bucketing.split_domain [ str "x"; str "y" ] ~value:(str "x") ~parts:3 in
+  Alcotest.(check (list string)) "domain" [ "x.1"; "x.2"; "x.3"; "y" ]
+    (List.map Value.to_string d)
+
+let test_split_rejects_int () =
+  Alcotest.check_raises "int split"
+    (Invalid_argument "Bucketing.split_domain: only string values are splittable") (fun () ->
+      ignore (Bucketing.split_domain [ vi 1 ] ~value:(vi 1) ~parts:2))
+
+let test_histogram () =
+  let schema = [ { Table.name = "g"; ty = Value.TStr } ] in
+  let t = Table.of_rows schema [ [| str "a" |]; [| str "b" |]; [| str "a" |] ] in
+  Alcotest.(check (list (pair string int))) "histogram" [ ("a", 2); ("b", 1) ]
+    (List.map (fun (v, c) -> (Value.to_string v, c)) (Bucketing.histogram t "g"))
+
+(* --- naive multi-attribute scheme (Table 4) -------------------------------- *)
+
+let test_naive_subsets () =
+  let subs = Naive_multi.subsets ~l:3 ~t:2 in
+  Alcotest.(check int) "count" 6 (List.length subs)
+
+let test_naive_monomial_cost () =
+  Alcotest.(check int) "naive l=3 t=3 B=2" 19 (Naive_multi.monomials_per_row ~l:3 ~t:3 ~b:2);
+  Alcotest.(check bool) "reuse wins" true
+    (Monomials.count_formula ~num_columns:3 ~bucket_size:2 ~threshold:3
+     < Naive_multi.monomials_per_row ~l:3 ~t:3 ~b:2)
+
+let test_naive_table4_leakage () =
+  (* Two rows share both individual buckets but can split under a
+     combined attribute with bucket size B (instead of B²). *)
+  let gender = [ str "male"; str "female" ] in
+  let dept = [ str "Sales"; str "Finance" ] in
+  let m_g = Mapping.of_order gender ~bucket_size:2 in
+  let m_d = Mapping.of_order dept ~bucket_size:2 in
+  (* Combined domain in an order that separates the two rows' pairs. *)
+  let pair g d = Value.Str (Value.encode (str g) ^ "|" ^ Value.encode (str d)) in
+  let combined_domain =
+    [ pair "male" "Sales"; pair "male" "Finance"; pair "female" "Sales"; pair "female" "Finance" ]
+  in
+  let m_c = Mapping.of_order combined_domain ~bucket_size:2 in
+  let row1 = Naive_multi.buckets_of_row [| m_g; m_d |] m_c [| str "male"; str "Sales" |] in
+  let row2 = Naive_multi.buckets_of_row [| m_g; m_d |] m_c [| str "female"; str "Finance" |] in
+  Alcotest.(check bool) "Table 4 leak" true (Naive_multi.distinguishable row1 row2);
+  (* With the safe combined bucket size B² = 4 the leak disappears. *)
+  Alcotest.(check int) "safe size" 4 (Naive_multi.safe_combined_bucket_size ~b:2 ~arity:2);
+  let m_c4 = Mapping.of_order combined_domain ~bucket_size:4 in
+  let row1' = Naive_multi.buckets_of_row [| m_g; m_d |] m_c4 [| str "male"; str "Sales" |] in
+  let row2' = Naive_multi.buckets_of_row [| m_g; m_d |] m_c4 [| str "female"; str "Finance" |] in
+  Alcotest.(check bool) "no leak at B^2" false (Naive_multi.distinguishable row1' row2')
+
+let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let props =
+  [ qprop "indicator sums to one over grid" 30 QCheck.(int_range 1 7)
+      (fun b ->
+        (* Σ_j I_j(x) = 1 for every x — partition of unity. *)
+        let ok = ref true in
+        for x = 0 to b - 1 do
+          let total =
+            List.fold_left
+              (fun acc j ->
+                Z.addm acc (Polynomial.eval ~n (Polynomial.indicator ~n ~bucket_size:b j) x) n)
+              Z.zero
+              (List.init b (fun j -> j))
+          in
+          if not (Z.equal total Z.one) then ok := false
+        done;
+        !ok);
+    qprop "mapping roundtrip" 50
+      QCheck.(pair (int_range 1 20) (int_range 1 6))
+      (fun (nv, b) ->
+        let domain = List.init nv (fun i -> vi i) in
+        let m = Mapping.make Mapping.Prf_random "prop-key" domain ~bucket_size:b in
+        List.for_all
+          (fun v ->
+            Mapping.value_at m ~bucket:(Mapping.bucket m v) ~offset:(Mapping.offset m v)
+            = Some v)
+          domain);
+    qprop "optimal mapping never worse than prf" 40
+      QCheck.(list_of_size (QCheck.Gen.int_range 2 6) (int_range 1 30))
+      (fun freqs ->
+        let hist = List.mapi (fun i f -> (vi i, f)) freqs in
+        let domain = List.map fst hist in
+        let opt = Bucketing.optimal_mapping ~max_domain:6 hist ~bucket_size:2 in
+        let prf = Mapping.make Mapping.Prf_random "prop-prf" domain ~bucket_size:2 in
+        Bucketing.exposure opt hist <= Bucketing.exposure prf hist +. 1e-9);
+    qprop "exposure within (0, 1]" 60
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 1 20))
+      (fun freqs ->
+        let hist = List.mapi (fun i f -> (vi i, f)) freqs in
+        let m = Mapping.make Mapping.Prf_random "prop-exp" (List.map fst hist) ~bucket_size:3 in
+        let e = Bucketing.exposure m hist in
+        e > 0. && e <= 1.0 +. 1e-9);
+    qprop "dummy plan never over-pads" 50
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 20))
+      (fun freqs ->
+        let hist = List.mapi (fun i f -> (vi i, f)) freqs in
+        let m = Mapping.make Mapping.Prf_random "k" (List.map fst hist) ~bucket_size:2 in
+        let plan = Bucketing.dummy_plan_for_column m hist in
+        let padded = Bucketing.bucket_frequencies m (hist @ plan) in
+        let maxf = Array.fold_left max 0 (Bucketing.bucket_frequencies m hist) in
+        Array.for_all (fun f -> f = maxf) padded);
+  ]
+
+let () =
+  Alcotest.run "protections"
+    [ ( "mapping",
+        [ Alcotest.test_case "permutation" `Quick test_mapping_permutation;
+          Alcotest.test_case "buckets" `Quick test_mapping_buckets;
+          Alcotest.test_case "out of domain" `Quick test_mapping_out_of_domain;
+          Alcotest.test_case "duplicate rejected" `Quick test_mapping_duplicate_rejected ] );
+      ( "polynomial",
+        [ Alcotest.test_case "indicator delta" `Quick test_indicator_delta;
+          Alcotest.test_case "interpolate" `Quick test_interpolate;
+          Alcotest.test_case "packed shift" `Quick test_packed_shift;
+          Alcotest.test_case "multivariate indicator" `Quick test_multivariate_indicator;
+          Alcotest.test_case "term count" `Quick test_multivariate_term_count ] );
+      ( "monomials",
+        [ Alcotest.test_case "formula vs enumeration" `Quick test_monomial_count_formula_vs_enumeration;
+          Alcotest.test_case "figure 2 example" `Quick test_monomial_figure2_example;
+          Alcotest.test_case "table 9 increments" `Quick test_monomial_table9_increments;
+          Alcotest.test_case "positions" `Quick test_monomial_positions;
+          Alcotest.test_case "eval" `Quick test_monomial_eval;
+          Alcotest.test_case "lift" `Quick test_lift_exponents ] );
+      ( "bucketing",
+        [ Alcotest.test_case "§5 exposure example" `Quick test_exposure_section5_example;
+          Alcotest.test_case "exposure bounds" `Quick test_exposure_bounds;
+          Alcotest.test_case "optimal mapping" `Quick test_optimal_mapping_small;
+          Alcotest.test_case "optimal (all distinguishable)" `Quick
+            test_optimal_mapping_undistinguishable_case;
+          Alcotest.test_case "dummy plan equalizes" `Quick test_dummy_plan_equalizes;
+          Alcotest.test_case "dummy rows arity" `Quick test_dummy_rows_arity;
+          Alcotest.test_case "split column" `Quick test_split_column;
+          Alcotest.test_case "split domain" `Quick test_split_domain;
+          Alcotest.test_case "split rejects int" `Quick test_split_rejects_int;
+          Alcotest.test_case "histogram" `Quick test_histogram ] );
+      ( "naive-multi",
+        [ Alcotest.test_case "subsets" `Quick test_naive_subsets;
+          Alcotest.test_case "monomial cost" `Quick test_naive_monomial_cost;
+          Alcotest.test_case "table 4 leakage" `Quick test_naive_table4_leakage ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,248 @@
+(* Tests for the serialization layer and the client/server protocol:
+   codec roundtrips (including qcheck on the wire primitives), the
+   key-free server handler, full client/server exchanges over a real
+   socket pair, and client-state persistence. *)
+
+module W = Sagma_wire.Wire
+module Z = Sagma_bigint.Bigint
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module P = Sagma_protocol.Protocol
+module Server = Sagma_protocol.Server
+module Transport = Sagma_protocol.Transport
+open Sagma
+
+let str s = Value.Str s
+let vi i = Value.Int i
+
+(* --- wire primitives -------------------------------------------------------- *)
+
+let test_wire_primitives () =
+  let s = W.sink () in
+  W.put_u8 s 255;
+  W.put_u32 s 123456;
+  W.put_int s (-42);
+  W.put_int s max_int;
+  W.put_bool s true;
+  W.put_bytes s "hello\x00world";
+  W.put_list s (fun s v -> W.put_int s v) [ 1; 2; 3 ];
+  W.put_option s (fun s v -> W.put_bytes s v) (Some "x");
+  W.put_option s (fun s v -> W.put_bytes s v) None;
+  let src = W.source (W.contents s) in
+  Alcotest.(check int) "u8" 255 (W.get_u8 src);
+  Alcotest.(check int) "u32" 123456 (W.get_u32 src);
+  Alcotest.(check int) "neg int" (-42) (W.get_int src);
+  Alcotest.(check int) "max int" max_int (W.get_int src);
+  Alcotest.(check bool) "bool" true (W.get_bool src);
+  Alcotest.(check string) "bytes" "hello\x00world" (W.get_bytes src);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (W.get_list src W.get_int);
+  Alcotest.(check (option string)) "some" (Some "x") (W.get_option src W.get_bytes);
+  Alcotest.(check (option string)) "none" None (W.get_option src W.get_bytes);
+  W.expect_end src
+
+let test_wire_errors () =
+  Alcotest.check_raises "truncated" (W.Decode_error "truncated input: need 4 bytes, have 0")
+    (fun () -> ignore (W.get_u32 (W.source "")));
+  Alcotest.check_raises "trailing" (W.Decode_error "trailing garbage: 1 bytes") (fun () ->
+      ignore (W.decode W.get_u8 "ab"))
+
+(* --- scheme-level roundtrips -------------------------------------------------- *)
+
+let schema : Table.schema =
+  [ { Table.name = "v"; ty = Value.TInt };
+    { Table.name = "g"; ty = Value.TStr };
+    { Table.name = "f"; ty = Value.TInt } ]
+
+let table =
+  let d = Drbg.create "protocol-data" in
+  Table.of_rows schema
+    (List.init 15 (fun _ ->
+         [| vi (Drbg.int_below d 100);
+            str [| "x"; "y"; "z" |].(Drbg.int_below d 3);
+            vi (Drbg.int_below d 2) |]))
+
+let config =
+  Config.make ~bucket_size:2 ~max_group_attrs:1 ~filter_columns:[ "f" ]
+    ~value_columns:[ "v" ] ~group_columns:[ "g" ] ()
+
+let client =
+  Scheme.setup config
+    ~domains:[ ("g", [ str "x"; str "y"; str "z" ]) ]
+    (Drbg.create "protocol-client")
+
+let enc = Scheme.encrypt_table client table
+
+let query = Query.make ~group_by:[ "g" ] (Query.Sum "v")
+
+let results_of c e q =
+  List.map
+    (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+    (Scheme.query c e q)
+
+let expected = results_of client enc query
+
+let test_enc_table_roundtrip () =
+  let encoded = Serialize.enc_table_to_string enc in
+  let decoded = Serialize.enc_table_of_string encoded in
+  (* Deterministic canonical encoding. *)
+  Alcotest.(check string) "stable encoding" encoded (Serialize.enc_table_to_string decoded);
+  (* The decoded table still answers queries correctly. *)
+  Alcotest.(check (list (triple (list string) int int))) "still queryable" expected
+    (results_of client decoded query)
+
+let test_token_and_aggregate_roundtrip () =
+  let tok = Scheme.token client query in
+  let tok' = Serialize.token_of_string (Serialize.token_to_string tok) in
+  let agg = Scheme.aggregate enc tok' in
+  let agg' = Serialize.agg_result_of_string (Serialize.agg_result_to_string agg) in
+  let results = Scheme.decrypt client tok' agg' ~total_rows:(Array.length enc.Scheme.rows) in
+  Alcotest.(check (list (triple (list string) int int))) "through the wire" expected
+    (List.map
+       (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+       results)
+
+let test_client_persistence () =
+  let saved = Serialize.client_to_string client in
+  let restored = Serialize.client_of_string ~drbg:(Drbg.create "restored-session") saved in
+  (* The restored client can decrypt data encrypted by the original... *)
+  Alcotest.(check (list (triple (list string) int int))) "restored decrypts" expected
+    (results_of restored enc query);
+  (* ...and encrypt new tables the original can query. *)
+  let enc2 = Scheme.encrypt_table restored table in
+  Alcotest.(check (list (triple (list string) int int))) "restored encrypts" expected
+    (results_of client enc2 query)
+
+let test_corrupted_input_rejected () =
+  let encoded = Serialize.token_to_string (Scheme.token client query) in
+  let truncated = String.sub encoded 0 (String.length encoded - 3) in
+  Alcotest.(check bool) "truncation detected" true
+    (try
+       ignore (Serialize.token_of_string truncated);
+       false
+     with W.Decode_error _ -> true)
+
+(* --- server handler ------------------------------------------------------------ *)
+
+let test_server_handler () =
+  let state = Server.create () in
+  Alcotest.(check bool) "upload" true
+    (Server.handle state (P.Upload { name = "t"; table = enc }) = P.Ack);
+  (match Server.handle state P.List_tables with
+   | P.Tables [ ("t", 15) ] -> ()
+   | _ -> Alcotest.fail "bad listing");
+  let tok = Scheme.token client query in
+  (match Server.handle state (P.Aggregate { name = "t"; token = tok }) with
+   | P.Aggregates agg ->
+     let results = Scheme.decrypt client tok agg ~total_rows:15 in
+     Alcotest.(check (list (triple (list string) int int))) "server aggregate" expected
+       (List.map
+          (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+          results)
+   | _ -> Alcotest.fail "expected aggregates");
+  (match Server.handle state (P.Aggregate { name = "missing"; token = tok }) with
+   | P.Failed _ -> ()
+   | _ -> Alcotest.fail "expected failure");
+  Alcotest.(check bool) "drop" true (Server.handle state (P.Drop "t") = P.Ack);
+  (match Server.handle state (P.Drop "t") with
+   | P.Failed _ -> ()
+   | _ -> Alcotest.fail "double drop")
+
+let test_server_remote_append () =
+  let state = Server.create () in
+  ignore (Server.handle state (P.Upload { name = "t"; table = enc }));
+  let row, keywords =
+    Scheme.append_payload client ~values:[| 55 |] ~groups:[| str "x" |]
+      ~filters:[ ("f", vi 0) ]
+  in
+  Alcotest.(check bool) "append ok" true
+    (Server.handle state (P.Append { name = "t"; row; keywords }) = P.Ack);
+  let tok = Scheme.token client query in
+  match Server.handle state (P.Aggregate { name = "t"; token = tok }) with
+  | P.Aggregates agg ->
+    let results = Scheme.decrypt client tok agg ~total_rows:16 in
+    let x_row =
+      List.find (fun r -> r.Scheme.group = [ str "x" ]) results
+    in
+    let x_before = List.find (fun (g, _, _) -> g = [ "x" ]) expected in
+    let _, sum_before, count_before = x_before in
+    Alcotest.(check int) "sum grew" (sum_before + 55) x_row.Scheme.sum;
+    Alcotest.(check int) "count grew" (count_before + 1) x_row.Scheme.count
+  | _ -> Alcotest.fail "expected aggregates"
+
+let test_malformed_request () =
+  let state = Server.create () in
+  let raw = Server.handle_encoded state "\xff\x00garbage" in
+  match P.decode_response raw with
+  | P.Failed msg ->
+    Alcotest.(check bool) "mentions malformed" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "malformed")
+  | _ -> Alcotest.fail "expected failure"
+
+(* --- transport over a real socket pair ------------------------------------------- *)
+
+let test_socket_roundtrip () =
+  let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let state = Server.create () in
+  let server_thread = Thread.create (fun () -> Transport.serve_connection state server_fd) () in
+  (* Upload, list, aggregate, drop — all over the framed byte stream. *)
+  Alcotest.(check bool) "upload" true
+    (Transport.call client_fd (P.Upload { name = "remote"; table = enc }) = P.Ack);
+  (match Transport.call client_fd P.List_tables with
+   | P.Tables [ ("remote", 15) ] -> ()
+   | _ -> Alcotest.fail "bad listing");
+  let tok = Scheme.token client query in
+  (match Transport.call client_fd (P.Aggregate { name = "remote"; token = tok }) with
+   | P.Aggregates agg ->
+     let results = Scheme.decrypt client tok agg ~total_rows:15 in
+     Alcotest.(check (list (triple (list string) int int))) "socket aggregate" expected
+       (List.map
+          (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+          results)
+   | _ -> Alcotest.fail "expected aggregates");
+  Unix.close client_fd;
+  Thread.join server_thread;
+  Unix.close server_fd
+
+let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let props =
+  [ qprop "int zig-zag roundtrip" 300 QCheck.int
+      (fun v ->
+        QCheck.assume (v > min_int);
+        W.decode W.get_int (W.encode W.put_int v) = v);
+    qprop "bytes roundtrip" 200 QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+      (fun v -> W.decode W.get_bytes (W.encode W.put_bytes v) = v);
+    qprop "bigint codec roundtrip" 200 QCheck.(pair bool (string_of_size (QCheck.Gen.int_range 0 30)))
+      (fun (neg, raw) ->
+        let z = Z.of_bytes_be raw in
+        let z = if neg then Z.neg z else z in
+        Z.equal z (W.decode Serialize.get_z (W.encode Serialize.put_z z)));
+    qprop "value codec roundtrip" 200
+      QCheck.(oneof [ map (fun i -> Value.Int i) small_int; map (fun s -> Value.Str s) small_string ])
+      (fun v ->
+        Value.equal v (W.decode Serialize.get_value (W.encode Serialize.put_value v)));
+    qprop "list codec roundtrip" 100 QCheck.(list small_int)
+      (fun v ->
+        W.decode (fun s -> W.get_list s W.get_int) (W.encode (fun s -> W.put_list s (fun s x -> W.put_int s x)) v)
+        = v);
+  ]
+
+let () =
+  Alcotest.run "protocol"
+    [ ( "wire",
+        [ Alcotest.test_case "primitives" `Quick test_wire_primitives;
+          Alcotest.test_case "errors" `Quick test_wire_errors ] );
+      ( "serialize",
+        [ Alcotest.test_case "enc_table roundtrip" `Quick test_enc_table_roundtrip;
+          Alcotest.test_case "token + aggregate" `Quick test_token_and_aggregate_roundtrip;
+          Alcotest.test_case "client persistence" `Quick test_client_persistence;
+          Alcotest.test_case "corruption rejected" `Quick test_corrupted_input_rejected ] );
+      ( "server",
+        [ Alcotest.test_case "handler" `Quick test_server_handler;
+          Alcotest.test_case "remote append" `Quick test_server_remote_append;
+          Alcotest.test_case "malformed request" `Quick test_malformed_request ] );
+      ("transport", [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,315 @@
+(* Security-oriented tests: the leakage function L (§4.2), the simulator
+   of Theorem 1 run as an executable experiment, and statistical sanity
+   checks on ciphertext randomness. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module Sse = Sagma_sse.Sse
+module Curve = Sagma_pairing.Curve
+open Sagma
+
+let str s = Value.Str s
+let vi i = Value.Int i
+
+let schema : Table.schema =
+  [ { Table.name = "v"; ty = Value.TInt };
+    { Table.name = "g1"; ty = Value.TStr };
+    { Table.name = "g2"; ty = Value.TInt } ]
+
+let g1_domain = [ str "a"; str "b"; str "c"; str "d" ]
+let g2_domain = List.init 6 (fun i -> vi i)
+
+let table =
+  let d = Drbg.create "security-data" in
+  Table.of_rows schema
+    (List.init 24 (fun _ ->
+         [| vi (Drbg.int_below d 100);
+            str [| "a"; "b"; "c"; "d" |].(Drbg.int_below d 4);
+            vi (Drbg.int_below d 6) |]))
+
+let config =
+  Config.make ~bucket_size:2 ~max_group_attrs:2 ~filter_columns:[ "g2" ]
+    ~value_columns:[ "v" ] ~group_columns:[ "g1"; "g2" ] ()
+
+let client =
+  Scheme.setup config
+    ~domains:[ ("g1", g1_domain); ("g2", g2_domain) ]
+    (Drbg.create "security-client")
+
+let enc = Scheme.encrypt_table client table
+
+let queries =
+  [ Query.make ~group_by:[ "g1" ] (Query.Sum "v");
+    Query.make ~group_by:[ "g1"; "g2" ] Query.Count;
+    Query.make ~where:[ ("g2", vi 3) ] ~group_by:[ "g1" ] (Query.Sum "v") ]
+
+let tokens = List.map (Scheme.token client) queries
+
+let leak = Leakage.profile enc tokens
+
+(* --- leakage contents ------------------------------------------------------ *)
+
+let test_leakage_shape () =
+  Alcotest.(check int) "rows" 24 leak.Leakage.num_rows;
+  Alcotest.(check int) "queries" 3 (List.length leak.Leakage.queries);
+  Alcotest.(check int) "index size" (Sse.size enc.Scheme.index) leak.Leakage.index_size
+
+let test_leakage_reveals_only_identifiers () =
+  (* The query leakage names column identifiers, never attribute values. *)
+  let q1 = List.nth leak.Leakage.queries 0 in
+  Alcotest.(check (option int)) "value column id" (Some 0) q1.Leakage.value_column;
+  Alcotest.(check (array int)) "group column ids" [| 0 |] q1.Leakage.group_columns
+
+let test_search_pattern_repetition () =
+  (* Queries 1 and 3 both touch g1's buckets: their tokens repeat, and the
+     leakage shows identical tags — the search pattern. *)
+  let tags q = List.map (fun o -> o.Leakage.token_tag) q.Leakage.observations in
+  let q1 = List.nth leak.Leakage.queries 0 and q3 = List.nth leak.Leakage.queries 2 in
+  let q1_tags = tags q1 in
+  List.iteri
+    (fun i tag -> Alcotest.(check string) (Printf.sprintf "tag %d repeats" i) (List.nth q1_tags i) tag)
+    (List.filteri (fun i _ -> i < List.length q1_tags) (tags q3))
+
+let test_access_pattern_is_bucket_level () =
+  (* The union of g1's bucket access patterns covers all rows; each bucket
+     holds at least two distinct g1 values' rows (indistinguishable). *)
+  let q1 = List.nth leak.Leakage.queries 0 in
+  let all = List.concat_map (fun o -> o.Leakage.matches) q1.Leakage.observations in
+  Alcotest.(check int) "covers all rows" 24 (List.length (List.sort_uniq compare all));
+  let m = client.Scheme.mappings.(0) in
+  List.iter
+    (fun b ->
+      Alcotest.(check int) (Printf.sprintf "bucket %d has 2 values" b) 2
+        (List.length (Mapping.bucket_members m b)))
+    [ 0; 1 ]
+
+(* --- the simulator experiment (Theorem 1) ----------------------------------- *)
+
+let sim = Leakage.simulate client.Scheme.pp.Scheme.bgn_pk leak (Drbg.create "simulator")
+
+let test_simulator_structural_equality () =
+  (* Same number of rows, same per-row ciphertext arity, same index size:
+     the adversary's static view has identical shape. *)
+  Alcotest.(check int) "rows" (Array.length enc.Scheme.rows) (Array.length sim.Leakage.sim_rows);
+  let real0 = enc.Scheme.rows.(0) and sim0 = sim.Leakage.sim_rows.(0) in
+  Alcotest.(check int) "monomial arity"
+    (Array.length real0.Scheme.monomial_cts)
+    (Array.length sim0.Scheme.monomial_cts);
+  Alcotest.(check int) "value arity" (Array.length real0.Scheme.values)
+    (Array.length sim0.Scheme.values);
+  Alcotest.(check int) "channel arity"
+    (Array.length real0.Scheme.values.(0))
+    (Array.length sim0.Scheme.values.(0));
+  Alcotest.(check int) "index size" (Sse.size enc.Scheme.index) (Sse.size sim.Leakage.sim_index)
+
+let test_simulator_replays_access_patterns () =
+  (* Searching the simulated index with the simulated tokens must return
+     exactly the leaked access patterns. *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun obs ->
+          match List.assoc_opt obs.Leakage.token_tag sim.Leakage.sim_tokens with
+          | None -> Alcotest.fail "missing simulated token"
+          | Some tok ->
+            Alcotest.(check (list int)) "replayed pattern" obs.Leakage.matches
+              (Sse.search sim.Leakage.sim_index tok))
+        q.Leakage.observations)
+    leak.Leakage.queries
+
+let test_simulated_ciphertexts_valid () =
+  (* Simulated ciphertexts are valid group elements (on the curve). *)
+  let curve = client.Scheme.pp.Scheme.bgn_pk.Sagma_bgn.Bgn.group.Sagma_pairing.Pairing.curve in
+  Array.iter
+    (fun (row : Scheme.enc_row) ->
+      Alcotest.(check bool) "count ct on curve" true (Curve.is_on_curve curve row.Scheme.count_ct);
+      Array.iter
+        (fun m -> Alcotest.(check bool) "monomial on curve" true (Curve.is_on_curve curve m))
+        row.Scheme.monomial_cts)
+    sim.Leakage.sim_rows
+
+(* --- ciphertext randomness sanity -------------------------------------------- *)
+
+let test_equal_plaintexts_distinct_ciphertexts () =
+  (* Two rows with identical group values and identical salaries must have
+     entirely distinct ciphertexts. *)
+  let t2 =
+    Table.of_rows schema [ [| vi 42; str "a"; vi 0 |]; [| vi 42; str "a"; vi 0 |] ]
+  in
+  let e2 = Scheme.encrypt_table client t2 in
+  let r0 = e2.Scheme.rows.(0) and r1 = e2.Scheme.rows.(1) in
+  Alcotest.(check bool) "value cts differ" false
+    (Curve.equal r0.Scheme.values.(0).(0) r1.Scheme.values.(0).(0));
+  Alcotest.(check bool) "monomial cts differ" false
+    (Curve.equal r0.Scheme.monomial_cts.(0) r1.Scheme.monomial_cts.(0));
+  Alcotest.(check bool) "count cts differ" false
+    (Curve.equal r0.Scheme.count_ct r1.Scheme.count_ct)
+
+let test_wrong_client_cannot_decrypt () =
+  (* A different client (different BGN factorization, same public
+     parameters shape) gets nothing meaningful out of the aggregates. *)
+  let other =
+    Scheme.setup config
+      ~domains:[ ("g1", g1_domain); ("g2", g2_domain) ]
+      (Drbg.create "security-wrong-client")
+  in
+  let q = Query.make ~group_by:[ "g1" ] (Query.Sum "v") in
+  let tok = Scheme.token client q in
+  let agg = Scheme.aggregate enc tok in
+  (* Decrypting with the wrong secret key: dlogs fail (count 0) so no
+     groups survive, or garbage that differs from the truth. *)
+  let truth =
+    List.map (fun r -> (r.Scheme.group, r.Scheme.sum)) (Scheme.decrypt client tok agg ~total_rows:24)
+  in
+  let forged =
+    List.map (fun r -> (r.Scheme.group, r.Scheme.sum))
+      (Scheme.decrypt other tok agg ~total_rows:24)
+  in
+  Alcotest.(check bool) "wrong key learns nothing" true (forged <> truth || truth = [])
+
+let test_frequencies_hidden_within_bucket () =
+  (* Two values in the same bucket are indistinguishable even when their
+     frequencies differ wildly: both buckets' SSE patterns merge them. *)
+  let skew =
+    Table.of_rows schema
+      (List.init 20 (fun i ->
+           if i < 19 then [| vi 1; str "a"; vi 0 |] else [| vi 1; str "b"; vi 0 |]))
+  in
+  (* Force a and b into the same bucket. *)
+  let strategy = function
+    | "g1" -> Mapping.Explicit g1_domain  (* a,b → bucket 0 *)
+    | _ -> Mapping.Prf_random
+  in
+  let cl =
+    Scheme.setup ~mapping_strategy:strategy config
+      ~domains:[ ("g1", g1_domain); ("g2", g2_domain) ]
+      (Drbg.create "skew-client")
+  in
+  let e = Scheme.encrypt_table cl skew in
+  let tok = Scheme.token cl (Query.make ~group_by:[ "g1" ] Query.Count) in
+  let l = Leakage.profile e [ tok ] in
+  let q = List.hd l.Leakage.queries in
+  (* Bucket 0 shows 20 rows, revealing nothing about the 19/1 split. *)
+  let sizes = List.map (fun o -> List.length o.Leakage.matches) q.Leakage.observations in
+  Alcotest.(check (list int)) "bucket sizes" [ 20; 0 ] sizes
+
+(* --- leakage-abuse attacks (Naveed et al.) ------------------------------------ *)
+
+module Attacks = Sagma.Attacks
+module B = Sagma_baselines
+
+(* A skewed plaintext distribution with distinct frequencies — the
+   setting where frequency analysis is strongest. *)
+let attack_schema : Table.schema =
+  [ { Table.name = "v"; ty = Value.TInt }; { Table.name = "dept"; ty = Value.TStr } ]
+
+let attack_dept_freqs = [ ("eng", 40); ("sales", 25); ("hr", 12); ("legal", 7); ("ops", 3) ]
+
+let attack_table =
+  Table.of_rows attack_schema
+    (List.concat_map
+       (fun (d, n) -> List.init n (fun i -> [| vi i; str d |]))
+       attack_dept_freqs)
+
+let attack_aux : Attacks.auxiliary = List.map (fun (d, n) -> (str d, n)) attack_dept_freqs
+
+let test_attack_breaks_cryptdb () =
+  (* Full recovery against deterministic encryption: every frequency is
+     unique, so matching is exact. *)
+  let c =
+    B.Cryptdb.setup ~paillier_bits:256 ~value_columns:[ "v" ] ~group_columns:[ "dept" ]
+      (Drbg.create "attack-cryptdb")
+  in
+  let enc = B.Cryptdb.encrypt_table c attack_table in
+  let leaked = B.Cryptdb.leaked_histogram enc ~column:0 in
+  (* Ground truth: map each det tag to its plaintext via the known table
+     (the adversary does NOT use this — it scores the attack). *)
+  let truth =
+    List.map (fun (d, _) -> (B.Cryptdb.det_value c (str d), str d)) attack_dept_freqs
+  in
+  let rate = Attacks.attack_cryptdb ~leaked ~aux:attack_aux ~truth in
+  Alcotest.(check (float 0.0001)) "100% recovery" 1.0 rate
+
+let test_attack_blunted_by_buckets () =
+  (* Against SAGMA's bucket leakage the attacker at best recovers the
+     most frequent member of each identified bucket. *)
+  let hist = Bucketing.histogram attack_table "dept" in
+  let m =
+    Mapping.make Mapping.Prf_random "attack-map" (List.map fst hist) ~bucket_size:2
+  in
+  let rate = Attacks.attack_sagma_buckets m ~histogram:hist in
+  Alcotest.(check bool) (Printf.sprintf "recovery %.2f < 1" rate) true (rate < 1.0);
+  (* With B = 2, at most the heavier member of each bucket is
+     recoverable: bounded by the total weight of per-bucket maxima. *)
+  let bound =
+    let freqs = Bucketing.bucket_frequencies m hist in
+    ignore freqs;
+    List.fold_left
+      (fun acc b ->
+        acc
+        + List.fold_left
+            (fun best v -> max best (Option.value (List.assoc_opt v hist) ~default:0))
+            0
+            (Mapping.bucket_members m b))
+      0
+      (List.init (Mapping.num_buckets m) (fun b -> b))
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  Alcotest.(check bool) "within structural bound" true
+    (rate <= (float_of_int bound /. float_of_int total) +. 0.0001)
+
+let test_attack_neutralized_by_dummies () =
+  (* Pad buckets to equal frequencies: bucket identification collapses to
+     1/#buckets, pushing recovery toward the blind-guess floor. *)
+  let hist = Bucketing.histogram attack_table "dept" in
+  let m = Bucketing.optimal_mapping ~max_domain:5 hist ~bucket_size:2 in
+  let plan = Bucketing.dummy_plan_for_column m hist in
+  let padded = hist @ plan in
+  let rate_before = Attacks.attack_sagma_buckets m ~histogram:hist in
+  let rate_after = Attacks.attack_sagma_buckets m ~histogram:padded in
+  Alcotest.(check bool)
+    (Printf.sprintf "dummies reduce recovery (%.3f -> %.3f)" rate_before rate_after)
+    true (rate_after < rate_before);
+  (* All buckets share one frequency, so identification is 1/#buckets. *)
+  let freqs = Bucketing.bucket_frequencies m padded in
+  Alcotest.(check bool) "flat buckets" true (Array.for_all (fun f -> f = freqs.(0)) freqs)
+
+let test_attack_hierarchy () =
+  (* The headline comparison: CryptDB ≥ SAGMA buckets > dummies ≈ guess. *)
+  let hist = Bucketing.histogram attack_table "dept" in
+  let m = Bucketing.optimal_mapping ~max_domain:5 hist ~bucket_size:2 in
+  let cryptdb_rate = 1.0 (* proven by test_attack_breaks_cryptdb *) in
+  let bucket_rate = Attacks.attack_sagma_buckets m ~histogram:hist in
+  let padded = hist @ Bucketing.dummy_plan_for_column m hist in
+  let dummy_rate = Attacks.attack_sagma_buckets m ~histogram:padded in
+  Alcotest.(check bool)
+    (Printf.sprintf "hierarchy %.2f > %.2f >= %.2f" cryptdb_rate bucket_rate dummy_rate)
+    true
+    (cryptdb_rate > bucket_rate && bucket_rate >= dummy_rate)
+
+let () =
+  Alcotest.run "security"
+    [ ( "leakage",
+        [ Alcotest.test_case "shape" `Quick test_leakage_shape;
+          Alcotest.test_case "identifiers only" `Quick test_leakage_reveals_only_identifiers;
+          Alcotest.test_case "search pattern" `Quick test_search_pattern_repetition;
+          Alcotest.test_case "bucket-level access pattern" `Quick
+            test_access_pattern_is_bucket_level ] );
+      ( "simulator",
+        [ Alcotest.test_case "structural equality" `Quick test_simulator_structural_equality;
+          Alcotest.test_case "replays access patterns" `Quick test_simulator_replays_access_patterns;
+          Alcotest.test_case "valid ciphertexts" `Quick test_simulated_ciphertexts_valid ] );
+      ( "randomness",
+        [ Alcotest.test_case "fresh ciphertexts" `Quick test_equal_plaintexts_distinct_ciphertexts;
+          Alcotest.test_case "in-bucket frequency hiding" `Quick
+            test_frequencies_hidden_within_bucket;
+          Alcotest.test_case "wrong client cannot decrypt" `Quick
+            test_wrong_client_cannot_decrypt ] );
+      ( "leakage-abuse",
+        [ Alcotest.test_case "breaks CryptDB" `Quick test_attack_breaks_cryptdb;
+          Alcotest.test_case "blunted by buckets" `Quick test_attack_blunted_by_buckets;
+          Alcotest.test_case "neutralized by dummies" `Quick test_attack_neutralized_by_dummies;
+          Alcotest.test_case "hierarchy" `Quick test_attack_hierarchy ] );
+    ]
