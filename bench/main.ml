@@ -569,6 +569,101 @@ let micro () =
       Printf.printf "%-36s %16s\n%!" name pretty)
     rows
 
+(* --- BENCH_PR1.json: machine-readable op counts + phase timings ------------------------- *)
+
+module Obs = Sagma_obs.Metrics
+module Trace = Sagma_obs.Trace
+
+(* One instrumented end-to-end query: metrics and tracing are switched on
+   for exactly the query (setup/encryption stay uncounted, so the op
+   counts match the paper's per-query cost model). *)
+let run_instrumented client enc q =
+  Obs.reset ();
+  Trace.reset ();
+  Obs.set_enabled true;
+  let results = Scheme.query client enc q in
+  Obs.set_enabled false;
+  let spans = Trace.roots () in
+  let span_ms name =
+    match List.find_opt (fun s -> s.Trace.name = name) spans with
+    | Some s -> s.Trace.ms
+    | None -> 0.
+  in
+  (results, Obs.snapshot (), spans, span_ms)
+
+let bench_json () =
+  header "BENCH_PR1.json: per-workload operation counts and phase timings";
+  let rows = if full then 1000 else 60 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-json") in
+  let returnflag_domain = [ str "A"; str "N"; str "R" ] in
+  let linestatus_domain = [ str "O"; str "F" ] in
+  let single_config ?(filter_columns = []) () =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~filter_columns
+      ~value_columns:[ "l_quantity" ] ~group_columns:[ "l_returnflag" ] ()
+  in
+  let pair_config =
+    Config.make ~bucket_size:2 ~max_group_attrs:2 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag"; "l_linestatus" ] ()
+  in
+  let make_client config domains seed = Scheme.setup config ~domains (Drbg.create seed) in
+  (* name, client, encrypted table, query *)
+  let workloads =
+    [ (let c =
+         make_client (single_config ()) [ ("l_returnflag", returnflag_domain) ] "bj-sum"
+       in
+       ("sum_per_attribute", c, Scheme.encrypt_table c table,
+        Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity")));
+      (let c =
+         make_client (single_config ()) [ ("l_returnflag", returnflag_domain) ] "bj-count"
+       in
+       ("count_per_attribute", c, Scheme.encrypt_table c table,
+        Query.make ~group_by:[ "l_returnflag" ] Query.Count));
+      (let c =
+         make_client pair_config
+           [ ("l_returnflag", returnflag_domain); ("l_linestatus", linestatus_domain) ]
+           "bj-joint"
+       in
+       ("sum_joint_index", c, Scheme.encrypt_table ~index_mode:Scheme.Joint c table,
+        Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity")));
+      (let c =
+         make_client
+           (single_config ~filter_columns:[ "l_linestatus" ] ())
+           [ ("l_returnflag", returnflag_domain) ]
+           "bj-filter"
+       in
+       ("sum_filtered", c, Scheme.encrypt_table c table,
+        Query.make
+          ~where:[ ("l_linestatus", str "O") ]
+          ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity"))) ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":1,\"bench\":\"json\",\"full\":%b,\"rows\":%d,\"workloads\":["
+       full rows);
+  List.iteri
+    (fun i (name, client, enc, q) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let results, snap, spans, span_ms = run_instrumented client enc q in
+      Printf.printf "%-22s token %8.1f ms   aggregate %8.1f ms   decrypt %8.1f ms   %d groups\n%!"
+        name (span_ms "token") (span_ms "aggregate") (span_ms "decrypt") (List.length results);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"rows\":%d,\"result_groups\":%d,\
+            \"timings_ms\":{\"token\":%.3f,\"aggregate\":%.3f,\"decrypt\":%.3f},\
+            \"spans\":[%s],\"metrics\":%s}"
+           (Obs.json_escape name) (Array.length enc.Scheme.rows) (List.length results)
+           (span_ms "token") (span_ms "aggregate") (span_ms "decrypt")
+           (String.concat "," (List.map Trace.to_json spans))
+           (Obs.snapshot_to_json snap)))
+    workloads;
+  Buffer.add_string buf "]}";
+  let path = "BENCH_PR1.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let benches =
@@ -577,7 +672,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -586,7 +681,8 @@ let () =
       (* fig5a/fig5b and fig8a/fig8b share implementations; run each once. *)
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
-        ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel; micro ]
+        ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
+        bench_json; micro ]
     else
       List.map
         (fun name ->

@@ -56,7 +56,8 @@ let parse_where (t : Table.t) (clauses : string list) : (string * Value.t) list 
 
 (* --- query ----------------------------------------------------------------- *)
 
-let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed =
+let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed metrics =
+  if metrics then Sagma_obs.Metrics.set_enabled true;
   let _, table = load_table ~csv ~schema in
   let q =
     match sql with
@@ -106,10 +107,13 @@ let run_query csv schema sql sum count_flag avg group_by where bucket_size thres
   let t1 = Unix.gettimeofday () in
   let enc = Scheme.encrypt_table client table in
   let t2 = Unix.gettimeofday () in
-  let tok = Scheme.token client q in
-  let agg = Scheme.aggregate enc tok in
+  let tok = Sagma_obs.Trace.with_span "token" (fun () -> Scheme.token client q) in
+  let agg = Sagma_obs.Trace.with_span "aggregate" (fun () -> Scheme.aggregate enc tok) in
   let t3 = Unix.gettimeofday () in
-  let results = Scheme.decrypt client tok agg ~total_rows:(Array.length enc.Scheme.rows) in
+  let results =
+    Sagma_obs.Trace.with_span "decrypt" (fun () ->
+        Scheme.decrypt client tok agg ~total_rows:(Array.length enc.Scheme.rows))
+  in
   let t4 = Unix.gettimeofday () in
   Printf.printf "%s\n" (Query.to_sql q);
   Printf.printf "%-14s | %s\n" (Query.aggregate_name q.Query.aggregate) (String.concat " | " group_by);
@@ -124,7 +128,13 @@ let run_query csv schema sql sum count_flag avg group_by where bucket_size thres
   let leak = Leakage.profile enc [ tok ] in
   Printf.printf "leakage: %d SSE index entries; query touched %d bucket/filter tokens\n"
     leak.Leakage.index_size
-    (List.length (List.concat_map (fun ql -> ql.Leakage.observations) leak.Leakage.queries))
+    (List.length (List.concat_map (fun ql -> ql.Leakage.observations) leak.Leakage.queries));
+  if metrics then begin
+    print_endline "\n-- operation counters --";
+    Format.printf "%a@." Sagma_obs.Metrics.pp_snapshot (Sagma_obs.Metrics.snapshot ());
+    print_endline "-- query trace --";
+    List.iter (Format.printf "%a@." Sagma_obs.Trace.pp) (Sagma_obs.Trace.roots ())
+  end
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -237,7 +247,8 @@ let run_remote_upload csv schema group_by value_cols filter_cols bucket_size thr
    | Sagma_protocol.Protocol.Ack ->
      Printf.printf "uploaded %d encrypted rows as %S; client key saved to %s\n"
        (Table.row_count table) name key_file
-   | Sagma_protocol.Protocol.Failed msg -> failwith msg
+   | Sagma_protocol.Protocol.Failed { code; message } ->
+     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
    | _ -> failwith "unexpected response")
 
 (* Query a previously uploaded table: only the token goes up, only
@@ -288,7 +299,8 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
         Printf.printf "%-14g | %s\n" (Scheme.aggregate_value q r)
           (String.concat " | " (List.map Value.to_string r.Scheme.group)))
       results
-  | Sagma_protocol.Protocol.Failed msg -> failwith msg
+  | Sagma_protocol.Protocol.Failed { code; message } ->
+    failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
 
 (* --- cmdliner wiring ----------------------------------------------------------- *)
@@ -314,10 +326,15 @@ let query_cmd =
   let bucket = Arg.(value & opt int 2 & info [ "bucket-size" ] ~doc:"Bucket size B.") in
   let threshold = Arg.(value & opt int 3 & info [ "threshold" ] ~doc:"Max grouping attributes t.") in
   let seed = Arg.(value & opt string "sagma-cli" & info [ "seed" ] ~doc:"DRBG seed.") in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect and print operation counters and a phase trace for the query.")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Encrypt a CSV and answer an aggregation query over ciphertexts.")
     Term.(
       const run_query $ csv_arg $ schema_arg $ sql $ sum $ count $ avg $ group_by $ where
-      $ bucket $ threshold $ seed)
+      $ bucket $ threshold $ seed $ metrics)
 
 let inspect_cmd =
   let column = Arg.(required & opt (some string) None & info [ "column" ] ~doc:"Column to inspect.") in

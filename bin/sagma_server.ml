@@ -3,12 +3,31 @@
    Holds uploaded encrypted tables in memory and answers Aggregate and
    Append requests using only public parameters; it never sees a key.
 
-     dune exec bin/sagma_server.exe -- --port 7477                        *)
+     dune exec bin/sagma_server.exe -- --port 7477 [--metrics]
+
+   With --metrics, operation counters (pairings, SSE postings scanned,
+   request bytes/latency, ...) are collected and dumped to stderr after
+   every handled request. *)
 
 let () =
   let port = ref 7477 in
-  let args = [ ("--port", Arg.Set_int port, "Listen port (default 7477)") ] in
-  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "sagma_server [--port P]";
+  let metrics = ref false in
+  let args =
+    [ ("--port", Arg.Set_int port, "Listen port (default 7477)");
+      ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request") ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "sagma_server [--port P] [--metrics]";
   let state = Sagma_protocol.Server.create () in
-  Printf.printf "sagma_server: listening on 127.0.0.1:%d\n%!" !port;
-  Sagma_protocol.Transport.listen_and_serve ~port:!port state
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d%s\n%!" !port
+    (if !metrics then " (metrics on)" else "");
+  if !metrics then begin
+    Sagma_obs.Metrics.set_enabled true;
+    let dump () =
+      Format.eprintf "-- metrics after request --@.%a@." Sagma_obs.Metrics.pp_snapshot
+        (Sagma_obs.Metrics.snapshot ())
+    in
+    Sagma_protocol.Transport.listen_and_serve ~after_request:dump ~port:!port state
+  end
+  else Sagma_protocol.Transport.listen_and_serve ~port:!port state

@@ -74,47 +74,48 @@ let () =
     Config.make ~bucket_size:2 ~max_group_attrs:2 ~filter_columns:[ "seniority" ]
       ~value_columns:[ "salary" ] ~group_columns:[ "department"; "seniority" ] ()
   in
-  let client =
-    Scheme.setup ~mapping_strategy:strategy config
+  let t =
+    Client_api.create ~mapping_strategy:strategy ~seed:"payroll-client" ~config
       ~domains:[ ("department", dept_domain); ("seniority", seniority_domain) ]
-      (Drbg.create "payroll-client")
+      ()
   in
   (* Encrypt with dummy rows derived from the per-column plans. *)
+  let maps = Client_api.mappings t in
   let dummies =
     Bucketing.dummy_rows
-      [| client.Scheme.mappings.(0); client.Scheme.mappings.(1) |]
+      [| maps.(0); maps.(1) |]
       [| hist; Bucketing.histogram table "seniority" |]
   in
   Printf.printf "encrypting %d real rows + %d dummy rows (count mode switches to paired)\n\n"
     (Table.row_count table) (List.length dummies);
-  let enc = Scheme.encrypt_table ~dummy_groups:dummies client table in
+  Client_api.encrypt ~dummy_groups:dummies t ~table;
 
   let q1 = Query.make ~group_by:[ "department" ] (Query.Avg "salary") in
-  show q1 (Scheme.query client enc q1);
+  show q1 (Client_api.query t q1);
   let q2 =
     Query.make ~where:[ ("seniority", str "senior") ] ~group_by:[ "department" ]
       (Query.Sum "salary")
   in
-  show q2 (Scheme.query client enc q2);
+  show q2 (Client_api.query t q2);
 
   (* Value split: "eng" dominates; split it in two sub-values. *)
   print_endline "-- splitting department value \"eng\" into eng.1 / eng.2 --\n";
   let split_table = Bucketing.split_column table ~column:"department" ~value:(str "eng") ~parts:2 in
   let split_dom = Bucketing.split_domain dept_domain ~value:(str "eng") ~parts:2 in
-  let client2 =
-    Scheme.setup config
+  let t2 =
+    Client_api.create ~seed:"payroll-split" ~config
       ~domains:[ ("department", split_dom); ("seniority", seniority_domain) ]
-      (Drbg.create "payroll-split")
+      ()
   in
-  let enc2 = Scheme.encrypt_table client2 split_table in
+  Client_api.encrypt t2 ~table:split_table;
   let q3 = Query.make ~group_by:[ "department" ] (Query.Sum "salary") in
-  let raw = Scheme.query client2 enc2 q3 in
+  let raw = Client_api.query t2 q3 in
   Printf.printf "  raw (split) groups: %s\n"
     (String.concat ", " (List.map (fun r -> Value.to_string (List.hd r.Scheme.group)) raw));
   let merged = Bucketing.merge_split_results raw ~position:0 ~value:(str "eng") ~parts:2 in
   show q3 merged;
   (* Cross-check against the unsplit pipeline. *)
-  let reference = Scheme.query client enc q3 in
+  let reference = Client_api.query t q3 in
   let as_triples rs =
     List.map (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count)) rs
   in

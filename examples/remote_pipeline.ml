@@ -82,7 +82,8 @@ let () =
             (String.concat "/" (List.map Value.to_string r.Scheme.group))
             (Scheme.aggregate_value q r))
         (Scheme.decrypt client tok agg ~total_rows)
-    | P.Failed msg -> failwith msg
+    | P.Failed { code; message } ->
+      failwith (Printf.sprintf "%s: %s" (P.error_code_to_string code) message)
     | _ -> failwith "unexpected response"
   in
   run_query (Query.make ~group_by:[ "region" ] (Query.Sum "amount"));

@@ -72,22 +72,38 @@ let keygen ~(bits : int) (drbg : Drbg.t) : keypair =
 let random_blinding (pk : public_key) (drbg : Drbg.t) : Z.t =
   Z.random_below (Drbg.rng drbg) (n pk)
 
+(* Operation counters: the quantities the paper's cost analysis (§3.4,
+   §6) is expressed in. *)
+module Metrics = Sagma_obs.Metrics
+
+let m_enc1 = Metrics.counter "bgn.enc1"
+let m_enc2 = Metrics.counter "bgn.enc2"
+let m_add1 = Metrics.counter "bgn.add1"
+let m_add2 = Metrics.counter "bgn.add2"
+let m_smul1 = Metrics.counter "bgn.smul1"
+let m_smul2 = Metrics.counter "bgn.smul2"
+let m_mul = Metrics.counter "bgn.mul"
+
 (* --- level 1 ------------------------------------------------------------ *)
 
 let enc1 (pk : public_key) (drbg : Drbg.t) (m : Z.t) : c1 =
+  Metrics.incr m_enc1;
   let curve = pk.group.Pairing.curve in
   let r = random_blinding pk drbg in
   Curve.add curve (Curve.mul curve (Z.erem m (n pk)) pk.g) (Curve.mul curve r pk.h)
 
 let enc1_int pk drbg m = enc1 pk drbg (Z.of_int m)
 
-let add1 (pk : public_key) (a : c1) (b : c1) : c1 = Curve.add pk.group.Pairing.curve a b
+let add1 (pk : public_key) (a : c1) (b : c1) : c1 =
+  Metrics.incr m_add1;
+  Curve.add pk.group.Pairing.curve a b
 
 let neg1 (pk : public_key) (a : c1) : c1 = Curve.neg pk.group.Pairing.curve a
 
 (* Multiply a ciphertext by a plaintext scalar (the ⊗-by-plaintext the
    paper uses for polynomial coefficients). *)
 let smul1 (pk : public_key) (k : Z.t) (a : c1) : c1 =
+  Metrics.incr m_smul1;
   Curve.mul pk.group.Pairing.curve (Z.erem k (n pk)) a
 
 let zero1 : c1 = Curve.Infinity
@@ -99,13 +115,17 @@ let rerandomize1 (pk : public_key) (drbg : Drbg.t) (a : c1) : c1 =
 (* --- level 2 ------------------------------------------------------------ *)
 
 let enc2 (pk : public_key) (drbg : Drbg.t) (m : Z.t) : c2 =
+  Metrics.incr m_enc2;
   let p = pk.group.Pairing.p in
   let r = random_blinding pk drbg in
   Fp2.mul ~p (Fp2.pow ~p pk.e_gg (Z.erem m (n pk))) (Fp2.pow ~p pk.e_gh r)
 
-let add2 (pk : public_key) (a : c2) (b : c2) : c2 = Fp2.mul ~p:pk.group.Pairing.p a b
+let add2 (pk : public_key) (a : c2) (b : c2) : c2 =
+  Metrics.incr m_add2;
+  Fp2.mul ~p:pk.group.Pairing.p a b
 
 let smul2 (pk : public_key) (k : Z.t) (a : c2) : c2 =
+  Metrics.incr m_smul2;
   Fp2.pow ~p:pk.group.Pairing.p a (Z.erem k (n pk))
 
 let zero2 : c2 = Fp2.one
@@ -115,7 +135,9 @@ let rerandomize2 (pk : public_key) (drbg : Drbg.t) (a : c2) : c2 =
   Fp2.mul ~p a (Fp2.pow ~p pk.e_gh (random_blinding pk drbg))
 
 (* The one ciphertext–ciphertext multiplication: G × G → G_T. *)
-let mul (pk : public_key) (a : c1) (b : c1) : c2 = Pairing.pairing pk.group a b
+let mul (pk : public_key) (a : c1) (b : c1) : c2 =
+  Metrics.incr m_mul;
+  Pairing.pairing pk.group a b
 
 (* --- decryption ----------------------------------------------------------
 

@@ -20,10 +20,15 @@ type 'a table = {
   giant : 'a;                         (* base^(-stride) *)
 }
 
+let m_tables = Sagma_obs.Metrics.counter "bgn.dlog.table_builds"
+let m_solves = Sagma_obs.Metrics.counter "bgn.dlog.solves"
+let m_giant_steps = Sagma_obs.Metrics.counter "bgn.dlog.giant_steps"
+
 (* [make ops base ~max] prepares a table able to solve exponents in
    [0, max]. The table holds about sqrt(max) entries. *)
 let make (ops : 'a ops) (base : 'a) ~(max : int) : 'a table =
   if max < 0 then invalid_arg "Dlog.make: negative bound";
+  Sagma_obs.Metrics.incr m_tables;
   let stride = int_of_float (sqrt (float_of_int (max + 1))) + 1 in
   let baby = Hashtbl.create (2 * stride) in
   let acc = ref ops.one in
@@ -37,12 +42,15 @@ let make (ops : 'a ops) (base : 'a) ~(max : int) : 'a table =
 
 (* [solve t target ~max] finds x in [0, max] with base^x = target. *)
 let solve (t : 'a table) (target : 'a) ~(max : int) : int option =
+  Sagma_obs.Metrics.incr m_solves;
   let steps = (max / t.stride) + 1 in
   let rec go i cur =
     if i > steps then None
     else begin
       match Hashtbl.find_opt t.baby (t.ops.serialize cur) with
-      | Some j when (i * t.stride) + j <= max -> Some ((i * t.stride) + j)
+      | Some j when (i * t.stride) + j <= max ->
+        Sagma_obs.Metrics.add m_giant_steps i;
+        Some ((i * t.stride) + j)
       | _ -> go (i + 1) (t.ops.mul cur t.giant)
     end
   in

@@ -146,9 +146,13 @@ let powm_binary base expo m =
    enough squarings to amortize the context setup. *)
 let montgomery_threshold_bits = 96
 
+let m_powm = Sagma_obs.Metrics.counter "bigint.powm"
+let m_invm = Sagma_obs.Metrics.counter "bigint.invm"
+
 let powm base expo m =
   if m.sign <= 0 then invalid_arg "Bigint.powm: modulus <= 0";
   if expo.sign < 0 then invalid_arg "Bigint.powm: negative exponent";
+  Sagma_obs.Metrics.incr m_powm;
   if is_odd m && num_bits m >= montgomery_threshold_bits && num_bits expo > 4 then begin
     let ctx = Montgomery.make m.mag in
     mk 1 (Montgomery.powm ctx (erem base m).mag expo.mag)
@@ -175,6 +179,7 @@ let gcd a b =
    saving a third of the work on this very hot path (curve arithmetic
    performs one inversion per affine point operation). *)
 let invm a m =
+  Sagma_obs.Metrics.incr m_invm;
   let rec go r0 r1 s0 s1 =
     if is_zero r1 then (r0, s0)
     else begin

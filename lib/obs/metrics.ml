@@ -1,0 +1,190 @@
+(* Metrics registry: named monotonic counters and value histograms.
+
+   Counters are Atomic cells so the multi-domain aggregation path can
+   bump them without tearing; histograms guard their running stats with a
+   mutex and are only used on coarse paths. The [enabled] flag is read on
+   every recording call, so instrumentation left in hot code costs one
+   load-and-branch while disabled (the default). *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  lock : Mutex.t;
+  mutable obs_count : int;
+  mutable obs_sum : float;
+  mutable obs_min : float;
+  mutable obs_max : float;
+}
+
+let enabled = ref false
+let set_enabled b = enabled := b
+
+(* Registration: idempotent by name so instrumented libraries can
+   register at init time and tests can look the same cells up later. *)
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; cell = Atomic.make 0 } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_name = name; lock = Mutex.create (); obs_count = 0; obs_sum = 0.;
+          obs_min = infinity; obs_max = neg_infinity }
+      in
+      Hashtbl.add histograms name h;
+      h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+let incr c = if !enabled then Atomic.incr c.cell
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.cell n)
+
+let observe h v =
+  if !enabled then begin
+    Mutex.lock h.lock;
+    h.obs_count <- h.obs_count + 1;
+    h.obs_sum <- h.obs_sum +. v;
+    if v < h.obs_min then h.obs_min <- v;
+    if v > h.obs_max then h.obs_max <- v;
+    Mutex.unlock h.lock
+  end
+
+let observe_ms h f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> observe h ((Unix.gettimeofday () -. t0) *. 1000.))
+      f
+  end
+
+let value c = Atomic.get c.cell
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_stats) list;
+}
+
+let snapshot () : snapshot =
+  Mutex.lock registry_lock;
+  let cs =
+    Hashtbl.fold
+      (fun name c acc ->
+        let v = Atomic.get c.cell in
+        if v = 0 then acc else (name, v) :: acc)
+      counters []
+    |> List.sort compare
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        Mutex.lock h.lock;
+        let stats =
+          if h.obs_count = 0 then None
+          else
+            Some
+              { h_count = h.obs_count; h_sum = h.obs_sum; h_min = h.obs_min;
+                h_max = h.obs_max }
+        in
+        Mutex.unlock h.lock;
+        match stats with None -> acc | Some s -> (name, s) :: acc)
+      histograms []
+    |> List.sort compare
+  in
+  Mutex.unlock registry_lock;
+  { counters = cs; histograms = hs }
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.lock;
+      h.obs_count <- 0;
+      h.obs_sum <- 0.;
+      h.obs_min <- infinity;
+      h.obs_max <- neg_infinity;
+      Mutex.unlock h.lock)
+    histograms;
+  Mutex.unlock registry_lock
+
+let pp_snapshot fmt (s : snapshot) =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf fmt "%-36s %12d@," name v) s.counters;
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf fmt "%-36s n=%d sum=%.3f min=%.3f max=%.3f mean=%.3f@," name h.h_count
+        h.h_sum h.h_min h.h_max
+        (h.h_sum /. float_of_int h.h_count))
+    s.histograms;
+  Format.fprintf fmt "@]"
+
+(* --- JSON export ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers may not be inf/nan; snapshots only expose nonempty
+   histograms, so min/max are always finite here. *)
+let json_float f = Printf.sprintf "%.6g" f
+
+let snapshot_to_json (s : snapshot) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    s.counters;
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s}"
+           (json_escape name) h.h_count (json_float h.h_sum) (json_float h.h_min)
+           (json_float h.h_max)
+           (json_float (h.h_sum /. float_of_int h.h_count))))
+    s.histograms;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

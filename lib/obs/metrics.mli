@@ -1,0 +1,77 @@
+(** Metrics registry: named monotonic counters and value histograms.
+
+    Every hot path in the repository reports through this module, so the
+    cost model of the paper (§3.4/§5 — pairings per row, Lagrange scalar
+    multiplications, bounded discrete logs) can be measured directly
+    rather than inferred from wall-clock time.
+
+    Collection is off by default: {!incr}/{!add}/{!observe} reduce to a
+    single flag test and return, so instrumented code pays nothing
+    measurable when disabled. Counters are [Atomic.t] cells, safe to
+    bump from the domains [Sagma.Scheme.aggregate] spawns; histograms
+    take a mutex per observation and are only used on coarse paths
+    (request latency, per-chunk timings). *)
+
+type counter
+type histogram
+
+val enabled : bool ref
+(** The global switch, [false] by default. Prefer {!set_enabled}; the
+    ref is exposed so hot paths can guard compound work with a single
+    load ([if !Metrics.enabled then ...]). *)
+
+val set_enabled : bool -> unit
+
+(** {1 Registration}
+
+    Registration is idempotent: calling {!counter} (or {!histogram})
+    twice with one name returns the same cell, so tests can look up the
+    handles the instrumented libraries registered at init time. Handles
+    should be created once at module initialization, never per
+    operation. *)
+
+val counter : string -> counter
+val histogram : string -> histogram
+
+(** {1 Hot-path recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val observe : histogram -> float -> unit
+
+val observe_ms : histogram -> (unit -> 'a) -> 'a
+(** [observe_ms h f] runs [f ()] and records its wall-clock duration in
+    milliseconds. When collection is disabled this is exactly [f ()].
+    Safe on any domain (unlike {!Trace.with_span}). *)
+
+val value : counter -> int
+(** Current count (readable even while disabled). *)
+
+(** {1 Snapshots} *)
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;        (** nonzero counters, sorted *)
+  histograms : (string * hist_stats) list;  (** nonempty histograms, sorted *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (registration is kept). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val snapshot_to_json : snapshot -> string
+(** A JSON object [{"counters": {...}, "histograms": {...}}]; histogram
+    entries carry count/sum/min/max/mean. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding inside JSON quotes (exposed for the
+    bench harness's hand-rolled emitter). *)

@@ -1,0 +1,53 @@
+(* Span tracing: a stack of open frames in the main domain; closing a
+   frame attaches the finished span to its parent or, for roots, to the
+   completed list. *)
+
+type span = { name : string; ms : float; children : span list }
+
+type frame = { f_name : string; start : float; mutable children_rev : span list }
+
+let stack : frame list ref = ref []
+let completed_rev : span list ref = ref []
+
+let now () = Unix.gettimeofday ()
+
+let with_span name f =
+  if not !Metrics.enabled then f ()
+  else begin
+    let fr = { f_name = name; start = now (); children_rev = [] } in
+    stack := fr :: !stack;
+    let finish () =
+      let ms = (now () -. fr.start) *. 1000. in
+      (match !stack with
+       | top :: rest when top == fr -> stack := rest
+       | _ -> () (* unbalanced close (span opened in another domain): drop *));
+      let sp = { name = fr.f_name; ms; children = List.rev fr.children_rev } in
+      match !stack with
+      | parent :: _ -> parent.children_rev <- sp :: parent.children_rev
+      | [] -> completed_rev := sp :: !completed_rev
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let roots () = List.rev !completed_rev
+let reset () = completed_rev := []
+
+let rec pp_indented fmt indent (s : span) =
+  Format.fprintf fmt "%s%-*s %8.1f ms@," indent (max 1 (32 - String.length indent)) s.name s.ms;
+  List.iter (pp_indented fmt (indent ^ "  ")) s.children
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>";
+  pp_indented fmt "" s;
+  Format.fprintf fmt "@]"
+
+let rec to_json (s : span) : string =
+  Printf.sprintf "{\"name\":\"%s\",\"ms\":%.3f,\"children\":[%s]}"
+    (Metrics.json_escape s.name) s.ms
+    (String.concat "," (List.map to_json s.children))

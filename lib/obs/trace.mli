@@ -1,0 +1,39 @@
+(** Span tracing: nested wall-clock timers producing a tree per query.
+
+    [with_span "phase" f] times [f] and records the span under the
+    enclosing one, so a query leaves a tree like
+
+    {v
+    aggregate                    41.2 ms
+      filter                      0.4 ms
+      bucket_intersection         1.9 ms
+      pairing_loop               38.6 ms
+    v}
+
+    Tracing shares {!Metrics.enabled}: disabled (the default),
+    [with_span] is a flag test plus a tail call. The span stack is a
+    single global — open spans only from the main domain (the
+    instrumented layers observe per-chunk timings into histograms from
+    spawned domains instead). *)
+
+type span = {
+  name : string;
+  ms : float;              (** wall-clock duration *)
+  children : span list;    (** in execution order *)
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a child of the innermost open span (or as a new root).
+    Exceptions propagate; the span is still recorded. *)
+
+val roots : unit -> span list
+(** Completed top-level spans since the last {!reset}, oldest first. *)
+
+val reset : unit -> unit
+(** Drop completed spans (open spans are unaffected). *)
+
+val pp : Format.formatter -> span -> unit
+(** The indented tree rendering shown above. *)
+
+val to_json : span -> string
+(** [{"name": ..., "ms": ..., "children": [...]}]. *)

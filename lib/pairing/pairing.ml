@@ -92,25 +92,33 @@ let miller_step (g : group) (t : Curve.point) (u : Curve.point) ~(xq : Z.t) ~(yq
 
 (* Miller's algorithm computing f_{n,P}(φ(Q)), followed by the final
    exponentiation. *)
+let m_pairings = Sagma_obs.Metrics.counter "pairing.pairings"
+let m_miller_steps = Sagma_obs.Metrics.counter "pairing.miller_steps"
+
 let pairing (g : group) (pp : Curve.point) (qq : Curve.point) : Fp2.t =
   match (pp, qq) with
   | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one
   | Curve.Affine _, Curve.Affine (xq, yq) ->
+    Sagma_obs.Metrics.incr m_pairings;
     let p = g.p in
     let f = ref Fp2.one in
     let t = ref pp in
+    let steps = ref 0 in
     let nbits = Z.num_bits g.n in
     for i = nbits - 2 downto 0 do
       f := Fp2.sqr ~p !f;
       let lv, t2 = miller_step g !t !t ~xq ~yq in
       (match lv with Some lv -> f := Fp2.mul ~p !f lv | None -> ());
       t := t2;
+      incr steps;
       if Z.bit g.n i then begin
         let lv, t3 = miller_step g !t pp ~xq ~yq in
         (match lv with Some lv -> f := Fp2.mul ~p !f lv | None -> ());
-        t := t3
+        t := t3;
+        incr steps
       end
     done;
+    Sagma_obs.Metrics.add m_miller_steps !steps;
     Fp2.pow ~p !f g.final_exp
 
 (* G_T helpers (the pairing target group μ_n ⊂ F_p²). *)

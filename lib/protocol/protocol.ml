@@ -6,12 +6,77 @@
    aggregates it decrypts locally. The server side (see {!Server}) only
    ever calls public-parameter operations.
 
-   Framing is left to {!Transport}; this module encodes single messages. *)
+   Framing is left to {!Transport}; this module encodes single messages.
+
+   Every message starts with a 2-byte magic ("SG") and a version byte,
+   so mismatched peers fail loudly instead of misparsing ciphertext
+   payloads: bad magic is a {!Sagma_wire.Wire.Decode_error} (not a SAGMA
+   frame at all), while a good magic with an unknown version raises the
+   typed {!Version_mismatch}. *)
 
 module W = Sagma_wire.Wire
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
 module Serialize = Sagma.Serialize
+
+let magic = "SG"
+let version = 1
+
+exception Version_mismatch of { expected : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Version_mismatch { expected; got } ->
+      Some (Printf.sprintf "Sagma_protocol.Protocol.Version_mismatch (expected %d, got %d)"
+              expected got)
+    | _ -> None)
+
+let put_header (s : W.sink) : unit =
+  W.put_u8 s (Char.code magic.[0]);
+  W.put_u8 s (Char.code magic.[1]);
+  W.put_u8 s version
+
+let get_header (s : W.source) : unit =
+  let m0 = W.get_u8 s in
+  let m1 = W.get_u8 s in
+  if m0 <> Char.code magic.[0] || m1 <> Char.code magic.[1] then
+    W.fail "bad magic 0x%02x%02x (not a SAGMA frame)" m0 m1;
+  let v = W.get_u8 s in
+  if v <> version then raise (Version_mismatch { expected = version; got = v })
+
+(* Structured failure codes, so clients can react programmatically
+   instead of string-matching messages. *)
+type error_code =
+  | No_such_table
+  | Bad_request          (* undecodable or semantically invalid request *)
+  | Unsupported          (* recognized but deliberately not implemented *)
+  | Version_unsupported  (* peer spoke a different protocol version *)
+  | Internal_error
+
+let error_code_to_string = function
+  | No_such_table -> "no-such-table"
+  | Bad_request -> "bad-request"
+  | Unsupported -> "unsupported"
+  | Version_unsupported -> "version-unsupported"
+  | Internal_error -> "internal-error"
+
+let put_error_code (s : W.sink) (c : error_code) : unit =
+  W.put_u8 s
+    (match c with
+     | No_such_table -> 0
+     | Bad_request -> 1
+     | Unsupported -> 2
+     | Version_unsupported -> 3
+     | Internal_error -> 4)
+
+let get_error_code (s : W.source) : error_code =
+  match W.get_u8 s with
+  | 0 -> No_such_table
+  | 1 -> Bad_request
+  | 2 -> Unsupported
+  | 3 -> Version_unsupported
+  | 4 -> Internal_error
+  | v -> W.fail "bad error code %d" v
 
 type request =
   | Upload of { name : string; table : Scheme.enc_table }
@@ -29,11 +94,14 @@ type response =
   | Ack
   | Tables of (string * int) list  (** table name, row count *)
   | Aggregates of Scheme.agg_result
-  | Failed of string
+  | Failed of { code : error_code; message : string }
+
+let failed code fmt = Printf.ksprintf (fun message -> Failed { code; message }) fmt
 
 (* --- codecs ------------------------------------------------------------------ *)
 
 let put_request (s : W.sink) (r : request) : unit =
+  put_header s;
   match r with
   | Upload { name; table } ->
     W.put_u8 s 0;
@@ -54,6 +122,7 @@ let put_request (s : W.sink) (r : request) : unit =
     W.put_bytes s name
 
 let get_request (s : W.source) : request =
+  get_header s;
   match W.get_u8 s with
   | 0 ->
     let name = W.get_bytes s in
@@ -73,6 +142,7 @@ let get_request (s : W.source) : request =
   | v -> W.fail "bad request tag %d" v
 
 let put_response (s : W.sink) (r : response) : unit =
+  put_header s;
   match r with
   | Ack -> W.put_u8 s 0
   | Tables ts ->
@@ -85,11 +155,13 @@ let put_response (s : W.sink) (r : response) : unit =
   | Aggregates a ->
     W.put_u8 s 2;
     Serialize.put_agg_result s a
-  | Failed msg ->
+  | Failed { code; message } ->
     W.put_u8 s 3;
-    W.put_bytes s msg
+    put_error_code s code;
+    W.put_bytes s message
 
 let get_response (s : W.source) : response =
+  get_header s;
   match W.get_u8 s with
   | 0 -> Ack
   | 1 ->
@@ -99,7 +171,10 @@ let get_response (s : W.source) : response =
            let rows = W.get_int s in
            (name, rows)))
   | 2 -> Aggregates (Serialize.get_agg_result s)
-  | 3 -> Failed (W.get_bytes s)
+  | 3 ->
+    let code = get_error_code s in
+    let message = W.get_bytes s in
+    Failed { code; message }
   | v -> W.fail "bad response tag %d" v
 
 let encode_request (r : request) : string = W.encode put_request r

@@ -2,10 +2,35 @@
 
     The paper's deployment model made concrete: a thin trusted client
     uploads encrypted tables, sends grouping tokens, and decrypts the
-    returned encrypted aggregates. Framing is {!Transport}'s job. *)
+    returned encrypted aggregates. Framing is {!Transport}'s job.
+
+    Every message is prefixed with the magic {!magic} and the protocol
+    {!version}: decoding a frame from a peer speaking another version
+    raises {!Version_mismatch}; a frame without the magic raises
+    [Sagma_wire.Wire.Decode_error]. *)
 
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
+
+val magic : string
+(** ["SG"] — the two bytes opening every frame. *)
+
+val version : int
+(** Wire protocol version this build speaks (currently 1). *)
+
+exception Version_mismatch of { expected : int; got : int }
+
+(** Structured failure codes, so clients can react programmatically
+    instead of string-matching messages. *)
+type error_code =
+  | No_such_table
+  | Bad_request          (** undecodable or semantically invalid request *)
+  | Unsupported          (** recognized but deliberately not implemented *)
+  | Version_unsupported  (** peer spoke a different protocol version *)
+  | Internal_error
+
+val error_code_to_string : error_code -> string
+(** Stable kebab-case name, e.g. ["no-such-table"]. *)
 
 type request =
   | Upload of { name : string; table : Scheme.enc_table }
@@ -20,12 +45,17 @@ type response =
   | Ack
   | Tables of (string * int) list  (** name, row count *)
   | Aggregates of Scheme.agg_result
-  | Failed of string
+  | Failed of { code : error_code; message : string }
+
+val failed : error_code -> ('a, unit, string, response) format4 -> 'a
+(** [failed code fmt ...] builds a {!Failed} response. *)
 
 val encode_request : request -> string
 val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
+(** Decoders raise {!Version_mismatch} on a recognized frame of another
+    version, [Sagma_wire.Wire.Decode_error] on anything malformed. *)
 
 val put_request : Sagma_wire.Wire.sink -> request -> unit
 val get_request : Sagma_wire.Wire.source -> request

@@ -8,6 +8,13 @@
 
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
+module Obs = Sagma_obs.Metrics
+
+let m_requests = Obs.counter "proto.requests"
+let m_failed = Obs.counter "proto.requests_failed"
+let m_bytes_in = Obs.counter "proto.bytes_in"
+let m_bytes_out = Obs.counter "proto.bytes_out"
+let h_request_ms = Obs.histogram "proto.request_ms"
 
 type t = { tables : (string, Scheme.enc_table) Hashtbl.t }
 
@@ -28,20 +35,22 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
       Hashtbl.remove s.tables name;
       Protocol.Ack
     end
-    else Protocol.Failed (Printf.sprintf "no such table %S" name)
+    else Protocol.failed Protocol.No_such_table "no such table %S" name
   | Protocol.Aggregate { name; token } -> begin
     match Hashtbl.find_opt s.tables name with
-    | None -> Protocol.Failed (Printf.sprintf "no such table %S" name)
+    | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
     | Some et -> (
-      try Protocol.Aggregates (Scheme.aggregate et token)
-      with Invalid_argument msg | Failure msg -> Protocol.Failed msg)
+      try Protocol.Aggregates (Scheme.aggregate et token) with
+      | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
+      | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   end
   | Protocol.Append { name; row; keywords } -> begin
     match Hashtbl.find_opt s.tables name with
-    | None -> Protocol.Failed (Printf.sprintf "no such table %S" name)
+    | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
     | Some et when et.Scheme.index_mode = Scheme.Oxt_conjunctive ->
       ignore (row, keywords);
-      Protocol.Failed "remote appends are unsupported for OXT-indexed tables"
+      Protocol.failed Protocol.Unsupported
+        "remote appends are unsupported for OXT-indexed tables"
     | Some et -> (
       try
         let id = Array.length et.Scheme.rows in
@@ -55,15 +64,28 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
         Hashtbl.replace s.tables name
           { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
         Protocol.Ack
-      with Invalid_argument msg | Failure msg -> Protocol.Failed msg)
+      with
+      | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
+      | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   end
 
 (* Handle a raw encoded request, never letting an exception cross the
    transport boundary. *)
 let handle_encoded (s : t) (raw : string) : string =
+  Obs.incr m_requests;
+  Obs.add m_bytes_in (String.length raw);
   let response =
-    try handle s (Protocol.decode_request raw) with
-    | Sagma_wire.Wire.Decode_error msg -> Protocol.Failed ("malformed request: " ^ msg)
-    | Invalid_argument msg | Failure msg -> Protocol.Failed msg
+    Obs.observe_ms h_request_ms (fun () ->
+        try handle s (Protocol.decode_request raw) with
+        | Sagma_wire.Wire.Decode_error msg ->
+          Protocol.failed Protocol.Bad_request "malformed request: %s" msg
+        | Protocol.Version_mismatch { expected; got } ->
+          Protocol.failed Protocol.Version_unsupported
+            "protocol version %d not supported (this server speaks %d)" got expected
+        | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
+        | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   in
-  Protocol.encode_response response
+  (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
+  let encoded = Protocol.encode_response response in
+  Obs.add m_bytes_out (String.length encoded);
+  encoded

@@ -4,6 +4,13 @@
 
 let max_frame = 1 lsl 30
 
+module Obs = Sagma_obs.Metrics
+
+let m_frames_sent = Obs.counter "transport.frames_sent"
+let m_bytes_sent = Obs.counter "transport.bytes_sent"
+let m_frames_recv = Obs.counter "transport.frames_recv"
+let m_bytes_recv = Obs.counter "transport.bytes_recv"
+
 let write_all (fd : Unix.file_descr) (data : string) : unit =
   let len = String.length data in
   let bytes = Bytes.unsafe_of_string data in
@@ -34,6 +41,8 @@ let send (fd : Unix.file_descr) (msg : string) : unit =
   let hdr =
     String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
   in
+  Obs.incr m_frames_sent;
+  Obs.add m_bytes_sent (4 + len);
   write_all fd (hdr ^ msg)
 
 let recv (fd : Unix.file_descr) : string =
@@ -41,6 +50,8 @@ let recv (fd : Unix.file_descr) : string =
   let len = ref 0 in
   String.iter (fun c -> len := (!len lsl 8) lor Char.code c) hdr;
   if !len > max_frame then failwith "Transport.recv: frame too large";
+  Obs.incr m_frames_recv;
+  Obs.add m_bytes_recv (4 + !len);
   read_exactly fd !len
 
 (* One client request/response exchange. *)
@@ -48,12 +59,16 @@ let call (fd : Unix.file_descr) (req : Protocol.request) : Protocol.response =
   send fd (Protocol.encode_request req);
   Protocol.decode_response (recv fd)
 
-(* Serve one connection until the peer closes. *)
-let serve_connection (state : Server.t) (fd : Unix.file_descr) : unit =
+(* Serve one connection until the peer closes. [after_request] runs once
+   per handled request — the server binary hooks periodic metric dumps
+   here. *)
+let serve_connection ?(after_request = fun () -> ()) (state : Server.t)
+    (fd : Unix.file_descr) : unit =
   let rec loop () =
     match recv fd with
     | raw ->
       send fd (Server.handle_encoded state raw);
+      after_request ();
       loop ()
     | exception (Failure _ | End_of_file | Unix.Unix_error _) -> ()
   in
@@ -61,14 +76,14 @@ let serve_connection (state : Server.t) (fd : Unix.file_descr) : unit =
 
 (* Blocking accept loop; connections are served sequentially (the server
    holds mutable shared state). *)
-let listen_and_serve ?(backlog = 8) ~(port : int) (state : Server.t) : unit =
+let listen_and_serve ?(backlog = 8) ?after_request ~(port : int) (state : Server.t) : unit =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen sock backlog;
   let rec accept_loop () =
     let conn, _ = Unix.accept sock in
-    (try serve_connection state conn with _ -> ());
+    (try serve_connection ?after_request state conn with _ -> ());
     (try Unix.close conn with Unix.Unix_error _ -> ());
     accept_loop ()
   in

@@ -14,10 +14,13 @@ val recv : Unix.file_descr -> string
 val call : Unix.file_descr -> Protocol.request -> Protocol.response
 (** One request/response exchange. *)
 
-val serve_connection : Server.t -> Unix.file_descr -> unit
-(** Serve one connection until the peer closes. *)
+val serve_connection :
+  ?after_request:(unit -> unit) -> Server.t -> Unix.file_descr -> unit
+(** Serve one connection until the peer closes. [after_request] runs
+    after each handled request (e.g. to dump metrics periodically). *)
 
-val listen_and_serve : ?backlog:int -> port:int -> Server.t -> unit
+val listen_and_serve :
+  ?backlog:int -> ?after_request:(unit -> unit) -> port:int -> Server.t -> unit
 (** Blocking accept loop on localhost; connections served
     sequentially. *)
 

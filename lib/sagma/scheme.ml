@@ -29,6 +29,16 @@ module Crt = Sagma_bgn.Crt_channels
 module Sse = Sagma_sse.Sse
 module Oxt = Sagma_sse.Oxt
 module Curve = Sagma_pairing.Curve
+module Obs = Sagma_obs.Metrics
+module Trace = Sagma_obs.Trace
+
+(* Scheme-level observability: row/bucket volumes plus per-chunk wall
+   clock for the parallel accumulation path (chunks run on spawned
+   domains, where spans are off-limits). *)
+let m_enc_rows = Obs.counter "scheme.enc.rows"
+let m_agg_rows = Obs.counter "scheme.agg.rows"
+let m_agg_buckets = Obs.counter "scheme.agg.joint_buckets"
+let h_chunk_ms = Obs.histogram "scheme.agg.chunk_ms"
 
 (* --- public parameters and keys (Algorithm 1: Setup) -------------------- *)
 
@@ -234,6 +244,7 @@ let encrypt_table ?(dummy_groups : Value.t array list = []) ?(index_mode = Per_a
         in
         enc_row_raw c ~values ~offsets ~dummy:(r >= num_real))
   in
+  Obs.add m_enc_rows total;
   (* SSE postings: bucket membership for every group column (Algorithm 2)
      plus filter keywords for real rows. *)
   let postings : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -590,6 +601,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
      clauses' results; each range clause contributes the union of its
      dyadic cover. *)
   let filtered =
+    Trace.with_span "filter" @@ fun () ->
     let equality_sets =
       List.map (fun t -> Int_set.of_list (Sse.search et.index t)) tok.filter_tokens
     in
@@ -610,6 +622,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
      queried columns' bucket posting lists; joint mode reads each joint
      bucket's rows in one SSE query. *)
   let joint_bucket_rows : (int array * int list) list =
+    Trace.with_span "bucket_intersection" @@ fun () ->
     match tok.source with
     | Joint_tokens entries ->
       Array.to_list entries
@@ -662,6 +675,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
   (* Public indicator coefficients per block vector: the constant term and
      (monomial position, coefficient) pairs. Shared across joint buckets. *)
   let block_coeffs =
+    Trace.with_span "indicator_coeffs" @@ fun () ->
     Array.init num_blocks (fun bi ->
         let j = block_vector ~bucket_size ~arity bi in
         let terms = Polynomial.multivariate_indicator ~n ~bucket_size j in
@@ -703,8 +717,10 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
      parallelizes query execution the same way). *)
   let aggregate_bucket (bucket_ids, rows) =
     touched := !touched + List.length rows;
+    Obs.incr m_agg_buckets;
+    Obs.add m_agg_rows (List.length rows);
     let num_channels = Crt.channels pp.channels in
-        let accumulate (chunk : int list) =
+        let accumulate_chunk (chunk : int list) =
           let sums =
             Option.map
               (fun _ -> Array.init num_blocks (fun _ -> Array.make num_channels Bgn.zero2))
@@ -741,6 +757,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
             chunk;
           (sums, counts_l1, counts_l2)
         in
+        let accumulate chunk = Obs.observe_ms h_chunk_ms (fun () -> accumulate_chunk chunk) in
         let merge (s1, c1a, c1b) (s2, c2a, c2b) =
           let merge_arr2 a b = Array.map2 (Array.map2 (Bgn.add2 pk)) a b in
           ( (match (s1, s2) with
@@ -773,7 +790,9 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
     in
     { bucket_ids; group_size = List.length rows; blocks = { sums; counts_l1; counts_l2 } }
   in
-  let buckets = List.map aggregate_bucket joint_bucket_rows in
+  let buckets =
+    Trace.with_span "pairing_loop" (fun () -> List.map aggregate_bucket joint_bucket_rows)
+  in
   { buckets; touched_rows = !touched }
 
 (* --- decryption (Algorithm 6) -------------------------------------------- *)
@@ -858,11 +877,17 @@ let decrypt (c : client) (tok : token) (agg : agg_result) ~(total_rows : int) : 
     (fun a b -> Stdlib.compare (List.map Value.to_string a.group) (List.map Value.to_string b.group))
     !results
 
-(* End-to-end convenience: token → aggregate → decrypt. *)
-let query (c : client) (et : enc_table) (q : Query.t) : result_row list =
-  let tok = token ~index_mode:et.index_mode ~oxt_rows:(Array.length et.rows) c q in
-  let agg = aggregate et tok in
-  decrypt c tok agg ~total_rows:(Array.length et.rows)
+(* End-to-end convenience: token → aggregate → decrypt. The optional
+   arguments default to the table's own mode and row count; [domains]
+   parallelizes the aggregation step. *)
+let query ?index_mode ?oxt_rows ?(domains = 1) (c : client) (et : enc_table) (q : Query.t) :
+    result_row list =
+  let index_mode = Option.value index_mode ~default:et.index_mode in
+  let oxt_rows = Option.value oxt_rows ~default:(Array.length et.rows) in
+  let tok = Trace.with_span "token" (fun () -> token ~index_mode ~oxt_rows c q) in
+  let agg = Trace.with_span "aggregate" (fun () -> aggregate ~domains et tok) in
+  Trace.with_span "decrypt" (fun () ->
+      decrypt c tok agg ~total_rows:(Array.length et.rows))
 
 let aggregate_value (q : Query.t) (r : result_row) : float =
   match q.Query.aggregate with

@@ -217,8 +217,19 @@ val decrypt : client -> token -> agg_result -> total_rows:int -> result_row list
     recombination, inverse bucket mapping, and suppression of empty
     groups. *)
 
-val query : client -> enc_table -> Query.t -> result_row list
-(** Convenience: token → aggregate → decrypt. *)
+val query :
+  ?index_mode:index_mode ->
+  ?oxt_rows:int ->
+  ?domains:int ->
+  client ->
+  enc_table ->
+  Query.t ->
+  result_row list
+(** Convenience: token → aggregate → decrypt, wrapped in trace spans
+    ("token"/"aggregate"/"decrypt", see {!Sagma_obs.Trace}).
+    [index_mode] defaults to the table's own mode and [oxt_rows] to its
+    row count — override only to exercise a mismatch deliberately.
+    [domains] > 1 parallelizes the aggregation step. *)
 
 val aggregate_value : Query.t -> result_row -> float
 (** SUM/COUNT/AVG as the query requested. *)

@@ -169,10 +169,14 @@ let xtokens (params : params) (k : key) ~(s_term : string) ~(x_terms : string li
       Array.of_list
         (List.map (fun fx -> Curve.mul curve (Z.mulm z fx n) params.base) fxs))
 
+let m_searches = Sagma_obs.Metrics.counter "oxt.searches"
+let m_postings = Sagma_obs.Metrics.counter "oxt.postings_scanned"
+
 (* Round 2 (server): filter the s-term's entries by cross-tag membership
    and return the unmasked matching ids. *)
 let search (params : params) (index : index) (st : stag)
     (xtoks : Curve.point array array) : int list =
+  Sagma_obs.Metrics.incr m_searches;
   let curve = params.group.Pairing.curve in
   let out = ref [] in
   Array.iteri
@@ -181,6 +185,7 @@ let search (params : params) (index : index) (st : stag)
       match Hashtbl.find_opt index.tset label with
       | None -> ()
       | Some entry ->
+        Sagma_obs.Metrics.incr m_postings;
         let all_match =
           Array.for_all
             (fun xtok -> Hashtbl.mem index.xset (Curve.serialize (Curve.mul curve entry.y xtok)))

@@ -99,14 +99,19 @@ let add_with_token (index : index) (t : token) ~(counter : int) (id : int) : ind
   Hashtbl.add dict label value;
   { dict; entries = index.entries + 1 }
 
+let m_searches = Sagma_obs.Metrics.counter "sse.searches"
+let m_postings = Sagma_obs.Metrics.counter "sse.postings_scanned"
+
 (* Server-side search: walk counters until a label misses. *)
 let search (index : index) (t : token) : int list =
+  Sagma_obs.Metrics.incr m_searches;
   let rec go counter acc =
     let c = string_of_int counter in
     let label = Prf.eval_trunc t.t_label c ~len:label_size in
     match Hashtbl.find_opt index.dict label with
     | None -> List.rev acc
     | Some masked ->
+      Sagma_obs.Metrics.incr m_postings;
       let mask = Prf.eval_trunc t.t_mask c ~len:id_size in
       go (counter + 1) (decode_id (Sagma_crypto.Encoding.xor masked mask) :: acc)
   in

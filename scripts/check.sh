@@ -1,0 +1,45 @@
+#!/bin/sh
+# Repository gate: build, run every test suite, then smoke-test the
+# instrumented bench target and validate the BENCH_PR1.json it emits.
+# Usage: scripts/check.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (json target -> BENCH_PR1.json) =="
+dune exec bench/main.exe -- json
+
+echo "== validate BENCH_PR1.json =="
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_PR1.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "json"
+workloads = doc["workloads"]
+assert len(workloads) >= 4, f"expected >= 4 workloads, got {len(workloads)}"
+for w in workloads:
+    for key in ("name", "rows", "result_groups", "timings_ms", "spans", "metrics"):
+        assert key in w, f"workload {w.get('name')} missing {key}"
+    for phase in ("token", "aggregate", "decrypt"):
+        assert w["timings_ms"][phase] >= 0
+    assert w["result_groups"] > 0, f"{w['name']} returned no groups"
+    names = [s["name"] for s in w["spans"]]
+    assert names == ["token", "aggregate", "decrypt"], names
+    counters = w["metrics"]["counters"]
+    assert counters.get("scheme.agg.rows", 0) > 0, f"{w['name']}: no rows aggregated"
+    if w["name"].startswith("sum"):
+        assert counters.get("bgn.mul", 0) > 0, f"{w['name']}: no pairings recorded"
+
+print(f"BENCH_PR1.json OK: {len(workloads)} workloads")
+EOF
+
+echo "== all checks passed =="

@@ -1,0 +1,273 @@
+(* Tests for the observability subsystem (Sagma_obs) and the Client_api
+   facade: metrics are free when disabled, counters match the analytic
+   cost model of §3.4 (pairings per row × block × channel), spans nest
+   per query phase, and the facade agrees with the plaintext oracle. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Executor = Sagma_db.Executor
+module Metrics = Sagma_obs.Metrics
+module Trace = Sagma_obs.Trace
+open Sagma
+
+let str s = Value.Str s
+let vi i = Value.Int i
+
+(* Every test leaves the registry the way it found it: disabled, zeroed. *)
+let with_metrics ?(enabled = true) f =
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Trace.reset ())
+    (fun () ->
+      Metrics.reset ();
+      Trace.reset ();
+      Metrics.set_enabled enabled;
+      f ())
+
+(* --- metrics registry ----------------------------------------------------- *)
+
+let test_disabled_by_default () =
+  Alcotest.(check bool) "collection starts off" false !Metrics.enabled;
+  let c = Metrics.counter "test.off" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr/add are no-ops when off" 0 (Metrics.value c);
+  let h = Metrics.histogram "test.off_hist" in
+  Metrics.observe h 3.0;
+  let s = Metrics.snapshot () in
+  Alcotest.(check bool)
+    "histogram untouched when off" false
+    (List.mem_assoc "test.off_hist" s.Metrics.histograms)
+
+let test_counter_basics () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test.basics" in
+  Metrics.incr c;
+  Metrics.add c 9;
+  Alcotest.(check int) "incr + add" 10 (Metrics.value c);
+  (* registration is idempotent: same name, same cell *)
+  let c' = Metrics.counter "test.basics" in
+  Metrics.incr c';
+  Alcotest.(check int) "same cell under one name" 11 (Metrics.value c);
+  let s = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "snapshot carries the count" (Some 11)
+    (List.assoc_opt "test.basics" s.Metrics.counters);
+  Alcotest.(check bool)
+    "zero counters are filtered out" false
+    (List.mem_assoc "test.off" s.Metrics.counters);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.value c)
+
+let test_histogram_stats () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test.hist" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 3.0;
+  let s = Metrics.snapshot () in
+  let st = List.assoc "test.hist" s.Metrics.histograms in
+  Alcotest.(check int) "count" 2 st.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 4.0 st.Metrics.h_sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 st.Metrics.h_min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 st.Metrics.h_max
+
+let test_observe_ms () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test.timed" in
+  Alcotest.(check int) "return value passes through" 7 (Metrics.observe_ms h (fun () -> 7));
+  let st = List.assoc "test.timed" (Metrics.snapshot ()).Metrics.histograms in
+  Alcotest.(check int) "one observation" 1 st.Metrics.h_count;
+  Alcotest.(check bool) "non-negative duration" true (st.Metrics.h_min >= 0.0)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_snapshot_json () =
+  with_metrics @@ fun () ->
+  Metrics.add (Metrics.counter "test.json") 5;
+  Metrics.observe (Metrics.histogram "test.json_hist") 2.0;
+  let j = Metrics.snapshot_to_json (Metrics.snapshot ()) in
+  Alcotest.(check bool) "counter in JSON" true (contains j "\"test.json\":5");
+  Alcotest.(check bool) "histogram in JSON" true (contains j "\"test.json_hist\"");
+  Alcotest.(check string) "escaping" "a\\\"b\\\\c\\n" (Metrics.json_escape "a\"b\\c\n")
+
+(* --- span tracing ---------------------------------------------------------- *)
+
+let span_names roots = List.map (fun s -> s.Trace.name) roots
+
+let test_span_nesting () =
+  with_metrics @@ fun () ->
+  let v =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "first" (fun () -> ()) ;
+        Trace.with_span "second" (fun () -> 42))
+  in
+  Alcotest.(check int) "value passes through" 42 v;
+  (match Trace.roots () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" root.Trace.name;
+    Alcotest.(check (list string))
+      "children in execution order" [ "first"; "second" ]
+      (span_names root.Trace.children);
+    Alcotest.(check bool) "duration covers children" true
+      (root.Trace.ms >= 0.0
+      && List.for_all (fun c -> c.Trace.ms <= root.Trace.ms +. 1e-6) root.Trace.children)
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+  Trace.reset ();
+  Alcotest.(check int) "reset drops roots" 0 (List.length (Trace.roots ()))
+
+let test_span_disabled_and_exn () =
+  (* disabled: no recording at all *)
+  Trace.reset ();
+  Trace.with_span "ghost" (fun () -> ());
+  Alcotest.(check int) "nothing recorded when off" 0 (List.length (Trace.roots ()));
+  (* enabled: a raising body still closes its span *)
+  with_metrics @@ fun () ->
+  (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check (list string)) "span recorded despite raise" [ "boom" ]
+    (span_names (Trace.roots ()))
+
+(* --- scheme counters vs the analytic cost model ---------------------------- *)
+
+let schema : Table.schema =
+  [ { Table.name = "salary"; ty = Value.TInt }; { Table.name = "dept"; ty = Value.TStr } ]
+
+let dept_domain = [ str "A"; str "B"; str "C" ]
+
+let table =
+  Table.of_rows schema
+    [ [| vi 1000; str "A" |];
+      [| vi 2000; str "B" |];
+      [| vi 3000; str "C" |];
+      [| vi 4000; str "A" |] ]
+
+let config =
+  Config.make ~bucket_size:2 ~max_group_attrs:1 ~filter_columns:[ "dept" ]
+    ~value_columns:[ "salary" ] ~group_columns:[ "dept" ] ()
+
+(* Built with metrics disabled so setup/encryption costs don't pollute the
+   per-query counter assertions below. *)
+let client = Scheme.setup config ~domains:[ ("dept", dept_domain) ] (Sagma_crypto.Drbg.create "obs-tests")
+let enc = Scheme.encrypt_table client table
+
+let test_sum_matches_cost_model () =
+  with_metrics @@ fun () ->
+  let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+  let rows = Scheme.query client enc q in
+  Alcotest.(check int) "three groups" 3 (List.length rows);
+  (* §3.4: one ciphertext multiplication (pairing) per touched row, per
+     block of the joint bucket (B^arity = 2) and per CRT channel. *)
+  let channels = Scheme.Crt.channels client.Scheme.pp.Scheme.channels in
+  let expected_mul = 4 * 2 * channels in
+  Alcotest.(check int) "bgn.mul = rows × blocks × channels" expected_mul
+    (Metrics.value (Metrics.counter "bgn.mul"));
+  Alcotest.(check int) "every row touched exactly once" 4
+    (Metrics.value (Metrics.counter "scheme.agg.rows"));
+  Alcotest.(check int) "one joint bucket per dept bucket" 2
+    (Metrics.value (Metrics.counter "scheme.agg.joint_buckets"));
+  Alcotest.(check bool) "decryption solved discrete logs" true
+    (Metrics.value (Metrics.counter "bgn.dlog.solves") > 0)
+
+let test_count_needs_no_pairings () =
+  with_metrics @@ fun () ->
+  (* Count_level1 (no dummy rows): indicators are summed in G1 — curve
+     additions only, zero ciphertext multiplications. *)
+  let q = Query.make ~group_by:[ "dept" ] Query.Count in
+  let rows = Scheme.query client enc q in
+  Alcotest.(check int) "three groups" 3 (List.length rows);
+  Alcotest.(check int) "COUNT performs no bgn.mul" 0
+    (Metrics.value (Metrics.counter "bgn.mul"));
+  Alcotest.(check int) "rows still walked" 4
+    (Metrics.value (Metrics.counter "scheme.agg.rows"))
+
+let test_query_trace_shape () =
+  with_metrics @@ fun () ->
+  let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+  ignore (Scheme.query client enc q);
+  Alcotest.(check (list string)) "one root per query phase"
+    [ "token"; "aggregate"; "decrypt" ]
+    (span_names (Trace.roots ()));
+  let agg = List.nth (Trace.roots ()) 1 in
+  Alcotest.(check (list string)) "aggregate sub-phases"
+    [ "filter"; "bucket_intersection"; "indicator_coeffs"; "pairing_loop" ]
+    (span_names agg.Trace.children)
+
+(* --- Client_api facade vs the plaintext oracle ------------------------------ *)
+
+let results_to_list rs =
+  List.map (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count)) rs
+
+let oracle_to_list rs =
+  List.map (fun r -> (List.map Value.to_string r.Executor.group, r.Executor.sum, r.Executor.count)) rs
+
+let facade () =
+  let t = Client_api.create ~config ~domains:[ ("dept", dept_domain) ] ~seed:"obs-facade" () in
+  Client_api.encrypt t ~table;
+  t
+
+let check_facade_matches_oracle name t plain_table q =
+  Alcotest.(check (list (triple (list string) int int)))
+    name
+    (oracle_to_list (Executor.run plain_table q))
+    (results_to_list (Client_api.query t q))
+
+let test_facade_matches_executor () =
+  let t = facade () in
+  Alcotest.(check int) "row_count" 4 (Client_api.row_count t);
+  check_facade_matches_oracle "SUM" t table (Query.make ~group_by:[ "dept" ] (Query.Sum "salary"));
+  check_facade_matches_oracle "COUNT" t table (Query.make ~group_by:[ "dept" ] Query.Count);
+  check_facade_matches_oracle "AVG" t table (Query.make ~group_by:[ "dept" ] (Query.Avg "salary"));
+  check_facade_matches_oracle "filtered SUM" t table
+    (Query.make ~where:[ ("dept", str "A") ] ~group_by:[ "dept" ] (Query.Sum "salary"))
+
+let test_facade_append_matches_executor () =
+  let t = facade () in
+  Client_api.append t ~values:[| 5000 |] ~groups:[| str "B" |]
+    ~filters:[ ("dept", str "B") ];
+  Alcotest.(check int) "row appended" 5 (Client_api.row_count t);
+  let extended =
+    Table.of_rows schema
+      [ [| vi 1000; str "A" |];
+        [| vi 2000; str "B" |];
+        [| vi 3000; str "C" |];
+        [| vi 4000; str "A" |];
+        [| vi 5000; str "B" |] ]
+  in
+  check_facade_matches_oracle "SUM after append" t extended
+    (Query.make ~group_by:[ "dept" ] (Query.Sum "salary"));
+  check_facade_matches_oracle "filtered SUM after append" t extended
+    (Query.make ~where:[ ("dept", str "B") ] ~group_by:[ "dept" ] (Query.Sum "salary"))
+
+let test_facade_unencrypted_raises () =
+  let t = Client_api.create ~config ~domains:[ ("dept", dept_domain) ] () in
+  Alcotest.(check int) "no rows yet" 0 (Client_api.row_count t);
+  Alcotest.check_raises "query before encrypt"
+    (Invalid_argument "Client_api: no table encrypted yet") (fun () ->
+      ignore (Client_api.query t (Query.make ~group_by:[ "dept" ] Query.Count)))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "observe_ms" `Quick test_observe_ms;
+          Alcotest.test_case "snapshot to JSON" `Quick test_snapshot_json ] );
+      ( "trace",
+        [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled + exception safety" `Quick test_span_disabled_and_exn ] );
+      ( "scheme counters",
+        [ Alcotest.test_case "SUM matches cost model" `Quick test_sum_matches_cost_model;
+          Alcotest.test_case "COUNT needs no pairings" `Quick test_count_needs_no_pairings;
+          Alcotest.test_case "query trace shape" `Quick test_query_trace_shape ] );
+      ( "facade",
+        [ Alcotest.test_case "matches Executor.run" `Quick test_facade_matches_executor;
+          Alcotest.test_case "append matches Executor.run" `Quick
+            test_facade_append_matches_executor;
+          Alcotest.test_case "query before encrypt raises" `Quick test_facade_unencrypted_raises ] )
+    ]

@@ -175,10 +175,66 @@ let test_malformed_request () =
   let state = Server.create () in
   let raw = Server.handle_encoded state "\xff\x00garbage" in
   match P.decode_response raw with
-  | P.Failed msg ->
+  | P.Failed { code; message } ->
+    Alcotest.(check string) "bad-request code" "bad-request" (P.error_code_to_string code);
     Alcotest.(check bool) "mentions malformed" true
-      (String.length msg >= 9 && String.sub msg 0 9 = "malformed")
+      (String.length message >= 9 && String.sub message 0 9 = "malformed")
   | _ -> Alcotest.fail "expected failure"
+
+(* --- versioned framing ---------------------------------------------------------- *)
+
+let test_version_prefix () =
+  (* Every frame opens with the magic and the current version byte. *)
+  let req = P.encode_request P.List_tables in
+  Alcotest.(check string) "request magic" P.magic (String.sub req 0 2);
+  Alcotest.(check int) "request version" P.version (Char.code req.[2]);
+  let resp = P.encode_response P.Ack in
+  Alcotest.(check string) "response magic" P.magic (String.sub resp 0 2);
+  Alcotest.(check int) "response version" P.version (Char.code resp.[2]);
+  (* And both round-trip. *)
+  Alcotest.(check bool) "request roundtrip" true (P.decode_request req = P.List_tables);
+  Alcotest.(check bool) "response roundtrip" true (P.decode_response resp = P.Ack)
+
+let flip_version (frame : string) ~(v : int) : string =
+  String.mapi (fun i c -> if i = 2 then Char.chr v else c) frame
+
+let test_old_frame_rejected () =
+  (* A frame carrying another version must raise the typed exception,
+     not misparse: flip the version byte of a valid frame. *)
+  let req = flip_version (P.encode_request P.List_tables) ~v:(P.version + 1) in
+  Alcotest.check_raises "future version"
+    (P.Version_mismatch { expected = P.version; got = P.version + 1 })
+    (fun () -> ignore (P.decode_request req));
+  let old = flip_version (P.encode_request (P.Drop "t")) ~v:0 in
+  Alcotest.check_raises "version 0"
+    (P.Version_mismatch { expected = P.version; got = 0 })
+    (fun () -> ignore (P.decode_request old));
+  (* A frame without the magic is not a SAGMA frame at all. *)
+  (match P.decode_request ("XX" ^ String.make 3 '\x01') with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "bad magic accepted")
+
+let test_server_rejects_old_frame () =
+  (* The server answers a mismatched frame with a current-version
+     structured failure rather than crashing the connection. *)
+  let state = Server.create () in
+  let old = flip_version (P.encode_request P.List_tables) ~v:(P.version + 3) in
+  match P.decode_response (Server.handle_encoded state old) with
+  | P.Failed { code = P.Version_unsupported; _ } -> ()
+  | P.Failed { code; _ } ->
+    Alcotest.failf "wrong code %s" (P.error_code_to_string code)
+  | _ -> Alcotest.fail "expected failure"
+
+let test_error_code_roundtrip () =
+  List.iter
+    (fun code ->
+      let resp = P.Failed { code; message = "m" } in
+      Alcotest.(check bool)
+        (P.error_code_to_string code)
+        true
+        (P.decode_response (P.encode_response resp) = resp))
+    [ P.No_such_table; P.Bad_request; P.Unsupported; P.Version_unsupported;
+      P.Internal_error ]
 
 (* --- transport over a real socket pair ------------------------------------------- *)
 
@@ -243,6 +299,11 @@ let () =
         [ Alcotest.test_case "handler" `Quick test_server_handler;
           Alcotest.test_case "remote append" `Quick test_server_remote_append;
           Alcotest.test_case "malformed request" `Quick test_malformed_request ] );
+      ( "versioning",
+        [ Alcotest.test_case "frame prefix" `Quick test_version_prefix;
+          Alcotest.test_case "old frame rejected" `Quick test_old_frame_rejected;
+          Alcotest.test_case "server rejects old frame" `Quick test_server_rejects_old_frame;
+          Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip ] );
       ("transport", [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ]);
       ("properties", props);
     ]
