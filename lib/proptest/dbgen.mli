@@ -1,0 +1,41 @@
+(** Random relational scenarios — schema, domains, table and queries —
+    the shared input shape of the differential oracle harness.
+
+    Group domains are generated alongside the table because SAGMA's
+    Setup (Algorithm 1) requires every group column's full domain up
+    front; generated rows only ever use in-domain group values. *)
+
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+
+type scenario = {
+  bucket_size : int;
+  max_group_attrs : int;
+  value_columns : string list;
+  group_domains : (string * Value.t list) list;
+  filter_domains : (string * Value.t list) list;
+  schema : Table.schema;
+  rows : Value.t array list;
+  table : Table.t;
+  queries : Query.t list;
+}
+
+val domain_gen : max_size:int -> Value.t list Gen.t
+(** Distinct string- or int-typed domain of 1..max_size values. *)
+
+val query_gen :
+  (string * Value.t list) list ->
+  (string * Value.t list) list ->
+  string list ->
+  max_group_attrs:int ->
+  Query.t Gen.t
+(** Random GROUP BY subset (≤ t), SUM/COUNT/AVG, optional equality
+    filter — sometimes on a value absent from the table. *)
+
+val scenario_gen : ?max_rows:int -> ?max_queries:int -> unit -> scenario Gen.t
+
+val scenario_shrink : scenario Shrink.t
+(** Drops rows first, then queries (never below one query). *)
+
+val print_scenario : scenario -> string

@@ -1,0 +1,143 @@
+(* Property runner: deterministic case seeding, greedy shrinking, and
+   counterexample reports that name the exact seed reproducing the
+   failure.
+
+   Case i of a test draws from a DRBG seeded with
+   [test_name ^ "|" ^ case_seed], where [case_seed] is the run seed for
+   i = 0 and [seed ^ "@" ^ i] otherwise. Re-running the suite with
+   ~seed:"<seed>@<i>" therefore replays the failing draw verbatim as its
+   case 0 — that is the string failure reports print. *)
+
+module Drbg = Sagma_crypto.Drbg
+
+exception Discard
+(* A property raises this to reject the drawn input (precondition not
+   met); the case counts as neither pass nor failure. *)
+
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+let arbitrary ?(shrink = Shrink.nothing) ?(print = fun _ -> "<no printer>") (gen : 'a Gen.t) :
+    'a arbitrary =
+  { gen; shrink; print }
+
+type test = {
+  name : string;
+  count : int;
+  body : seed:string -> count:int -> (string * string) option;
+      (* [body] runs all cases; [Some (case_seed, report)] on failure. *)
+}
+
+type outcome = Pass | Fail of string | Skip
+
+let run_prop (prop : 'a -> bool) (x : 'a) : outcome =
+  match prop x with
+  | true -> Pass
+  | false -> Fail "returned false"
+  | exception Discard -> Skip
+  | exception e -> Fail ("raised " ^ Printexc.to_string e)
+
+let max_shrink_steps = 500
+
+(* Greedy descent: take the first shrink candidate that still fails,
+   repeat until none does or the step budget runs out. *)
+let shrink_loop (arb : 'a arbitrary) (prop : 'a -> bool) (x0 : 'a) (why0 : string) :
+    'a * string * int =
+  let rec go x why steps =
+    if steps >= max_shrink_steps then (x, why, steps)
+    else begin
+      let next =
+        Seq.find_map
+          (fun c -> match run_prop prop c with Fail w -> Some (c, w) | Pass | Skip -> None)
+          (arb.shrink x)
+      in
+      match next with
+      | Some (c, w) -> go c w (steps + 1)
+      | None -> (x, why, steps)
+    end
+  in
+  go x0 why0 0
+
+let case_seed (seed : string) (i : int) : string =
+  if i = 0 then seed else Printf.sprintf "%s@%d" seed i
+
+let test ?(count = 100) ~(name : string) (arb : 'a arbitrary) (prop : 'a -> bool) : test =
+  let body ~seed ~count =
+    let failure = ref None in
+    let discards = ref 0 in
+    let i = ref 0 in
+    while !failure = None && !i < count do
+      let cs = case_seed seed !i in
+      let drbg = Drbg.create (name ^ "|" ^ cs) in
+      let x = arb.gen drbg in
+      (match run_prop prop x with
+       | Pass -> ()
+       | Skip -> incr discards
+       | Fail why ->
+         let x', why', steps = shrink_loop arb prop x why in
+         let report =
+           Printf.sprintf
+             "falsified at case %d (%s); after %d shrink steps:\n      counterexample: %s\n      %s"
+             !i cs steps (arb.print x') why'
+         in
+         failure := Some (cs, report));
+      incr i
+    done;
+    !failure
+  in
+  { name; count; body }
+
+(* --- suite runner ----------------------------------------------------------- *)
+
+let default_seed = "sagma-prop-2026"
+
+let env_seed () = Sys.getenv_opt "SAGMA_PROP_SEED"
+
+let env_count () =
+  match Sys.getenv_opt "SAGMA_PROP_COUNT" with
+  | None -> None
+  | Some s -> int_of_string_opt s
+
+let env_scale () =
+  match Sys.getenv_opt "SAGMA_PROP_SCALE" with
+  | None -> None
+  | Some s -> int_of_string_opt s
+
+let effective_count (t : test) : int =
+  match env_count () with
+  | Some n -> n
+  | None -> (
+    match env_scale () with
+    | Some pct -> Stdlib.max 1 (t.count * pct / 100)
+    | None -> t.count)
+
+let run ?seed ~(suite : string) (tests : test list) : unit =
+  let seed =
+    match env_seed () with
+    | Some s -> s
+    | None -> ( match seed with Some s -> s | None -> default_seed)
+  in
+  Printf.printf "%s: %d properties, seed %S\n%!" suite (List.length tests) seed;
+  let failures = ref 0 in
+  List.iter
+    (fun t ->
+      let count = effective_count t in
+      let t0 = Sys.time () in
+      match t.body ~seed ~count with
+      | None ->
+        Printf.printf "  ok   %-40s (%d cases, %.2fs)\n%!" t.name count (Sys.time () -. t0)
+      | Some (cs, report) ->
+        incr failures;
+        Printf.printf "  FAIL %s: %s\n" t.name report;
+        Printf.printf "       replay: SAGMA_PROP_SEED=%S SAGMA_PROP_COUNT=1 dune exec test/%s.exe\n"
+          cs suite;
+        Printf.printf "       (equivalently: Runner.run ~seed:%S with count 1)\n%!" cs)
+    tests;
+  if !failures > 0 then begin
+    Printf.printf "%s: %d FAILED\n%!" suite !failures;
+    exit 1
+  end
+  else Printf.printf "%s: all passed\n%!" suite

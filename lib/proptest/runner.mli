@@ -1,0 +1,41 @@
+(** Property runner: deterministic seeding, greedy shrinking and
+    replayable counterexample reports.
+
+    Case [i] of a test draws from a DRBG seeded with
+    [name ^ "|" ^ case_seed], where [case_seed] is the run seed for
+    [i = 0] and [seed ^ "@" ^ i] otherwise. A failure report prints that
+    case seed: re-running the suite with it (via [~seed] or
+    [SAGMA_PROP_SEED]) replays the failing draw verbatim as case 0.
+
+    Environment overrides, read by {!run}:
+    - [SAGMA_PROP_SEED] — replaces the suite seed;
+    - [SAGMA_PROP_COUNT] — absolute case count for every test (use 1
+      when replaying a failure seed);
+    - [SAGMA_PROP_SCALE] — percentage multiplier on each test's own
+      count (e.g. 500 for a 5× deeper nightly run). *)
+
+exception Discard
+(** Raise inside a property to reject the drawn input (precondition not
+    met); the case counts as neither pass nor failure. *)
+
+type 'a arbitrary = {
+  gen : 'a Gen.t;
+  shrink : 'a Shrink.t;
+  print : 'a -> string;
+}
+
+val arbitrary : ?shrink:'a Shrink.t -> ?print:('a -> string) -> 'a Gen.t -> 'a arbitrary
+
+type test
+
+val test : ?count:int -> name:string -> 'a arbitrary -> ('a -> bool) -> test
+(** A named property over generated inputs; [count] (default 100) cases
+    are drawn per run. The property fails by returning [false] or
+    raising (other than {!Discard}). *)
+
+val default_seed : string
+
+val run : ?seed:string -> suite:string -> test list -> unit
+(** Run every test, print one line per property, and [exit 1] when any
+    failed — wired as the main of each [test_prop_*] executable under
+    [dune runtest]. *)

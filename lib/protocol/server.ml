@@ -83,7 +83,9 @@ let handle_encoded (s : t) (raw : string) : string =
           Protocol.failed Protocol.Version_unsupported
             "protocol version %d not supported (this server speaks %d)" got expected
         | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
-        | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
+        | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg
+        | Not_found -> Protocol.failed Protocol.Internal_error "not found"
+        | Division_by_zero -> Protocol.failed Protocol.Internal_error "division by zero")
   in
   (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
   let encoded = Protocol.encode_response response in

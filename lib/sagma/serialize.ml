@@ -19,6 +19,39 @@ module Crt = Sagma_bgn.Crt_channels
 module Sse = Sagma_sse.Sse
 module Drbg = Sagma_crypto.Drbg
 
+(* --- decode-side sanity bounds ---------------------------------------------
+
+   Decoders promise to raise only [Wire.Decode_error] on malformed input
+   (the wire fuzzer in test/test_prop_wire.ml holds them to it). Semantic
+   constructors invoked during decoding (Config.make, Crt.make,
+   Pairing.make_group, Mapping.of_order) signal bad parameters with
+   Invalid_argument/Failure instead; [guard] translates those. The
+   explicit bounds below stop a corrupted frame from driving decode-time
+   computation out of all proportion before any validation could fail:
+   reconstructing a pairing group runs a prime search in the size of n,
+   and the monomial index is combinatorial in (l, B, t). *)
+
+let max_pk_bits = ref 4096
+
+let monomial_budget = 1_000_000
+
+(* m(l,t) = Σ_{i=1..t} C(l,i)(B−1)^i, in float so absurd parameters
+   saturate instead of overflowing. *)
+let monomial_count_estimate ~(l : int) ~(b : int) ~(t : int) : float =
+  let bf = float_of_int (Stdlib.max 0 (b - 1)) in
+  let total = ref 0. in
+  let c = ref 1. in
+  for i = 1 to Stdlib.min t l do
+    c := !c *. float_of_int (l - i + 1) /. float_of_int i;
+    total := !total +. (!c *. (bf ** float_of_int i))
+  done;
+  !total
+
+let guard (what : string) (f : unit -> 'a) : 'a =
+  try f () with
+  | Invalid_argument msg | Failure msg -> W.fail "%s: %s" what msg
+  | Division_by_zero -> W.fail "%s: division by zero" what
+
 (* --- primitive codecs ------------------------------------------------------ *)
 
 let put_z (s : W.sink) (z : Z.t) : unit =
@@ -86,8 +119,12 @@ let get_bgn_pk (s : W.source) : Bgn.public_key =
   let n = get_z s in
   let g = get_point s in
   let h = get_point s in
-  let group = Pairing.make_group n in
-  { Bgn.group; g; h; e_gg = Pairing.pairing group g g; e_gh = Pairing.pairing group g h }
+  if Z.sign n <= 0 || Z.is_even n then W.fail "bad BGN modulus (must be odd and positive)";
+  if Z.num_bits n > !max_pk_bits then
+    W.fail "BGN modulus of %d bits exceeds the %d-bit decode limit" (Z.num_bits n) !max_pk_bits;
+  guard "bad BGN public key" (fun () ->
+      let group = Pairing.make_group n in
+      { Bgn.group; g; h; e_gg = Pairing.pairing group g g; e_gh = Pairing.pairing group g h })
 
 (* --- configuration and public parameters ------------------------------------- *)
 
@@ -114,8 +151,9 @@ let get_config (s : W.source) : Config.t =
   let bgn_bits = W.get_int s in
   let channel_bits = W.get_int s in
   let value_bits = W.get_int s in
-  Config.make ~bucket_size ~max_group_attrs ~filter_columns ~range_filter_columns ~range_bits
-    ~bgn_bits ~channel_bits ~value_bits ~value_columns ~group_columns ()
+  guard "bad config" (fun () ->
+      Config.make ~bucket_size ~max_group_attrs ~filter_columns ~range_filter_columns ~range_bits
+        ~bgn_bits ~channel_bits ~value_bits ~value_columns ~group_columns ())
 
 let put_public_params (s : W.sink) (pp : Scheme.public_params) : unit =
   put_config s pp.Scheme.config;
@@ -128,15 +166,17 @@ let get_public_params (s : W.source) : Scheme.public_params =
   let bgn_pk = get_bgn_pk s in
   let moduli = W.get_array s W.get_int in
   let num_buckets = W.get_array s W.get_int in
-  { Scheme.config;
-    bgn_pk;
-    channels = Crt.make moduli;
-    monomials =
-      Monomials.make
-        ~num_columns:(Config.num_group_columns config)
-        ~bucket_size:config.Config.bucket_size
-        ~threshold:config.Config.max_group_attrs;
-    num_buckets }
+  let l = Config.num_group_columns config in
+  let b = config.Config.bucket_size in
+  let t = config.Config.max_group_attrs in
+  if monomial_count_estimate ~l ~b ~t > float_of_int monomial_budget then
+    W.fail "monomial index m(%d,%d) with B=%d exceeds the decode budget" l t b;
+  guard "bad public parameters" (fun () ->
+      { Scheme.config;
+        bgn_pk;
+        channels = Crt.make moduli;
+        monomials = Monomials.make ~num_columns:l ~bucket_size:b ~threshold:t;
+        num_buckets })
 
 (* --- encrypted rows, SSE index, encrypted table -------------------------------- *)
 
@@ -382,7 +422,8 @@ let get_client ~(drbg : Drbg.t) (s : W.source) : Scheme.client =
   let k_z = W.get_bytes s in
   let orders = W.get_array s (fun s -> W.get_list s get_value) in
   let mappings =
-    Array.map (Mapping.of_order ~bucket_size:pp.Scheme.config.Config.bucket_size) orders
+    guard "bad mapping" (fun () ->
+        Array.map (Mapping.of_order ~bucket_size:pp.Scheme.config.Config.bucket_size) orders)
   in
   { Scheme.pp;
     kp = { Bgn.pk = pp.Scheme.bgn_pk; sk = { Bgn.q1; q2 } };

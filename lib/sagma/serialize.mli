@@ -16,6 +16,12 @@ module Bgn = Sagma_bgn.Bgn
 module Sse = Sagma_sse.Sse
 module Drbg = Sagma_crypto.Drbg
 
+val max_pk_bits : int ref
+(** Decode-side ceiling on the BGN modulus size (default 4096 bits).
+    Reconstructing a pairing group runs a prime search in the size of n,
+    so decoding refuses absurd key sizes with a [Wire.Decode_error]
+    instead of stalling; fuzz harnesses tighten this further. *)
+
 (** {1 Primitive codecs} *)
 
 val put_z : W.sink -> Z.t -> unit

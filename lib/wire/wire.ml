@@ -124,12 +124,21 @@ let get_bytes (s : source) : string =
   s.pos <- s.pos + n;
   v
 
-let get_list (s : source) (get : source -> 'a) : 'a list =
+(* Every element encoding consumes at least one byte, so a sane count
+   never exceeds the bytes left. Checking up front keeps a corrupted
+   length field (e.g. 0xffffffff) from attempting a gigantic allocation
+   before the first element decode could fail. *)
+let get_count (s : source) : int =
   let n = get_u32 s in
+  if n > remaining s then fail "bad count: %d elements but only %d bytes remain" n (remaining s);
+  n
+
+let get_list (s : source) (get : source -> 'a) : 'a list =
+  let n = get_count s in
   List.init n (fun _ -> get s)
 
 let get_array (s : source) (get : source -> 'a) : 'a array =
-  let n = get_u32 s in
+  let n = get_count s in
   Array.init n (fun _ -> get s)
 
 let get_option (s : source) (get : source -> 'a) : 'a option =

@@ -12,6 +12,16 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+echo "== fuzz smoke (pinned seed, bounded counts) =="
+# A deeper pass over the property/fuzz suites than the runtest default:
+# the pinned seed keeps CI deterministic, the scale bound keeps it fast.
+# Replay any failure with the SAGMA_PROP_SEED printed in its report
+# (see TESTING.md).
+SAGMA_PROP_SEED="sagma-fuzz-smoke" SAGMA_PROP_SCALE=200 \
+  dune exec test/test_prop_wire.exe
+SAGMA_PROP_SEED="sagma-fuzz-smoke" SAGMA_PROP_SCALE=100 \
+  dune exec test/test_prop_bigint.exe
+
 echo "== bench smoke (json target -> BENCH_PR1.json) =="
 dune exec bench/main.exe -- json
 

@@ -1,0 +1,184 @@
+(* Property suite for the pairing substrate: curve group laws, scalar
+   arithmetic, and bilinearity / distortion-map consistency of the
+   modified Tate pairing.
+
+   Counts are small: every case costs one or more Miller loops. The
+   prime-order Mersenne group (2^61 − 1) keeps cases fast while
+   exercising the same code paths BGN uses; one composite-order group
+   checks the μ_n membership BGN depends on. *)
+
+module Z = Sagma_bigint.Bigint
+module Curve = Sagma_pairing.Curve
+module Fp2 = Sagma_pairing.Fp2
+module Pairing = Sagma_pairing.Pairing
+module Gen = Sagma_prop.Gen
+module R = Sagma_prop.Runner
+
+let n61 = Z.of_string "2305843009213693951" (* Mersenne prime 2^61 - 1 *)
+let group = Pairing.make_group n61
+let params = group.Pairing.curve
+
+let q1 = Z.of_string "1073741827"
+let q2 = Z.of_string "1073741831"
+let group_comp = Pairing.make_group (Z.mul q1 q2)
+
+(* Order-n points and scalars drawn from the case DRBG, so every
+   counterexample replays from its printed seed. *)
+let point_gen : Curve.point Gen.t =
+ fun d -> Pairing.random_order_n_point group (Sagma_crypto.Drbg.rng d)
+
+let scalar_gen : Z.t Gen.t = Gen.bigint_below n61
+
+let point_arb = R.arbitrary ~print:Curve.to_string point_gen
+
+let pp2 (a, b) = Printf.sprintf "(%s, %s)" (Curve.to_string a) (Curve.to_string b)
+
+let pp3 (a, b, c) =
+  Printf.sprintf "(%s, %s, %s)" (Curve.to_string a) (Curve.to_string b) (Curve.to_string c)
+
+let point2_arb = R.arbitrary ~print:pp2 (Gen.pair point_gen point_gen)
+let point3_arb = R.arbitrary ~print:pp3 (Gen.triple point_gen point_gen point_gen)
+
+(* --- curve group laws ------------------------------------------------------- *)
+
+let t_closure = R.test ~count:25 ~name:"curve ops stay on the curve" point2_arb
+    (fun (a, b) ->
+      Curve.is_on_curve params a
+      && Curve.is_on_curve params (Curve.add params a b)
+      && Curve.is_on_curve params (Curve.double params a)
+      && Curve.is_on_curve params (Curve.neg params a))
+
+let t_add_comm = R.test ~count:25 ~name:"point addition commutative" point2_arb
+    (fun (a, b) -> Curve.equal (Curve.add params a b) (Curve.add params b a))
+
+let t_add_assoc = R.test ~count:20 ~name:"point addition associative" point3_arb
+    (fun (a, b, c) ->
+      Curve.equal
+        (Curve.add params a (Curve.add params b c))
+        (Curve.add params (Curve.add params a b) c))
+
+let t_identity = R.test ~count:15 ~name:"infinity is the identity" point_arb
+    (fun a ->
+      Curve.equal (Curve.add params a Curve.Infinity) a
+      && Curve.equal (Curve.add params Curve.Infinity a) a
+      && Curve.is_infinity (Curve.add params a (Curve.neg params a)))
+
+let t_double = R.test ~count:15 ~name:"double = add P P" point_arb
+    (fun a -> Curve.equal (Curve.double params a) (Curve.add params a a))
+
+let t_mul_distrib = R.test ~count:12 ~name:"(j + k)P = jP + kP"
+    (R.arbitrary
+       ~print:(fun ((j, k), pt) ->
+         Printf.sprintf "(%s, %s, %s)" (Z.to_string j) (Z.to_string k) (Curve.to_string pt))
+       (Gen.pair (Gen.pair scalar_gen scalar_gen) point_gen))
+    (fun ((j, k), pt) ->
+      Curve.equal
+        (Curve.mul params (Z.add j k) pt)
+        (Curve.add params (Curve.mul params j pt) (Curve.mul params k pt)))
+
+let t_mul_assoc = R.test ~count:12 ~name:"j(kP) = (jk mod n)P"
+    (R.arbitrary
+       ~print:(fun ((j, k), pt) ->
+         Printf.sprintf "(%s, %s, %s)" (Z.to_string j) (Z.to_string k) (Curve.to_string pt))
+       (Gen.pair (Gen.pair scalar_gen scalar_gen) point_gen))
+    (fun ((j, k), pt) ->
+      Curve.equal
+        (Curve.mul params j (Curve.mul params k pt))
+        (Curve.mul params (Z.erem (Z.mul j k) n61) pt))
+
+let t_mul_small = R.test ~count:12 ~name:"mul agrees with repeated addition"
+    (R.arbitrary
+       ~print:(fun (k, pt) -> Printf.sprintf "(%d, %s)" k (Curve.to_string pt))
+       (Gen.pair (Gen.int_range 0 12) point_gen))
+    (fun (k, pt) ->
+      let expected = ref Curve.Infinity in
+      for _ = 1 to k do
+        expected := Curve.add params !expected pt
+      done;
+      Curve.equal (Curve.mul_int params k pt) !expected)
+
+let t_order = R.test ~count:10 ~name:"order-n points die at n" point_arb
+    (fun a -> Curve.is_infinity (Curve.mul params n61 a))
+
+(* --- pairing ----------------------------------------------------------------- *)
+
+let e p q = Pairing.pairing group p q
+
+let t_bilinear = R.test ~count:10 ~name:"bilinearity e(jP, kQ) = e(P,Q)^(jk)"
+    (R.arbitrary
+       ~print:(fun ((j, k), (p, q)) ->
+         Printf.sprintf "(%s, %s, %s, %s)" (Z.to_string j) (Z.to_string k) (Curve.to_string p)
+           (Curve.to_string q))
+       (Gen.pair (Gen.pair scalar_gen scalar_gen) (Gen.pair point_gen point_gen)))
+    (fun ((j, k), (p, q)) ->
+      Pairing.gt_equal
+        (e (Curve.mul params j p) (Curve.mul params k q))
+        (Pairing.gt_pow group (e p q) (Z.erem (Z.mul j k) n61)))
+
+let t_additive = R.test ~count:10 ~name:"e(P+Q, R) = e(P,R) * e(Q,R)" point3_arb
+    (fun (p, q, r) ->
+      Pairing.gt_equal (e (Curve.add params p q) r) (Pairing.gt_mul group (e p r) (e q r)))
+
+let t_symmetric = R.test ~count:10 ~name:"pairing symmetric (distortion map)" point2_arb
+    (fun (p, q) -> Pairing.gt_equal (e p q) (e q p))
+
+let t_scalar_slides = R.test ~count:10 ~name:"e(kP, Q) = e(P, kQ)"
+    (R.arbitrary
+       ~print:(fun (k, (p, q)) ->
+         Printf.sprintf "(%s, %s, %s)" (Z.to_string k) (Curve.to_string p) (Curve.to_string q))
+       (Gen.pair scalar_gen (Gen.pair point_gen point_gen)))
+    (fun (k, (p, q)) ->
+      Pairing.gt_equal (e (Curve.mul params k p) q) (e p (Curve.mul params k q)))
+
+let t_nondegenerate = R.test ~count:8 ~name:"e(P, P) <> 1 off infinity" point_arb
+    (fun p ->
+      if Curve.is_infinity p then raise R.Discard;
+      not (Pairing.gt_equal (e p p) Pairing.gt_one))
+
+let t_infinity = R.test ~count:8 ~name:"pairing with infinity is 1" point_arb
+    (fun p ->
+      Pairing.gt_equal (e p Curve.Infinity) Pairing.gt_one
+      && Pairing.gt_equal (e Curve.Infinity p) Pairing.gt_one)
+
+let t_target_order = R.test ~count:6 ~name:"pairing lands in mu_n" point2_arb
+    (fun (p, q) -> Pairing.gt_equal (Pairing.gt_pow group (e p q) n61) Pairing.gt_one)
+
+(* --- target group helpers ---------------------------------------------------- *)
+
+let t_gt_ops = R.test ~count:8 ~name:"gt helpers are consistent"
+    (R.arbitrary
+       ~print:(fun (k, (p, q)) ->
+         Printf.sprintf "(%s, %s, %s)" (Z.to_string k) (Curve.to_string p) (Curve.to_string q))
+       (Gen.pair scalar_gen (Gen.pair point_gen point_gen)))
+    (fun (k, (p, q)) ->
+      let g = e p q in
+      Pairing.gt_equal (Pairing.gt_sqr group g) (Pairing.gt_mul group g g)
+      && Pairing.gt_equal (Pairing.gt_mul group g (Pairing.gt_inv group g)) Pairing.gt_one
+      && Pairing.gt_equal
+           (Pairing.gt_pow group g (Z.succ k))
+           (Pairing.gt_mul group (Pairing.gt_pow group g k) g))
+
+(* --- composite order (BGN's setting) ----------------------------------------- *)
+
+let t_composite = R.test ~count:4 ~name:"composite-order subgroup projection"
+    (R.arbitrary
+       ~print:(fun s -> Printf.sprintf "%S" s)
+       (Gen.bytes_size (Gen.return 16)))
+    (fun seed ->
+      let d = Sagma_crypto.Drbg.create ("comp|" ^ seed) in
+      let rng = Sagma_crypto.Drbg.rng d in
+      let cp = group_comp.Pairing.curve in
+      let p = Pairing.random_order_n_point group_comp rng in
+      let q = Pairing.random_order_n_point group_comp rng in
+      (* Multiplying by q1 projects onto the order-q2 subgroup: the
+         pairing must then have order dividing q2 — the trapdoor BGN
+         decryption uses. *)
+      let p1 = Curve.mul cp q1 p in
+      let g = Pairing.pairing group_comp p1 q in
+      Pairing.gt_equal (Pairing.gt_pow group_comp g q2) Pairing.gt_one)
+
+let () =
+  R.run ~suite:"test_prop_pairing"
+    [ t_closure; t_add_comm; t_add_assoc; t_identity; t_double; t_mul_distrib; t_mul_assoc;
+      t_mul_small; t_order; t_bilinear; t_additive; t_symmetric; t_scalar_slides;
+      t_nondegenerate; t_infinity; t_target_order; t_gt_ops; t_composite ]
