@@ -664,6 +664,97 @@ let bench_json () =
   close_out oc;
   Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
 
+(* --- BENCH_PR3.json: counter-derived cost model ------------------------------------------ *)
+
+(* The §6 evaluation argues in operations, not milliseconds: pairings per
+   row, bounded-dlog giant steps, postings scanned. This bench derives
+   those unit costs from the metrics counters of an instrumented query —
+   wall-clock rides along but the reproducible quantities are the ratios
+   (pairings/row is machine-independent). *)
+let bench_pr3 () =
+  header "BENCH_PR3.json: counter-derived cost model (pairings/row, dlog steps)";
+  let rows = if full then 1000 else 60 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-pr3") in
+  let returnflag_domain = [ str "A"; str "N"; str "R" ] in
+  let linestatus_domain = [ str "O"; str "F" ] in
+  let workloads =
+    [ (let config =
+         Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+           ~group_columns:[ "l_returnflag" ] ()
+       in
+       let c =
+         Scheme.setup config ~domains:[ ("l_returnflag", returnflag_domain) ]
+           (Drbg.create "pr3-sum")
+       in
+       ("sum_single_attr", c, Scheme.encrypt_table c table,
+        Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity")));
+      (let config =
+         Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+           ~group_columns:[ "l_returnflag" ] ()
+       in
+       let c =
+         Scheme.setup config ~domains:[ ("l_returnflag", returnflag_domain) ]
+           (Drbg.create "pr3-count")
+       in
+       ("count_single_attr", c, Scheme.encrypt_table c table,
+        Query.make ~group_by:[ "l_returnflag" ] Query.Count));
+      (let config =
+         Config.make ~bucket_size:2 ~max_group_attrs:2 ~value_columns:[ "l_quantity" ]
+           ~group_columns:[ "l_returnflag"; "l_linestatus" ] ()
+       in
+       let c =
+         Scheme.setup config
+           ~domains:
+             [ ("l_returnflag", returnflag_domain); ("l_linestatus", linestatus_domain) ]
+           (Drbg.create "pr3-pair")
+       in
+       ("sum_two_attrs", c, Scheme.encrypt_table c table,
+        Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity"))) ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":1,\"bench\":\"pr3\",\"full\":%b,\"rows\":%d,\"workloads\":["
+       full rows);
+  Printf.printf "%-18s %12s %14s %12s %16s\n%!" "workload" "pairings" "pairings/row"
+    "dlog solves" "giant steps/solve";
+  List.iteri
+    (fun i (name, client, enc, q) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let _, snap, _, span_ms = run_instrumented client enc q in
+      let cv n = Option.value (List.assoc_opt n snap.Obs.counters) ~default:0 in
+      let agg_rows = cv "scheme.agg.rows" in
+      let pairings = cv "pairing.pairings" in
+      let dlog_solves = cv "bgn.dlog.solves" in
+      let giant_steps = cv "bgn.dlog.giant_steps" in
+      let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b in
+      Printf.printf "%-18s %12d %14.2f %12d %16.1f\n%!" name pairings
+        (ratio pairings agg_rows) dlog_solves (ratio giant_steps dlog_solves);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"rows\":%d,\
+            \"timings_ms\":{\"token\":%.3f,\"aggregate\":%.3f,\"decrypt\":%.3f},\
+            \"cost_model\":{\"rows_aggregated\":%d,\"pairings\":%d,\"pairings_per_row\":%.4f,\
+            \"bgn_mul\":%d,\"dlog_solves\":%d,\"dlog_giant_steps\":%d,\
+            \"giant_steps_per_solve\":%.2f,\"sse_postings_scanned\":%d,\
+            \"bigint_powm\":%d},\
+            \"metrics\":%s}"
+           (Obs.json_escape name) (Array.length enc.Scheme.rows)
+           (span_ms "token") (span_ms "aggregate") (span_ms "decrypt")
+           agg_rows pairings (ratio pairings agg_rows)
+           (cv "bgn.mul") dlog_solves giant_steps
+           (ratio giant_steps dlog_solves)
+           (cv "sse.postings_scanned")
+           (cv "bigint.powm")
+           (Obs.snapshot_to_json snap)))
+    workloads;
+  Buffer.add_string buf "]}";
+  let path = "BENCH_PR3.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let benches =
@@ -672,7 +763,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -682,7 +773,7 @@ let () =
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
         ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
-        bench_json; micro ]
+        bench_json; bench_pr3; micro ]
     else
       List.map
         (fun name ->

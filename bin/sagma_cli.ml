@@ -303,6 +303,31 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
 
+(* Fetch the server's metrics snapshot + audit summary over the v2 Stats
+   RPC. Rendered human-readable by default; --prometheus emits the
+   text-format exposition (what a scrape endpoint would serve), --json
+   the structured snapshot. *)
+let run_stats port prometheus json =
+  let fd = Sagma_protocol.Transport.connect ~port in
+  let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
+  Unix.close fd;
+  match resp with
+  | Sagma_protocol.Protocol.Stats_report { sr_snapshot; sr_audit } ->
+    if prometheus then print_string (Sagma_obs.Export.prometheus sr_snapshot)
+    else if json then print_endline (Sagma_obs.Metrics.snapshot_to_json sr_snapshot)
+    else begin
+      (if sr_snapshot.Sagma_obs.Metrics.counters = []
+          && sr_snapshot.Sagma_obs.Metrics.histograms = []
+       then print_endline "no metrics recorded (is the server running with --metrics?)"
+       else Format.printf "%a@." Sagma_obs.Metrics.pp_snapshot sr_snapshot);
+      Printf.printf "audit: requests=%d probes=%d checks=%d failures=%d\n"
+        sr_audit.Sagma_obs.Audit.s_requests sr_audit.Sagma_obs.Audit.s_probes
+        sr_audit.Sagma_obs.Audit.s_checks_run sr_audit.Sagma_obs.Audit.s_check_failures
+    end
+  | Sagma_protocol.Protocol.Failed { code; message } ->
+    failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
+  | _ -> failwith "unexpected response"
+
 (* --- cmdliner wiring ----------------------------------------------------------- *)
 
 let csv_arg = Arg.(required & opt (some file) None & info [ "csv" ] ~doc:"Input CSV file.")
@@ -399,9 +424,21 @@ let remote_query_cmd =
       const run_remote_query $ sum $ count $ avg $ group_by $ where $ port_arg $ name_arg
       $ key_file_arg $ seed)
 
+let stats_cmd =
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ] ~doc:"Emit the Prometheus text-format exposition.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Fetch a sagma_server's metrics snapshot and audit summary (protocol v2).")
+    Term.(const run_stats $ port_arg $ prometheus $ json)
+
 let () =
   let info = Cmd.info "sagma" ~version:"1.0.0" ~doc:"Secure aggregation grouped by multiple attributes." in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd ]))
+          [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd;
+            stats_cmd ]))

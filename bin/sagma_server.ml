@@ -3,25 +3,52 @@
    Holds uploaded encrypted tables in memory and answers Aggregate and
    Append requests using only public parameters; it never sees a key.
 
-     dune exec bin/sagma_server.exe -- --port 7477 [--metrics]
+     dune exec bin/sagma_server.exe -- --port 7477 \
+       [--metrics] [--audit] [--log-json FILE] [--log-level LEVEL]
 
-   With --metrics, operation counters (pairings, SSE postings scanned,
-   request bytes/latency, ...) are collected and dumped to stderr after
-   every handled request. *)
+   --metrics    collect operation counters (pairings, SSE postings
+                scanned, request bytes/latency, ...) and dump them to
+                stderr after every handled request; also served over the
+                v2 Stats RPC (sagma stats).
+   --audit      record per-request access-pattern traces (bucket ids
+                touched, postings read, rows paired) for the leakage
+                auditor; the trace summary rides along in Stats.
+   --log-json   append one JSON object per event (request handled,
+                connection opened/closed) to FILE.
+   --log-level  debug|info|warn|error (default info). *)
+
+module Log = Sagma_obs.Log
 
 let () =
   let port = ref 7477 in
   let metrics = ref false in
+  let audit = ref false in
+  let log_json = ref "" in
+  let log_level = ref "info" in
   let args =
     [ ("--port", Arg.Set_int port, "Listen port (default 7477)");
-      ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request") ]
+      ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request");
+      ("--audit", Arg.Set audit, "Record per-request access-pattern traces (leakage auditor)");
+      ("--log-json", Arg.Set_string log_json, "Append JSON-lines structured logs to FILE");
+      ("--log-level", Arg.Set_string log_level, "Log threshold: debug|info|warn|error (default info)") ]
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "sagma_server [--port P] [--metrics]";
+    "sagma_server [--port P] [--metrics] [--audit] [--log-json FILE] [--log-level L]";
+  (match Log.level_of_string !log_level with
+   | Some l -> Log.set_level l
+   | None -> raise (Arg.Bad (Printf.sprintf "bad --log-level %S" !log_level)));
+  if !log_json <> "" then Log.to_file !log_json;
+  if !audit then Sagma_obs.Audit.set_enabled true;
   let state = Sagma_protocol.Server.create () in
-  Printf.printf "sagma_server: listening on 127.0.0.1:%d%s\n%!" !port
-    (if !metrics then " (metrics on)" else "");
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d%s%s%s\n%!" !port
+    (if !metrics then " (metrics on)" else "")
+    (if !audit then " (audit on)" else "")
+    (if !log_json <> "" then Printf.sprintf " (logging to %s)" !log_json else "");
+  Log.info "server.start"
+    ~fields:
+      [ Log.int "port" !port; Log.bool "metrics" !metrics; Log.bool "audit" !audit;
+        Log.int "protocol_version" Sagma_protocol.Protocol.version ];
   if !metrics then begin
     Sagma_obs.Metrics.set_enabled true;
     let dump () =

@@ -1,0 +1,165 @@
+(* Leakage auditor: record what the server actually touched, compare it
+   with what the declared leakage function predicts.
+
+   This module is deliberately ignorant of SAGMA: it records generic
+   probes — (kind, tag, matching row ids) triples plus a paired-row
+   count — against the current request, and [check] compares an observed
+   trace with a caller-supplied prediction. The glue that derives the
+   prediction from [Sagma.Leakage.of_query] lives in the sagma library
+   (which depends on this one, not vice versa).
+
+   Recording shares the single-writer shape of the request path: the
+   server begins/ends one request at a time, and probes fire from
+   whichever domain runs the instrumented code, so the current trace is
+   a mutex-guarded global rather than a per-request handle threaded
+   through every signature. *)
+
+type probe = { p_kind : string; p_tag : string; p_matches : int list }
+
+type trace = { t_id : int; t_probes : probe list; t_rows_paired : int }
+
+type verdict = Pass | Fail of string list
+
+let enabled = ref false
+let set_enabled b = enabled := b
+
+(* --- recording ------------------------------------------------------------- *)
+
+type builder = { b_id : int; mutable probes_rev : probe list; mutable rows : int }
+
+let lock = Mutex.create ()
+let current : builder option ref = ref None
+let completed_rev : trace list ref = ref []
+
+(* Retention cap: a long-lived server must not grow without bound; the
+   CLI fetches the summary, tests fetch [traces] promptly. *)
+let max_completed = 1024
+
+let begin_request (id : int) : unit =
+  if !enabled then begin
+    Mutex.lock lock;
+    current := Some { b_id = id; probes_rev = []; rows = 0 };
+    Mutex.unlock lock
+  end
+
+let probe ~(kind : string) ~(tag : string) ~(matches : int list) : unit =
+  if !enabled then begin
+    Mutex.lock lock;
+    (match !current with
+     | Some b -> b.probes_rev <- { p_kind = kind; p_tag = tag; p_matches = matches } :: b.probes_rev
+     | None -> ());
+    Mutex.unlock lock
+  end
+
+let rows_paired (n : int) : unit =
+  if !enabled then begin
+    Mutex.lock lock;
+    (match !current with Some b -> b.rows <- b.rows + n | None -> ());
+    Mutex.unlock lock
+  end
+
+let end_request () : trace option =
+  if not !enabled then None
+  else begin
+    Mutex.lock lock;
+    let t =
+      match !current with
+      | None -> None
+      | Some b ->
+        current := None;
+        let t = { t_id = b.b_id; t_probes = List.rev b.probes_rev; t_rows_paired = b.rows } in
+        let kept = t :: !completed_rev in
+        completed_rev :=
+          (if List.length kept > max_completed then List.filteri (fun i _ -> i < max_completed) kept
+           else kept);
+        Some t
+    in
+    Mutex.unlock lock;
+    t
+  end
+
+let traces () : trace list =
+  Mutex.lock lock;
+  let ts = List.rev !completed_rev in
+  Mutex.unlock lock;
+  ts
+
+let checks_run = Atomic.make 0
+let check_failures = Atomic.make 0
+
+let reset () =
+  Mutex.lock lock;
+  current := None;
+  completed_rev := [];
+  Mutex.unlock lock;
+  Atomic.set checks_run 0;
+  Atomic.set check_failures 0
+
+(* --- checking -------------------------------------------------------------- *)
+
+let sorted_uniq (xs : int list) : int list = List.sort_uniq compare xs
+
+let pp_ids (ids : int list) : string =
+  "[" ^ String.concat "," (List.map string_of_int ids) ^ "]"
+
+let check ?(max_rows_paired : int option)
+    ~(predicted : (string * string * int list) list) (t : trace) : verdict =
+  ignore (Atomic.fetch_and_add checks_run 1);
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (* Every probe the server performed must be predicted: same (kind, tag)
+     declared, and exactly the predicted row ids observed. An extra
+     probe, a probe on an undeclared tag, or a posting list differing
+     from the declared access pattern all fail. *)
+  List.iter
+    (fun p ->
+      match
+        List.find_opt (fun (k, tag, _) -> k = p.p_kind && tag = p.p_tag) predicted
+      with
+      | None ->
+        err "unpredicted probe: kind=%s tag=%s matches=%s (declared leakage has no such access)"
+          p.p_kind p.p_tag (pp_ids (sorted_uniq p.p_matches))
+      | Some (_, _, want) ->
+        let got = sorted_uniq p.p_matches and want = sorted_uniq want in
+        if got <> want then
+          err "access pattern mismatch: kind=%s tag=%s observed=%s predicted=%s" p.p_kind
+            p.p_tag (pp_ids got) (pp_ids want))
+    t.t_probes;
+  (* Duplicate probes of one (kind, tag) are fine — repetition is the
+     search pattern, which the leakage declares — but pairing more rows
+     than the predicted result width means the server combined
+     ciphertexts the query should never touch. *)
+  (match max_rows_paired with
+   | Some bound when t.t_rows_paired > bound ->
+     err "rows paired beyond prediction: paired=%d predicted<=%d" t.t_rows_paired bound
+   | _ -> ());
+  match !errors with
+  | [] -> Pass
+  | es ->
+    ignore (Atomic.fetch_and_add check_failures 1);
+    Fail (List.rev es)
+
+let pp_verdict fmt = function
+  | Pass -> Format.fprintf fmt "Pass"
+  | Fail es ->
+    Format.fprintf fmt "@[<v>Fail:%t@]" (fun fmt ->
+        List.iter (fun e -> Format.fprintf fmt "@,  %s" e) es)
+
+(* --- summary --------------------------------------------------------------- *)
+
+type summary = {
+  s_requests : int;
+  s_probes : int;
+  s_checks_run : int;
+  s_check_failures : int;
+}
+
+let summary () : summary =
+  Mutex.lock lock;
+  let requests = List.length !completed_rev in
+  let probes =
+    List.fold_left (fun acc t -> acc + List.length t.t_probes) 0 !completed_rev
+  in
+  Mutex.unlock lock;
+  { s_requests = requests; s_probes = probes; s_checks_run = Atomic.get checks_run;
+    s_check_failures = Atomic.get check_failures }

@@ -1,0 +1,64 @@
+(* Prometheus text-format exposition of a metrics snapshot.
+
+   Dotted registry names become legal Prometheus identifiers under a
+   "sagma_" namespace ("proto.request_ms" → "sagma_proto_request_ms");
+   counters gain the conventional "_total" suffix. Histograms expose the
+   full fixed-grid cumulative buckets (le="...", +Inf last) plus _sum and
+   _count, and the snapshot's p50/p95/p99 estimates ride along as gauges
+   so dashboards need no PromQL histogram_quantile to get first-look
+   latencies. *)
+
+let namespace = "sagma"
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are
+   ASCII dotted paths, so mapping every other char to '_' suffices. *)
+let sanitize (name : string) : string =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let metric_name (name : string) : string = namespace ^ "_" ^ sanitize name
+
+(* Label values and the `le` bound: Prometheus renders +Inf literally. *)
+let le_value (bound : float) : string =
+  if bound = infinity then "+Inf" else Printf.sprintf "%g" bound
+
+let float_value (v : float) : string =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else Printf.sprintf "%g" v
+
+let prometheus (s : Metrics.snapshot) : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name ^ "_total" in
+      line "# HELP %s SAGMA counter %s" m name;
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    s.Metrics.counters;
+  List.iter
+    (fun (name, h) ->
+      let m = metric_name name in
+      line "# HELP %s SAGMA histogram %s" m name;
+      line "# TYPE %s histogram" m;
+      Array.iter
+        (fun (bound, cum) -> line "%s_bucket{le=\"%s\"} %d" m (le_value bound) cum)
+        h.Metrics.h_buckets;
+      line "%s_sum %s" m (float_value h.Metrics.h_sum);
+      line "%s_count %d" m h.Metrics.h_count;
+      (* Quantile estimates as companion gauges (histogram series may not
+         carry a `quantile` label themselves). *)
+      List.iter
+        (fun (suffix, v) ->
+          let g = m ^ "_" ^ suffix in
+          line "# TYPE %s gauge" g;
+          line "%s %s" g (float_value v))
+        [ ("p50", h.Metrics.h_p50); ("p95", h.Metrics.h_p95); ("p99", h.Metrics.h_p99) ])
+    s.Metrics.histograms;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Prometheus text-format exposition of {!Metrics} snapshots.
+
+    One call renders the whole registry: counters as
+    [sagma_<name>_total], histograms as the conventional
+    [_bucket{le="..."}]/[_sum]/[_count] family over the fixed
+    {!Metrics.bucket_bounds} grid, and the snapshot's p50/p95/p99
+    estimates as companion [_p50]/[_p95]/[_p99] gauges. *)
+
+val metric_name : string -> string
+(** Registry name → namespaced Prometheus identifier
+    (["proto.request_ms"] → ["sagma_proto_request_ms"]). *)
+
+val prometheus : Metrics.snapshot -> string
+(** The full exposition page, one sample per line, newline-terminated. *)

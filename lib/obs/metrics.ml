@@ -8,6 +8,28 @@
 
 type counter = { c_name : string; cell : int Atomic.t }
 
+(* Fixed exponential bucket grid shared by every histogram: upper bounds
+   0.001 · 2^i. Observations are milliseconds or small cardinalities, so
+   the grid spans sub-microsecond to ~10⁶ with one array index; the last
+   slot of [buckets] is the +∞ overflow bucket. A fixed grid keeps
+   [observe] allocation-free and makes snapshots directly exposable in
+   Prometheus text format. *)
+let bucket_bounds : float array = Array.init 31 (fun i -> 0.001 *. (2. ** float_of_int i))
+let num_buckets = Array.length bucket_bounds + 1
+
+(* Index of the first bucket whose upper bound holds [v] (binary search:
+   observe sits on instrumented paths). *)
+let bucket_index (v : float) : int =
+  if v > bucket_bounds.(Array.length bucket_bounds - 1) then Array.length bucket_bounds
+  else begin
+    let lo = ref 0 and hi = ref (Array.length bucket_bounds - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bucket_bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
 type histogram = {
   h_name : string;
   lock : Mutex.t;
@@ -15,6 +37,7 @@ type histogram = {
   mutable obs_sum : float;
   mutable obs_min : float;
   mutable obs_max : float;
+  buckets : int array;  (* per-bucket (non-cumulative) counts *)
 }
 
 let enabled = ref false
@@ -47,7 +70,7 @@ let histogram name =
     | None ->
       let h =
         { h_name = name; lock = Mutex.create (); obs_count = 0; obs_sum = 0.;
-          obs_min = infinity; obs_max = neg_infinity }
+          obs_min = infinity; obs_max = neg_infinity; buckets = Array.make num_buckets 0 }
       in
       Hashtbl.add histograms name h;
       h
@@ -65,6 +88,8 @@ let observe h v =
     h.obs_sum <- h.obs_sum +. v;
     if v < h.obs_min then h.obs_min <- v;
     if v > h.obs_max then h.obs_max <- v;
+    let bi = bucket_index v in
+    h.buckets.(bi) <- h.buckets.(bi) + 1;
     Mutex.unlock h.lock
   end
 
@@ -86,7 +111,37 @@ type hist_stats = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_buckets : (float * int) array;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
 }
+
+(* Quantile estimate from the bucket counts, Prometheus
+   histogram_quantile style: find the bucket holding the q·count-th
+   observation and interpolate linearly inside it. The overflow bucket
+   has no upper bound, so estimates landing there (and interpolations
+   past the observed extremes) are clamped to [min, max]. *)
+let quantile_of_buckets ~(count : int) ~(min_v : float) ~(max_v : float) (counts : int array)
+    (q : float) : float =
+  let rank = q *. float_of_int count in
+  let rec go i cum =
+    if i >= Array.length counts then max_v
+    else begin
+      let cum' = cum + counts.(i) in
+      if float_of_int cum' >= rank && counts.(i) > 0 then begin
+        if i >= Array.length bucket_bounds then max_v
+        else begin
+          let lower = if i = 0 then 0. else bucket_bounds.(i - 1) in
+          let upper = bucket_bounds.(i) in
+          let frac = (rank -. float_of_int cum) /. float_of_int counts.(i) in
+          Float.min max_v (Float.max min_v (lower +. ((upper -. lower) *. frac)))
+        end
+      end
+      else go (i + 1) cum'
+    end
+  in
+  go 0 0
 
 type snapshot = {
   counters : (string * int) list;
@@ -109,10 +164,27 @@ let snapshot () : snapshot =
         Mutex.lock h.lock;
         let stats =
           if h.obs_count = 0 then None
-          else
+          else begin
+            (* Cumulative counts per upper bound, +∞ last — the shape
+               Prometheus exposition wants. *)
+            let cum = ref 0 in
+            let cumulative =
+              Array.mapi
+                (fun i n ->
+                  cum := !cum + n;
+                  ((if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
+                   !cum))
+                h.buckets
+            in
+            let quantile =
+              quantile_of_buckets ~count:h.obs_count ~min_v:h.obs_min ~max_v:h.obs_max
+                h.buckets
+            in
             Some
               { h_count = h.obs_count; h_sum = h.obs_sum; h_min = h.obs_min;
-                h_max = h.obs_max }
+                h_max = h.obs_max; h_buckets = cumulative; h_p50 = quantile 0.50;
+                h_p95 = quantile 0.95; h_p99 = quantile 0.99 }
+          end
         in
         Mutex.unlock h.lock;
         match stats with None -> acc | Some s -> (name, s) :: acc)
@@ -132,6 +204,7 @@ let reset () =
       h.obs_sum <- 0.;
       h.obs_min <- infinity;
       h.obs_max <- neg_infinity;
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
       Mutex.unlock h.lock)
     histograms;
   Mutex.unlock registry_lock
@@ -141,9 +214,10 @@ let pp_snapshot fmt (s : snapshot) =
   List.iter (fun (name, v) -> Format.fprintf fmt "%-36s %12d@," name v) s.counters;
   List.iter
     (fun (name, h) ->
-      Format.fprintf fmt "%-36s n=%d sum=%.3f min=%.3f max=%.3f mean=%.3f@," name h.h_count
-        h.h_sum h.h_min h.h_max
-        (h.h_sum /. float_of_int h.h_count))
+      Format.fprintf fmt "%-36s n=%d sum=%.3f min=%.3f max=%.3f mean=%.3f p50=%.3f p95=%.3f p99=%.3f@,"
+        name h.h_count h.h_sum h.h_min h.h_max
+        (h.h_sum /. float_of_int h.h_count)
+        h.h_p50 h.h_p95 h.h_p99)
     s.histograms;
   Format.fprintf fmt "@]"
 
@@ -181,10 +255,13 @@ let snapshot_to_json (s : snapshot) : string =
     (fun i (name, h) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s}"
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\
+            \"p50\":%s,\"p95\":%s,\"p99\":%s}"
            (json_escape name) h.h_count (json_float h.h_sum) (json_float h.h_min)
            (json_float h.h_max)
-           (json_float (h.h_sum /. float_of_int h.h_count))))
+           (json_float (h.h_sum /. float_of_int h.h_count))
+           (json_float h.h_p50) (json_float h.h_p95) (json_float h.h_p99)))
     s.histograms;
   Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -49,11 +49,24 @@ val value : counter -> int
 
 (** {1 Snapshots} *)
 
+val bucket_bounds : float array
+(** The fixed exponential bucket grid every histogram shares: upper
+    bounds [0.001 · 2^i]. Observations above the last bound land in an
+    implicit +∞ overflow bucket. *)
+
 type hist_stats = {
   h_count : int;
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_buckets : (float * int) array;
+      (** cumulative count per upper bound ({!bucket_bounds} order, +∞
+          last) — directly exposable as Prometheus [_bucket] series *)
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+      (** quantile estimates: linear interpolation inside the bucket
+          holding the q·count-th observation, clamped to [min, max] *)
 }
 
 type snapshot = {
@@ -70,7 +83,7 @@ val pp_snapshot : Format.formatter -> snapshot -> unit
 
 val snapshot_to_json : snapshot -> string
 (** A JSON object [{"counters": {...}, "histograms": {...}}]; histogram
-    entries carry count/sum/min/max/mean. *)
+    entries carry count/sum/min/max/mean and p50/p95/p99. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding inside JSON quotes (exposed for the

@@ -1,6 +1,13 @@
 (* Span tracing: a stack of open frames in the main domain; closing a
    frame attaches the finished span to its parent or, for roots, to the
-   completed list. *)
+   completed list.
+
+   The stack is an unguarded global — correct only on the domain that
+   owns it. Spans opened from a spawned domain (the aggregation chunk
+   workers) used to race the main domain's pushes and pops; now they
+   bypass the stack entirely and degrade to a per-name histogram
+   observation, so off-domain timings are still collected without
+   corrupting the tree. *)
 
 type span = { name : string; ms : float; children : span list }
 
@@ -9,10 +16,20 @@ type frame = { f_name : string; start : float; mutable children_rev : span list 
 let stack : frame list ref = ref []
 let completed_rev : span list ref = ref []
 
+(* The domain that loaded this module owns the span stack. *)
+let main_domain : Domain.id = Domain.self ()
+
 let now () = Unix.gettimeofday ()
+
+(* Off-main-domain fallback: time the call into a histogram keyed by
+   the span name. Registration is idempotent and these paths are
+   coarse, so the registry lookup per call is acceptable. *)
+let observe_off_domain name f =
+  Metrics.observe_ms (Metrics.histogram ("trace." ^ name)) f
 
 let with_span name f =
   if not !Metrics.enabled then f ()
+  else if not (Domain.self () = main_domain) then observe_off_domain name f
   else begin
     let fr = { f_name = name; start = now (); children_rev = [] } in
     stack := fr :: !stack;

@@ -12,9 +12,10 @@
 
     Tracing shares {!Metrics.enabled}: disabled (the default),
     [with_span] is a flag test plus a tail call. The span stack is a
-    single global — open spans only from the main domain (the
-    instrumented layers observe per-chunk timings into histograms from
-    spawned domains instead). *)
+    single global owned by the domain that loaded this module; a
+    [with_span] reached from any other domain never touches it and
+    instead records the duration into the [trace.<name>] histogram, so
+    off-domain callers stay measured without corrupting the tree. *)
 
 type span = {
   name : string;

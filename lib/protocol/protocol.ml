@@ -12,15 +12,24 @@
    so mismatched peers fail loudly instead of misparsing ciphertext
    payloads: bad magic is a {!Sagma_wire.Wire.Decode_error} (not a SAGMA
    frame at all), while a good magic with an unknown version raises the
-   typed {!Version_mismatch}. *)
+   typed {!Version_mismatch}.
+
+   Version history: v1 carried requests 0–4 (Upload/Aggregate/Append/
+   List_tables/Drop) and responses 0–3; v2 adds the Stats request and
+   the StatsReport response. All v1 frames are valid v2 frames with a
+   different version byte, so the decoders accept both versions and
+   only reject tags the claimed version does not define. *)
 
 module W = Sagma_wire.Wire
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
 module Serialize = Sagma.Serialize
+module Metrics = Sagma_obs.Metrics
+module Audit = Sagma_obs.Audit
 
 let magic = "SG"
-let version = 1
+let version = 2
+let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
 
@@ -31,18 +40,21 @@ let () =
               expected got)
     | _ -> None)
 
-let put_header (s : W.sink) : unit =
+let put_header ?(version = version) (s : W.sink) : unit =
   W.put_u8 s (Char.code magic.[0]);
   W.put_u8 s (Char.code magic.[1]);
   W.put_u8 s version
 
-let get_header (s : W.source) : unit =
+(* Returns the frame's version so tag dispatch can reject constructs the
+   claimed version does not define. *)
+let get_header (s : W.source) : int =
   let m0 = W.get_u8 s in
   let m1 = W.get_u8 s in
   if m0 <> Char.code magic.[0] || m1 <> Char.code magic.[1] then
     W.fail "bad magic 0x%02x%02x (not a SAGMA frame)" m0 m1;
   let v = W.get_u8 s in
-  if v <> version then raise (Version_mismatch { expected = version; got = v })
+  if v < min_version || v > version then raise (Version_mismatch { expected = version; got = v });
+  v
 
 (* Structured failure codes, so clients can react programmatically
    instead of string-matching messages. *)
@@ -89,19 +101,96 @@ type request =
           the usual dynamic-SSE update leakage). *)
   | List_tables
   | Drop of string
+  | Stats
+      (** v2: fetch the server's metrics snapshot and audit summary. *)
+
+type stats_report = {
+  sr_snapshot : Sagma_obs.Metrics.snapshot;
+  sr_audit : Sagma_obs.Audit.summary;
+}
 
 type response =
   | Ack
   | Tables of (string * int) list  (** table name, row count *)
   | Aggregates of Scheme.agg_result
   | Failed of { code : error_code; message : string }
+  | Stats_report of stats_report  (** v2: answer to {!Stats} *)
 
 let failed code fmt = Printf.ksprintf (fun message -> Failed { code; message }) fmt
 
 (* --- codecs ------------------------------------------------------------------ *)
 
-let put_request (s : W.sink) (r : request) : unit =
-  put_header s;
+let put_hist_stats (s : W.sink) (h : Metrics.hist_stats) : unit =
+  W.put_int s h.Metrics.h_count;
+  W.put_f64 s h.Metrics.h_sum;
+  W.put_f64 s h.Metrics.h_min;
+  W.put_f64 s h.Metrics.h_max;
+  W.put_list s
+    (fun s (bound, cum) ->
+      W.put_f64 s bound;
+      W.put_int s cum)
+    (Array.to_list h.Metrics.h_buckets);
+  W.put_f64 s h.Metrics.h_p50;
+  W.put_f64 s h.Metrics.h_p95;
+  W.put_f64 s h.Metrics.h_p99
+
+let get_hist_stats (s : W.source) : Metrics.hist_stats =
+  let h_count = W.get_int s in
+  let h_sum = W.get_f64 s in
+  let h_min = W.get_f64 s in
+  let h_max = W.get_f64 s in
+  let h_buckets =
+    Array.of_list
+      (W.get_list s (fun s ->
+           let bound = W.get_f64 s in
+           let cum = W.get_int s in
+           (bound, cum)))
+  in
+  let h_p50 = W.get_f64 s in
+  let h_p95 = W.get_f64 s in
+  let h_p99 = W.get_f64 s in
+  { Metrics.h_count; h_sum; h_min; h_max; h_buckets; h_p50; h_p95; h_p99 }
+
+let put_stats_report (s : W.sink) (r : stats_report) : unit =
+  W.put_list s
+    (fun s (name, v) ->
+      W.put_bytes s name;
+      W.put_int s v)
+    r.sr_snapshot.Metrics.counters;
+  W.put_list s
+    (fun s (name, h) ->
+      W.put_bytes s name;
+      put_hist_stats s h)
+    r.sr_snapshot.Metrics.histograms;
+  W.put_int s r.sr_audit.Audit.s_requests;
+  W.put_int s r.sr_audit.Audit.s_probes;
+  W.put_int s r.sr_audit.Audit.s_checks_run;
+  W.put_int s r.sr_audit.Audit.s_check_failures
+
+let get_stats_report (s : W.source) : stats_report =
+  let counters =
+    W.get_list s (fun s ->
+        let name = W.get_bytes s in
+        let v = W.get_int s in
+        (name, v))
+  in
+  let histograms =
+    W.get_list s (fun s ->
+        let name = W.get_bytes s in
+        let h = get_hist_stats s in
+        (name, h))
+  in
+  let s_requests = W.get_int s in
+  let s_probes = W.get_int s in
+  let s_checks_run = W.get_int s in
+  let s_check_failures = W.get_int s in
+  { sr_snapshot = { Metrics.counters; histograms };
+    sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures } }
+
+(* [?version] lets a caller (or a compat test) emit a frame an older
+   peer accepts; only tags the requested version defines are allowed. *)
+let put_request ?(version = version) (s : W.sink) (r : request) : unit =
+  put_header ~version s;
   match r with
   | Upload { name; table } ->
     W.put_u8 s 0;
@@ -120,9 +209,12 @@ let put_request (s : W.sink) (r : request) : unit =
   | Drop name ->
     W.put_u8 s 4;
     W.put_bytes s name
+  | Stats ->
+    if version < 2 then invalid_arg "Protocol.put_request: Stats needs protocol version >= 2";
+    W.put_u8 s 5
 
 let get_request (s : W.source) : request =
-  get_header s;
+  let v = get_header s in
   match W.get_u8 s with
   | 0 ->
     let name = W.get_bytes s in
@@ -139,10 +231,11 @@ let get_request (s : W.source) : request =
     Append { name; row; keywords }
   | 3 -> List_tables
   | 4 -> Drop (W.get_bytes s)
-  | v -> W.fail "bad request tag %d" v
+  | 5 when v >= 2 -> Stats
+  | t -> W.fail "bad request tag %d for protocol version %d" t v
 
-let put_response (s : W.sink) (r : response) : unit =
-  put_header s;
+let put_response ?(version = version) (s : W.sink) (r : response) : unit =
+  put_header ~version s;
   match r with
   | Ack -> W.put_u8 s 0
   | Tables ts ->
@@ -159,9 +252,14 @@ let put_response (s : W.sink) (r : response) : unit =
     W.put_u8 s 3;
     put_error_code s code;
     W.put_bytes s message
+  | Stats_report r ->
+    if version < 2 then
+      invalid_arg "Protocol.put_response: Stats_report needs protocol version >= 2";
+    W.put_u8 s 4;
+    put_stats_report s r
 
 let get_response (s : W.source) : response =
-  get_header s;
+  let v = get_header s in
   match W.get_u8 s with
   | 0 -> Ack
   | 1 ->
@@ -175,9 +273,15 @@ let get_response (s : W.source) : response =
     let code = get_error_code s in
     let message = W.get_bytes s in
     Failed { code; message }
-  | v -> W.fail "bad response tag %d" v
+  | 4 when v >= 2 -> Stats_report (get_stats_report s)
+  | t -> W.fail "bad response tag %d for protocol version %d" t v
 
-let encode_request (r : request) : string = W.encode put_request r
+let encode_request ?version (r : request) : string =
+  W.encode (fun s r -> put_request ?version s r) r
+
 let decode_request (s : string) : request = W.decode get_request s
-let encode_response (r : response) : string = W.encode put_response r
+
+let encode_response ?version (r : response) : string =
+  W.encode (fun s r -> put_response ?version s r) r
+
 let decode_response (s : string) : response = W.decode get_response s

@@ -4,10 +4,12 @@
     uploads encrypted tables, sends grouping tokens, and decrypts the
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
-    Every message is prefixed with the magic {!magic} and the protocol
-    {!version}: decoding a frame from a peer speaking another version
-    raises {!Version_mismatch}; a frame without the magic raises
-    [Sagma_wire.Wire.Decode_error]. *)
+    Every message is prefixed with the magic {!magic} and a version
+    byte. This build speaks v2 but still decodes v1 frames (v1 = the
+    same encoding minus the [Stats]/[Stats_report] messages), so old
+    clients keep working against a new server; frames claiming any
+    other version raise {!Version_mismatch}, and frames without the
+    magic raise [Sagma_wire.Wire.Decode_error]. *)
 
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
@@ -16,7 +18,11 @@ val magic : string
 (** ["SG"] — the two bytes opening every frame. *)
 
 val version : int
-(** Wire protocol version this build speaks (currently 1). *)
+(** Wire protocol version this build speaks and encodes by default
+    (currently 2). *)
+
+val min_version : int
+(** Oldest version the decoders still accept (currently 1). *)
 
 exception Version_mismatch of { expected : int; got : int }
 
@@ -40,24 +46,36 @@ type request =
           standard dynamic-SSE update leakage. *)
   | List_tables
   | Drop of string
+  | Stats
+      (** v2: fetch the server's metrics snapshot and audit summary. *)
+
+type stats_report = {
+  sr_snapshot : Sagma_obs.Metrics.snapshot;
+  sr_audit : Sagma_obs.Audit.summary;
+}
 
 type response =
   | Ack
   | Tables of (string * int) list  (** name, row count *)
   | Aggregates of Scheme.agg_result
   | Failed of { code : error_code; message : string }
+  | Stats_report of stats_report  (** v2: answer to {!Stats} *)
 
 val failed : error_code -> ('a, unit, string, response) format4 -> 'a
 (** [failed code fmt ...] builds a {!Failed} response. *)
 
-val encode_request : request -> string
+val encode_request : ?version:int -> request -> string
 val decode_request : string -> request
-val encode_response : response -> string
+val encode_response : ?version:int -> response -> string
 val decode_response : string -> response
-(** Decoders raise {!Version_mismatch} on a recognized frame of another
-    version, [Sagma_wire.Wire.Decode_error] on anything malformed. *)
+(** Decoders accept versions {!min_version}..{!version} and raise
+    {!Version_mismatch} on anything else, [Sagma_wire.Wire.Decode_error]
+    on malformed frames (including v2-only tags inside a v1 frame).
+    Encoders default to {!version}; pass [?version] to emit a frame an
+    older peer accepts (@raise Invalid_argument if the message does not
+    exist in that version). *)
 
-val put_request : Sagma_wire.Wire.sink -> request -> unit
+val put_request : ?version:int -> Sagma_wire.Wire.sink -> request -> unit
 val get_request : Sagma_wire.Wire.source -> request
-val put_response : Sagma_wire.Wire.sink -> response -> unit
+val put_response : ?version:int -> Sagma_wire.Wire.sink -> response -> unit
 val get_response : Sagma_wire.Wire.source -> response

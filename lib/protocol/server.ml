@@ -9,6 +9,8 @@
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
 module Obs = Sagma_obs.Metrics
+module Log = Sagma_obs.Log
+module Audit = Sagma_obs.Audit
 
 let m_requests = Obs.counter "proto.requests"
 let m_failed = Obs.counter "proto.requests_failed"
@@ -24,8 +26,21 @@ let table_names (s : t) : (string * int) list =
   Hashtbl.fold (fun name et acc -> (name, Array.length et.Scheme.rows) :: acc) s.tables []
   |> List.sort compare
 
+let request_kind : Protocol.request -> string = function
+  | Protocol.Upload _ -> "upload"
+  | Protocol.Aggregate _ -> "aggregate"
+  | Protocol.Append _ -> "append"
+  | Protocol.List_tables -> "list-tables"
+  | Protocol.Drop _ -> "drop"
+  | Protocol.Stats -> "stats"
+
 let handle (s : t) (req : Protocol.request) : Protocol.response =
   match req with
+  | Protocol.Stats ->
+    (* A read-only snapshot: safe to serve even while the registry is
+       being written — counters are atomic, histograms lock per cell. *)
+    Protocol.Stats_report
+      { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary () }
   | Protocol.Upload { name; table } ->
     Hashtbl.replace s.tables name table;
     Protocol.Ack
@@ -70,13 +85,24 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
   end
 
 (* Handle a raw encoded request, never letting an exception cross the
-   transport boundary. *)
+   transport boundary. Each request gets a fresh id shared by its log
+   lines and its audit trace: the audit brackets the whole handler, so
+   every index probe [Scheme.aggregate] fires lands in this request's
+   trace. *)
 let handle_encoded (s : t) (raw : string) : string =
   Obs.incr m_requests;
   Obs.add m_bytes_in (String.length raw);
+  let req_id = Log.next_request_id () in
+  Audit.begin_request req_id;
+  let t0 = Unix.gettimeofday () in
+  let kind = ref "undecodable" in
   let response =
     Obs.observe_ms h_request_ms (fun () ->
-        try handle s (Protocol.decode_request raw) with
+        try
+          let req = Protocol.decode_request raw in
+          kind := request_kind req;
+          handle s req
+        with
         | Sagma_wire.Wire.Decode_error msg ->
           Protocol.failed Protocol.Bad_request "malformed request: %s" msg
         | Protocol.Version_mismatch { expected; got } ->
@@ -87,7 +113,30 @@ let handle_encoded (s : t) (raw : string) : string =
         | Not_found -> Protocol.failed Protocol.Internal_error "not found"
         | Division_by_zero -> Protocol.failed Protocol.Internal_error "division by zero")
   in
+  let trace = Audit.end_request () in
   (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
   let encoded = Protocol.encode_response response in
   Obs.add m_bytes_out (String.length encoded);
+  if Log.enabled Log.Info then begin
+    let base =
+      [ Log.int "req" req_id; Log.str "kind" !kind;
+        Log.float "ms" ((Unix.gettimeofday () -. t0) *. 1000.);
+        Log.int "bytes_in" (String.length raw); Log.int "bytes_out" (String.length encoded) ]
+    in
+    match response with
+    | Protocol.Failed { code; message } ->
+      Log.warn "request"
+        ~fields:
+          (base
+          @ [ Log.str "error" (Protocol.error_code_to_string code); Log.str "message" message ])
+    | _ ->
+      let audit_fields =
+        match trace with
+        | Some t ->
+          [ Log.int "audit_probes" (List.length t.Audit.t_probes);
+            Log.int "audit_rows_paired" t.Audit.t_rows_paired ]
+        | None -> []
+      in
+      Log.info "request" ~fields:(base @ audit_fields)
+  end;
   encoded

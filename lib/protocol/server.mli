@@ -12,8 +12,13 @@ val create : unit -> t
 
 val table_names : t -> (string * int) list
 
+val request_kind : Protocol.request -> string
+(** Stable kebab-case name of the request constructor (log field). *)
+
 val handle : t -> Protocol.request -> Protocol.response
 
 val handle_encoded : t -> string -> string
 (** Decode, handle, encode; never lets an exception escape (malformed
-    requests yield [Failed]). *)
+    requests yield [Failed]). Brackets the handler with a fresh request
+    id shared by the [Sagma_obs.Log] "request" event and the
+    [Sagma_obs.Audit] trace (when those subsystems are enabled). *)

@@ -5,7 +5,9 @@
 let max_frame = 1 lsl 30
 
 module Obs = Sagma_obs.Metrics
+module Log = Sagma_obs.Log
 
+let m_conns = Obs.counter "transport.connections"
 let m_frames_sent = Obs.counter "transport.frames_sent"
 let m_bytes_sent = Obs.counter "transport.bytes_sent"
 let m_frames_recv = Obs.counter "transport.frames_recv"
@@ -81,10 +83,17 @@ let listen_and_serve ?(backlog = 8) ?after_request ~(port : int) (state : Server
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen sock backlog;
+  let peer_name = function
+    | Unix.ADDR_INET (addr, port) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+    | Unix.ADDR_UNIX path -> path
+  in
   let rec accept_loop () =
-    let conn, _ = Unix.accept sock in
+    let conn, peer = Unix.accept sock in
+    Obs.incr m_conns;
+    Log.info "conn.accepted" ~fields:[ Log.str "peer" (peer_name peer) ];
     (try serve_connection ?after_request state conn with _ -> ());
     (try Unix.close conn with Unix.Unix_error _ -> ());
+    Log.info "conn.closed" ~fields:[ Log.str "peer" (peer_name peer) ];
     accept_loop ()
   in
   accept_loop ()

@@ -59,9 +59,7 @@ let of_query (et : Scheme.enc_table) (tok : Scheme.token) : query_leakage =
       Array.to_list
         (Array.map
            (fun (_, st, xtoks) ->
-             { token_tag =
-                 Sagma_crypto.Encoding.to_hex
-                   (String.sub st.Sagma_sse.Oxt.s_keyword_key 0 8);
+             { token_tag = Scheme.oxt_stag_tag st;
                matches = List.sort compare (Sagma_sse.Oxt.search params oxt st xtoks) })
            entries)
   in
@@ -84,6 +82,101 @@ let profile (et : Scheme.enc_table) (tokens : Scheme.token list) : t =
     num_channels = Sagma_bgn.Crt_channels.channels pp.Scheme.channels;
     index_size = Sse.size et.Scheme.index;
     queries = List.map (of_query et) tokens }
+
+(* --- leakage audit glue ----------------------------------------------------
+
+   [Scheme.aggregate] records every index access it performs as an
+   Audit probe; these functions derive, from the declared leakage alone,
+   the exact probe set an honest server may produce — same kinds, same
+   tags, same posting lists as the instrumented call sites — plus a
+   tight bound on the rows entering the pairing loop. Anything beyond
+   the prediction (an extra bucket probed, a wider posting list, more
+   rows paired) is observable behavior L does not license. *)
+
+module Audit = Sagma_obs.Audit
+module Int_set = Set.Make (Int)
+
+let audit_prediction (et : Scheme.enc_table) (tok : Scheme.token) :
+    (string * string * int list) list * int =
+  let obs_of kind t =
+    let o = observe_token et.Scheme.index t in
+    (kind, o.token_tag, o.matches)
+  in
+  let bucket_obs =
+    match tok.Scheme.source with
+    | Scheme.Per_attribute_tokens per_column ->
+      Array.to_list per_column
+      |> List.concat_map (fun per_bucket ->
+             Array.to_list (Array.map (obs_of "sse.bucket") per_bucket))
+    | Scheme.Joint_tokens entries ->
+      Array.to_list (Array.map (fun (_, t) -> obs_of "sse.bucket" t) entries)
+    | Scheme.Oxt_tokens entries ->
+      let oxt = Option.get et.Scheme.oxt_index in
+      let params = Scheme.oxt_params () in
+      Array.to_list
+        (Array.map
+           (fun (_, st, xtoks) ->
+             ( "oxt.bucket",
+               Scheme.oxt_stag_tag st,
+               List.sort compare (Sagma_sse.Oxt.search params oxt st xtoks) ))
+           entries)
+  in
+  let filter_obs = List.map (obs_of "sse.filter") tok.Scheme.filter_tokens in
+  let range_obs =
+    List.concat_map (List.map (obs_of "sse.range")) tok.Scheme.range_token_groups
+  in
+  (* Paired-row bound, mirroring the WHERE composition of Algorithm 5:
+     equality clauses intersect, each range clause contributes the union
+     of its cover, and a row feeds the pairing loop once per joint
+     bucket containing it. *)
+  let equality_sets = List.map (fun (_, _, m) -> Int_set.of_list m) filter_obs in
+  let range_sets =
+    List.map
+      (fun group ->
+        List.fold_left
+          (fun acc t ->
+            Int_set.union acc (Int_set.of_list (observe_token et.Scheme.index t).matches))
+          Int_set.empty group)
+      tok.Scheme.range_token_groups
+  in
+  let filtered =
+    match equality_sets @ range_sets with
+    | [] -> None
+    | s0 :: rest -> Some (List.fold_left Int_set.inter s0 rest)
+  in
+  let keep r = match filtered with None -> true | Some s -> Int_set.mem r s in
+  let bound =
+    match tok.Scheme.source with
+    | Scheme.Per_attribute_tokens per_column ->
+      (* A row pairs iff, in every queried column, it lies in some
+         queried bucket — i.e. the intersection of the per-column match
+         unions (each row inhabits exactly one bucket per column). *)
+      let col_sets =
+        Array.map
+          (fun per_bucket ->
+            Array.fold_left
+              (fun acc t ->
+                List.fold_left
+                  (fun acc r -> if keep r then Int_set.add r acc else acc)
+                  acc (observe_token et.Scheme.index t).matches)
+              Int_set.empty per_bucket)
+          per_column
+      in
+      if Array.length col_sets = 0 then 0
+      else Int_set.cardinal (Array.fold_left Int_set.inter col_sets.(0) col_sets)
+    | Scheme.Joint_tokens _ | Scheme.Oxt_tokens _ ->
+      (* Joint buckets are read directly: each entry pairs its own
+         (filtered) matches. *)
+      List.fold_left
+        (fun acc (_, _, m) -> acc + List.length (List.filter keep m))
+        0 bucket_obs
+  in
+  (bucket_obs @ filter_obs @ range_obs, bound)
+
+let audit_check (et : Scheme.enc_table) (tok : Scheme.token) (trace : Audit.trace) :
+    Audit.verdict =
+  let predicted, bound = audit_prediction et tok in
+  Audit.check ~max_rows_paired:bound ~predicted trace
 
 (* --- simulator ------------------------------------------------------------ *)
 

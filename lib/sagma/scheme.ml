@@ -31,6 +31,7 @@ module Oxt = Sagma_sse.Oxt
 module Curve = Sagma_pairing.Curve
 module Obs = Sagma_obs.Metrics
 module Trace = Sagma_obs.Trace
+module Audit = Sagma_obs.Audit
 
 (* Scheme-level observability: row/bucket volumes plus per-chunk wall
    clock for the parallel accumulation path (chunks run on spawned
@@ -555,6 +556,31 @@ let token ?(index_mode = Per_attribute) ?(oxt_rows : int option) (c : client) (q
    This function deliberately takes only public data: the encrypted table
    (which embeds the public parameters) and a token. *)
 
+(* Audit hooks: every index access [aggregate] performs goes through one
+   of these, recording the raw posting list (the access pattern, before
+   any WHERE filtering — filtering happens on the server after the read,
+   so the read itself is what leaks) under the token's deterministic tag
+   (the search pattern). [Leakage] derives the matching prediction from
+   the declared leakage function; Audit.check compares the two. The
+   helpers are exported so tests can drive a forged probe through the
+   production recording path. *)
+
+let audited_search ~(kind : string) (index : Sse.index) (t : Sse.token) : int list =
+  let rows = Sse.search index t in
+  if !Audit.enabled then Audit.probe ~kind ~tag:(Sse.token_id t) ~matches:rows;
+  rows
+
+(* Deterministic public identity of an OXT conjunction: the s-term stag's
+   keyword-key prefix (shared convention with [Leakage.of_query]). *)
+let oxt_stag_tag (st : Oxt.stag) : string =
+  Sagma_crypto.Encoding.to_hex (String.sub st.Oxt.s_keyword_key 0 8)
+
+let audited_oxt_search (params : Oxt.params) (oxt : Oxt.index) (st : Oxt.stag)
+    (xtoks : Curve.point array array) : int list =
+  let rows = List.sort compare (Oxt.search params oxt st xtoks) in
+  if !Audit.enabled then Audit.probe ~kind:"oxt.bucket" ~tag:(oxt_stag_tag st) ~matches:rows;
+  rows
+
 type block_aggregates = {
   sums : Bgn.c2 array array option;  (* per block vector, per channel *)
   counts_l1 : Bgn.c1 array option;   (* per block vector (level-1 mode) *)
@@ -603,13 +629,16 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
   let filtered =
     Trace.with_span "filter" @@ fun () ->
     let equality_sets =
-      List.map (fun t -> Int_set.of_list (Sse.search et.index t)) tok.filter_tokens
+      List.map
+        (fun t -> Int_set.of_list (audited_search ~kind:"sse.filter" et.index t))
+        tok.filter_tokens
     in
     let range_sets =
       List.map
         (fun group ->
           List.fold_left
-            (fun acc t -> Int_set.union acc (Int_set.of_list (Sse.search et.index t)))
+            (fun acc t ->
+              Int_set.union acc (Int_set.of_list (audited_search ~kind:"sse.range" et.index t)))
             Int_set.empty group)
         tok.range_token_groups
     in
@@ -627,7 +656,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
     | Joint_tokens entries ->
       Array.to_list entries
       |> List.filter_map (fun (buckets, t) ->
-             match List.filter keep (Sse.search et.index t) with
+             match List.filter keep (audited_search ~kind:"sse.bucket" et.index t) with
              | [] -> None
              | rows -> Some (buckets, rows))
     | Oxt_tokens entries ->
@@ -639,13 +668,14 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
       let params = oxt_params () in
       Array.to_list entries
       |> List.filter_map (fun (buckets, st, xtoks) ->
-             match List.filter keep (List.sort compare (Oxt.search params oxt st xtoks)) with
+             match List.filter keep (audited_oxt_search params oxt st xtoks) with
              | [] -> None
              | rows -> Some (buckets, rows))
     | Per_attribute_tokens per_column ->
       let bucket_rows =
         Array.map
-          (fun tokens -> Array.map (fun t -> List.filter keep (Sse.search et.index t)) tokens)
+          (fun tokens ->
+            Array.map (fun t -> List.filter keep (audited_search ~kind:"sse.bucket" et.index t)) tokens)
           per_column
       in
       let rec enumerate col chosen rows acc =
@@ -719,6 +749,7 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
     touched := !touched + List.length rows;
     Obs.incr m_agg_buckets;
     Obs.add m_agg_rows (List.length rows);
+    if !Audit.enabled then Audit.rows_paired (List.length rows);
     let num_channels = Crt.channels pp.channels in
         let accumulate_chunk (chunk : int list) =
           let sums =

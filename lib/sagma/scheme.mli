@@ -199,6 +199,29 @@ val block_vector : bucket_size:int -> arity:int -> int -> int array
 val oxt_params : unit -> Oxt.params
 (** The shared public OXT group parameters (deterministic). *)
 
+(** {2 Leakage-audit hooks}
+
+    Every index access {!aggregate} performs goes through one of these,
+    recording a probe — the token's deterministic tag plus the raw
+    posting list it returned — into {!Sagma_obs.Audit} when auditing is
+    enabled. Exported so tests can drive a forged probe through the
+    production recording path; see {!Leakage.audit_check} for the
+    matching prediction. *)
+
+val audited_search : kind:string -> Sse.index -> Sse.token -> int list
+(** [Sse.search] plus an audit probe under [kind] (the kinds
+    [aggregate] uses: ["sse.bucket"], ["sse.filter"], ["sse.range"]). *)
+
+val oxt_stag_tag : Oxt.stag -> string
+(** Deterministic public identity of an OXT conjunction (the s-term
+    stag's keyword-key prefix) — the tag both the auditor and
+    {!Leakage.of_query} record it under. *)
+
+val audited_oxt_search :
+  Oxt.params -> Oxt.index -> Oxt.stag -> Curve.point array array -> int list
+(** OXT conjunction search (sorted row ids) plus an ["oxt.bucket"]
+    probe. *)
+
 val aggregate : ?domains:int -> enc_table -> token -> agg_result
 (** Algorithm 5. Deliberately takes only public data — no keys.
     [domains] > 1 splits each joint bucket's row work across OCaml

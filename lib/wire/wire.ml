@@ -43,6 +43,15 @@ let put_int (s : sink) (v : int) : unit =
 
 let put_bool (s : sink) (v : bool) : unit = put_u8 s (if v then 1 else 0)
 
+(* IEEE-754 double as its 8 raw bits, big-endian: canonical (bit-exact
+   roundtrip, NaN payloads included) without a textual detour. *)
+let put_f64 (s : sink) (v : float) : unit =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char s
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
 let put_bytes (s : sink) (v : string) : unit =
   put_u32 s (String.length v);
   Buffer.add_string s v
@@ -110,6 +119,15 @@ let get_int (s : source) : int =
   | 0 -> mag
   | 1 -> -mag
   | v -> fail "bad int sign %d" v
+
+let get_f64 (s : source) : float =
+  ensure s 8;
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.data.[s.pos]));
+    s.pos <- s.pos + 1
+  done;
+  Int64.float_of_bits !bits
 
 let get_bool (s : source) : bool =
   match get_u8 s with

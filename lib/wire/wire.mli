@@ -25,6 +25,11 @@ val put_int : sink -> int -> unit
 (** Signed native int ([min_int] excluded). *)
 
 val put_bool : sink -> bool -> unit
+
+val put_f64 : sink -> float -> unit
+(** IEEE-754 double as its 8 raw bits, big-endian — bit-exact roundtrip
+    (infinities and NaN payloads included). *)
+
 val put_bytes : sink -> string -> unit
 val put_list : sink -> (sink -> 'a -> unit) -> 'a list -> unit
 val put_array : sink -> (sink -> 'a -> unit) -> 'a array -> unit
@@ -51,6 +56,7 @@ val get_u32 : source -> int
 val get_u62 : source -> int
 val get_int : source -> int
 val get_bool : source -> bool
+val get_f64 : source -> float
 val get_bytes : source -> string
 val get_list : source -> (source -> 'a) -> 'a list
 val get_array : source -> (source -> 'a) -> 'a array

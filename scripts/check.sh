@@ -21,9 +21,57 @@ SAGMA_PROP_SEED="sagma-fuzz-smoke" SAGMA_PROP_SCALE=200 \
   dune exec test/test_prop_wire.exe
 SAGMA_PROP_SEED="sagma-fuzz-smoke" SAGMA_PROP_SCALE=100 \
   dune exec test/test_prop_bigint.exe
+SAGMA_PROP_SEED="sagma-fuzz-smoke" \
+  dune exec test/test_prop_audit.exe
 
-echo "== bench smoke (json target -> BENCH_PR1.json) =="
+echo "== observability smoke (server --metrics --audit --log-json + Stats RPC) =="
+OBS_DIR=$(mktemp -d)
+OBS_PORT=7499
+SERVER=_build/default/bin/sagma_server.exe
+CLI=_build/default/bin/sagma_cli.exe
+cat > "$OBS_DIR/data.csv" <<'CSV'
+salary,dept
+1000,sales
+2000,finance
+3000,sales
+4000,facility
+CSV
+"$SERVER" --port "$OBS_PORT" --metrics --audit \
+  --log-json "$OBS_DIR/server.jsonl" > "$OBS_DIR/server.out" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OBS_DIR"' EXIT
+sleep 1
+"$CLI" remote-upload --csv "$OBS_DIR/data.csv" --schema "salary:int,dept:str" \
+  --group-by dept --values salary --filters dept --threshold 1 \
+  --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key"
+"$CLI" remote-query --sum salary --group-by dept \
+  --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key"
+# The Stats RPC must answer with a parseable Prometheus exposition:
+# a known counter, the +Inf-closed bucket family, and quantile gauges.
+"$CLI" stats --port "$OBS_PORT" --prometheus > "$OBS_DIR/exposition.txt"
+grep -q "^sagma_proto_requests_total " "$OBS_DIR/exposition.txt"
+grep -q "^sagma_scheme_agg_rows_total " "$OBS_DIR/exposition.txt"
+grep -q 'sagma_proto_request_ms_bucket{le="+Inf"}' "$OBS_DIR/exposition.txt"
+grep -q "^sagma_proto_request_ms_p50 " "$OBS_DIR/exposition.txt"
+grep -q "^sagma_proto_request_ms_p99 " "$OBS_DIR/exposition.txt"
+# The audit ran and flagged nothing.
+"$CLI" stats --port "$OBS_PORT" | grep "^audit: " | grep -q " failures=0"
+# The structured log is non-empty JSON lines including request events.
+[ -s "$OBS_DIR/server.jsonl" ]
+grep -q '"event":"request"' "$OBS_DIR/server.jsonl"
+python3 -c 'import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty log"
+assert any(e["event"] == "request" and "ms" in e for e in lines), lines' \
+  "$OBS_DIR/server.jsonl"
+kill "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$OBS_DIR"
+echo "observability smoke OK"
+
+echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json) =="
 dune exec bench/main.exe -- json
+dune exec bench/main.exe -- json-pr3
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -50,6 +98,32 @@ for w in workloads:
         assert counters.get("bgn.mul", 0) > 0, f"{w['name']}: no pairings recorded"
 
 print(f"BENCH_PR1.json OK: {len(workloads)} workloads")
+EOF
+
+echo "== validate BENCH_PR3.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR3.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr3"
+workloads = doc["workloads"]
+assert len(workloads) >= 3, f"expected >= 3 workloads, got {len(workloads)}"
+for w in workloads:
+    for key in ("name", "rows", "timings_ms", "cost_model", "metrics"):
+        assert key in w, f"workload {w.get('name')} missing {key}"
+    cm = w["cost_model"]
+    assert cm["rows_aggregated"] > 0, f"{w['name']}: no rows aggregated"
+    if w["name"].startswith("sum"):
+        assert cm["pairings"] > 0, f"{w['name']}: no pairings recorded"
+        assert cm["pairings_per_row"] > 0
+        assert cm["dlog_solves"] > 0, f"{w['name']}: no discrete logs solved"
+    else:
+        assert cm["pairings"] == 0, f"{w['name']}: COUNT should pair nothing"
+
+print(f"BENCH_PR3.json OK: {len(workloads)} workloads")
 EOF
 
 echo "== all checks passed =="

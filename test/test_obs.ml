@@ -9,6 +9,9 @@ module Query = Sagma_db.Query
 module Executor = Sagma_db.Executor
 module Metrics = Sagma_obs.Metrics
 module Trace = Sagma_obs.Trace
+module Export = Sagma_obs.Export
+module Log = Sagma_obs.Log
+module Audit = Sagma_obs.Audit
 open Sagma
 
 let str s = Value.Str s
@@ -96,6 +99,160 @@ let test_snapshot_json () =
   Alcotest.(check bool) "histogram in JSON" true (contains j "\"test.json_hist\"");
   Alcotest.(check string) "escaping" "a\\\"b\\\\c\\n" (Metrics.json_escape "a\"b\\c\n")
 
+let test_bucket_boundaries () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test.bounds" in
+  (* Grid is 0.001·2^i: first bound 0.001, second 0.002. Bounds are
+     inclusive upper limits, so 0.001 itself lands in the first slot. *)
+  Metrics.observe h 0.0005;
+  Metrics.observe h 0.001;
+  Metrics.observe h 0.0011;
+  Metrics.observe h 1e12 (* beyond the last bound: +∞ overflow slot *);
+  let st = List.assoc "test.bounds" (Metrics.snapshot ()).Metrics.histograms in
+  let n = Array.length st.Metrics.h_buckets in
+  Alcotest.(check int) "one slot per bound plus +inf"
+    (Array.length Metrics.bucket_bounds + 1) n;
+  let b0, c0 = st.Metrics.h_buckets.(0) in
+  Alcotest.(check (float 1e-12)) "first bound" 0.001 b0;
+  Alcotest.(check int) "bounds are inclusive" 2 c0;
+  let b1, c1 = st.Metrics.h_buckets.(1) in
+  Alcotest.(check (float 1e-12)) "bounds double" 0.002 b1;
+  Alcotest.(check int) "cumulative counts" 3 c1;
+  let binf, cinf = st.Metrics.h_buckets.(n - 1) in
+  Alcotest.(check bool) "last bound is +inf" true (binf = infinity);
+  Alcotest.(check int) "+inf sees everything" 4 cinf;
+  let prev = ref 0 in
+  Array.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "cumulative monotone" true (c >= !prev);
+      prev := c)
+    st.Metrics.h_buckets
+
+let test_quantiles () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test.quant" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let st = List.assoc "test.quant" (Metrics.snapshot ()).Metrics.histograms in
+  Alcotest.(check bool) "quantiles ordered" true
+    (st.Metrics.h_p50 <= st.Metrics.h_p95 && st.Metrics.h_p95 <= st.Metrics.h_p99);
+  Alcotest.(check bool) "quantiles inside [min, max]" true
+    (st.Metrics.h_p50 >= st.Metrics.h_min && st.Metrics.h_p99 <= st.Metrics.h_max);
+  (* Uniform 1..100: the median interpolates inside the (32.768, 65.536]
+     bucket, so the estimate stays within one bucket of the true 50. *)
+  Alcotest.(check bool) "p50 near true median" true
+    (st.Metrics.h_p50 > 32.0 && st.Metrics.h_p50 <= 66.0);
+  (* p95's bucket reaches past the max, so the clamp kicks in. *)
+  Alcotest.(check (float 1e-9)) "p95 clamped to max" 100.0 st.Metrics.h_p95;
+  (* Degenerate distribution: every quantile is the single value. *)
+  let h1 = Metrics.histogram "test.quant_one" in
+  Metrics.observe h1 5.0;
+  let st1 = List.assoc "test.quant_one" (Metrics.snapshot ()).Metrics.histograms in
+  Alcotest.(check (float 1e-9)) "single obs p50" 5.0 st1.Metrics.h_p50;
+  Alcotest.(check (float 1e-9)) "single obs p99" 5.0 st1.Metrics.h_p99
+
+let test_prometheus_exposition () =
+  with_metrics @@ fun () ->
+  Metrics.add (Metrics.counter "proto.requests") 3;
+  let h = Metrics.histogram "proto.request_ms" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 1.5;
+  let text = Export.prometheus (Metrics.snapshot ()) in
+  Alcotest.(check string) "name sanitization" "sagma_proto_request_ms"
+    (Export.metric_name "proto.request_ms");
+  Alcotest.(check bool) "counter sample" true (contains text "sagma_proto_requests_total 3");
+  Alcotest.(check bool) "counter TYPE" true
+    (contains text "# TYPE sagma_proto_requests_total counter");
+  Alcotest.(check bool) "histogram TYPE" true
+    (contains text "# TYPE sagma_proto_request_ms histogram");
+  Alcotest.(check bool) "+Inf bucket closes the family" true
+    (contains text "sagma_proto_request_ms_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool) "sum" true (contains text "sagma_proto_request_ms_sum 2");
+  Alcotest.(check bool) "count" true (contains text "sagma_proto_request_ms_count 2");
+  Alcotest.(check bool) "p50 gauge" true (contains text "sagma_proto_request_ms_p50 ");
+  Alcotest.(check bool) "p99 gauge" true (contains text "sagma_proto_request_ms_p99 ");
+  (* Shape: every non-comment line is "name value" or "name{labels} value". *)
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] <> '#' then
+        match String.split_on_char ' ' l with
+        | [ _name; _value ] -> ()
+        | _ -> Alcotest.failf "malformed exposition line %S" l)
+    (String.split_on_char '\n' text)
+
+(* --- structured logging ----------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let with_log_file f =
+  let path = Filename.temp_file "sagma_test_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.detach ();
+      Log.set_level Log.Info;
+      Sys.remove path)
+    (fun () ->
+      Log.to_file path;
+      f path)
+
+let test_log_jsonl () =
+  with_log_file @@ fun path ->
+  Log.set_level Log.Debug;
+  Log.debug "fields"
+    ~fields:[ Log.str "s" "a\"b"; Log.int "n" 42; Log.float "f" 1.5; Log.bool "b" true ];
+  Log.info "bare";
+  Log.detach ();
+  match read_lines path with
+  | [ l1; l2 ] ->
+    Alcotest.(check bool) "object per line" true
+      (String.length l1 > 1 && l1.[0] = '{' && l1.[String.length l1 - 1] = '}');
+    Alcotest.(check bool) "event name" true (contains l1 "\"event\":\"fields\"");
+    Alcotest.(check bool) "level" true (contains l1 "\"level\":\"debug\"");
+    Alcotest.(check bool) "timestamp" true (contains l1 "\"ts\":");
+    Alcotest.(check bool) "string field escaped" true (contains l1 "\"s\":\"a\\\"b\"");
+    Alcotest.(check bool) "int field" true (contains l1 "\"n\":42");
+    Alcotest.(check bool) "bool field" true (contains l1 "\"b\":true");
+    Alcotest.(check bool) "second event" true (contains l2 "\"event\":\"bare\"")
+  | lines -> Alcotest.failf "expected 2 log lines, got %d" (List.length lines)
+
+let test_log_threshold () =
+  with_log_file @@ fun path ->
+  Log.set_level Log.Warn;
+  Alcotest.(check bool) "info below threshold" false (Log.enabled Log.Info);
+  Alcotest.(check bool) "error above threshold" true (Log.enabled Log.Error);
+  Log.info "dropped";
+  Log.warn "kept";
+  Log.error "kept too";
+  Log.detach ();
+  let lines = read_lines path in
+  Alcotest.(check int) "threshold filters" 2 (List.length lines);
+  Alcotest.(check bool) "warn first" true (contains (List.nth lines 0) "\"level\":\"warn\"")
+
+let test_log_no_sink () =
+  Log.detach ();
+  Alcotest.(check bool) "sink-less logging disabled" false (Log.enabled Log.Error);
+  (* Must not raise. *)
+  Log.error "into the void";
+  let a = Log.next_request_id () in
+  let b = Log.next_request_id () in
+  Alcotest.(check bool) "request ids increase" true (b > a)
+
+let test_level_of_string () =
+  List.iter
+    (fun (s, l) -> Alcotest.(check bool) s true (Log.level_of_string s = Some l))
+    [ ("debug", Log.Debug); ("info", Log.Info); ("warn", Log.Warn); ("error", Log.Error) ];
+  Alcotest.(check bool) "unknown level rejected" true (Log.level_of_string "loud" = None)
+
 (* --- span tracing ---------------------------------------------------------- *)
 
 let span_names roots = List.map (fun s -> s.Trace.name) roots
@@ -131,6 +288,94 @@ let test_span_disabled_and_exn () =
   (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
   Alcotest.(check (list string)) "span recorded despite raise" [ "boom" ]
     (span_names (Trace.roots ()))
+
+let test_span_off_domain () =
+  with_metrics @@ fun () ->
+  (* The span stack is owned by the main domain; spans opened elsewhere
+     must not corrupt it and instead fall back to a trace.<name>
+     histogram observation. *)
+  let d = Domain.spawn (fun () -> Trace.with_span "offdom" (fun () -> 13)) in
+  Alcotest.(check int) "value passes through off-domain" 13 (Domain.join d);
+  Alcotest.(check int) "no span recorded off-domain" 0 (List.length (Trace.roots ()));
+  let st = List.assoc_opt "trace.offdom" (Metrics.snapshot ()).Metrics.histograms in
+  (match st with
+  | Some h -> Alcotest.(check int) "degraded to one histogram observation" 1 h.Metrics.h_count
+  | None -> Alcotest.fail "expected trace.offdom histogram");
+  (* Main-domain spans keep working afterwards. *)
+  Trace.with_span "ondom" (fun () -> ());
+  Alcotest.(check (list string)) "main domain unaffected" [ "ondom" ]
+    (span_names (Trace.roots ()))
+
+(* --- leakage auditor -------------------------------------------------------- *)
+
+let with_audit f =
+  Fun.protect
+    ~finally:(fun () ->
+      Audit.set_enabled false;
+      Audit.reset ())
+    (fun () ->
+      Audit.reset ();
+      Audit.set_enabled true;
+      f ())
+
+let check_fails name = function
+  | Audit.Fail _ -> ()
+  | Audit.Pass -> Alcotest.failf "%s: expected Fail, got Pass" name
+
+let check_passes name = function
+  | Audit.Pass -> ()
+  | Audit.Fail errs -> Alcotest.failf "%s: unexpected Fail: %s" name (String.concat "; " errs)
+
+let test_audit_record_and_check () =
+  with_audit @@ fun () ->
+  Audit.begin_request 7;
+  Audit.probe ~kind:"sse.bucket" ~tag:"t1" ~matches:[ 2; 0; 1 ];
+  Audit.probe ~kind:"sse.bucket" ~tag:"t1" ~matches:[ 0; 2; 1 ] (* repeat = search pattern *);
+  Audit.rows_paired 3;
+  let t = Option.get (Audit.end_request ()) in
+  Alcotest.(check int) "trace id" 7 t.Audit.t_id;
+  Alcotest.(check int) "probes kept in order" 2 (List.length t.Audit.t_probes);
+  Alcotest.(check int) "rows paired" 3 t.Audit.t_rows_paired;
+  let predicted = [ ("sse.bucket", "t1", [ 0; 1; 2 ]) ] in
+  check_passes "order-insensitive match"
+    (Audit.check ~max_rows_paired:3 ~predicted t);
+  check_fails "unpredicted probe" (Audit.check ~predicted:[] t);
+  check_fails "access-pattern mismatch"
+    (Audit.check ~predicted:[ ("sse.bucket", "t1", [ 0; 1 ]) ] t);
+  check_fails "wrong kind"
+    (Audit.check ~predicted:[ ("sse.filter", "t1", [ 0; 1; 2 ]) ] t);
+  check_fails "rows paired beyond bound" (Audit.check ~max_rows_paired:2 ~predicted t);
+  let s = Audit.summary () in
+  Alcotest.(check int) "summary requests" 1 s.Audit.s_requests;
+  Alcotest.(check int) "summary probes" 2 s.Audit.s_probes;
+  Alcotest.(check int) "summary checks" 5 s.Audit.s_checks_run;
+  Alcotest.(check int) "summary failures" 4 s.Audit.s_check_failures
+
+let test_audit_disabled_noop () =
+  Audit.reset ();
+  Alcotest.(check bool) "off by default" false !Audit.enabled;
+  Audit.begin_request 1;
+  Audit.probe ~kind:"sse.bucket" ~tag:"t" ~matches:[ 0 ];
+  Audit.rows_paired 5;
+  Alcotest.(check bool) "no trace when off" true (Audit.end_request () = None);
+  Alcotest.(check int) "nothing retained" 0 (List.length (Audit.traces ()))
+
+let test_audit_failure_messages () =
+  with_audit @@ fun () ->
+  Audit.begin_request 1;
+  Audit.probe ~kind:"sse.bucket" ~tag:"rogue" ~matches:[ 9 ];
+  let t = Option.get (Audit.end_request ()) in
+  match Audit.check ~predicted:[] t with
+  | Audit.Pass -> Alcotest.fail "expected Fail"
+  | Audit.Fail errs ->
+    Alcotest.(check bool) "message names the probe" true
+      (List.exists (fun e -> contains e "rogue") errs);
+    let b = Buffer.create 64 in
+    let fmt = Format.formatter_of_buffer b in
+    Audit.pp_verdict fmt (Audit.Fail errs);
+    Format.pp_print_flush fmt ();
+    Alcotest.(check bool) "pp_verdict renders messages" true
+      (contains (Buffer.contents b) "rogue")
 
 (* --- scheme counters vs the analytic cost model ---------------------------- *)
 
@@ -197,6 +442,59 @@ let test_query_trace_shape () =
     [ "filter"; "bucket_intersection"; "indicator_coeffs"; "pairing_loop" ]
     (span_names agg.Trace.children)
 
+(* --- leakage auditor against the real scheme -------------------------------- *)
+
+let run_audited tok =
+  Audit.begin_request (Log.next_request_id ());
+  ignore (Scheme.aggregate enc tok);
+  Option.get (Audit.end_request ())
+
+let test_scheme_audit_honest_pass () =
+  with_audit @@ fun () ->
+  let q =
+    Query.make ~where:[ ("dept", str "A") ] ~group_by:[ "dept" ] (Query.Sum "salary")
+  in
+  let tok = Scheme.token client q in
+  let t = run_audited tok in
+  Alcotest.(check bool) "probes recorded" true (List.length t.Audit.t_probes > 0);
+  Alcotest.(check bool) "filter probe present" true
+    (List.exists (fun p -> p.Audit.p_kind = "sse.filter") t.Audit.t_probes);
+  Alcotest.(check bool) "bucket probes present" true
+    (List.exists (fun p -> p.Audit.p_kind = "sse.bucket") t.Audit.t_probes);
+  check_passes "honest execution matches declared leakage"
+    (Leakage.audit_check enc tok t)
+
+let test_scheme_audit_flags_extra_probe () =
+  with_audit @@ fun () ->
+  (* A compromised/buggy server that reads one index entry beyond what
+     the query's leakage licenses must be flagged. We forge the extra
+     read through the production recording path (audited_search) with a
+     filter token the query never issued. *)
+  let q =
+    Query.make ~where:[ ("dept", str "A") ] ~group_by:[ "dept" ] (Query.Sum "salary")
+  in
+  let tok = Scheme.token client q in
+  Audit.begin_request (Log.next_request_id ());
+  ignore (Scheme.aggregate enc tok);
+  let rogue = Scheme.Sse.token client.Scheme.sse_key (Scheme.filter_keyword ~column:"dept" (str "B")) in
+  ignore (Scheme.audited_search ~kind:"sse.filter" enc.Scheme.index rogue);
+  let t = Option.get (Audit.end_request ()) in
+  (match Leakage.audit_check enc tok t with
+  | Audit.Fail errs ->
+    Alcotest.(check bool) "failure mentions the unpredicted probe" true
+      (List.exists (fun e -> contains e "unpredicted") errs)
+  | Audit.Pass -> Alcotest.fail "forged probe escaped the auditor")
+
+let test_scheme_audit_flags_extra_pairing () =
+  with_audit @@ fun () ->
+  let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+  let tok = Scheme.token client q in
+  Audit.begin_request (Log.next_request_id ());
+  ignore (Scheme.aggregate enc tok);
+  Audit.rows_paired 1000 (* server pairing rows it should not touch *);
+  let t = Option.get (Audit.end_request ()) in
+  check_fails "excess paired rows flagged" (Leakage.audit_check enc tok t)
+
 (* --- Client_api facade vs the plaintext oracle ------------------------------ *)
 
 let results_to_list rs =
@@ -257,14 +555,31 @@ let () =
           Alcotest.test_case "counter basics" `Quick test_counter_basics;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
           Alcotest.test_case "observe_ms" `Quick test_observe_ms;
-          Alcotest.test_case "snapshot to JSON" `Quick test_snapshot_json ] );
+          Alcotest.test_case "snapshot to JSON" `Quick test_snapshot_json;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "quantile estimates" `Quick test_quantiles;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition ] );
+      ( "log",
+        [ Alcotest.test_case "JSON-lines events" `Quick test_log_jsonl;
+          Alcotest.test_case "level threshold" `Quick test_log_threshold;
+          Alcotest.test_case "no sink" `Quick test_log_no_sink;
+          Alcotest.test_case "level_of_string" `Quick test_level_of_string ] );
       ( "trace",
         [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
-          Alcotest.test_case "disabled + exception safety" `Quick test_span_disabled_and_exn ] );
+          Alcotest.test_case "disabled + exception safety" `Quick test_span_disabled_and_exn;
+          Alcotest.test_case "off-domain fallback" `Quick test_span_off_domain ] );
+      ( "audit",
+        [ Alcotest.test_case "record and check" `Quick test_audit_record_and_check;
+          Alcotest.test_case "disabled is a no-op" `Quick test_audit_disabled_noop;
+          Alcotest.test_case "failure messages" `Quick test_audit_failure_messages ] );
       ( "scheme counters",
         [ Alcotest.test_case "SUM matches cost model" `Quick test_sum_matches_cost_model;
           Alcotest.test_case "COUNT needs no pairings" `Quick test_count_needs_no_pairings;
           Alcotest.test_case "query trace shape" `Quick test_query_trace_shape ] );
+      ( "scheme audit",
+        [ Alcotest.test_case "honest execution passes" `Quick test_scheme_audit_honest_pass;
+          Alcotest.test_case "extra probe flagged" `Quick test_scheme_audit_flags_extra_probe;
+          Alcotest.test_case "extra pairing flagged" `Quick test_scheme_audit_flags_extra_pairing ] );
       ( "facade",
         [ Alcotest.test_case "matches Executor.run" `Quick test_facade_matches_executor;
           Alcotest.test_case "append matches Executor.run" `Quick

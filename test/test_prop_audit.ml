@@ -1,0 +1,129 @@
+(* Property tests for the leakage auditor: over random tables and random
+   GROUP BY / WHERE queries, an honest run of Algorithm 5 must produce
+   an access-pattern trace that Leakage.audit_check accepts (the server
+   touched exactly what the declared leakage L of §4.2 licenses), while
+   a server that reads one extra index entry — or pairs more rows than
+   the prediction allows — must be flagged. Failures replay via the
+   runner's case seed (SAGMA_PROP_SEED). *)
+
+module Value = Sagma_db.Value
+module Query = Sagma_db.Query
+module Drbg = Sagma_crypto.Drbg
+module Audit = Sagma_obs.Audit
+module Dbgen = Sagma_prop.Dbgen
+module R = Sagma_prop.Runner
+open Sagma
+
+let scenario_arb =
+  R.arbitrary ~shrink:Dbgen.scenario_shrink ~print:Dbgen.print_scenario
+    (Dbgen.scenario_gen ~max_rows:10 ~max_queries:8 ())
+
+let config_of (sc : Dbgen.scenario) =
+  Config.make ~bucket_size:sc.bucket_size ~max_group_attrs:sc.max_group_attrs
+    ~filter_columns:(List.map fst sc.filter_domains) ~value_columns:sc.value_columns
+    ~group_columns:(List.map fst sc.group_domains) ()
+
+let setup_enc ~seed (sc : Dbgen.scenario) =
+  let client = Scheme.setup (config_of sc) ~domains:sc.group_domains (Drbg.create seed) in
+  (client, Scheme.encrypt_table client sc.table)
+
+(* Every audited (table, query) pair across all properties; the
+   acceptance bar for this suite is at least 200. *)
+let pairs = ref 0
+
+let with_audit f =
+  Fun.protect
+    ~finally:(fun () ->
+      Audit.set_enabled false;
+      Audit.reset ())
+    (fun () ->
+      Audit.reset ();
+      Audit.set_enabled true;
+      f ())
+
+let audited_trace enc tok =
+  incr pairs;
+  Audit.begin_request !pairs;
+  ignore (Scheme.aggregate enc tok);
+  match Audit.end_request () with
+  | Some t -> t
+  | None -> failwith "auditing enabled but no trace recorded"
+
+let report_fail sc q errs =
+  Printf.printf "    %s\n    scenario: %s\n    %s\n" (Query.to_sql q)
+    (Dbgen.print_scenario sc)
+    (String.concat "\n    " errs);
+  false
+
+(* --- honest executions pass ---------------------------------------------------- *)
+
+let t_honest = R.test ~count:60 ~name:"honest aggregation matches declared leakage"
+    scenario_arb
+    (fun sc ->
+      with_audit @@ fun () ->
+      let client, enc = setup_enc ~seed:"prop-audit" sc in
+      List.for_all
+        (fun q ->
+          let tok = Scheme.token client q in
+          let t = audited_trace enc tok in
+          match Leakage.audit_check enc tok t with
+          | Audit.Pass -> true
+          | Audit.Fail errs -> report_fail sc q errs)
+        sc.queries)
+
+(* --- mutated servers are flagged ------------------------------------------------ *)
+
+(* A keyword no honest token ever queries: the forged probe goes through
+   the production recording path (audited_search), exactly as a
+   compromised server walking an extra index entry would. *)
+let rogue_probe client enc =
+  let rogue =
+    Scheme.Sse.token client.Scheme.sse_key
+      (Scheme.filter_keyword ~column:"__rogue__" (Value.Str "x"))
+  in
+  ignore (Scheme.audited_search ~kind:"sse.filter" enc.Scheme.index rogue)
+
+let t_extra_probe = R.test ~count:10 ~name:"extra index probe is flagged"
+    scenario_arb
+    (fun sc ->
+      with_audit @@ fun () ->
+      let client, enc = setup_enc ~seed:"prop-audit-probe" sc in
+      let q = List.hd sc.queries in
+      let tok = Scheme.token client q in
+      incr pairs;
+      Audit.begin_request !pairs;
+      ignore (Scheme.aggregate enc tok);
+      rogue_probe client enc;
+      let t = Option.get (Audit.end_request ()) in
+      match Leakage.audit_check enc tok t with
+      | Audit.Fail _ -> true
+      | Audit.Pass ->
+        Printf.printf "    forged probe escaped: %s\n" (Query.to_sql q);
+        false)
+
+let t_extra_pairing = R.test ~count:10 ~name:"excess paired rows are flagged"
+    scenario_arb
+    (fun sc ->
+      with_audit @@ fun () ->
+      let client, enc = setup_enc ~seed:"prop-audit-pair" sc in
+      let q = List.hd sc.queries in
+      let tok = Scheme.token client q in
+      incr pairs;
+      Audit.begin_request !pairs;
+      ignore (Scheme.aggregate enc tok);
+      (* No prediction can license more paired rows than the table has. *)
+      Audit.rows_paired (Array.length enc.Scheme.rows + 1);
+      let t = Option.get (Audit.end_request ()) in
+      match Leakage.audit_check enc tok t with
+      | Audit.Fail _ -> true
+      | Audit.Pass ->
+        Printf.printf "    excess pairing escaped: %s\n" (Query.to_sql q);
+        false)
+
+let () =
+  R.run ~suite:"test_prop_audit" [ t_honest; t_extra_probe; t_extra_pairing ];
+  Printf.printf "test_prop_audit: %d table/query pairs audited\n" !pairs;
+  if !pairs < 200 then begin
+    Printf.printf "test_prop_audit: FAILED — expected at least 200 audited pairs\n";
+    exit 1
+  end

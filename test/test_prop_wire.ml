@@ -56,26 +56,48 @@ let agg = Scheme.aggregate enc token
 let append_row, append_keywords =
   Scheme.append_payload client ~values:[| 7 |] ~groups:[| str "y" |] ~filters:[ ("f", vi 1) ]
 
-let request_corpus =
-  List.map P.encode_request
-    [ P.Upload { name = "t"; table = enc };
-      P.Aggregate { name = "t"; token };
-      P.Append { name = "t"; row = append_row; keywords = append_keywords };
-      P.List_tables;
-      P.Drop "t" ]
+(* A populated metrics snapshot so the Stats_report frame exercises the
+   histogram codec (buckets, quantiles, f64 fields). *)
+let stats_report =
+  let module M = Sagma_obs.Metrics in
+  M.reset ();
+  M.set_enabled true;
+  M.add (M.counter "prop.wire") 3;
+  M.observe (M.histogram "prop.wire_ms") 1.25;
+  M.observe (M.histogram "prop.wire_ms") 40.0;
+  M.set_enabled false;
+  let snap = M.snapshot () in
+  M.reset ();
+  { P.sr_snapshot = snap; sr_audit = Sagma_obs.Audit.summary () }
 
-let response_corpus =
-  List.map P.encode_response
-    [ P.Ack;
-      P.Tables [ ("t", 8); ("u", 0) ];
-      P.Aggregates agg;
-      P.Failed { code = P.No_such_table; message = "no such table" } ]
+let v1_requests =
+  [ P.Upload { name = "t"; table = enc };
+    P.Aggregate { name = "t"; token };
+    P.Append { name = "t"; row = append_row; keywords = append_keywords };
+    P.List_tables;
+    P.Drop "t" ]
 
-let corpus = request_corpus @ response_corpus
+let v1_responses =
+  [ P.Ack;
+    P.Tables [ ("t", 8); ("u", 0) ];
+    P.Aggregates agg;
+    P.Failed { code = P.No_such_table; message = "no such table" } ]
+
+let request_corpus = List.map P.encode_request (v1_requests @ [ P.Stats ])
+let response_corpus = List.map P.encode_response (v1_responses @ [ P.Stats_report stats_report ])
+
+(* v1 reframings of every message that exists in v1: the v2 decoders
+   must keep accepting these, and the fuzz contract holds for them too. *)
+let v1_request_corpus = List.map (P.encode_request ~version:1) v1_requests
+let v1_response_corpus = List.map (P.encode_response ~version:1) v1_responses
+
+let all_requests = request_corpus @ v1_request_corpus
+let all_responses = response_corpus @ v1_response_corpus
+let corpus = all_requests @ all_responses
 
 (* Decoders matching each corpus frame, index-aligned. *)
 let decoder_of i : string -> unit =
-  if i < List.length request_corpus then fun s -> ignore (P.decode_request s)
+  if i < List.length all_requests then fun s -> ignore (P.decode_request s)
   else fun s -> ignore (P.decode_response s)
 
 (* --- primitive roundtrips ----------------------------------------------------- *)
@@ -149,6 +171,10 @@ let t_request_canonical = R.test ~count:40 ~name:"request encoding canonical"
 let t_response_canonical = R.test ~count:40 ~name:"response encoding canonical"
     (R.arbitrary ~print:String.escaped (Gen.oneofl response_corpus))
     (fun frame -> P.encode_response (P.decode_response frame) = frame)
+
+let t_v1_canonical = R.test ~count:40 ~name:"v1 reframing canonical"
+    (R.arbitrary ~print:String.escaped (Gen.oneofl v1_request_corpus))
+    (fun frame -> P.encode_request ~version:1 (P.decode_request frame) = frame)
 
 (* --- adversarial inputs ------------------------------------------------------- *)
 
@@ -225,15 +251,15 @@ let server_absorbs (s : string) : bool =
       false
 
 let t_server_valid = R.test ~count:30 ~name:"server answers every valid request"
-    (R.arbitrary ~print:String.escaped (Gen.oneofl request_corpus))
+    (R.arbitrary ~print:String.escaped (Gen.oneofl all_requests))
     server_absorbs
 
 let t_server_mutated = R.test ~count:200 ~name:"server absorbs mutated requests"
     (R.arbitrary
        ~print:(fun (i, s) -> Printf.sprintf "frame %d mutated to %s" i (String.escaped s))
-       (Gen.bind (Gen.int_below (List.length request_corpus)) (fun i ->
+       (Gen.bind (Gen.int_below (List.length all_requests)) (fun i ->
             fun d ->
-             let frame = List.nth request_corpus i in
+             let frame = List.nth all_requests i in
              let b = Bytes.of_string frame in
              let hits = Gen.int_range 1 4 d in
              for _ = 1 to hits do
@@ -249,5 +275,5 @@ let t_server_garbage = R.test ~count:200 ~name:"server absorbs garbage"
 let () =
   R.run ~suite:"test_prop_wire"
     [ t_int_rt; t_u62_rt; t_u32_rt; t_bytes_rt; t_compound_rt; t_count_guard; t_z_rt;
-      t_value_rt; t_request_canonical; t_response_canonical; t_truncation; t_mutation;
-      t_garbage; t_server_valid; t_server_mutated; t_server_garbage ]
+      t_value_rt; t_request_canonical; t_response_canonical; t_v1_canonical; t_truncation;
+      t_mutation; t_garbage; t_server_valid; t_server_mutated; t_server_garbage ]

@@ -225,6 +225,102 @@ let test_server_rejects_old_frame () =
     Alcotest.failf "wrong code %s" (P.error_code_to_string code)
   | _ -> Alcotest.fail "expected failure"
 
+(* --- v1 compatibility ------------------------------------------------------------ *)
+
+let decode_with state req = P.decode_response (Server.handle_encoded state req)
+
+let test_v1_frames_still_served () =
+  (* A v2 server keeps answering v1-encoded requests: every v1 message
+     uses the same tag and payload encoding in v2. *)
+  let state = Server.create () in
+  let send req = decode_with state (P.encode_request ~version:1 req) in
+  Alcotest.(check int) "v1 frame carries version byte 1" 1
+    (Char.code (P.encode_request ~version:1 P.List_tables).[2]);
+  Alcotest.(check bool) "v1 upload" true (send (P.Upload { name = "t"; table = enc }) = P.Ack);
+  (match send P.List_tables with
+   | P.Tables [ ("t", 15) ] -> ()
+   | _ -> Alcotest.fail "bad listing for v1 client");
+  let tok = Scheme.token client query in
+  (match send (P.Aggregate { name = "t"; token = tok }) with
+   | P.Aggregates agg ->
+     let results = Scheme.decrypt client tok agg ~total_rows:15 in
+     Alcotest.(check (list (triple (list string) int int))) "v1 aggregate" expected
+       (List.map
+          (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+          results)
+   | _ -> Alcotest.fail "expected aggregates for v1 client");
+  Alcotest.(check bool) "v1 drop" true (send (P.Drop "t") = P.Ack);
+  (* Anything past the current version still gets the typed rejection. *)
+  let future = flip_version (P.encode_request P.List_tables) ~v:9 in
+  Alcotest.check_raises "future version rejected"
+    (P.Version_mismatch { expected = P.version; got = 9 })
+    (fun () -> ignore (P.decode_request future));
+  (match decode_with state future with
+   | P.Failed { code = P.Version_unsupported; _ } -> ()
+   | _ -> Alcotest.fail "server accepted a future version")
+
+let test_v2_only_messages_gated () =
+  (* Stats does not exist in v1: encoders refuse to emit it... *)
+  (match P.encode_request ~version:1 P.Stats with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Stats encoded into a v1 frame");
+  (match
+     P.encode_response ~version:1
+       (P.Stats_report
+          { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; histograms = [] };
+            sr_audit = Sagma_obs.Audit.summary () })
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Stats_report encoded into a v1 frame");
+  (* ...and a forged v1 frame carrying the v2-only tag is malformed —
+     a decode error, not a version mismatch. *)
+  let forged = flip_version (P.encode_request P.Stats) ~v:1 in
+  (match P.decode_request forged with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v2-only tag accepted inside a v1 frame")
+
+let test_stats_roundtrip () =
+  let module M = Sagma_obs.Metrics in
+  let module A = Sagma_obs.Audit in
+  M.reset ();
+  M.set_enabled true;
+  M.add (M.counter "test.proto_stats") 7;
+  let h = M.histogram "test.proto_stats_ms" in
+  M.observe h 0.5;
+  M.observe h 12.0;
+  M.set_enabled false;
+  let report = { P.sr_snapshot = M.snapshot (); sr_audit = A.summary () } in
+  M.reset ();
+  Alcotest.(check bool) "Stats roundtrips" true
+    (P.decode_request (P.encode_request P.Stats) = P.Stats);
+  let resp = P.Stats_report report in
+  (match P.decode_response (P.encode_response resp) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "snapshot survives the wire" true (r.P.sr_snapshot = report.P.sr_snapshot);
+     Alcotest.(check bool) "audit summary survives the wire" true (r.P.sr_audit = report.P.sr_audit)
+   | _ -> Alcotest.fail "expected Stats_report")
+
+let test_stats_via_server () =
+  let module M = Sagma_obs.Metrics in
+  let state = Server.create () in
+  M.reset ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ())
+    (fun () ->
+      (* Generate some request traffic, then ask for the numbers. *)
+      ignore (decode_with state (P.encode_request P.List_tables));
+      match decode_with state (P.encode_request P.Stats) with
+      | P.Stats_report { P.sr_snapshot; _ } ->
+        let requests = List.assoc_opt "proto.requests" sr_snapshot.M.counters in
+        Alcotest.(check bool) "proto.requests counted" true
+          (match requests with Some n -> n >= 1 | None -> false);
+        Alcotest.(check bool) "request latency histogram present" true
+          (List.mem_assoc "proto.request_ms" sr_snapshot.M.histograms)
+      | _ -> Alcotest.fail "expected Stats_report from the server")
+
 let test_error_code_roundtrip () =
   List.iter
     (fun code ->
@@ -304,6 +400,11 @@ let () =
           Alcotest.test_case "old frame rejected" `Quick test_old_frame_rejected;
           Alcotest.test_case "server rejects old frame" `Quick test_server_rejects_old_frame;
           Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip ] );
+      ( "v1 compat",
+        [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
+          Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
+          Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
+          Alcotest.test_case "stats via server" `Quick test_stats_via_server ] );
       ("transport", [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ]);
       ("properties", props);
     ]
