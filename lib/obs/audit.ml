@@ -29,10 +29,16 @@ type builder = { b_id : int; mutable probes_rev : probe list; mutable rows : int
 
 let lock = Mutex.create ()
 let current : builder option ref = ref None
-let completed_rev : trace list ref = ref []
 
-(* Retention cap: a long-lived server must not grow without bound; the
-   CLI fetches the summary, tests fetch [traces] promptly. *)
+(* Completed traces, oldest at the queue's front, newest at its back,
+   plus a running probe total over the retained traces so [summary]
+   stays O(1) in probes.
+
+   Retention cap: a long-lived server must not grow without bound; the
+   CLI fetches the summary, tests fetch [traces] promptly. The queue
+   gives an O(1) drop of the oldest trace per completed request. *)
+let completed : trace Queue.t = Queue.create ()
+let completed_probes = ref 0
 let max_completed = 1024
 
 let begin_request (id : int) : unit =
@@ -68,10 +74,12 @@ let end_request () : trace option =
       | Some b ->
         current := None;
         let t = { t_id = b.b_id; t_probes = List.rev b.probes_rev; t_rows_paired = b.rows } in
-        let kept = t :: !completed_rev in
-        completed_rev :=
-          (if List.length kept > max_completed then List.filteri (fun i _ -> i < max_completed) kept
-           else kept);
+        Queue.push t completed;
+        completed_probes := !completed_probes + List.length t.t_probes;
+        if Queue.length completed > max_completed then begin
+          let oldest = Queue.pop completed in
+          completed_probes := !completed_probes - List.length oldest.t_probes
+        end;
         Some t
     in
     Mutex.unlock lock;
@@ -80,7 +88,7 @@ let end_request () : trace option =
 
 let traces () : trace list =
   Mutex.lock lock;
-  let ts = List.rev !completed_rev in
+  let ts = List.rev (Queue.fold (fun acc t -> t :: acc) [] completed) in
   Mutex.unlock lock;
   ts
 
@@ -90,7 +98,8 @@ let check_failures = Atomic.make 0
 let reset () =
   Mutex.lock lock;
   current := None;
-  completed_rev := [];
+  Queue.clear completed;
+  completed_probes := 0;
   Mutex.unlock lock;
   Atomic.set checks_run 0;
   Atomic.set check_failures 0
@@ -156,10 +165,8 @@ type summary = {
 
 let summary () : summary =
   Mutex.lock lock;
-  let requests = List.length !completed_rev in
-  let probes =
-    List.fold_left (fun acc t -> acc + List.length t.t_probes) 0 !completed_rev
-  in
+  let requests = Queue.length completed in
+  let probes = !completed_probes in
   Mutex.unlock lock;
   { s_requests = requests; s_probes = probes; s_checks_run = Atomic.get checks_run;
     s_check_failures = Atomic.get check_failures }

@@ -40,10 +40,14 @@ let () =
               expected got)
     | _ -> None)
 
-let put_header ?(version = version) (s : W.sink) : unit =
+let put_header ?version:(v = version) (s : W.sink) : unit =
+  if v < min_version || v > version then
+    invalid_arg
+      (Printf.sprintf "Protocol.put_header: version %d outside supported range %d..%d" v
+         min_version version);
   W.put_u8 s (Char.code magic.[0]);
   W.put_u8 s (Char.code magic.[1]);
-  W.put_u8 s version
+  W.put_u8 s v
 
 (* Returns the frame's version so tag dispatch can reject constructs the
    claimed version does not define. *)
@@ -213,26 +217,33 @@ let put_request ?(version = version) (s : W.sink) (r : request) : unit =
     if version < 2 then invalid_arg "Protocol.put_request: Stats needs protocol version >= 2";
     W.put_u8 s 5
 
-let get_request (s : W.source) : request =
+(* Returns the frame's version alongside the request, so a server can
+   frame its reply at the peer's version (see {!Server.handle_encoded}). *)
+let get_request_v (s : W.source) : int * request =
   let v = get_header s in
-  match W.get_u8 s with
-  | 0 ->
-    let name = W.get_bytes s in
-    let table = Serialize.get_enc_table s in
-    Upload { name; table }
-  | 1 ->
-    let name = W.get_bytes s in
-    let token = Serialize.get_token s in
-    Aggregate { name; token }
-  | 2 ->
-    let name = W.get_bytes s in
-    let row = Serialize.get_enc_row s in
-    let keywords = W.get_list s Serialize.get_sse_token in
-    Append { name; row; keywords }
-  | 3 -> List_tables
-  | 4 -> Drop (W.get_bytes s)
-  | 5 when v >= 2 -> Stats
-  | t -> W.fail "bad request tag %d for protocol version %d" t v
+  let req =
+    match W.get_u8 s with
+    | 0 ->
+      let name = W.get_bytes s in
+      let table = Serialize.get_enc_table s in
+      Upload { name; table }
+    | 1 ->
+      let name = W.get_bytes s in
+      let token = Serialize.get_token s in
+      Aggregate { name; token }
+    | 2 ->
+      let name = W.get_bytes s in
+      let row = Serialize.get_enc_row s in
+      let keywords = W.get_list s Serialize.get_sse_token in
+      Append { name; row; keywords }
+    | 3 -> List_tables
+    | 4 -> Drop (W.get_bytes s)
+    | 5 when v >= 2 -> Stats
+    | t -> W.fail "bad request tag %d for protocol version %d" t v
+  in
+  (v, req)
+
+let get_request (s : W.source) : request = snd (get_request_v s)
 
 let put_response ?(version = version) (s : W.sink) (r : response) : unit =
   put_header ~version s;
@@ -279,7 +290,8 @@ let get_response (s : W.source) : response =
 let encode_request ?version (r : request) : string =
   W.encode (fun s r -> put_request ?version s r) r
 
-let decode_request (s : string) : request = W.decode get_request s
+let decode_request_v (s : string) : int * request = W.decode get_request_v s
+let decode_request (s : string) : request = snd (decode_request_v s)
 
 let encode_response ?version (r : response) : string =
   W.encode (fun s r -> put_response ?version s r) r

@@ -66,16 +66,22 @@ val failed : error_code -> ('a, unit, string, response) format4 -> 'a
 
 val encode_request : ?version:int -> request -> string
 val decode_request : string -> request
+val decode_request_v : string -> int * request
+(** Like {!decode_request}, but also returns the frame's version byte so
+    a server can encode its reply at the peer's version. *)
+
 val encode_response : ?version:int -> response -> string
 val decode_response : string -> response
 (** Decoders accept versions {!min_version}..{!version} and raise
     {!Version_mismatch} on anything else, [Sagma_wire.Wire.Decode_error]
     on malformed frames (including v2-only tags inside a v1 frame).
     Encoders default to {!version}; pass [?version] to emit a frame an
-    older peer accepts (@raise Invalid_argument if the message does not
-    exist in that version). *)
+    older peer accepts (@raise Invalid_argument if the version is
+    outside {!min_version}..{!version} or the message does not exist in
+    that version). *)
 
 val put_request : ?version:int -> Sagma_wire.Wire.sink -> request -> unit
 val get_request : Sagma_wire.Wire.source -> request
+val get_request_v : Sagma_wire.Wire.source -> int * request
 val put_response : ?version:int -> Sagma_wire.Wire.sink -> response -> unit
 val get_response : Sagma_wire.Wire.source -> response

@@ -96,10 +96,19 @@ let handle_encoded (s : t) (raw : string) : string =
   Audit.begin_request req_id;
   let t0 = Unix.gettimeofday () in
   let kind = ref "undecodable" in
+  (* Reply in the version the peer spoke, so a v1 client can decode the
+     response to its own v1 request. Until the request header has been
+     decoded successfully we only know the peer claims *some* version,
+     so undecodable or version-mismatched frames get a min_version reply
+     — the one framing every conforming peer accepts. A v1 request can
+     never yield a v2-only response (the decoder rejects v2 tags in v1
+     frames), so encoding at the request's version cannot fail. *)
+  let resp_version = ref Protocol.min_version in
   let response =
     Obs.observe_ms h_request_ms (fun () ->
         try
-          let req = Protocol.decode_request raw in
+          let req_version, req = Protocol.decode_request_v raw in
+          resp_version := req_version;
           kind := request_kind req;
           handle s req
         with
@@ -115,7 +124,7 @@ let handle_encoded (s : t) (raw : string) : string =
   in
   let trace = Audit.end_request () in
   (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
-  let encoded = Protocol.encode_response response in
+  let encoded = Protocol.encode_response ~version:!resp_version response in
   Obs.add m_bytes_out (String.length encoded);
   if Log.enabled Log.Info then begin
     let base =

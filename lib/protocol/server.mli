@@ -19,6 +19,9 @@ val handle : t -> Protocol.request -> Protocol.response
 
 val handle_encoded : t -> string -> string
 (** Decode, handle, encode; never lets an exception escape (malformed
-    requests yield [Failed]). Brackets the handler with a fresh request
-    id shared by the [Sagma_obs.Log] "request" event and the
-    [Sagma_obs.Audit] trace (when those subsystems are enabled). *)
+    requests yield [Failed]). The response is framed at the request's
+    protocol version, so old clients can decode replies to their own
+    requests; undecodable frames get a [Protocol.min_version] reply.
+    Brackets the handler with a fresh request id shared by the
+    [Sagma_obs.Log] "request" event and the [Sagma_obs.Audit] trace
+    (when those subsystems are enabled). *)

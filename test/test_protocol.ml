@@ -174,6 +174,9 @@ let test_server_remote_append () =
 let test_malformed_request () =
   let state = Server.create () in
   let raw = Server.handle_encoded state "\xff\x00garbage" in
+  (* An undecodable frame tells us nothing about the peer's version, so
+     the failure is framed at min_version for maximum reach. *)
+  Alcotest.(check int) "failure framed at min_version" P.min_version (Char.code raw.[2]);
   match P.decode_response raw with
   | P.Failed { code; message } ->
     Alcotest.(check string) "bad-request code" "bad-request" (P.error_code_to_string code);
@@ -214,6 +217,22 @@ let test_old_frame_rejected () =
    | exception W.Decode_error _ -> ()
    | _ -> Alcotest.fail "bad magic accepted")
 
+let test_encoder_version_bounds () =
+  (* Encoders refuse out-of-range versions outright instead of silently
+     emitting a frame every conforming decoder rejects. *)
+  List.iter
+    (fun v ->
+      match P.encode_request ~version:v P.List_tables with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "request encoded at unsupported version %d" v)
+    [ 0; P.version + 1 ];
+  List.iter
+    (fun v ->
+      match P.encode_response ~version:v P.Ack with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "response encoded at unsupported version %d" v)
+    [ 0; P.version + 1 ]
+
 let test_server_rejects_old_frame () =
   (* The server answers a mismatched frame with a current-version
      structured failure rather than crashing the connection. *)
@@ -236,6 +255,13 @@ let test_v1_frames_still_served () =
   let send req = decode_with state (P.encode_request ~version:1 req) in
   Alcotest.(check int) "v1 frame carries version byte 1" 1
     (Char.code (P.encode_request ~version:1 P.List_tables).[2]);
+  (* The reply to a v1 request must itself be a v1 frame — a real v1
+     client's decoder rejects any other version byte, even on an Ack to
+     its own request. *)
+  Alcotest.(check int) "v1 request answered with a v1 frame" 1
+    (Char.code (Server.handle_encoded state (P.encode_request ~version:1 P.List_tables)).[2]);
+  Alcotest.(check int) "v2 request answered with a v2 frame" 2
+    (Char.code (Server.handle_encoded state (P.encode_request ~version:2 P.List_tables)).[2]);
   Alcotest.(check bool) "v1 upload" true (send (P.Upload { name = "t"; table = enc }) = P.Ack);
   (match send P.List_tables with
    | P.Tables [ ("t", 15) ] -> ()
@@ -257,7 +283,11 @@ let test_v1_frames_still_served () =
     (fun () -> ignore (P.decode_request future));
   (match decode_with state future with
    | P.Failed { code = P.Version_unsupported; _ } -> ()
-   | _ -> Alcotest.fail "server accepted a future version")
+   | _ -> Alcotest.fail "server accepted a future version");
+  (* When the claimed version is unknown, the rejection is framed at
+     min_version — the one framing any conforming peer can read. *)
+  Alcotest.(check int) "version rejection framed at min_version" P.min_version
+    (Char.code (Server.handle_encoded state future).[2])
 
 let test_v2_only_messages_gated () =
   (* Stats does not exist in v1: encoders refuse to emit it... *)
@@ -398,6 +428,7 @@ let () =
       ( "versioning",
         [ Alcotest.test_case "frame prefix" `Quick test_version_prefix;
           Alcotest.test_case "old frame rejected" `Quick test_old_frame_rejected;
+          Alcotest.test_case "encoder version bounds" `Quick test_encoder_version_bounds;
           Alcotest.test_case "server rejects old frame" `Quick test_server_rejects_old_frame;
           Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip ] );
       ( "v1 compat",
