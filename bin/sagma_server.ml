@@ -4,29 +4,61 @@
    Append requests using only public parameters; it never sees a key.
 
      dune exec bin/sagma_server.exe -- --port 7477 \
+       [--workers N] [--max-conns M] [--request-timeout-ms T] \
+       [--max-frame BYTES] [--agg-domains D] \
        [--metrics] [--audit] [--log-json FILE] [--log-level LEVEL]
 
+   --workers    serve connections on an N-domain pool (default 4;
+                0 = sequential, the pre-concurrency behavior).
+   --max-conns  shed connections beyond M in flight with a Failed Busy
+                response (default 64).
+   --request-timeout-ms  per-connection read/write deadline; a peer
+                stalled past it loses only its own connection
+                (default 30000; 0 disables).
+   --max-frame  largest accepted frame in bytes (default 64 MiB).
+   --agg-domains  worker domains for row work inside each aggregation
+                (default 1 = no intra-request parallelism); they form a
+                second pool, separate from --workers.
    --metrics    collect operation counters (pairings, SSE postings
                 scanned, request bytes/latency, ...) and dump them to
                 stderr after every handled request; also served over the
-                v2 Stats RPC (sagma stats).
+                Stats RPC (sagma stats).
    --audit      record per-request access-pattern traces (bucket ids
                 touched, postings read, rows paired) for the leakage
                 auditor; the trace summary rides along in Stats.
    --log-json   append one JSON object per event (request handled,
                 connection opened/closed) to FILE.
-   --log-level  debug|info|warn|error (default info). *)
+   --log-level  debug|info|warn|error (default info).
+
+   SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+   in-flight requests, flush logs and a final metrics snapshot. *)
 
 module Log = Sagma_obs.Log
+module Pool = Sagma_pool.Pool
 
 let () =
   let port = ref 7477 in
+  let workers = ref 4 in
+  let max_conns = ref 64 in
+  let request_timeout_ms = ref 30000 in
+  let max_frame = ref Sagma_protocol.Transport.default_server_max_frame in
+  let agg_domains = ref 1 in
   let metrics = ref false in
   let audit = ref false in
   let log_json = ref "" in
   let log_level = ref "info" in
   let args =
     [ ("--port", Arg.Set_int port, "Listen port (default 7477)");
+      ("--workers", Arg.Set_int workers,
+       "Connection-serving domains (default 4; 0 = sequential)");
+      ("--max-conns", Arg.Set_int max_conns,
+       "In-flight connection limit; excess get Failed Busy (default 64)");
+      ("--request-timeout-ms", Arg.Set_int request_timeout_ms,
+       "Per-connection read/write deadline in ms (default 30000; 0 = none)");
+      ("--max-frame", Arg.Set_int max_frame,
+       "Largest accepted frame in bytes (default 64 MiB)");
+      ("--agg-domains", Arg.Set_int agg_domains,
+       "Worker domains per aggregation (default 1 = off)");
       ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request");
       ("--audit", Arg.Set audit, "Record per-request access-pattern traces (leakage auditor)");
       ("--log-json", Arg.Set_string log_json, "Append JSON-lines structured logs to FILE");
@@ -34,27 +66,52 @@ let () =
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "sagma_server [--port P] [--metrics] [--audit] [--log-json FILE] [--log-level L]";
+    "sagma_server [--port P] [--workers N] [--max-conns M] [--request-timeout-ms T] [--metrics] [--audit] [--log-json FILE] [--log-level L]";
   (match Log.level_of_string !log_level with
    | Some l -> Log.set_level l
    | None -> raise (Arg.Bad (Printf.sprintf "bad --log-level %S" !log_level)));
   if !log_json <> "" then Log.to_file !log_json;
   if !audit then Sagma_obs.Audit.set_enabled true;
-  let state = Sagma_protocol.Server.create () in
-  Printf.printf "sagma_server: listening on 127.0.0.1:%d%s%s%s\n%!" !port
+  let agg_pool =
+    if !agg_domains > 1 then Some (Pool.create ~name:"aggregation" ~workers:(!agg_domains - 1) ())
+    else None
+  in
+  let state = Sagma_protocol.Server.create ?agg_pool () in
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s\n%!"
+    !port !workers !max_conns
     (if !metrics then " (metrics on)" else "")
     (if !audit then " (audit on)" else "")
     (if !log_json <> "" then Printf.sprintf " (logging to %s)" !log_json else "");
   Log.info "server.start"
     ~fields:
-      [ Log.int "port" !port; Log.bool "metrics" !metrics; Log.bool "audit" !audit;
+      [ Log.int "port" !port; Log.int "workers" !workers; Log.int "max_conns" !max_conns;
+        Log.int "request_timeout_ms" !request_timeout_ms; Log.int "agg_domains" !agg_domains;
+        Log.bool "metrics" !metrics; Log.bool "audit" !audit;
         Log.int "protocol_version" Sagma_protocol.Protocol.version ];
-  if !metrics then begin
-    Sagma_obs.Metrics.set_enabled true;
-    let dump () =
-      Format.eprintf "-- metrics after request --@.%a@." Sagma_obs.Metrics.pp_snapshot
-        (Sagma_obs.Metrics.snapshot ())
-    in
-    Sagma_protocol.Transport.listen_and_serve ~after_request:dump ~port:!port state
-  end
-  else Sagma_protocol.Transport.listen_and_serve ~port:!port state
+  let after_request =
+    if !metrics then begin
+      Sagma_obs.Metrics.set_enabled true;
+      Some
+        (fun () ->
+          Format.eprintf "-- metrics after request --@.%a@." Sagma_obs.Metrics.pp_snapshot
+            (Sagma_obs.Metrics.snapshot ()))
+    end
+    else None
+  in
+  Sagma_protocol.Transport.listen_and_serve ?after_request ~workers:!workers
+    ~max_conns:!max_conns ~request_timeout_ms:!request_timeout_ms ~max_frame:!max_frame
+    ~stop:(fun () -> Atomic.get stop)
+    ~port:!port state;
+  (* listen_and_serve only returns once drained: flush the final
+     numbers, then the log stream. *)
+  Option.iter Pool.shutdown agg_pool;
+  Log.info "server.stop" ~fields:[ Log.int "port" !port ];
+  if !metrics then
+    Format.eprintf "-- final metrics --@.%a@." Sagma_obs.Metrics.pp_snapshot
+      (Sagma_obs.Metrics.snapshot ());
+  Log.detach ();
+  Printf.printf "sagma_server: stopped\n%!"

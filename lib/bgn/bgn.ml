@@ -52,16 +52,9 @@ let keygen ~(bits : int) (drbg : Drbg.t) : keypair =
   let q2 = distinct () in
   let group = Pairing.make_group ~rng (Z.mul q1 q2) in
   let curve = group.Pairing.curve in
-  (* A point of order exactly n: cofactor-cleared and not killed by either
-     prime factor. *)
-  let rec order_n () =
-    let cand = Pairing.random_order_n_point group rng in
-    if
-      Curve.is_infinity (Curve.mul curve q1 cand)
-      || Curve.is_infinity (Curve.mul curve q2 cand)
-    then order_n ()
-    else cand
-  in
+  (* Points of order exactly n = q1·q2: the sampler rejects candidates
+     either prime factor kills, given the factorization. *)
+  let order_n () = Pairing.random_order_n_point ~factors:[ q1; q2 ] group rng in
   let g = order_n () in
   let u = order_n () in
   let h = Curve.mul curve q2 u in

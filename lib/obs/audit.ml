@@ -8,11 +8,12 @@
    prediction from [Sagma.Leakage.of_query] lives in the sagma library
    (which depends on this one, not vice versa).
 
-   Recording shares the single-writer shape of the request path: the
-   server begins/ends one request at a time, and probes fire from
-   whichever domain runs the instrumented code, so the current trace is
-   a mutex-guarded global rather than a per-request handle threaded
-   through every signature. *)
+   Recording follows the request path's threading shape: every probe for
+   a request fires on the domain that runs its handler (the aggregation
+   chunk workers never probe), so the in-progress builder lives in
+   domain-local storage — concurrent requests served by a domain pool
+   each see their own trace with no cross-talk — while the completed
+   queue stays a mutex-guarded global shared by all domains. *)
 
 type probe = { p_kind : string; p_tag : string; p_matches : int list }
 
@@ -28,7 +29,12 @@ let set_enabled b = enabled := b
 type builder = { b_id : int; mutable probes_rev : probe list; mutable rows : int }
 
 let lock = Mutex.create ()
-let current : builder option ref = ref None
+
+(* One in-progress builder per domain: a request's begin/probe/end all
+   run on the domain serving it, so no lock is needed around the
+   builder itself. *)
+let current : builder option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 (* Completed traces, oldest at the queue's front, newest at its back,
    plus a running probe total over the retained traces so [summary]
@@ -42,48 +48,37 @@ let completed_probes = ref 0
 let max_completed = 1024
 
 let begin_request (id : int) : unit =
-  if !enabled then begin
-    Mutex.lock lock;
-    current := Some { b_id = id; probes_rev = []; rows = 0 };
-    Mutex.unlock lock
-  end
+  if !enabled then
+    Domain.DLS.get current := Some { b_id = id; probes_rev = []; rows = 0 }
 
 let probe ~(kind : string) ~(tag : string) ~(matches : int list) : unit =
-  if !enabled then begin
-    Mutex.lock lock;
-    (match !current with
-     | Some b -> b.probes_rev <- { p_kind = kind; p_tag = tag; p_matches = matches } :: b.probes_rev
-     | None -> ());
-    Mutex.unlock lock
-  end
+  if !enabled then
+    match !(Domain.DLS.get current) with
+    | Some b -> b.probes_rev <- { p_kind = kind; p_tag = tag; p_matches = matches } :: b.probes_rev
+    | None -> ()
 
 let rows_paired (n : int) : unit =
-  if !enabled then begin
-    Mutex.lock lock;
-    (match !current with Some b -> b.rows <- b.rows + n | None -> ());
-    Mutex.unlock lock
-  end
+  if !enabled then
+    match !(Domain.DLS.get current) with Some b -> b.rows <- b.rows + n | None -> ()
 
 let end_request () : trace option =
   if not !enabled then None
   else begin
-    Mutex.lock lock;
-    let t =
-      match !current with
-      | None -> None
-      | Some b ->
-        current := None;
-        let t = { t_id = b.b_id; t_probes = List.rev b.probes_rev; t_rows_paired = b.rows } in
-        Queue.push t completed;
-        completed_probes := !completed_probes + List.length t.t_probes;
-        if Queue.length completed > max_completed then begin
-          let oldest = Queue.pop completed in
-          completed_probes := !completed_probes - List.length oldest.t_probes
-        end;
-        Some t
-    in
-    Mutex.unlock lock;
-    t
+    let cur = Domain.DLS.get current in
+    match !cur with
+    | None -> None
+    | Some b ->
+      cur := None;
+      let t = { t_id = b.b_id; t_probes = List.rev b.probes_rev; t_rows_paired = b.rows } in
+      Mutex.lock lock;
+      Queue.push t completed;
+      completed_probes := !completed_probes + List.length t.t_probes;
+      if Queue.length completed > max_completed then begin
+        let oldest = Queue.pop completed in
+        completed_probes := !completed_probes - List.length oldest.t_probes
+      end;
+      Mutex.unlock lock;
+      Some t
   end
 
 let traces () : trace list =
@@ -96,8 +91,8 @@ let checks_run = Atomic.make 0
 let check_failures = Atomic.make 0
 
 let reset () =
+  Domain.DLS.get current := None;
   Mutex.lock lock;
-  current := None;
   Queue.clear completed;
   completed_probes := 0;
   Mutex.unlock lock;

@@ -43,6 +43,13 @@ let prometheus (s : Metrics.snapshot) : string =
       line "%s %d" m v)
     s.Metrics.counters;
   List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      line "# HELP %s SAGMA gauge %s" m name;
+      line "# TYPE %s gauge" m;
+      line "%s %d" m v)
+    s.Metrics.gauges;
+  List.iter
     (fun (name, h) ->
       let m = metric_name name in
       line "# HELP %s SAGMA histogram %s" m name;

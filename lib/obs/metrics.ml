@@ -40,6 +40,11 @@ type histogram = {
   buckets : int array;  (* per-bucket (non-cumulative) counts *)
 }
 
+(* Gauges are level measurements (in-flight connections, queue depth):
+   unlike counters they go down as well as up, and a zero reading can be
+   meaningful, so [snapshot] keeps any gauge that has ever been touched. *)
+type gauge = { g_name : string; g_cell : int Atomic.t; g_touched : bool Atomic.t }
+
 let enabled = ref false
 let set_enabled b = enabled := b
 
@@ -48,6 +53,7 @@ let set_enabled b = enabled := b
 let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 let counter name =
   Mutex.lock registry_lock;
@@ -78,8 +84,38 @@ let histogram name =
   Mutex.unlock registry_lock;
   h
 
+let gauge name =
+  Mutex.lock registry_lock;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+      let g = { g_name = name; g_cell = Atomic.make 0; g_touched = Atomic.make false } in
+      Hashtbl.add gauges name g;
+      g
+  in
+  Mutex.unlock registry_lock;
+  g
+
 let incr c = if !enabled then Atomic.incr c.cell
 let add c n = if !enabled then ignore (Atomic.fetch_and_add c.cell n)
+
+let gauge_add g n =
+  if !enabled then begin
+    Atomic.set g.g_touched true;
+    ignore (Atomic.fetch_and_add g.g_cell n)
+  end
+
+let gauge_incr g = gauge_add g 1
+let gauge_decr g = gauge_add g (-1)
+
+let gauge_set g v =
+  if !enabled then begin
+    Atomic.set g.g_touched true;
+    Atomic.set g.g_cell v
+  end
+
+let gauge_value g = Atomic.get g.g_cell
 
 let observe h v =
   if !enabled then begin
@@ -145,6 +181,7 @@ let quantile_of_buckets ~(count : int) ~(min_v : float) ~(max_v : float) (counts
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   histograms : (string * hist_stats) list;
 }
 
@@ -156,6 +193,13 @@ let snapshot () : snapshot =
         let v = Atomic.get c.cell in
         if v = 0 then acc else (name, v) :: acc)
       counters []
+    |> List.sort compare
+  in
+  let gs =
+    Hashtbl.fold
+      (fun name g acc ->
+        if Atomic.get g.g_touched then (name, Atomic.get g.g_cell) :: acc else acc)
+      gauges []
     |> List.sort compare
   in
   let hs =
@@ -192,11 +236,16 @@ let snapshot () : snapshot =
     |> List.sort compare
   in
   Mutex.unlock registry_lock;
-  { counters = cs; histograms = hs }
+  { counters = cs; gauges = gs; histograms = hs }
 
 let reset () =
   Mutex.lock registry_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      Atomic.set g.g_cell 0;
+      Atomic.set g.g_touched false)
+    gauges;
   Hashtbl.iter
     (fun _ h ->
       Mutex.lock h.lock;
@@ -212,6 +261,7 @@ let reset () =
 let pp_snapshot fmt (s : snapshot) =
   Format.fprintf fmt "@[<v>";
   List.iter (fun (name, v) -> Format.fprintf fmt "%-36s %12d@," name v) s.counters;
+  List.iter (fun (name, v) -> Format.fprintf fmt "%-36s %12d (gauge)@," name v) s.gauges;
   List.iter
     (fun (name, h) ->
       Format.fprintf fmt "%-36s n=%d sum=%.3f min=%.3f max=%.3f mean=%.3f p50=%.3f p95=%.3f p99=%.3f@,"
@@ -250,6 +300,12 @@ let snapshot_to_json (s : snapshot) : string =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
     s.counters;
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    s.gauges;
   Buffer.add_string buf "},\"histograms\":{";
   List.iteri
     (fun i (name, h) ->

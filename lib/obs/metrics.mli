@@ -14,6 +14,7 @@
 
 type counter
 type histogram
+type gauge
 
 val enabled : bool ref
 (** The global switch, [false] by default. Prefer {!set_enabled}; the
@@ -33,11 +34,25 @@ val set_enabled : bool -> unit
 val counter : string -> counter
 val histogram : string -> histogram
 
+val gauge : string -> gauge
+(** Gauges are level measurements (in-flight connections, pool queue
+    depth): unlike counters they move both ways, and a zero reading is
+    meaningful, so snapshots keep any gauge that has ever been
+    recorded to. *)
+
 (** {1 Hot-path recording} *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val observe : histogram -> float -> unit
+
+val gauge_incr : gauge -> unit
+val gauge_decr : gauge -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_set : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+(** Current level (readable even while disabled). *)
 
 val observe_ms : histogram -> (unit -> 'a) -> 'a
 (** [observe_ms h f] runs [f ()] and records its wall-clock duration in
@@ -71,6 +86,7 @@ type hist_stats = {
 
 type snapshot = {
   counters : (string * int) list;        (** nonzero counters, sorted *)
+  gauges : (string * int) list;          (** ever-touched gauges, sorted *)
   histograms : (string * hist_stats) list;  (** nonempty histograms, sorted *)
 }
 
@@ -82,8 +98,9 @@ val reset : unit -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 val snapshot_to_json : snapshot -> string
-(** A JSON object [{"counters": {...}, "histograms": {...}}]; histogram
-    entries carry count/sum/min/max/mean and p50/p95/p99. *)
+(** A JSON object [{"counters": {...}, "gauges": {...},
+    "histograms": {...}}]; histogram entries carry count/sum/min/max/mean
+    and p50/p95/p99. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding inside JSON quotes (exposed for the

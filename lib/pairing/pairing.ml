@@ -49,19 +49,27 @@ let make_group ?(rng : Z.rng option) (n : Z.t) : group =
   let final_exp = Z.div (Z.pred (Z.mul p p)) n in
   { p; n; l; curve = Curve.make_params p; final_exp }
 
-(* A uniformly random point of order exactly n (kill the cofactor, then
-   reject points whose order is a proper divisor of n). *)
-let random_order_n_point (g : group) (rng : Z.rng) : Curve.point =
+(* A uniformly random point of order exactly n. Cofactor clearing leaves
+   a point whose order divides n; the is_infinity rejection rules out
+   order 1, which for prime n already forces order exactly n. For
+   composite n the proper divisors can only be excluded knowing the
+   factorization, so callers pass the distinct prime factors and each
+   candidate is checked to survive multiplication by every n/q. *)
+let random_order_n_point ?(factors : Z.t list = []) (g : group) (rng : Z.rng) : Curve.point =
+  List.iter
+    (fun q ->
+      if not (Z.is_zero (Z.erem g.n q)) then
+        invalid_arg "Pairing.random_order_n_point: factor does not divide n")
+    factors;
+  let full_order cand =
+    List.for_all
+      (fun q -> not (Curve.is_infinity (Curve.mul g.curve (Z.div g.n q) cand)))
+      factors
+  in
   let rec go () =
     let r = Curve.random_point g.curve rng in
     let cand = Curve.mul g.curve g.l r in
-    if Curve.is_infinity cand then go ()
-    else begin
-      (* Order divides n = q1·q2; it is exactly n unless killed by a proper
-         divisor. Callers with known factorization should double-check; for
-         prime n this test is complete. *)
-      cand
-    end
+    if Curve.is_infinity cand || not (full_order cand) then go () else cand
   in
   go ()
 

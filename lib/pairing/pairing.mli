@@ -23,9 +23,12 @@ val make_group : ?rng:Z.rng -> Z.t -> group
     group can be reconstructed from [n] alone (serialization relies on
     this). @raise Invalid_argument when [n] is even. *)
 
-val random_order_n_point : group -> Z.rng -> Curve.point
-(** Cofactor-cleared random point; for composite n the caller should
-    verify neither prime factor kills it (BGN keygen does). *)
+val random_order_n_point : ?factors:Z.t list -> group -> Z.rng -> Curve.point
+(** Uniformly random point of order {e exactly} n. For prime n the
+    built-in rejection is complete and [factors] may be omitted; for
+    composite n pass the distinct prime factors of n, and candidates of
+    proper-divisor order are rejected (BGN keygen passes [q1; q2]).
+    @raise Invalid_argument when a factor does not divide n. *)
 
 val pairing : group -> Curve.point -> Curve.point -> Fp2.t
 (** ê(P, Q); returns 1 when either argument is the point at infinity. *)

@@ -16,9 +16,11 @@
 
    Version history: v1 carried requests 0–4 (Upload/Aggregate/Append/
    List_tables/Drop) and responses 0–3; v2 adds the Stats request and
-   the StatsReport response. All v1 frames are valid v2 frames with a
-   different version byte, so the decoders accept both versions and
-   only reject tags the claimed version does not define. *)
+   the StatsReport response; v3 adds the Busy error code (load shedding
+   under a connection limit) and a gauges section in StatsReport. Each
+   older frame is a valid newer frame with a different version byte, so
+   the decoders accept every supported version and only reject tags
+   (and error codes) the claimed version does not define. *)
 
 module W = Sagma_wire.Wire
 module Sse = Sagma_sse.Sse
@@ -28,7 +30,7 @@ module Metrics = Sagma_obs.Metrics
 module Audit = Sagma_obs.Audit
 
 let magic = "SG"
-let version = 2
+let version = 3
 let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
@@ -68,6 +70,7 @@ type error_code =
   | Unsupported          (* recognized but deliberately not implemented *)
   | Version_unsupported  (* peer spoke a different protocol version *)
   | Internal_error
+  | Busy                 (* v3: server at its connection limit, retry later *)
 
 let error_code_to_string = function
   | No_such_table -> "no-such-table"
@@ -75,24 +78,30 @@ let error_code_to_string = function
   | Unsupported -> "unsupported"
   | Version_unsupported -> "version-unsupported"
   | Internal_error -> "internal-error"
+  | Busy -> "busy"
 
-let put_error_code (s : W.sink) (c : error_code) : unit =
+let put_error_code ~(version : int) (s : W.sink) (c : error_code) : unit =
   W.put_u8 s
     (match c with
      | No_such_table -> 0
      | Bad_request -> 1
      | Unsupported -> 2
      | Version_unsupported -> 3
-     | Internal_error -> 4)
+     | Internal_error -> 4
+     | Busy ->
+       if version < 3 then
+         invalid_arg "Protocol.put_error_code: Busy needs protocol version >= 3";
+       5)
 
-let get_error_code (s : W.source) : error_code =
+let get_error_code ~(version : int) (s : W.source) : error_code =
   match W.get_u8 s with
   | 0 -> No_such_table
   | 1 -> Bad_request
   | 2 -> Unsupported
   | 3 -> Version_unsupported
   | 4 -> Internal_error
-  | v -> W.fail "bad error code %d" v
+  | 5 when version >= 3 -> Busy
+  | v -> W.fail "bad error code %d for protocol version %d" v version
 
 type request =
   | Upload of { name : string; table : Scheme.enc_table }
@@ -155,12 +164,21 @@ let get_hist_stats (s : W.source) : Metrics.hist_stats =
   let h_p99 = W.get_f64 s in
   { Metrics.h_count; h_sum; h_min; h_max; h_buckets; h_p50; h_p95; h_p99 }
 
-let put_stats_report (s : W.sink) (r : stats_report) : unit =
+(* A v2 report has no gauges section: encoding at v2 drops the gauges
+   (the only consumers of v2 frames predate them), decoding a v2 frame
+   yields [gauges = []]. *)
+let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
   W.put_list s
     (fun s (name, v) ->
       W.put_bytes s name;
       W.put_int s v)
     r.sr_snapshot.Metrics.counters;
+  if version >= 3 then
+    W.put_list s
+      (fun s (name, v) ->
+        W.put_bytes s name;
+        W.put_int s v)
+      r.sr_snapshot.Metrics.gauges;
   W.put_list s
     (fun s (name, h) ->
       W.put_bytes s name;
@@ -171,12 +189,20 @@ let put_stats_report (s : W.sink) (r : stats_report) : unit =
   W.put_int s r.sr_audit.Audit.s_checks_run;
   W.put_int s r.sr_audit.Audit.s_check_failures
 
-let get_stats_report (s : W.source) : stats_report =
+let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let counters =
     W.get_list s (fun s ->
         let name = W.get_bytes s in
         let v = W.get_int s in
         (name, v))
+  in
+  let gauges =
+    if version < 3 then []
+    else
+      W.get_list s (fun s ->
+          let name = W.get_bytes s in
+          let v = W.get_int s in
+          (name, v))
   in
   let histograms =
     W.get_list s (fun s ->
@@ -188,7 +214,7 @@ let get_stats_report (s : W.source) : stats_report =
   let s_probes = W.get_int s in
   let s_checks_run = W.get_int s in
   let s_check_failures = W.get_int s in
-  { sr_snapshot = { Metrics.counters; histograms };
+  { sr_snapshot = { Metrics.counters; gauges; histograms };
     sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures } }
 
 (* [?version] lets a caller (or a compat test) emit a frame an older
@@ -261,13 +287,13 @@ let put_response ?(version = version) (s : W.sink) (r : response) : unit =
     Serialize.put_agg_result s a
   | Failed { code; message } ->
     W.put_u8 s 3;
-    put_error_code s code;
+    put_error_code ~version s code;
     W.put_bytes s message
   | Stats_report r ->
     if version < 2 then
       invalid_arg "Protocol.put_response: Stats_report needs protocol version >= 2";
     W.put_u8 s 4;
-    put_stats_report s r
+    put_stats_report ~version s r
 
 let get_response (s : W.source) : response =
   let v = get_header s in
@@ -281,10 +307,10 @@ let get_response (s : W.source) : response =
            (name, rows)))
   | 2 -> Aggregates (Serialize.get_agg_result s)
   | 3 ->
-    let code = get_error_code s in
+    let code = get_error_code ~version:v s in
     let message = W.get_bytes s in
     Failed { code; message }
-  | 4 when v >= 2 -> Stats_report (get_stats_report s)
+  | 4 when v >= 2 -> Stats_report (get_stats_report ~version:v s)
   | t -> W.fail "bad response tag %d for protocol version %d" t v
 
 let encode_request ?version (r : request) : string =

@@ -5,10 +5,11 @@
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
     Every message is prefixed with the magic {!magic} and a version
-    byte. This build speaks v2 but still decodes v1 frames (v1 = the
-    same encoding minus the [Stats]/[Stats_report] messages), so old
-    clients keep working against a new server; frames claiming any
-    other version raise {!Version_mismatch}, and frames without the
+    byte. This build speaks v3 but still decodes v1 and v2 frames (v2 =
+    v3 minus the [Busy] error code and the gauges section of
+    [Stats_report]; v1 = v2 minus the [Stats]/[Stats_report] messages),
+    so old clients keep working against a new server; frames claiming
+    any other version raise {!Version_mismatch}, and frames without the
     magic raise [Sagma_wire.Wire.Decode_error]. *)
 
 module Sse = Sagma_sse.Sse
@@ -19,7 +20,7 @@ val magic : string
 
 val version : int
 (** Wire protocol version this build speaks and encodes by default
-    (currently 2). *)
+    (currently 3). *)
 
 val min_version : int
 (** Oldest version the decoders still accept (currently 1). *)
@@ -34,6 +35,7 @@ type error_code =
   | Unsupported          (** recognized but deliberately not implemented *)
   | Version_unsupported  (** peer spoke a different protocol version *)
   | Internal_error
+  | Busy                 (** v3: server at its connection limit, retry later *)
 
 val error_code_to_string : error_code -> string
 (** Stable kebab-case name, e.g. ["no-such-table"]. *)
@@ -51,6 +53,8 @@ type request =
 
 type stats_report = {
   sr_snapshot : Sagma_obs.Metrics.snapshot;
+      (** The snapshot's gauges travel only in v3+ frames: encoding at
+          v2 drops them, decoding a v2 frame yields [gauges = []]. *)
   sr_audit : Sagma_obs.Audit.summary;
 }
 

@@ -11,6 +11,7 @@ module Scheme = Sagma.Scheme
 module Obs = Sagma_obs.Metrics
 module Log = Sagma_obs.Log
 module Audit = Sagma_obs.Audit
+module Pool = Sagma_pool.Pool
 
 let m_requests = Obs.counter "proto.requests"
 let m_failed = Obs.counter "proto.requests_failed"
@@ -18,12 +19,30 @@ let m_bytes_in = Obs.counter "proto.bytes_in"
 let m_bytes_out = Obs.counter "proto.bytes_out"
 let h_request_ms = Obs.histogram "proto.request_ms"
 
-type t = { tables : (string, Scheme.enc_table) Hashtbl.t }
+(* Connection handlers may run on several pool domains at once, so the
+   table registry takes a lock around every access. Aggregation — the
+   expensive part — runs OUTSIDE the lock on a snapshot: [enc_table]
+   values are immutable (Append replaces the whole record rather than
+   mutating it), so a concurrent writer can at worst make the snapshot
+   stale, never torn. [agg_pool] optionally parallelizes row work within
+   each aggregation; it must be a different pool from the one running
+   connections (a task awaiting futures on its own pool deadlocks). *)
+type t = {
+  lock : Mutex.t;
+  tables : (string, Scheme.enc_table) Hashtbl.t;
+  agg_pool : Pool.t option;
+}
 
-let create () : t = { tables = Hashtbl.create 8 }
+let create ?agg_pool () : t =
+  { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool }
+
+let with_lock (s : t) (f : unit -> 'a) : 'a =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let table_names (s : t) : (string * int) list =
-  Hashtbl.fold (fun name et acc -> (name, Array.length et.Scheme.rows) :: acc) s.tables []
+  with_lock s (fun () ->
+      Hashtbl.fold (fun name et acc -> (name, Array.length et.Scheme.rows) :: acc) s.tables [])
   |> List.sort compare
 
 let request_kind : Protocol.request -> string = function
@@ -42,47 +61,53 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
     Protocol.Stats_report
       { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary () }
   | Protocol.Upload { name; table } ->
-    Hashtbl.replace s.tables name table;
+    with_lock s (fun () -> Hashtbl.replace s.tables name table);
     Protocol.Ack
   | Protocol.List_tables -> Protocol.Tables (table_names s)
   | Protocol.Drop name ->
-    if Hashtbl.mem s.tables name then begin
-      Hashtbl.remove s.tables name;
-      Protocol.Ack
-    end
+    if
+      with_lock s (fun () ->
+          let existed = Hashtbl.mem s.tables name in
+          if existed then Hashtbl.remove s.tables name;
+          existed)
+    then Protocol.Ack
     else Protocol.failed Protocol.No_such_table "no such table %S" name
   | Protocol.Aggregate { name; token } -> begin
-    match Hashtbl.find_opt s.tables name with
+    (* Snapshot under the lock, aggregate outside it: concurrent
+       requests pay for the lookup, not for each other's pairings. *)
+    match with_lock s (fun () -> Hashtbl.find_opt s.tables name) with
     | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
     | Some et -> (
-      try Protocol.Aggregates (Scheme.aggregate et token) with
+      try Protocol.Aggregates (Scheme.aggregate ?pool:s.agg_pool et token) with
       | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
       | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   end
-  | Protocol.Append { name; row; keywords } -> begin
-    match Hashtbl.find_opt s.tables name with
-    | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
-    | Some et when et.Scheme.index_mode = Scheme.Oxt_conjunctive ->
-      ignore (row, keywords);
-      Protocol.failed Protocol.Unsupported
-        "remote appends are unsupported for OXT-indexed tables"
-    | Some et -> (
-      try
-        let id = Array.length et.Scheme.rows in
-        let index =
-          List.fold_left
-            (fun index tok ->
-              let counter = List.length (Sse.search index tok) in
-              Sse.add_with_token index tok ~counter id)
-            et.Scheme.index keywords
-        in
-        Hashtbl.replace s.tables name
-          { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
-        Protocol.Ack
-      with
-      | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
-      | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
-  end
+  | Protocol.Append { name; row; keywords } ->
+    (* The whole read-modify-write stays under the lock so two
+       concurrent appends cannot lose one row. *)
+    with_lock s (fun () ->
+        match Hashtbl.find_opt s.tables name with
+        | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
+        | Some et when et.Scheme.index_mode = Scheme.Oxt_conjunctive ->
+          ignore (row, keywords);
+          Protocol.failed Protocol.Unsupported
+            "remote appends are unsupported for OXT-indexed tables"
+        | Some et -> (
+          try
+            let id = Array.length et.Scheme.rows in
+            let index =
+              List.fold_left
+                (fun index tok ->
+                  let counter = List.length (Sse.search index tok) in
+                  Sse.add_with_token index tok ~counter id)
+                et.Scheme.index keywords
+            in
+            Hashtbl.replace s.tables name
+              { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
+            Protocol.Ack
+          with
+          | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
+          | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg))
 
 (* Handle a raw encoded request, never letting an exception cross the
    transport boundary. Each request gets a fresh id shared by its log

@@ -8,7 +8,13 @@ module Scheme = Sagma.Scheme
 
 type t
 
-val create : unit -> t
+val create : ?agg_pool:Sagma_pool.Pool.t -> unit -> t
+(** [create ()] builds an empty, thread-safe server state: request
+    handlers may run concurrently (registry accesses take an internal
+    lock; aggregation runs lock-free on immutable table snapshots).
+    [agg_pool] parallelizes row work inside each aggregation — it MUST
+    be a different pool from the one serving connections, or a
+    connection task could await futures only its own pool can run. *)
 
 val table_names : t -> (string * int) list
 

@@ -32,6 +32,7 @@ module Curve = Sagma_pairing.Curve
 module Obs = Sagma_obs.Metrics
 module Trace = Sagma_obs.Trace
 module Audit = Sagma_obs.Audit
+module Pool = Sagma_pool.Pool
 
 (* Scheme-level observability: row/bucket volumes plus per-chunk wall
    clock for the parallel accumulation path (chunks run on spawned
@@ -613,9 +614,12 @@ let block_vector ~(bucket_size : int) ~(arity : int) (idx : int) : int array =
   go (arity - 1) idx;
   v
 
-(* [aggregate et tok] is Algorithm 5 (pure server side). [domains] > 1
-   splits each joint bucket's row work across that many OCaml domains. *)
-let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
+(* [aggregate et tok] is Algorithm 5 (pure server side). Row work within
+   each joint bucket is split across worker domains when [pool] is given
+   (a long-lived pool, spawned once per process) or when [domains] > 1
+   (a transient pool spanning this one call) — never one spawn per
+   bucket. *)
+let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
   let pp = et.pp in
   let pk = pp.bgn_pk in
   let n = Bgn.n pk in
@@ -743,9 +747,9 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
   let touched = ref 0 in
   (* Aggregate one joint bucket: compute every row's shift per block once
      and feed it to both the sum and the count accumulators. Row chunks
-     are processed on separate domains when [domains] > 1 (the paper
-     parallelizes query execution the same way). *)
-  let aggregate_bucket (bucket_ids, rows) =
+     are processed on the worker pool's domains (the paper parallelizes
+     query execution the same way). *)
+  let aggregate_bucket chunk_pool (bucket_ids, rows) =
     touched := !touched + List.length rows;
     Obs.incr m_agg_buckets;
     Obs.add m_agg_rows (List.length rows);
@@ -805,24 +809,43 @@ let aggregate ?(domains = 1) (et : enc_table) (tok : token) : agg_result =
              | None, b -> b) )
         in
     let sums, counts_l1, counts_l2 =
-      if domains <= 1 || List.length rows < 2 * domains then accumulate rows
+      (* The caller runs one chunk itself, so [workers] helpers give
+         [workers + 1]-way parallelism; tiny buckets stay inline. *)
+      let workers = match chunk_pool with Some p -> Pool.workers p | None -> 0 in
+      let chunk_count = workers + 1 in
+      if workers = 0 || List.length rows < 2 * chunk_count then accumulate rows
       else begin
         (* Round-robin split keeps chunks balanced. *)
-        let chunks = Array.make domains [] in
-        List.iteri (fun i r -> chunks.(i mod domains) <- r :: chunks.(i mod domains)) rows;
-        let spawned =
+        let chunks = Array.make chunk_count [] in
+        List.iteri (fun i r -> chunks.(i mod chunk_count) <- r :: chunks.(i mod chunk_count)) rows;
+        let p = Option.get chunk_pool in
+        let futures =
           Array.to_list
-            (Array.map (fun chunk -> Domain.spawn (fun () -> accumulate chunk))
-               (Array.sub chunks 1 (domains - 1)))
+            (Array.map (fun chunk -> Pool.submit p (fun () -> accumulate chunk))
+               (Array.sub chunks 1 (chunk_count - 1)))
         in
         let first = accumulate chunks.(0) in
-        List.fold_left (fun acc d -> merge acc (Domain.join d)) first spawned
+        List.fold_left (fun acc f -> merge acc (Pool.await f)) first futures
       end
     in
     { bucket_ids; group_size = List.length rows; blocks = { sums; counts_l1; counts_l2 } }
   in
+  (* A caller-supplied pool is shared and long-lived; otherwise
+     [domains] > 1 gets a transient pool spanning every bucket of this
+     call (the caller contributes the (+1)th domain). *)
+  let owned_pool =
+    match pool with
+    | Some _ -> None
+    | None when domains > 1 -> Some (Pool.create ~name:"aggregate" ~workers:(domains - 1) ())
+    | None -> None
+  in
+  let chunk_pool = match pool with Some _ -> pool | None -> owned_pool in
   let buckets =
-    Trace.with_span "pairing_loop" (fun () -> List.map aggregate_bucket joint_bucket_rows)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Pool.shutdown owned_pool)
+      (fun () ->
+        Trace.with_span "pairing_loop" (fun () ->
+            List.map (aggregate_bucket chunk_pool) joint_bucket_rows))
   in
   { buckets; touched_rows = !touched }
 
@@ -909,14 +932,14 @@ let decrypt (c : client) (tok : token) (agg : agg_result) ~(total_rows : int) : 
     !results
 
 (* End-to-end convenience: token → aggregate → decrypt. The optional
-   arguments default to the table's own mode and row count; [domains]
-   parallelizes the aggregation step. *)
-let query ?index_mode ?oxt_rows ?(domains = 1) (c : client) (et : enc_table) (q : Query.t) :
+   arguments default to the table's own mode and row count;
+   [domains]/[pool] parallelize the aggregation step. *)
+let query ?index_mode ?oxt_rows ?(domains = 1) ?pool (c : client) (et : enc_table) (q : Query.t) :
     result_row list =
   let index_mode = Option.value index_mode ~default:et.index_mode in
   let oxt_rows = Option.value oxt_rows ~default:(Array.length et.rows) in
   let tok = Trace.with_span "token" (fun () -> token ~index_mode ~oxt_rows c q) in
-  let agg = Trace.with_span "aggregate" (fun () -> aggregate ~domains et tok) in
+  let agg = Trace.with_span "aggregate" (fun () -> aggregate ~domains ?pool et tok) in
   Trace.with_span "decrypt" (fun () ->
       decrypt c tok agg ~total_rows:(Array.length et.rows))
 

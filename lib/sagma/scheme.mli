@@ -222,10 +222,15 @@ val audited_oxt_search :
 (** OXT conjunction search (sorted row ids) plus an ["oxt.bucket"]
     probe. *)
 
-val aggregate : ?domains:int -> enc_table -> token -> agg_result
+val aggregate :
+  ?domains:int -> ?pool:Sagma_pool.Pool.t -> enc_table -> token -> agg_result
 (** Algorithm 5. Deliberately takes only public data — no keys.
-    [domains] > 1 splits each joint bucket's row work across OCaml
-    domains (the paper's multi-core parallelization). *)
+    Row work within each joint bucket is split across worker domains
+    (the paper's multi-core parallelization): pass [pool] to reuse a
+    long-lived pool spawned once per process (the caller runs one chunk
+    itself, so a [w]-worker pool gives [w + 1]-way parallelism), or
+    [domains] > 1 for a transient pool spanning this one call. [pool]
+    wins when both are given. *)
 
 (** {1 Decryption (Algorithm 6)} *)
 
@@ -244,6 +249,7 @@ val query :
   ?index_mode:index_mode ->
   ?oxt_rows:int ->
   ?domains:int ->
+  ?pool:Sagma_pool.Pool.t ->
   client ->
   enc_table ->
   Query.t ->
@@ -252,7 +258,8 @@ val query :
     ("token"/"aggregate"/"decrypt", see {!Sagma_obs.Trace}).
     [index_mode] defaults to the table's own mode and [oxt_rows] to its
     row count — override only to exercise a mismatch deliberately.
-    [domains] > 1 parallelizes the aggregation step. *)
+    [domains]/[pool] parallelize the aggregation step as in
+    {!aggregate}. *)
 
 val aggregate_value : Query.t -> result_row -> float
 (** SUM/COUNT/AVG as the query requested. *)

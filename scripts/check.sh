@@ -36,7 +36,8 @@ salary,dept
 3000,sales
 4000,facility
 CSV
-"$SERVER" --port "$OBS_PORT" --metrics --audit \
+"$SERVER" --port "$OBS_PORT" --metrics --audit --workers 4 \
+  --request-timeout-ms 10000 \
   --log-json "$OBS_DIR/server.jsonl" > "$OBS_DIR/server.out" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OBS_DIR"' EXIT
@@ -46,6 +47,16 @@ sleep 1
   --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key"
 "$CLI" remote-query --sum salary --group-by dept \
   --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key"
+# Concurrent clients against the 4-worker pool: all must succeed.
+for i in 1 2 3; do
+  "$CLI" remote-query --sum salary --group-by dept \
+    --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key" \
+    > "$OBS_DIR/conc.$i.out" 2>&1 &
+  eval "CONC_$i=\$!"
+done
+wait "$CONC_1" "$CONC_2" "$CONC_3"
+for i in 1 2 3; do grep -q "sales" "$OBS_DIR/conc.$i.out"; done
+echo "concurrent queries OK"
 # The Stats RPC must answer with a parseable Prometheus exposition:
 # a known counter, the +Inf-closed bucket family, and quantile gauges.
 "$CLI" stats --port "$OBS_PORT" --prometheus > "$OBS_DIR/exposition.txt"
@@ -69,9 +80,10 @@ trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json) =="
+echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
+dune exec bench/main.exe -- json-pr4
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -124,6 +136,32 @@ for w in workloads:
         assert cm["pairings"] == 0, f"{w['name']}: COUNT should pair nothing"
 
 print(f"BENCH_PR3.json OK: {len(workloads)} workloads")
+EOF
+
+echo "== validate BENCH_PR4.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR4.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr4"
+assert doc["clients"] == 4, doc["clients"]
+total = doc["clients"] * doc["requests_per_client"]
+for mode in ("sequential", "pooled"):
+    assert doc[mode]["rps"] > 0, f"{mode}: no throughput recorded"
+    assert doc[mode]["elapsed_ms"] > 0
+# The tentpole claim: pooled serving at K=4 clients beats sequential
+# serving by at least 2x on the same workload.
+assert doc["speedup"] >= 2.0, f"pooled speedup {doc['speedup']} < 2.0"
+st = doc["stalled"]
+assert st["passed"], st
+assert st["fast_ok"] == st["fast_requests"], st
+assert st["fast_max_latency_ms"] < st["stall_ms"], st
+
+print(f"BENCH_PR4.json OK: speedup {doc['speedup']}x, "
+      f"stalled-client max latency {st['fast_max_latency_ms']:.1f} ms")
 EOF
 
 echo "== all checks passed =="

@@ -65,6 +65,38 @@ let test_counter_basics () =
   Metrics.reset ();
   Alcotest.(check int) "reset zeroes" 0 (Metrics.value c)
 
+let test_gauge_basics () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.gauge_set g 5;
+  Alcotest.(check int) "set is a no-op when off" 0 (Metrics.gauge_value g);
+  with_metrics @@ fun () ->
+  Metrics.gauge_set g 5;
+  Metrics.gauge_add g 3;
+  Metrics.gauge_incr g;
+  Metrics.gauge_decr g;
+  Alcotest.(check int) "set/add/incr/decr" 8 (Metrics.gauge_value g);
+  (* registration is idempotent: same name, same cell *)
+  Metrics.gauge_incr (Metrics.gauge "test.gauge");
+  Alcotest.(check int) "same cell under one name" 9 (Metrics.gauge_value g);
+  let zero = Metrics.gauge "test.gauge_zero" in
+  Metrics.gauge_incr zero;
+  Metrics.gauge_decr zero;
+  let untouched = Metrics.gauge "test.gauge_untouched" in
+  ignore untouched;
+  let s = Metrics.snapshot () in
+  Alcotest.(check (option int)) "snapshot carries the level" (Some 9)
+    (List.assoc_opt "test.gauge" s.Metrics.gauges);
+  (* A gauge that moved and came back to 0 is a meaningful reading —
+     unlike counters, zero is not filtered once touched. *)
+  Alcotest.(check (option int)) "touched zero gauge included" (Some 0)
+    (List.assoc_opt "test.gauge_zero" s.Metrics.gauges);
+  Alcotest.(check bool) "untouched gauge excluded" false
+    (List.mem_assoc "test.gauge_untouched" s.Metrics.gauges);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes the level" 0 (Metrics.gauge_value g);
+  Alcotest.(check bool) "reset forgets touched gauges" true
+    ((Metrics.snapshot ()).Metrics.gauges = [])
+
 let test_histogram_stats () =
   with_metrics @@ fun () ->
   let h = Metrics.histogram "test.hist" in
@@ -98,6 +130,17 @@ let test_snapshot_json () =
   Alcotest.(check bool) "counter in JSON" true (contains j "\"test.json\":5");
   Alcotest.(check bool) "histogram in JSON" true (contains j "\"test.json_hist\"");
   Alcotest.(check string) "escaping" "a\\\"b\\\\c\\n" (Metrics.json_escape "a\"b\\c\n")
+
+let test_gauge_export () =
+  with_metrics @@ fun () ->
+  Metrics.gauge_set (Metrics.gauge "proto.inflight") 4;
+  let s = Metrics.snapshot () in
+  let j = Metrics.snapshot_to_json s in
+  Alcotest.(check bool) "gauge in JSON" true (contains j "\"gauges\":{\"proto.inflight\":4}");
+  let text = Export.prometheus s in
+  Alcotest.(check bool) "gauge TYPE" true
+    (contains text "# TYPE sagma_proto_inflight gauge");
+  Alcotest.(check bool) "gauge sample" true (contains text "sagma_proto_inflight 4")
 
 let test_bucket_boundaries () =
   with_metrics @@ fun () ->
@@ -553,6 +596,8 @@ let () =
     [ ( "metrics",
         [ Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
           Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+          Alcotest.test_case "gauge export" `Quick test_gauge_export;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
           Alcotest.test_case "observe_ms" `Quick test_observe_ms;
           Alcotest.test_case "snapshot to JSON" `Quick test_snapshot_json;

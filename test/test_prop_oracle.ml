@@ -30,11 +30,22 @@ let oracle_results table q =
        (fun r -> (List.map Value.to_string r.Executor.group, r.Executor.sum, r.Executor.count))
        (Executor.run table q))
 
+(* SAGMA_PROP_WORKERS=n (n > 1) runs every encrypted aggregation on an
+   n-domain pool, so the differential oracle also cross-checks the
+   concurrent aggregation path against the plaintext executor. *)
+let pool =
+  match Option.bind (Sys.getenv_opt "SAGMA_PROP_WORKERS") int_of_string_opt with
+  | Some n when n > 1 ->
+    let p = Sagma_pool.Pool.create ~name:"prop-oracle" ~workers:(n - 1) () in
+    at_exit (fun () -> Sagma_pool.Pool.shutdown p);
+    Some p
+  | _ -> None
+
 let sagma_results t q =
   norm
     (List.map
        (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
-       (Client_api.query t q))
+       (Client_api.query ?pool t q))
 
 let report q expected got =
   Printf.printf "    %s\n      oracle:    %s\n      encrypted: %s\n" (Query.to_sql q)

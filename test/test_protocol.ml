@@ -297,7 +297,7 @@ let test_v2_only_messages_gated () =
   (match
      P.encode_response ~version:1
        (P.Stats_report
-          { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; histograms = [] };
+          { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; gauges = []; histograms = [] };
             sr_audit = Sagma_obs.Audit.summary () })
    with
    | exception Invalid_argument _ -> ()
@@ -360,7 +360,38 @@ let test_error_code_roundtrip () =
         true
         (P.decode_response (P.encode_response resp) = resp))
     [ P.No_such_table; P.Bad_request; P.Unsupported; P.Version_unsupported;
-      P.Internal_error ]
+      P.Internal_error; P.Busy ]
+
+let test_v3_only_constructs_gated () =
+  (* Busy does not exist before v3: encoders refuse to emit it... *)
+  (match P.encode_response ~version:2 (P.Failed { code = P.Busy; message = "m" }) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Busy encoded into a v2 frame");
+  (* ...and a forged v2 frame carrying error code 5 is malformed. *)
+  let forged = flip_version (P.encode_response (P.Failed { code = P.Busy; message = "m" })) ~v:2 in
+  (match P.decode_response forged with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v3-only error code accepted inside a v2 frame");
+  (* Stats_report gauges travel only in v3 frames: a v2 encoding drops
+     them and decodes to an empty gauge list. *)
+  let module M = Sagma_obs.Metrics in
+  let report =
+    { P.sr_snapshot =
+        { M.counters = [ ("c", 1) ]; gauges = [ ("g", 2) ]; histograms = [] };
+      sr_audit = Sagma_obs.Audit.summary () }
+  in
+  (match P.decode_response (P.encode_response ~version:2 (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "counters survive a v2 frame" true
+       (r.P.sr_snapshot.M.counters = [ ("c", 1) ]);
+     Alcotest.(check bool) "gauges dropped from a v2 frame" true
+       (r.P.sr_snapshot.M.gauges = [])
+   | _ -> Alcotest.fail "expected Stats_report");
+  (match P.decode_response (P.encode_response (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "gauges survive a v3 frame" true
+       (r.P.sr_snapshot.M.gauges = [ ("g", 2) ])
+   | _ -> Alcotest.fail "expected Stats_report")
 
 (* --- transport over a real socket pair ------------------------------------------- *)
 
@@ -386,6 +417,176 @@ let test_socket_roundtrip () =
   Unix.close client_fd;
   Thread.join server_thread;
   Unix.close server_fd
+
+(* --- concurrent serving (listen_and_serve + domain pool) ------------------------ *)
+
+(* A live TCP server on [port] with table "t" preloaded, torn down
+   gracefully (stop flag + drain) when [f] returns. *)
+let with_live_server ?(workers = 2) ?(max_conns = 16) ?(request_timeout_ms = 0) ?max_frame
+    ~port f =
+  let state = Server.create () in
+  (match Server.handle state (P.Upload { name = "t"; table = enc }) with
+   | P.Ack -> ()
+   | _ -> Alcotest.fail "preload upload failed");
+  let stop = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Transport.listen_and_serve ~workers ~max_conns ~request_timeout_ms ?max_frame
+          ~stop:(fun () -> Atomic.get stop)
+          ~port state)
+  in
+  let rec wait_up tries =
+    match Transport.connect ~port with
+    | fd -> Unix.close fd
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      wait_up (tries - 1)
+  in
+  wait_up 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv)
+    f
+
+(* COUNT keeps per-request service time small enough for latency
+   assertions (SUM drags CRT-channel pairings through every request). *)
+let count_query = Query.make ~group_by:[ "g" ] Query.Count
+let expected_counts = results_of client enc count_query
+
+let aggregate_round fd =
+  let tok = Scheme.token client count_query in
+  match Transport.call fd (P.Aggregate { name = "t"; token = tok }) with
+  | P.Aggregates agg ->
+    List.map
+      (fun r -> (List.map Value.to_string r.Scheme.group, r.Scheme.sum, r.Scheme.count))
+      (Scheme.decrypt client tok agg ~total_rows:15)
+  | _ -> Alcotest.fail "expected aggregates"
+
+let test_parallel_clients () =
+  with_live_server ~workers:3 ~port:7491 (fun _ ->
+      let errors = Atomic.make 0 in
+      let threads =
+        List.init 3 (fun i ->
+            Thread.create
+              (fun i ->
+                let fd = Transport.connect ~port:7491 in
+                Fun.protect
+                  ~finally:(fun () -> Unix.close fd)
+                  (fun () ->
+                    for _ = 1 to 4 do
+                      if i = 0 then begin
+                        (* One client speaks v2; its replies must come back
+                           framed at v2, not the server's v3. *)
+                        Transport.send fd (P.encode_request ~version:2 P.List_tables);
+                        let raw = Transport.recv fd in
+                        if Char.code raw.[2] <> 2 then Atomic.incr errors
+                        else
+                          match P.decode_response raw with
+                          | P.Tables [ ("t", 15) ] -> ()
+                          | _ -> Atomic.incr errors
+                      end
+                      else if aggregate_round fd <> expected_counts then Atomic.incr errors
+                    done))
+              i)
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all parallel clients answered correctly" 0 (Atomic.get errors))
+
+let test_stalled_client_isolated () =
+  with_live_server ~workers:2 ~request_timeout_ms:300 ~port:7492 (fun _ ->
+      let stall_s = 0.8 in
+      let staller =
+        Thread.create
+          (fun () ->
+            let fd = Transport.connect ~port:7492 in
+            (* Two bytes of a frame header, then silence: the read
+               deadline must reclaim this connection's worker without
+               touching anyone else's. *)
+            ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
+            Thread.delay stall_s;
+            Unix.close fd)
+          ()
+      in
+      Thread.delay 0.05;
+      let fd = Transport.connect ~port:7492 in
+      let max_latency = ref 0. in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          for _ = 1 to 5 do
+            let t0 = Unix.gettimeofday () in
+            (match Transport.call fd P.List_tables with
+             | P.Tables [ ("t", 15) ] -> ()
+             | _ -> Alcotest.fail "bad reply during stall");
+            max_latency := Float.max !max_latency (Unix.gettimeofday () -. t0)
+          done);
+      Thread.join staller;
+      Alcotest.(check bool)
+        (Printf.sprintf "fast client unaffected by staller (max %.0f ms)"
+           (!max_latency *. 1000.))
+        true
+        (!max_latency < stall_s /. 2.))
+
+let test_midrequest_disconnect () =
+  with_live_server ~workers:2 ~port:7493 (fun _ ->
+      (* A peer that dies mid-frame: header promising 100 bytes, 10
+         delivered, then gone. *)
+      let fd = Transport.connect ~port:7493 in
+      let partial = Bytes.of_string "\x00\x00\x00\x64partial..." in
+      ignore (Unix.write fd partial 0 (Bytes.length partial));
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      (* The server must shrug that connection off and keep serving. *)
+      let fd = Transport.connect ~port:7493 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Alcotest.(check (list (triple (list string) int int)))
+            "server still serving after mid-request disconnect" expected_counts
+            (aggregate_round fd)))
+
+let test_max_conns_shed () =
+  with_live_server ~workers:2 ~max_conns:1 ~port:7494 (fun _ ->
+      Unix.sleepf 0.05;
+      (* occupies the single in-flight slot *)
+      let holder = Transport.connect ~port:7494 in
+      Unix.sleepf 0.2;
+      let shed = Transport.connect ~port:7494 in
+      (match P.decode_response (Transport.recv shed) with
+       | P.Failed { code = P.Busy; _ } -> ()
+       | _ -> Alcotest.fail "expected Failed Busy over the limit");
+      Unix.close shed;
+      Unix.close holder;
+      Unix.sleepf 0.2;
+      (* slot freed: the next client is served normally again *)
+      let fd = Transport.connect ~port:7494 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          match Transport.call fd P.List_tables with
+          | P.Tables [ ("t", 15) ] -> ()
+          | _ -> Alcotest.fail "server did not recover after shedding"))
+
+let test_oversized_frame_rejected () =
+  with_live_server ~workers:2 ~max_frame:65536 ~port:7495 (fun _ ->
+      let fd = Transport.connect ~port:7495 in
+      (* Header claiming 64 MiB against a 64 KiB cap: the server must
+         drop the connection up front instead of buffering the claim. *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int (64 * 1024 * 1024));
+      ignore (Unix.write fd header 0 4);
+      (match Transport.recv fd with
+       | _ -> Alcotest.fail "oversized frame should sever the connection"
+       | exception Failure _ -> ());
+      Unix.close fd;
+      let fd = Transport.connect ~port:7495 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          match Transport.call fd P.List_tables with
+          | P.Tables [ ("t", 15) ] -> ()
+          | _ -> Alcotest.fail "server did not survive an oversized frame"))
 
 let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
 
@@ -430,12 +631,19 @@ let () =
           Alcotest.test_case "old frame rejected" `Quick test_old_frame_rejected;
           Alcotest.test_case "encoder version bounds" `Quick test_encoder_version_bounds;
           Alcotest.test_case "server rejects old frame" `Quick test_server_rejects_old_frame;
-          Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip ] );
+          Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip;
+          Alcotest.test_case "v3-only constructs gated" `Quick test_v3_only_constructs_gated ] );
       ( "v1 compat",
         [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
           Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
           Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
           Alcotest.test_case "stats via server" `Quick test_stats_via_server ] );
       ("transport", [ Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ]);
+      ( "concurrency",
+        [ Alcotest.test_case "parallel clients" `Quick test_parallel_clients;
+          Alcotest.test_case "stalled client isolated" `Quick test_stalled_client_isolated;
+          Alcotest.test_case "mid-request disconnect" `Quick test_midrequest_disconnect;
+          Alcotest.test_case "max-conns shed -> Busy" `Quick test_max_conns_shed;
+          Alcotest.test_case "oversized frame rejected" `Quick test_oversized_frame_rejected ] );
       ("properties", props);
     ]
