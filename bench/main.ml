@@ -934,6 +934,116 @@ let bench_pr4 () =
   close_out oc;
   Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
 
+(* --- BENCH_PR5.json: request tracing overhead ------------------------------------------- *)
+
+(* PR 5 adds domain-safe request tracing (span trees + EXPLAIN cost
+   blocks). Spans cost two clock reads and one allocation each, and the
+   cost block is a counter-scope subtraction — so serving with
+   --trace-sample 1 should be nearly free next to the pairing work every
+   request already does. This bench measures traced vs untraced
+   throughput on the PR4 workload and asserts the ratio. *)
+let bench_pr5 () =
+  header "BENCH_PR5.json: throughput with tracing off vs --trace-sample 1";
+  let rows = if full then 60 else 12 in
+  let clients = 4 in
+  let requests = if full then 12 else 6 in
+  let workers = 4 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-pr5") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+      (Drbg.create "pr5-client")
+  in
+  let enc = Scheme.encrypt_table client table in
+  let q = Query.make ~group_by:[ "l_returnflag" ] Query.Count in
+  let req = Rpc.Aggregate { name = "t"; token = Scheme.token client q } in
+  let state ?(trace_sample = 0) () =
+    let s = Rpc_server.create ~trace_sample () in
+    (match Rpc_server.handle s (Rpc.Upload { name = "t"; table = enc }) with
+     | Rpc.Ack -> ()
+     | _ -> failwith "bench_pr5: upload failed");
+    s
+  in
+  let total = clients * requests in
+  (* Untraced baseline: metrics collection off, sampling off. *)
+  Obs.set_enabled false;
+  let off_elapsed, off_ok, off_max =
+    with_server ~workers ~port:7464 (state ()) (fun () ->
+        drive_clients ~port:7464 ~clients ~requests ~think_s:0. req)
+  in
+  (* Traced run: every request gets a span tree and a cost block. *)
+  Obs.reset ();
+  Trace.reset ();
+  Obs.set_enabled true;
+  let (on_elapsed, on_ok, on_max), traces_captured, explain_ok =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () ->
+        with_server ~workers ~port:7465 (state ~trace_sample:1 ()) (fun () ->
+            let timing = drive_clients ~port:7465 ~clients ~requests ~think_s:0. req in
+            (* One more request through the explicit v4 path, to confirm
+               the EXPLAIN trailer rides along when asked for. *)
+            let fd = Transport.connect ~port:7465 in
+            let explain_ok =
+              Fun.protect
+                ~finally:(fun () -> Unix.close fd)
+                (fun () ->
+                  match
+                    Transport.call_x
+                      ~trace:{ Rpc.tc_id = Some "bench-pr5"; tc_sampled = true }
+                      fd req
+                  with
+                  | Rpc.Aggregates _, Some x -> x.Rpc.x_cost.Trace.agg_rows = rows
+                  | _ -> false)
+            in
+            (timing, List.length (Trace.requests ()), explain_ok)))
+  in
+  if off_ok <> total || on_ok <> total then
+    failwith
+      (Printf.sprintf "bench_pr5: dropped requests (untraced %d/%d, traced %d/%d)" off_ok total
+         on_ok total);
+  if not explain_ok then failwith "bench_pr5: EXPLAIN trailer missing or wrong on traced request";
+  if traces_captured < total then
+    failwith
+      (Printf.sprintf "bench_pr5: only %d/%d requests landed on the trace ring" traces_captured
+         total);
+  let rps elapsed = float_of_int total /. elapsed in
+  let ratio = rps on_elapsed /. rps off_elapsed in
+  (* Tracing must not halve throughput. The real overhead is a couple of
+     percent; 0.5 leaves room for scheduler noise on loaded CI boxes. *)
+  let bound = 0.5 in
+  let passed = ratio >= bound in
+  Printf.printf
+    "untraced %8.1f req/s (%.0f ms)   traced %8.1f req/s (%.0f ms)   ratio %.2f (bound %.2f) -> %s\n%!"
+    (rps off_elapsed) (off_elapsed *. 1000.) (rps on_elapsed) (on_elapsed *. 1000.) ratio bound
+    (if passed then "pass" else "FAIL");
+  Printf.printf "traces captured: %d (of %d requests)   EXPLAIN trailer: ok\n%!" traces_captured
+    (total + 1);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema_version\":1,\"bench\":\"pr5\",\"full\":%b,\"rows\":%d,\
+        \"clients\":%d,\"requests_per_client\":%d,\"workers\":%d,\
+        \"untraced\":{\"elapsed_ms\":%.3f,\"rps\":%.3f,\"max_latency_ms\":%.3f},\
+        \"traced\":{\"elapsed_ms\":%.3f,\"rps\":%.3f,\"max_latency_ms\":%.3f},\
+        \"throughput_ratio\":%.3f,\"ratio_bound\":%.2f,\
+        \"traces_captured\":%d,\"explain_ok\":%b,\"passed\":%b}"
+       full rows clients requests workers (off_elapsed *. 1000.) (rps off_elapsed)
+       (off_max *. 1000.) (on_elapsed *. 1000.) (rps on_elapsed) (on_max *. 1000.) ratio bound
+       traces_captured explain_ok passed);
+  let path = "BENCH_PR5.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  if not passed then
+    failwith (Printf.sprintf "bench_pr5: tracing overhead out of bound (ratio %.2f < %.2f)" ratio bound)
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let benches =
@@ -942,7 +1052,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -952,7 +1062,7 @@ let () =
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
         ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
-        bench_json; bench_pr3; bench_pr4; micro ]
+        bench_json; bench_pr3; bench_pr4; bench_pr5; micro ]
     else
       List.map
         (fun name ->

@@ -56,8 +56,9 @@ let parse_where (t : Table.t) (clauses : string list) : (string * Value.t) list 
 
 (* --- query ----------------------------------------------------------------- *)
 
-let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed metrics =
-  if metrics then Sagma_obs.Metrics.set_enabled true;
+let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed metrics
+    explain =
+  if metrics || explain then Sagma_obs.Metrics.set_enabled true;
   let _, table = load_table ~csv ~schema in
   let q =
     match sql with
@@ -107,12 +108,25 @@ let run_query csv schema sql sum count_flag avg group_by where bucket_size thres
   let t1 = Unix.gettimeofday () in
   let enc = Scheme.encrypt_table client table in
   let t2 = Unix.gettimeofday () in
-  let tok = Sagma_obs.Trace.with_span "token" (fun () -> Scheme.token client q) in
-  let agg = Sagma_obs.Trace.with_span "aggregate" (fun () -> Scheme.aggregate enc tok) in
-  let t3 = Unix.gettimeofday () in
-  let results =
-    Sagma_obs.Trace.with_span "decrypt" (fun () ->
-        Scheme.decrypt client tok agg ~total_rows:(Array.length enc.Scheme.rows))
+  (* The query pipeline proper, each phase under its span. With
+     --explain the whole thing runs inside a Trace request context, so
+     the spans become the request's phase timings and the operation
+     counters are captured into its cost block. *)
+  let run_phases () =
+    let tok = Sagma_obs.Trace.with_span "token" (fun () -> Scheme.token client q) in
+    let agg = Sagma_obs.Trace.with_span "aggregate" (fun () -> Scheme.aggregate enc tok) in
+    let t3 = Unix.gettimeofday () in
+    let results =
+      Sagma_obs.Trace.with_span "decrypt" (fun () ->
+          Scheme.decrypt client tok agg ~total_rows:(Array.length enc.Scheme.rows))
+    in
+    (tok, t3, results)
+  in
+  let (tok, t3, results), request_trace =
+    if explain then
+      let v, rt = Sagma_obs.Trace.with_request_full run_phases in
+      (v, Some rt)
+    else (run_phases (), None)
   in
   let t4 = Unix.gettimeofday () in
   Printf.printf "%s\n" (Query.to_sql q);
@@ -134,7 +148,18 @@ let run_query csv schema sql sum count_flag avg group_by where bucket_size thres
     Format.printf "%a@." Sagma_obs.Metrics.pp_snapshot (Sagma_obs.Metrics.snapshot ());
     print_endline "-- query trace --";
     List.iter (Format.printf "%a@." Sagma_obs.Trace.pp) (Sagma_obs.Trace.roots ())
-  end
+  end;
+  match request_trace with
+  | None -> ()
+  | Some rt ->
+    let module Trace = Sagma_obs.Trace in
+    Printf.printf "\n-- explain (trace %s) --\n" rt.Trace.r_id;
+    List.iter
+      (fun (phase, ms) -> Printf.printf "  %-24s %10.3f ms\n" phase ms)
+      (Trace.phase_timings rt.Trace.r_root);
+    List.iter
+      (fun (k, v) -> if v > 0 then Printf.printf "  cost.%-19s %10d\n" k v)
+      (Trace.cost_fields rt.Trace.r_cost)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -253,7 +278,7 @@ let run_remote_upload csv schema group_by value_cols filter_cols bucket_size thr
 
 (* Query a previously uploaded table: only the token goes up, only
    ciphertext aggregates come back. *)
-let run_remote_query sum count_flag avg group_by where_raw port name key_file seed =
+let run_remote_query sum count_flag avg group_by where_raw port name key_file seed explain =
   let client = Serialize.client_of_string ~drbg:(Drbg.create (seed ^ "-session")) (read_file key_file) in
   let aggregate =
     match (sum, count_flag, avg) with
@@ -286,8 +311,14 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
        | None -> failwith (Printf.sprintf "no such remote table %S" name))
     | _ -> failwith "unexpected response"
   in
-  let resp =
-    Sagma_protocol.Transport.call fd (Sagma_protocol.Protocol.Aggregate { name; token = tok })
+  (* --explain sets the v4 sampling flag on the request, forcing the
+     server to trace it and return an EXPLAIN trailer. *)
+  let trace =
+    if explain then Some { Sagma_protocol.Protocol.tc_id = None; tc_sampled = true } else None
+  in
+  let resp, wire_explain =
+    Sagma_protocol.Transport.call_x ?trace fd
+      (Sagma_protocol.Protocol.Aggregate { name; token = tok })
   in
   Unix.close fd;
   match resp with
@@ -298,7 +329,21 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
       (fun r ->
         Printf.printf "%-14g | %s\n" (Scheme.aggregate_value q r)
           (String.concat " | " (List.map Value.to_string r.Scheme.group)))
-      results
+      results;
+    (* The server may attach a trailer unasked (e.g. --trace-sample 1
+       samples every request); only print it when the user wanted it. *)
+    (match wire_explain with
+     | _ when not explain -> ()
+     | None -> print_endline "\n(no EXPLAIN trailer: server not collecting metrics?)"
+     | Some x ->
+       let module Trace = Sagma_obs.Trace in
+       Printf.printf "\n-- explain (server trace %s) --\n" x.Sagma_protocol.Protocol.x_id;
+       List.iter
+         (fun (phase, ms) -> Printf.printf "  %-24s %10.3f ms\n" phase ms)
+         x.Sagma_protocol.Protocol.x_timings;
+       List.iter
+         (fun (k, v) -> if v > 0 then Printf.printf "  cost.%-19s %10d\n" k v)
+         (Trace.cost_fields x.Sagma_protocol.Protocol.x_cost))
   | Sagma_protocol.Protocol.Failed { code; message } ->
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
@@ -312,7 +357,7 @@ let run_stats port prometheus json =
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
   Unix.close fd;
   match resp with
-  | Sagma_protocol.Protocol.Stats_report { sr_snapshot; sr_audit } ->
+  | Sagma_protocol.Protocol.Stats_report { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time } ->
     if prometheus then print_string (Sagma_obs.Export.prometheus sr_snapshot)
     else if json then print_endline (Sagma_obs.Metrics.snapshot_to_json sr_snapshot)
     else begin
@@ -320,9 +365,36 @@ let run_stats port prometheus json =
           && sr_snapshot.Sagma_obs.Metrics.histograms = []
        then print_endline "no metrics recorded (is the server running with --metrics?)"
        else Format.printf "%a@." Sagma_obs.Metrics.pp_snapshot sr_snapshot);
+      (* Uptime arrived with protocol v4; a v2/v3 server decodes to 0. *)
+      if sr_start_time > 0. then begin
+        let t = Unix.localtime sr_start_time in
+        Printf.printf "uptime: %.1fs (started %04d-%02d-%02d %02d:%02d:%02d)\n" sr_uptime_s
+          (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour
+          t.Unix.tm_min t.Unix.tm_sec
+      end;
       Printf.printf "audit: requests=%d probes=%d checks=%d failures=%d\n"
         sr_audit.Sagma_obs.Audit.s_requests sr_audit.Sagma_obs.Audit.s_probes
         sr_audit.Sagma_obs.Audit.s_checks_run sr_audit.Sagma_obs.Audit.s_check_failures
+    end
+  | Sagma_protocol.Protocol.Failed { code; message } ->
+    failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
+  | _ -> failwith "unexpected response"
+
+(* Pull the server's completed-trace ring (v4 Traces RPC) and export it
+   as Chrome trace-event JSON — loadable in chrome://tracing or
+   Perfetto. "-" writes to stdout. *)
+let run_trace port out =
+  let fd = Sagma_protocol.Transport.connect ~port in
+  let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Traces in
+  Unix.close fd;
+  match resp with
+  | Sagma_protocol.Protocol.Trace_dump traces ->
+    let json = Sagma_obs.Trace.chrome_json traces in
+    if out = "-" then print_endline json
+    else begin
+      write_file out json;
+      Printf.printf "wrote %d trace(s) to %s (chrome://tracing format)\n"
+        (List.length traces) out
     end
   | Sagma_protocol.Protocol.Failed { code; message } ->
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
@@ -356,10 +428,16 @@ let query_cmd =
          & info [ "metrics" ]
              ~doc:"Collect and print operation counters and a phase trace for the query.")
   in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Run the query under a trace context and print per-phase timings plus the \
+                   EXPLAIN cost block (pairings, Miller-loop steps, dlog giant steps, ...).")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Encrypt a CSV and answer an aggregation query over ciphertexts.")
     Term.(
       const run_query $ csv_arg $ schema_arg $ sql $ sum $ count $ avg $ group_by $ where
-      $ bucket $ threshold $ seed $ metrics)
+      $ bucket $ threshold $ seed $ metrics $ explain)
 
 let inspect_cmd =
   let column = Arg.(required & opt (some string) None & info [ "column" ] ~doc:"Column to inspect.") in
@@ -417,12 +495,18 @@ let remote_query_cmd =
     Arg.(value & opt_all string [] & info [ "where" ] ~doc:"Equality filter col=value.")
   in
   let seed = Arg.(value & opt string "sagma-cli" & info [ "seed" ] ~doc:"DRBG seed.") in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Set the v4 sampling flag so the server traces this request, and print the \
+                   EXPLAIN trailer (per-phase timings and cost block) from the reply.")
+  in
   Cmd.v
     (Cmd.info "remote-query"
        ~doc:"Send a grouping token to a sagma_server and decrypt the returned aggregates.")
     Term.(
       const run_remote_query $ sum $ count $ avg $ group_by $ where $ port_arg $ name_arg
-      $ key_file_arg $ seed)
+      $ key_file_arg $ seed $ explain)
 
 let stats_cmd =
   let prometheus =
@@ -435,10 +519,21 @@ let stats_cmd =
        ~doc:"Fetch a sagma_server's metrics snapshot and audit summary (protocol v2).")
     Term.(const run_stats $ port_arg $ prometheus $ json)
 
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "sagma_trace.json"
+         & info [ "out" ] ~doc:"Output file for the Chrome trace-event JSON (- for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Export a sagma_server's completed request traces as Chrome trace-event JSON \
+             (protocol v4; view in chrome://tracing or Perfetto).")
+    Term.(const run_trace $ port_arg $ out)
+
 let () =
   let info = Cmd.info "sagma" ~version:"1.0.0" ~doc:"Secure aggregation grouped by multiple attributes." in
   exit
     (Cmd.eval
        (Cmd.group info
           [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd;
-            stats_cmd ]))
+            stats_cmd; trace_cmd ]))

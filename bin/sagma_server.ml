@@ -6,7 +6,8 @@
      dune exec bin/sagma_server.exe -- --port 7477 \
        [--workers N] [--max-conns M] [--request-timeout-ms T] \
        [--max-frame BYTES] [--agg-domains D] \
-       [--metrics] [--audit] [--log-json FILE] [--log-level LEVEL]
+       [--metrics] [--audit] [--trace-sample N] [--slow-query-ms T] \
+       [--log-json FILE] [--log-level LEVEL]
 
    --workers    serve connections on an N-domain pool (default 4;
                 0 = sequential, the pre-concurrency behavior).
@@ -26,6 +27,13 @@
    --audit      record per-request access-pattern traces (bucket ids
                 touched, postings read, rows paired) for the leakage
                 auditor; the trace summary rides along in Stats.
+   --trace-sample  trace every Nth request: span tree + per-request
+                cost block land on the completed-trace ring (served by
+                the v4 Traces RPC / sagma trace) and v4 replies carry
+                an EXPLAIN trailer. Implies --metrics. 0 = off.
+   --slow-query-ms  requests slower than T ms emit a slow_query log
+                event with their span tree and cost block; implies
+                tracing every request and --metrics. 0 = off.
    --log-json   append one JSON object per event (request handled,
                 connection opened/closed) to FILE.
    --log-level  debug|info|warn|error (default info).
@@ -45,6 +53,8 @@ let () =
   let agg_domains = ref 1 in
   let metrics = ref false in
   let audit = ref false in
+  let trace_sample = ref 0 in
+  let slow_query_ms = ref 0.0 in
   let log_json = ref "" in
   let log_level = ref "info" in
   let args =
@@ -61,6 +71,10 @@ let () =
        "Worker domains per aggregation (default 1 = off)");
       ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request");
       ("--audit", Arg.Set audit, "Record per-request access-pattern traces (leakage auditor)");
+      ("--trace-sample", Arg.Set_int trace_sample,
+       "Trace every Nth request (span tree + EXPLAIN cost; implies --metrics; 0 = off)");
+      ("--slow-query-ms", Arg.Set_float slow_query_ms,
+       "Log a slow_query event for requests over T ms (implies tracing all; 0 = off)");
       ("--log-json", Arg.Set_string log_json, "Append JSON-lines structured logs to FILE");
       ("--log-level", Arg.Set_string log_level, "Log threshold: debug|info|warn|error (default info)") ]
   in
@@ -72,25 +86,35 @@ let () =
    | None -> raise (Arg.Bad (Printf.sprintf "bad --log-level %S" !log_level)));
   if !log_json <> "" then Log.to_file !log_json;
   if !audit then Sagma_obs.Audit.set_enabled true;
+  (* Tracing is built on the metrics scopes, so either flag drags
+     collection on even without an explicit --metrics (the per-request
+     stderr dump stays tied to --metrics itself). *)
+  if !trace_sample > 0 || !slow_query_ms > 0.0 then Sagma_obs.Metrics.set_enabled true;
   let agg_pool =
     if !agg_domains > 1 then Some (Pool.create ~name:"aggregation" ~workers:(!agg_domains - 1) ())
     else None
   in
-  let state = Sagma_protocol.Server.create ?agg_pool () in
+  let state =
+    Sagma_protocol.Server.create ?agg_pool ~trace_sample:!trace_sample
+      ~slow_query_ms:!slow_query_ms ()
+  in
   let stop = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-  Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s\n%!"
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s%s%s\n%!"
     !port !workers !max_conns
     (if !metrics then " (metrics on)" else "")
     (if !audit then " (audit on)" else "")
+    (if !trace_sample > 0 then Printf.sprintf " (tracing 1/%d)" !trace_sample else "")
+    (if !slow_query_ms > 0.0 then Printf.sprintf " (slow-query %gms)" !slow_query_ms else "")
     (if !log_json <> "" then Printf.sprintf " (logging to %s)" !log_json else "");
   Log.info "server.start"
     ~fields:
       [ Log.int "port" !port; Log.int "workers" !workers; Log.int "max_conns" !max_conns;
         Log.int "request_timeout_ms" !request_timeout_ms; Log.int "agg_domains" !agg_domains;
         Log.bool "metrics" !metrics; Log.bool "audit" !audit;
+        Log.int "trace_sample" !trace_sample; Log.float "slow_query_ms" !slow_query_ms;
         Log.int "protocol_version" Sagma_protocol.Protocol.version ];
   let after_request =
     if !metrics then begin

@@ -6,7 +6,7 @@
    every recording call, so instrumentation left in hot code costs one
    load-and-branch while disabled (the default). *)
 
-type counter = { c_name : string; cell : int Atomic.t }
+type counter = { c_name : string; c_slot : int; cell : int Atomic.t }
 
 (* Fixed exponential bucket grid shared by every histogram: upper bounds
    0.001 · 2^i. Observations are milliseconds or small cardinalities, so
@@ -48,6 +48,57 @@ type gauge = { g_name : string; g_cell : int Atomic.t; g_touched : bool Atomic.t
 let enabled = ref false
 let set_enabled b = enabled := b
 
+(* --- per-request cost scopes ---------------------------------------------- *)
+
+(* The §6 cost model is about a single query, but the registry counters
+   are process-global: under a domain pool several requests bump the same
+   cells at once, so global deltas no longer attribute work to a request.
+   A scope is a small fixed vector of the cost-model counters; while one
+   is installed (domain-locally, see {!scope_swap}) every [incr]/[add] on
+   a tracked counter also lands in it. The vector is atomic because one
+   request's aggregation chunks bump counters from several pool domains
+   that all inherit the same scope. *)
+
+let scope_names : string array =
+  [| "pairing.pairings"; "pairing.miller_steps"; "bgn.mul"; "bgn.dlog.solves";
+     "bgn.dlog.giant_steps"; "sse.postings_scanned"; "oxt.postings_scanned";
+     "scheme.agg.rows"; "scheme.agg.joint_buckets" |]
+
+type scope = int Atomic.t array
+
+let scope_slot (name : string) : int =
+  let rec go i =
+    if i >= Array.length scope_names then -1
+    else if String.equal scope_names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let active_scope : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scope_create () : scope = Array.init (Array.length scope_names) (fun _ -> Atomic.make 0)
+
+let scope_swap (s : scope option) : scope option =
+  let r = Domain.DLS.get active_scope in
+  let prev = !r in
+  r := s;
+  prev
+
+let scope_current () : scope option = !(Domain.DLS.get active_scope)
+
+let scope_get (s : scope) (name : string) : int =
+  match scope_slot name with -1 -> 0 | i -> Atomic.get s.(i)
+
+let scope_counters (s : scope) : (string * int) list =
+  Array.to_list (Array.mapi (fun i v -> (scope_names.(i), Atomic.get v)) s)
+
+let scope_bump (slot : int) (n : int) : unit =
+  if slot >= 0 then
+    match !(Domain.DLS.get active_scope) with
+    | Some s -> ignore (Atomic.fetch_and_add s.(slot) n)
+    | None -> ()
+
 (* Registration: idempotent by name so instrumented libraries can
    register at init time and tests can look the same cells up later. *)
 let registry_lock = Mutex.create ()
@@ -61,7 +112,7 @@ let counter name =
     match Hashtbl.find_opt counters name with
     | Some c -> c
     | None ->
-      let c = { c_name = name; cell = Atomic.make 0 } in
+      let c = { c_name = name; c_slot = scope_slot name; cell = Atomic.make 0 } in
       Hashtbl.add counters name c;
       c
   in
@@ -97,8 +148,17 @@ let gauge name =
   Mutex.unlock registry_lock;
   g
 
-let incr c = if !enabled then Atomic.incr c.cell
-let add c n = if !enabled then ignore (Atomic.fetch_and_add c.cell n)
+let incr c =
+  if !enabled then begin
+    Atomic.incr c.cell;
+    scope_bump c.c_slot 1
+  end
+
+let add c n =
+  if !enabled then begin
+    ignore (Atomic.fetch_and_add c.cell n);
+    scope_bump c.c_slot n
+  end
 
 let gauge_add g n =
   if !enabled then begin

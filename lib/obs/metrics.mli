@@ -62,6 +62,38 @@ val observe_ms : histogram -> (unit -> 'a) -> 'a
 val value : counter -> int
 (** Current count (readable even while disabled). *)
 
+(** {1 Per-request cost scopes}
+
+    The registry counters are process-global, so under a domain pool the
+    deltas of concurrent requests blend together. A scope is a small
+    atomic vector of the §6 cost-model counters ([pairing.pairings],
+    [pairing.miller_steps], [bgn.mul], [bgn.dlog.solves],
+    [bgn.dlog.giant_steps], [sse.postings_scanned],
+    [oxt.postings_scanned], [scheme.agg.rows],
+    [scheme.agg.joint_buckets]); while one is installed on a domain,
+    every {!incr}/{!add} on a tracked counter also lands in it, so the
+    request being served gets its own exact deltas. Scopes are installed
+    domain-locally and shared across the pool domains that run one
+    request's aggregation chunks (see [Trace.capture]/[Trace.with_ctx]). *)
+
+type scope
+
+val scope_create : unit -> scope
+(** A fresh all-zero scope, not yet installed anywhere. *)
+
+val scope_swap : scope option -> scope option
+(** Install a scope (or none) on the calling domain, returning what was
+    installed before — the save/restore primitive. *)
+
+val scope_current : unit -> scope option
+(** The scope installed on the calling domain, if any. *)
+
+val scope_get : scope -> string -> int
+(** Delta recorded for a tracked counter name (0 for untracked names). *)
+
+val scope_counters : scope -> (string * int) list
+(** Every tracked counter with its recorded delta, in registry order. *)
+
 (** {1 Snapshots} *)
 
 val bucket_bounds : float array

@@ -1,59 +1,222 @@
-(* Span tracing: a stack of open frames in the main domain; closing a
-   frame attaches the finished span to its parent or, for roots, to the
-   completed list.
+(* Span tracing, domain-safe: every domain keeps its own stack of open
+   frames in domain-local storage, so spans opened on a pool worker can
+   never race the stack of the domain that submitted the work. A worker
+   running a task for another domain's request inherits that request's
+   context (see [capture]/[with_ctx]): its spans attach under the
+   submitting frame, so each request still builds one intact tree no
+   matter how many domains executed parts of it.
 
-   The stack is an unguarded global — correct only on the domain that
-   owns it. Spans opened from a spawned domain (the aggregation chunk
-   workers) used to race the main domain's pushes and pops; now they
-   bypass the stack entirely and degrade to a per-name histogram
-   observation, so off-domain timings are still collected without
-   corrupting the tree. *)
+   Finished trees land in one of two mutex-guarded bounded rings:
+   ambient roots (spans closed outside any [with_request], the CLI and
+   bench path) in [completed_roots], request traces in
+   [completed_requests]. Both are capped so a long-running server cannot
+   grow without bound, and both are read/reset under the same lock —
+   the old plain-[ref] completed list raced [roots]/[reset] against
+   whichever domain finished a root span. *)
 
-type span = { name : string; ms : float; children : span list }
+type span = {
+  name : string;
+  t0 : float;
+  ms : float;
+  children : span list;
+}
 
-type frame = { f_name : string; start : float; mutable children_rev : span list }
+type cost = {
+  pairings : int;
+  miller_steps : int;
+  bgn_mul : int;
+  dlog_solves : int;
+  dlog_giant_steps : int;
+  sse_postings : int;
+  agg_rows : int;
+  agg_buckets : int;
+  bytes_in : int;
+  bytes_out : int;
+}
 
-let stack : frame list ref = ref []
-let completed_rev : span list ref = ref []
+let zero_cost =
+  { pairings = 0; miller_steps = 0; bgn_mul = 0; dlog_solves = 0; dlog_giant_steps = 0;
+    sse_postings = 0; agg_rows = 0; agg_buckets = 0; bytes_in = 0; bytes_out = 0 }
 
-(* The domain that loaded this module owns the span stack. *)
-let main_domain : Domain.id = Domain.self ()
+let cost_fields (c : cost) : (string * int) list =
+  [ ("pairings", c.pairings); ("miller_steps", c.miller_steps); ("bgn_mul", c.bgn_mul);
+    ("dlog_solves", c.dlog_solves); ("dlog_giant_steps", c.dlog_giant_steps);
+    ("sse_postings", c.sse_postings); ("agg_rows", c.agg_rows);
+    ("agg_buckets", c.agg_buckets); ("bytes_in", c.bytes_in); ("bytes_out", c.bytes_out) ]
+
+type rtrace = {
+  r_id : string;
+  r_start : float;
+  r_root : span;
+  mutable r_cost : cost;
+}
+
+(* --- per-domain state ------------------------------------------------------- *)
+
+type frame = { f_name : string; f_start : float; mutable children_rev : span list }
+
+type dstate = {
+  mutable d_base : frame option;  (* inherited parent for pool tasks *)
+  mutable d_stack : frame list;   (* frames opened on this domain, innermost first *)
+}
+
+let state : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { d_base = None; d_stack = [] })
+
+(* One lock covers cross-domain frame attachment and both completed
+   rings. Span closes are coarse (request phases and aggregation chunks,
+   never per-row work), so the serialization is unmeasurable. *)
+let lock = Mutex.create ()
+
+let completed_roots : span Queue.t = Queue.create ()
+let completed_requests : rtrace Queue.t = Queue.create ()
+let max_completed = 1024
+
+let push_bounded (q : 'a Queue.t) (v : 'a) : unit =
+  Queue.push v q;
+  if Queue.length q > max_completed then ignore (Queue.pop q)
 
 let now () = Unix.gettimeofday ()
 
-(* Off-main-domain fallback: time the call into a histogram keyed by
-   the span name. Registration is idempotent and these paths are
-   coarse, so the registry lookup per call is acceptable. *)
-let observe_off_domain name f =
-  Metrics.observe_ms (Metrics.histogram ("trace." ^ name)) f
+let close_frame (st : dstate) (fr : frame) : unit =
+  let ms = (now () -. fr.f_start) *. 1000. in
+  (match st.d_stack with
+   | top :: rest when top == fr -> st.d_stack <- rest
+   | _ -> () (* unbalanced close: drop rather than corrupt the stack *));
+  let sp = { name = fr.f_name; t0 = fr.f_start; ms; children = List.rev fr.children_rev } in
+  Mutex.lock lock;
+  (match st.d_stack with
+   | parent :: _ -> parent.children_rev <- sp :: parent.children_rev
+   | [] ->
+     (match st.d_base with
+      | Some parent -> parent.children_rev <- sp :: parent.children_rev
+      | None -> push_bounded completed_roots sp));
+  Mutex.unlock lock
 
 let with_span name f =
   if not !Metrics.enabled then f ()
-  else if not (Domain.self () = main_domain) then observe_off_domain name f
   else begin
-    let fr = { f_name = name; start = now (); children_rev = [] } in
-    stack := fr :: !stack;
-    let finish () =
-      let ms = (now () -. fr.start) *. 1000. in
-      (match !stack with
-       | top :: rest when top == fr -> stack := rest
-       | _ -> () (* unbalanced close (span opened in another domain): drop *));
-      let sp = { name = fr.f_name; ms; children = List.rev fr.children_rev } in
-      match !stack with
-      | parent :: _ -> parent.children_rev <- sp :: parent.children_rev
-      | [] -> completed_rev := sp :: !completed_rev
-    in
+    let st = Domain.DLS.get state in
+    let fr = { f_name = name; f_start = now (); children_rev = [] } in
+    st.d_stack <- fr :: st.d_stack;
     match f () with
     | v ->
-      finish ();
+      close_frame st fr;
       v
     | exception e ->
-      finish ();
+      close_frame st fr;
       raise e
   end
 
-let roots () = List.rev !completed_rev
-let reset () = completed_rev := []
+(* --- context inheritance ----------------------------------------------------- *)
+
+type ctx = { x_parent : frame option; x_scope : Metrics.scope option }
+
+let capture () : ctx =
+  if not !Metrics.enabled then { x_parent = None; x_scope = None }
+  else begin
+    let st = Domain.DLS.get state in
+    let parent = match st.d_stack with fr :: _ -> Some fr | [] -> st.d_base in
+    { x_parent = parent; x_scope = Metrics.scope_current () }
+  end
+
+let with_ctx (ctx : ctx) (f : unit -> 'a) : 'a =
+  let st = Domain.DLS.get state in
+  let saved_base = st.d_base and saved_stack = st.d_stack in
+  let saved_scope = Metrics.scope_swap ctx.x_scope in
+  st.d_base <- ctx.x_parent;
+  st.d_stack <- [];
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Metrics.scope_swap saved_scope);
+      st.d_base <- saved_base;
+      st.d_stack <- saved_stack)
+    f
+
+(* --- per-request traces ------------------------------------------------------ *)
+
+let trace_seq = Atomic.make 0
+
+let next_trace_id () =
+  Printf.sprintf "t%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add trace_seq 1 + 1)
+
+let cost_of_scope (sc : Metrics.scope) : cost =
+  let g = Metrics.scope_get sc in
+  { pairings = g "pairing.pairings"; miller_steps = g "pairing.miller_steps";
+    bgn_mul = g "bgn.mul"; dlog_solves = g "bgn.dlog.solves";
+    dlog_giant_steps = g "bgn.dlog.giant_steps";
+    sse_postings = g "sse.postings_scanned" + g "oxt.postings_scanned";
+    agg_rows = g "scheme.agg.rows"; agg_buckets = g "scheme.agg.joint_buckets";
+    bytes_in = 0; bytes_out = 0 }
+
+let empty_root = { name = "request"; t0 = 0.; ms = 0.; children = [] }
+
+let with_request_full ?trace_id f =
+  if not !Metrics.enabled then begin
+    let v = f () in
+    ( v,
+      { r_id = (match trace_id with Some id -> id | None -> ""); r_start = 0.;
+        r_root = empty_root; r_cost = zero_cost } )
+  end
+  else begin
+    let id = match trace_id with Some id -> id | None -> next_trace_id () in
+    let st = Domain.DLS.get state in
+    let saved_base = st.d_base and saved_stack = st.d_stack in
+    let sc = Metrics.scope_create () in
+    let saved_scope = Metrics.scope_swap (Some sc) in
+    let start = now () in
+    let root = { f_name = "request"; f_start = start; children_rev = [] } in
+    st.d_base <- None;
+    st.d_stack <- [ root ];
+    let finish () =
+      let ms = (now () -. start) *. 1000. in
+      st.d_stack <- saved_stack;
+      st.d_base <- saved_base;
+      ignore (Metrics.scope_swap saved_scope);
+      let sp = { name = "request"; t0 = start; ms; children = List.rev root.children_rev } in
+      let rt = { r_id = id; r_start = start; r_root = sp; r_cost = cost_of_scope sc } in
+      Mutex.lock lock;
+      push_bounded completed_requests rt;
+      Mutex.unlock lock;
+      rt
+    in
+    match f () with
+    | v -> (v, finish ())
+    | exception e ->
+      ignore (finish ());
+      raise e
+  end
+
+let with_request ?trace_id f =
+  let v, rt = with_request_full ?trace_id f in
+  (v, rt.r_root)
+
+let set_cost (rt : rtrace) (c : cost) : unit = rt.r_cost <- c
+
+(* --- completed rings --------------------------------------------------------- *)
+
+let drain (q : 'a Queue.t) : 'a list =
+  Mutex.lock lock;
+  let l = List.rev (Queue.fold (fun acc v -> v :: acc) [] q) in
+  Mutex.unlock lock;
+  l
+
+let roots () : span list = drain completed_roots
+let requests () : rtrace list = drain completed_requests
+
+let reset () =
+  let st = Domain.DLS.get state in
+  st.d_base <- None;
+  st.d_stack <- [];
+  Mutex.lock lock;
+  Queue.clear completed_roots;
+  Queue.clear completed_requests;
+  Mutex.unlock lock
+
+(* --- rendering --------------------------------------------------------------- *)
+
+let phase_timings (s : span) : (string * float) list =
+  List.map (fun c -> (c.name, c.ms)) s.children
 
 let rec pp_indented fmt indent (s : span) =
   Format.fprintf fmt "%s%-*s %8.1f ms@," indent (max 1 (32 - String.length indent)) s.name s.ms;
@@ -68,3 +231,47 @@ let rec to_json (s : span) : string =
   Printf.sprintf "{\"name\":\"%s\",\"ms\":%.3f,\"children\":[%s]}"
     (Metrics.json_escape s.name) s.ms
     (String.concat "," (List.map to_json s.children))
+
+let cost_to_json (c : cost) : string =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (cost_fields c))
+  ^ "}"
+
+(* Chrome trace-event JSON (the chrome://tracing / Perfetto format):
+   each span becomes one "X" complete event with microsecond timestamps;
+   traces are separated by thread id so concurrent requests render as
+   parallel tracks. The root event carries the trace id and cost block
+   in [args]. *)
+let chrome_json (ts : rtrace list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  List.iteri
+    (fun i rt ->
+      let tid = i + 1 in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"%s\"}}"
+           tid (Metrics.json_escape rt.r_id));
+      let rec walk (sp : span) =
+        let args =
+          if sp == rt.r_root then
+            Printf.sprintf ",\"args\":{\"trace_id\":\"%s\",\"cost\":%s}"
+              (Metrics.json_escape rt.r_id) (cost_to_json rt.r_cost)
+          else ""
+        in
+        emit
+          (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":%d%s}"
+             (Metrics.json_escape sp.name) (sp.t0 *. 1e6) (sp.ms *. 1000.) tid args);
+        List.iter walk sp.children
+      in
+      walk rt.r_root)
+    ts;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

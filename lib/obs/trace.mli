@@ -1,4 +1,5 @@
-(** Span tracing: nested wall-clock timers producing a tree per query.
+(** Span tracing: nested wall-clock timers producing a tree per query,
+    safe under a domain pool.
 
     [with_span "phase" f] times [f] and records the span under the
     enclosing one, so a query leaves a tree like
@@ -10,31 +11,130 @@
       pairing_loop               38.6 ms
     v}
 
+    Every domain keeps its own stack of open frames in domain-local
+    storage; a pool worker running part of another domain's request
+    inherits that request's context through {!capture}/{!with_ctx} (the
+    pool does this on every submit), so its spans attach under the
+    submitting frame and each request builds one intact tree regardless
+    of how many domains executed pieces of it.
+
     Tracing shares {!Metrics.enabled}: disabled (the default),
-    [with_span] is a flag test plus a tail call. The span stack is a
-    single global owned by the domain that loaded this module; a
-    [with_span] reached from any other domain never touches it and
-    instead records the duration into the [trace.<name>] histogram, so
-    off-domain callers stay measured without corrupting the tree. *)
+    [with_span] is a flag test plus a tail call.
+
+    Spans closed outside any {!with_request} become ambient roots
+    ({!roots}); spans closed inside one build that request's tree
+    ({!requests}). Both completed stores are mutex-guarded bounded rings
+    capped at 1024 entries, oldest dropped first. *)
 
 type span = {
   name : string;
+  t0 : float;              (** wall-clock start, seconds since the epoch *)
   ms : float;              (** wall-clock duration *)
   children : span list;    (** in execution order *)
 }
 
+(** Per-request deltas of the §6 cost-model counters, from the
+    {!Metrics.scope} installed for the request. [bytes_in]/[bytes_out]
+    are transport-level and filled by the server (zero elsewhere). *)
+type cost = {
+  pairings : int;          (** [pairing.pairings] *)
+  miller_steps : int;      (** [pairing.miller_steps] *)
+  bgn_mul : int;           (** [bgn.mul] — the analytic n·B^arity·c count *)
+  dlog_solves : int;       (** [bgn.dlog.solves] *)
+  dlog_giant_steps : int;  (** [bgn.dlog.giant_steps] *)
+  sse_postings : int;      (** [sse.postings_scanned] + [oxt.postings_scanned] *)
+  agg_rows : int;          (** [scheme.agg.rows] *)
+  agg_buckets : int;       (** [scheme.agg.joint_buckets] *)
+  bytes_in : int;
+  bytes_out : int;
+}
+
+val zero_cost : cost
+
+val cost_fields : cost -> (string * int) list
+(** Every cost field with its stable name, declaration order — for log
+    events, CLI printing and JSON emitters. *)
+
+(** A completed request trace: the root span (named ["request"]), its
+    start time, the trace id (client-supplied or generated), and the
+    cost block. [r_cost] is mutable so the server can fill the byte
+    counts after encoding the response; the {!requests} ring holds the
+    same record, so the update is visible in later exports. *)
+type rtrace = {
+  r_id : string;
+  r_start : float;
+  r_root : span;
+  mutable r_cost : cost;
+}
+
 val with_span : string -> (unit -> 'a) -> 'a
-(** Time [f] as a child of the innermost open span (or as a new root).
-    Exceptions propagate; the span is still recorded. *)
+(** Time [f] as a child of the innermost open span on this domain (or of
+    the inherited parent frame, or as a new ambient root). Exceptions
+    propagate; the span is still recorded. *)
+
+val with_request : ?trace_id:string -> (unit -> 'a) -> 'a * span
+(** Run [f] as one traced request: a root span named ["request"] is
+    opened, spans [f] opens (on this domain or on pool workers that
+    inherited the context) become its descendants, and a fresh
+    {!Metrics.scope} collects the request's counter deltas. Returns the
+    completed root. When metrics are disabled this is just [f ()] paired
+    with an empty span. *)
+
+val with_request_full : ?trace_id:string -> (unit -> 'a) -> 'a * rtrace
+(** Like {!with_request} but returns the full record (id, start, cost)
+    that was pushed onto the {!requests} ring. *)
+
+val set_cost : rtrace -> cost -> unit
+(** Replace the cost block (the server uses this to fill
+    [bytes_in]/[bytes_out] after encoding the response). *)
+
+(** {1 Context inheritance} *)
+
+type ctx
+(** A capture of the calling domain's tracing position: the innermost
+    open frame plus the installed {!Metrics.scope}. *)
+
+val capture : unit -> ctx
+(** Capture on the submitting domain; pass to {!with_ctx} on a worker. *)
+
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with the captured context installed: spans attach under the
+    captured frame, counter deltas land in the captured scope. The
+    worker's previous state is restored afterwards. The captured frame
+    must still be open while [f] runs — guaranteed on the pool path
+    because the submitter awaits the task's future inside that frame. *)
+
+(** {1 Completed traces} *)
 
 val roots : unit -> span list
-(** Completed top-level spans since the last {!reset}, oldest first. *)
+(** Completed ambient root spans since the last {!reset}, oldest first
+    (bounded: the newest 1024). *)
+
+val requests : unit -> rtrace list
+(** Completed request traces since the last {!reset}, oldest first
+    (bounded: the newest 1024). *)
 
 val reset : unit -> unit
-(** Drop completed spans (open spans are unaffected). *)
+(** Drop completed spans and request traces, and clear the calling
+    domain's open-frame state. *)
+
+(** {1 Rendering} *)
+
+val phase_timings : span -> (string * float) list
+(** The direct children as [(name, ms)] pairs — the per-phase timing
+    summary a response's EXPLAIN block carries. *)
 
 val pp : Format.formatter -> span -> unit
 (** The indented tree rendering shown above. *)
 
 val to_json : span -> string
 (** [{"name": ..., "ms": ..., "children": [...]}]. *)
+
+val cost_to_json : cost -> string
+(** A flat JSON object keyed by {!cost_fields} names. *)
+
+val chrome_json : rtrace list -> string
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]): one "X"
+    complete event per span with microsecond timestamps, one thread per
+    trace, the trace id and cost block in the root event's [args] —
+    loadable in chrome://tracing or Perfetto. *)

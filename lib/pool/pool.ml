@@ -12,6 +12,7 @@
    [Condition.wait], so an idle pool costs nothing but memory. *)
 
 module Obs = Sagma_obs.Metrics
+module Trace = Sagma_obs.Trace
 
 let m_tasks = Obs.counter "pool.tasks"
 let g_queue_depth = Obs.gauge "pool.queue_depth"
@@ -78,9 +79,14 @@ let fulfill (fut : 'a future) (st : 'a state) : unit =
 
 let submit (p : t) (fn : unit -> 'a) : 'a future =
   let fut = { f_lock = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+  (* Captured on the submitting domain: the worker installs the
+     submitter's trace frame and cost scope around [fn], so spans and
+     counter deltas of pooled work land in the request that submitted
+     it rather than in the worker's own (empty) context. *)
+  let ctx = Trace.capture () in
   let run () =
     let st =
-      match fn () with
+      match Trace.with_ctx ctx fn with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in

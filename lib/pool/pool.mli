@@ -29,7 +29,10 @@ type 'a future
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. Any exception it raises is captured with its
-    backtrace and re-raised by {!await}.
+    backtrace and re-raised by {!await}. The submitting domain's tracing
+    context ([Sagma_obs.Trace.capture]) is installed around the task, so
+    spans it opens and cost-counter deltas it records are attributed to
+    the submitting request.
     @raise Invalid_argument if the pool was {!shutdown}. *)
 
 val await : 'a future -> 'a

@@ -17,10 +17,15 @@
    Version history: v1 carried requests 0–4 (Upload/Aggregate/Append/
    List_tables/Drop) and responses 0–3; v2 adds the Stats request and
    the StatsReport response; v3 adds the Busy error code (load shedding
-   under a connection limit) and a gauges section in StatsReport. Each
+   under a connection limit) and a gauges section in StatsReport; v4
+   adds an optional trace context after every request header (trace id +
+   sampling flag), an optional EXPLAIN trailer after every response
+   payload (per-phase timings + cost block), the Traces request with its
+   TraceDump response, and uptime/start-time fields in StatsReport. Each
    older frame is a valid newer frame with a different version byte, so
    the decoders accept every supported version and only reject tags
-   (and error codes) the claimed version does not define. *)
+   (and error codes, and trailers) the claimed version does not
+   define. *)
 
 module W = Sagma_wire.Wire
 module Sse = Sagma_sse.Sse
@@ -28,9 +33,10 @@ module Scheme = Sagma.Scheme
 module Serialize = Sagma.Serialize
 module Metrics = Sagma_obs.Metrics
 module Audit = Sagma_obs.Audit
+module Trace = Sagma_obs.Trace
 
 let magic = "SG"
-let version = 3
+let version = 4
 let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
@@ -116,10 +122,28 @@ type request =
   | Drop of string
   | Stats
       (** v2: fetch the server's metrics snapshot and audit summary. *)
+  | Traces
+      (** v4: fetch the server's completed request-trace ring. *)
+
+(* v4: a request may carry a trace context right after the header — a
+   client-supplied id to correlate across systems and a sampling flag
+   forcing the server to trace this request. *)
+type trace_ctx = { tc_id : string option; tc_sampled : bool }
+
+(* v4: the EXPLAIN block a traced request's response carries — the trace
+   id, per-phase wall-clock timings from the span tree, and the cost
+   block of request-scoped counter deltas. *)
+type explain = {
+  x_id : string;
+  x_timings : (string * float) list;
+  x_cost : Trace.cost;
+}
 
 type stats_report = {
   sr_snapshot : Sagma_obs.Metrics.snapshot;
   sr_audit : Sagma_obs.Audit.summary;
+  sr_uptime_s : float;     (* v4; 0. when decoded from an older frame *)
+  sr_start_time : float;   (* v4; epoch seconds, 0. from an older frame *)
 }
 
 type response =
@@ -128,6 +152,7 @@ type response =
   | Aggregates of Scheme.agg_result
   | Failed of { code : error_code; message : string }
   | Stats_report of stats_report  (** v2: answer to {!Stats} *)
+  | Trace_dump of Trace.rtrace list  (** v4: answer to {!Traces} *)
 
 let failed code fmt = Printf.ksprintf (fun message -> Failed { code; message }) fmt
 
@@ -164,9 +189,89 @@ let get_hist_stats (s : W.source) : Metrics.hist_stats =
   let h_p99 = W.get_f64 s in
   { Metrics.h_count; h_sum; h_min; h_max; h_buckets; h_p50; h_p95; h_p99 }
 
+(* --- v4 tracing codecs ---------------------------------------------------- *)
+
+let put_trace_ctx (s : W.sink) (tc : trace_ctx) : unit =
+  W.put_option s (fun s id -> W.put_bytes s id) tc.tc_id;
+  W.put_bool s tc.tc_sampled
+
+let get_trace_ctx (s : W.source) : trace_ctx =
+  let tc_id = W.get_option s W.get_bytes in
+  let tc_sampled = W.get_bool s in
+  { tc_id; tc_sampled }
+
+let put_cost (s : W.sink) (c : Trace.cost) : unit =
+  List.iter (fun (_, v) -> W.put_int s v) (Trace.cost_fields c)
+
+let get_cost (s : W.source) : Trace.cost =
+  let pairings = W.get_int s in
+  let miller_steps = W.get_int s in
+  let bgn_mul = W.get_int s in
+  let dlog_solves = W.get_int s in
+  let dlog_giant_steps = W.get_int s in
+  let sse_postings = W.get_int s in
+  let agg_rows = W.get_int s in
+  let agg_buckets = W.get_int s in
+  let bytes_in = W.get_int s in
+  let bytes_out = W.get_int s in
+  { Trace.pairings; miller_steps; bgn_mul; dlog_solves; dlog_giant_steps; sse_postings;
+    agg_rows; agg_buckets; bytes_in; bytes_out }
+
+let put_explain (s : W.sink) (x : explain) : unit =
+  W.put_bytes s x.x_id;
+  W.put_list s
+    (fun s (name, ms) ->
+      W.put_bytes s name;
+      W.put_f64 s ms)
+    x.x_timings;
+  put_cost s x.x_cost
+
+let get_explain (s : W.source) : explain =
+  let x_id = W.get_bytes s in
+  let x_timings =
+    W.get_list s (fun s ->
+        let name = W.get_bytes s in
+        let ms = W.get_f64 s in
+        (name, ms))
+  in
+  let x_cost = get_cost s in
+  { x_id; x_timings; x_cost }
+
+let rec put_span (s : W.sink) (sp : Trace.span) : unit =
+  W.put_bytes s sp.Trace.name;
+  W.put_f64 s sp.Trace.t0;
+  W.put_f64 s sp.Trace.ms;
+  W.put_list s put_span sp.Trace.children
+
+(* A hostile frame could nest spans arbitrarily deep and overflow the
+   decoder's stack; real trees are a handful of levels. *)
+let max_span_depth = 64
+
+let rec get_span ~(depth : int) (s : W.source) : Trace.span =
+  if depth > max_span_depth then W.fail "span tree deeper than %d levels" max_span_depth;
+  let name = W.get_bytes s in
+  let t0 = W.get_f64 s in
+  let ms = W.get_f64 s in
+  let children = W.get_list s (get_span ~depth:(depth + 1)) in
+  { Trace.name; t0; ms; children }
+
+let put_rtrace (s : W.sink) (rt : Trace.rtrace) : unit =
+  W.put_bytes s rt.Trace.r_id;
+  W.put_f64 s rt.Trace.r_start;
+  put_span s rt.Trace.r_root;
+  put_cost s rt.Trace.r_cost
+
+let get_rtrace (s : W.source) : Trace.rtrace =
+  let r_id = W.get_bytes s in
+  let r_start = W.get_f64 s in
+  let r_root = get_span ~depth:0 s in
+  let r_cost = get_cost s in
+  { Trace.r_id; r_start; r_root; r_cost }
+
 (* A v2 report has no gauges section: encoding at v2 drops the gauges
    (the only consumers of v2 frames predate them), decoding a v2 frame
-   yields [gauges = []]. *)
+   yields [gauges = []]. Likewise the v4 uptime/start-time fields are
+   dropped from older encodings and decode to 0. *)
 let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
   W.put_list s
     (fun s (name, v) ->
@@ -187,7 +292,11 @@ let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
   W.put_int s r.sr_audit.Audit.s_requests;
   W.put_int s r.sr_audit.Audit.s_probes;
   W.put_int s r.sr_audit.Audit.s_checks_run;
-  W.put_int s r.sr_audit.Audit.s_check_failures
+  W.put_int s r.sr_audit.Audit.s_check_failures;
+  if version >= 4 then begin
+    W.put_f64 s r.sr_uptime_s;
+    W.put_f64 s r.sr_start_time
+  end
 
 let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let counters =
@@ -214,13 +323,22 @@ let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let s_probes = W.get_int s in
   let s_checks_run = W.get_int s in
   let s_check_failures = W.get_int s in
+  let sr_uptime_s = if version >= 4 then W.get_f64 s else 0. in
+  let sr_start_time = if version >= 4 then W.get_f64 s else 0. in
   { sr_snapshot = { Metrics.counters; gauges; histograms };
-    sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures } }
+    sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures };
+    sr_uptime_s; sr_start_time }
 
 (* [?version] lets a caller (or a compat test) emit a frame an older
-   peer accepts; only tags the requested version defines are allowed. *)
-let put_request ?(version = version) (s : W.sink) (r : request) : unit =
+   peer accepts; only tags the requested version defines are allowed.
+   [?trace] is the v4 trace context, written (as an option) right after
+   the header of every v4 frame. *)
+let put_request ?(version = version) ?(trace : trace_ctx option) (s : W.sink) (r : request) :
+    unit =
   put_header ~version s;
+  if version >= 4 then W.put_option s put_trace_ctx trace
+  else if trace <> None then
+    invalid_arg "Protocol.put_request: trace context needs protocol version >= 4";
   match r with
   | Upload { name; table } ->
     W.put_u8 s 0;
@@ -242,11 +360,16 @@ let put_request ?(version = version) (s : W.sink) (r : request) : unit =
   | Stats ->
     if version < 2 then invalid_arg "Protocol.put_request: Stats needs protocol version >= 2";
     W.put_u8 s 5
+  | Traces ->
+    if version < 4 then invalid_arg "Protocol.put_request: Traces needs protocol version >= 4";
+    W.put_u8 s 6
 
-(* Returns the frame's version alongside the request, so a server can
-   frame its reply at the peer's version (see {!Server.handle_encoded}). *)
-let get_request_v (s : W.source) : int * request =
+(* Returns the frame's version and trace context alongside the request,
+   so a server can frame its reply at the peer's version and honor the
+   peer's sampling request (see {!Server.handle_encoded}). *)
+let get_request_vt (s : W.source) : int * trace_ctx option * request =
   let v = get_header s in
+  let trace = if v >= 4 then W.get_option s get_trace_ctx else None in
   let req =
     match W.get_u8 s with
     | 0 ->
@@ -265,61 +388,88 @@ let get_request_v (s : W.source) : int * request =
     | 3 -> List_tables
     | 4 -> Drop (W.get_bytes s)
     | 5 when v >= 2 -> Stats
+    | 6 when v >= 4 -> Traces
     | t -> W.fail "bad request tag %d for protocol version %d" t v
   in
+  (v, trace, req)
+
+let get_request_v (s : W.source) : int * request =
+  let v, _, req = get_request_vt s in
   (v, req)
 
 let get_request (s : W.source) : request = snd (get_request_v s)
 
-let put_response ?(version = version) (s : W.sink) (r : response) : unit =
+(* [?explain] is the v4 EXPLAIN trailer, written (as an option) after
+   the payload of every v4 frame so older decoders never see it. *)
+let put_response ?(version = version) ?(explain : explain option) (s : W.sink) (r : response) :
+    unit =
   put_header ~version s;
-  match r with
-  | Ack -> W.put_u8 s 0
-  | Tables ts ->
-    W.put_u8 s 1;
-    W.put_list s
-      (fun s (name, rows) ->
-        W.put_bytes s name;
-        W.put_int s rows)
-      ts
-  | Aggregates a ->
-    W.put_u8 s 2;
-    Serialize.put_agg_result s a
-  | Failed { code; message } ->
-    W.put_u8 s 3;
-    put_error_code ~version s code;
-    W.put_bytes s message
-  | Stats_report r ->
-    if version < 2 then
-      invalid_arg "Protocol.put_response: Stats_report needs protocol version >= 2";
-    W.put_u8 s 4;
-    put_stats_report ~version s r
+  if version < 4 && explain <> None then
+    invalid_arg "Protocol.put_response: explain trailer needs protocol version >= 4";
+  (match r with
+   | Ack -> W.put_u8 s 0
+   | Tables ts ->
+     W.put_u8 s 1;
+     W.put_list s
+       (fun s (name, rows) ->
+         W.put_bytes s name;
+         W.put_int s rows)
+       ts
+   | Aggregates a ->
+     W.put_u8 s 2;
+     Serialize.put_agg_result s a
+   | Failed { code; message } ->
+     W.put_u8 s 3;
+     put_error_code ~version s code;
+     W.put_bytes s message
+   | Stats_report r ->
+     if version < 2 then
+       invalid_arg "Protocol.put_response: Stats_report needs protocol version >= 2";
+     W.put_u8 s 4;
+     put_stats_report ~version s r
+   | Trace_dump ts ->
+     if version < 4 then
+       invalid_arg "Protocol.put_response: Trace_dump needs protocol version >= 4";
+     W.put_u8 s 5;
+     W.put_list s put_rtrace ts);
+  if version >= 4 then W.put_option s put_explain explain
 
-let get_response (s : W.source) : response =
+let get_response_x (s : W.source) : response * explain option =
   let v = get_header s in
-  match W.get_u8 s with
-  | 0 -> Ack
-  | 1 ->
-    Tables
-      (W.get_list s (fun s ->
-           let name = W.get_bytes s in
-           let rows = W.get_int s in
-           (name, rows)))
-  | 2 -> Aggregates (Serialize.get_agg_result s)
-  | 3 ->
-    let code = get_error_code ~version:v s in
-    let message = W.get_bytes s in
-    Failed { code; message }
-  | 4 when v >= 2 -> Stats_report (get_stats_report ~version:v s)
-  | t -> W.fail "bad response tag %d for protocol version %d" t v
+  let resp =
+    match W.get_u8 s with
+    | 0 -> Ack
+    | 1 ->
+      Tables
+        (W.get_list s (fun s ->
+             let name = W.get_bytes s in
+             let rows = W.get_int s in
+             (name, rows)))
+    | 2 -> Aggregates (Serialize.get_agg_result s)
+    | 3 ->
+      let code = get_error_code ~version:v s in
+      let message = W.get_bytes s in
+      Failed { code; message }
+    | 4 when v >= 2 -> Stats_report (get_stats_report ~version:v s)
+    | 5 when v >= 4 -> Trace_dump (W.get_list s get_rtrace)
+    | t -> W.fail "bad response tag %d for protocol version %d" t v
+  in
+  let explain = if v >= 4 then W.get_option s get_explain else None in
+  (resp, explain)
 
-let encode_request ?version (r : request) : string =
-  W.encode (fun s r -> put_request ?version s r) r
+let get_response (s : W.source) : response = fst (get_response_x s)
+
+let encode_request ?version ?trace (r : request) : string =
+  W.encode (fun s r -> put_request ?version ?trace s r) r
+
+let decode_request_vt (s : string) : int * trace_ctx option * request =
+  W.decode get_request_vt s
 
 let decode_request_v (s : string) : int * request = W.decode get_request_v s
 let decode_request (s : string) : request = snd (decode_request_v s)
 
-let encode_response ?version (r : response) : string =
-  W.encode (fun s r -> put_response ?version s r) r
+let encode_response ?version ?explain (r : response) : string =
+  W.encode (fun s r -> put_response ?version ?explain s r) r
 
-let decode_response (s : string) : response = W.decode get_response s
+let decode_response_x (s : string) : response * explain option = W.decode get_response_x s
+let decode_response (s : string) : response = fst (decode_response_x s)

@@ -5,12 +5,15 @@
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
     Every message is prefixed with the magic {!magic} and a version
-    byte. This build speaks v3 but still decodes v1 and v2 frames (v2 =
-    v3 minus the [Busy] error code and the gauges section of
-    [Stats_report]; v1 = v2 minus the [Stats]/[Stats_report] messages),
-    so old clients keep working against a new server; frames claiming
-    any other version raise {!Version_mismatch}, and frames without the
-    magic raise [Sagma_wire.Wire.Decode_error]. *)
+    byte. This build speaks v4 but still decodes v1–v3 frames (v3 = v4
+    minus the per-request trace context, the EXPLAIN response trailer,
+    the [Traces]/[Trace_dump] messages and the uptime fields of
+    [Stats_report]; v2 = v3 minus the [Busy] error code and the gauges
+    section of [Stats_report]; v1 = v2 minus the
+    [Stats]/[Stats_report] messages), so old clients keep working
+    against a new server; frames claiming any other version raise
+    {!Version_mismatch}, and frames without the magic raise
+    [Sagma_wire.Wire.Decode_error]. *)
 
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
@@ -20,7 +23,7 @@ val magic : string
 
 val version : int
 (** Wire protocol version this build speaks and encodes by default
-    (currently 3). *)
+    (currently 4). *)
 
 val min_version : int
 (** Oldest version the decoders still accept (currently 1). *)
@@ -50,12 +53,32 @@ type request =
   | Drop of string
   | Stats
       (** v2: fetch the server's metrics snapshot and audit summary. *)
+  | Traces
+      (** v4: fetch the server's completed request-trace ring. *)
+
+(** v4: the optional trace context after a request header — a
+    client-supplied id to correlate across systems, and a sampling flag
+    forcing the server to trace this request. *)
+type trace_ctx = { tc_id : string option; tc_sampled : bool }
+
+(** v4: the EXPLAIN block a traced request's response carries — trace
+    id, per-phase wall-clock timings from the span tree, and the cost
+    block of request-scoped counter deltas. *)
+type explain = {
+  x_id : string;
+  x_timings : (string * float) list;
+  x_cost : Sagma_obs.Trace.cost;
+}
 
 type stats_report = {
   sr_snapshot : Sagma_obs.Metrics.snapshot;
       (** The snapshot's gauges travel only in v3+ frames: encoding at
           v2 drops them, decoding a v2 frame yields [gauges = []]. *)
   sr_audit : Sagma_obs.Audit.summary;
+  sr_uptime_s : float;
+      (** v4: seconds since the server started; 0. from older frames. *)
+  sr_start_time : float;
+      (** v4: server start, epoch seconds; 0. from older frames. *)
 }
 
 type response =
@@ -64,28 +87,41 @@ type response =
   | Aggregates of Scheme.agg_result
   | Failed of { code : error_code; message : string }
   | Stats_report of stats_report  (** v2: answer to {!Stats} *)
+  | Trace_dump of Sagma_obs.Trace.rtrace list  (** v4: answer to {!Traces} *)
 
 val failed : error_code -> ('a, unit, string, response) format4 -> 'a
 (** [failed code fmt ...] builds a {!Failed} response. *)
 
-val encode_request : ?version:int -> request -> string
+val encode_request : ?version:int -> ?trace:trace_ctx -> request -> string
 val decode_request : string -> request
 val decode_request_v : string -> int * request
 (** Like {!decode_request}, but also returns the frame's version byte so
     a server can encode its reply at the peer's version. *)
 
-val encode_response : ?version:int -> response -> string
+val decode_request_vt : string -> int * trace_ctx option * request
+(** Like {!decode_request_v}, but also returns the v4 trace context
+    (always [None] for v1–v3 frames). *)
+
+val encode_response : ?version:int -> ?explain:explain -> response -> string
 val decode_response : string -> response
+val decode_response_x : string -> response * explain option
 (** Decoders accept versions {!min_version}..{!version} and raise
     {!Version_mismatch} on anything else, [Sagma_wire.Wire.Decode_error]
-    on malformed frames (including v2-only tags inside a v1 frame).
-    Encoders default to {!version}; pass [?version] to emit a frame an
-    older peer accepts (@raise Invalid_argument if the version is
-    outside {!min_version}..{!version} or the message does not exist in
-    that version). *)
+    on malformed frames (including tags and trailers the claimed version
+    does not define). Encoders default to {!version}; pass [?version] to
+    emit a frame an older peer accepts (@raise Invalid_argument if the
+    version is outside {!min_version}..{!version}, the message does not
+    exist in that version, or [?trace]/[?explain] is passed below v4).
+    The v4 trace context and EXPLAIN trailer travel only in v4 frames;
+    {!decode_response} silently drops a trailer,
+    {!decode_response_x} returns it. *)
 
-val put_request : ?version:int -> Sagma_wire.Wire.sink -> request -> unit
+val put_request :
+  ?version:int -> ?trace:trace_ctx -> Sagma_wire.Wire.sink -> request -> unit
 val get_request : Sagma_wire.Wire.source -> request
 val get_request_v : Sagma_wire.Wire.source -> int * request
-val put_response : ?version:int -> Sagma_wire.Wire.sink -> response -> unit
+val get_request_vt : Sagma_wire.Wire.source -> int * trace_ctx option * request
+val put_response :
+  ?version:int -> ?explain:explain -> Sagma_wire.Wire.sink -> response -> unit
 val get_response : Sagma_wire.Wire.source -> response
+val get_response_x : Sagma_wire.Wire.source -> response * explain option

@@ -11,6 +11,7 @@ module Scheme = Sagma.Scheme
 module Obs = Sagma_obs.Metrics
 module Log = Sagma_obs.Log
 module Audit = Sagma_obs.Audit
+module Trace = Sagma_obs.Trace
 module Pool = Sagma_pool.Pool
 
 let m_requests = Obs.counter "proto.requests"
@@ -31,10 +32,14 @@ type t = {
   lock : Mutex.t;
   tables : (string, Scheme.enc_table) Hashtbl.t;
   agg_pool : Pool.t option;
+  trace_sample : int;      (* trace every Nth request; 0 disables *)
+  slow_query_ms : float;   (* requests over this emit a slow_query event; 0. disables *)
+  started : float;         (* epoch seconds, for Stats uptime *)
 }
 
-let create ?agg_pool () : t =
-  { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool }
+let create ?agg_pool ?(trace_sample = 0) ?(slow_query_ms = 0.) () : t =
+  { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool; trace_sample;
+    slow_query_ms; started = Unix.gettimeofday () }
 
 let with_lock (s : t) (f : unit -> 'a) : 'a =
   Mutex.lock s.lock;
@@ -52,6 +57,7 @@ let request_kind : Protocol.request -> string = function
   | Protocol.List_tables -> "list-tables"
   | Protocol.Drop _ -> "drop"
   | Protocol.Stats -> "stats"
+  | Protocol.Traces -> "traces"
 
 let handle (s : t) (req : Protocol.request) : Protocol.response =
   match req with
@@ -59,7 +65,9 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
     (* A read-only snapshot: safe to serve even while the registry is
        being written — counters are atomic, histograms lock per cell. *)
     Protocol.Stats_report
-      { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary () }
+      { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary ();
+        sr_uptime_s = Unix.gettimeofday () -. s.started; sr_start_time = s.started }
+  | Protocol.Traces -> Protocol.Trace_dump (Trace.requests ())
   | Protocol.Upload { name; table } ->
     with_lock s (fun () -> Hashtbl.replace s.tables name table);
     Protocol.Ack
@@ -78,7 +86,13 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
     match with_lock s (fun () -> Hashtbl.find_opt s.tables name) with
     | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
     | Some et -> (
-      try Protocol.Aggregates (Scheme.aggregate ?pool:s.agg_pool et token) with
+      (* The "aggregate" span mirrors Scheme.query's client-side phase
+         name, so a sampled server trace reads request → aggregate →
+         filter/bucket_intersection/indicator_coeffs/pairing_loop. *)
+      try
+        Protocol.Aggregates
+          (Trace.with_span "aggregate" (fun () -> Scheme.aggregate ?pool:s.agg_pool et token))
+      with
       | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
       | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   end
@@ -129,13 +143,33 @@ let handle_encoded (s : t) (raw : string) : string =
      never yield a v2-only response (the decoder rejects v2 tags in v1
      frames), so encoding at the request's version cannot fail. *)
   let resp_version = ref Protocol.min_version in
+  let rtrace : Trace.rtrace option ref = ref None in
   let response =
     Obs.observe_ms h_request_ms (fun () ->
         try
-          let req_version, req = Protocol.decode_request_v raw in
+          let req_version, tc, req = Protocol.decode_request_vt raw in
           resp_version := req_version;
           kind := request_kind req;
-          handle s req
+          (* Sampling: the peer can force a trace (v4 sampling flag);
+             otherwise every [trace_sample]th request is traced, and a
+             configured slow-query threshold traces everything — a slow
+             request can only report its span tree if it was traced from
+             the start. All of it needs metrics collection on. *)
+          let sampled =
+            !Obs.enabled
+            && ((match tc with Some { Protocol.tc_sampled = true; _ } -> true | _ -> false)
+               || (s.trace_sample > 0 && req_id mod s.trace_sample = 0)
+               || s.slow_query_ms > 0.)
+          in
+          if sampled then begin
+            let trace_id =
+              match tc with Some { Protocol.tc_id = Some id; _ } -> Some id | _ -> None
+            in
+            let resp, rt = Trace.with_request_full ?trace_id (fun () -> handle s req) in
+            rtrace := Some rt;
+            resp
+          end
+          else handle s req
         with
         | Sagma_wire.Wire.Decode_error msg ->
           Protocol.failed Protocol.Bad_request "malformed request: %s" msg
@@ -149,13 +183,34 @@ let handle_encoded (s : t) (raw : string) : string =
   in
   let trace = Audit.end_request () in
   (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
+  (* Fill the byte counts into the trace's cost block (the completed
+     ring holds the same record, so exports see them too), then attach
+     the EXPLAIN trailer for v4 peers. Re-encoding for the trailer is
+     confined to sampled v4 requests. *)
   let encoded = Protocol.encode_response ~version:!resp_version response in
+  (match !rtrace with
+   | Some rt ->
+     Trace.set_cost rt
+       { rt.Trace.r_cost with
+         Trace.bytes_in = String.length raw; bytes_out = String.length encoded }
+   | None -> ());
+  let encoded =
+    match !rtrace with
+    | Some rt when !resp_version >= 4 ->
+      Protocol.encode_response ~version:!resp_version
+        ~explain:
+          { Protocol.x_id = rt.Trace.r_id;
+            x_timings = Trace.phase_timings rt.Trace.r_root; x_cost = rt.Trace.r_cost }
+        response
+    | _ -> encoded
+  in
   Obs.add m_bytes_out (String.length encoded);
+  let duration_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   if Log.enabled Log.Info then begin
     let base =
-      [ Log.int "req" req_id; Log.str "kind" !kind;
-        Log.float "ms" ((Unix.gettimeofday () -. t0) *. 1000.);
-        Log.int "bytes_in" (String.length raw); Log.int "bytes_out" (String.length encoded) ]
+      [ Log.int "req" req_id; Log.str "kind" !kind; Log.float "ms" duration_ms;
+        Log.float "duration_ms" duration_ms; Log.int "bytes_in" (String.length raw);
+        Log.int "bytes_out" (String.length encoded) ]
     in
     match response with
     | Protocol.Failed { code; message } ->
@@ -172,5 +227,19 @@ let handle_encoded (s : t) (raw : string) : string =
         | None -> []
       in
       Log.info "request" ~fields:(base @ audit_fields)
+  end;
+  if s.slow_query_ms > 0. && duration_ms > s.slow_query_ms && Log.enabled Log.Warn then begin
+    let trace_fields =
+      match !rtrace with
+      | Some rt ->
+        [ Log.str "trace_id" rt.Trace.r_id; Log.str "spans" (Trace.to_json rt.Trace.r_root) ]
+        @ List.map (fun (k, v) -> Log.int ("cost_" ^ k) v) (Trace.cost_fields rt.Trace.r_cost)
+      | None -> []
+    in
+    Log.warn "slow_query"
+      ~fields:
+        ([ Log.int "req" req_id; Log.str "kind" !kind; Log.float "duration_ms" duration_ms;
+           Log.float "threshold_ms" s.slow_query_ms ]
+        @ trace_fields)
   end;
   encoded

@@ -8,13 +8,24 @@ module Scheme = Sagma.Scheme
 
 type t
 
-val create : ?agg_pool:Sagma_pool.Pool.t -> unit -> t
+val create :
+  ?agg_pool:Sagma_pool.Pool.t -> ?trace_sample:int -> ?slow_query_ms:float -> unit -> t
 (** [create ()] builds an empty, thread-safe server state: request
     handlers may run concurrently (registry accesses take an internal
     lock; aggregation runs lock-free on immutable table snapshots).
     [agg_pool] parallelizes row work inside each aggregation — it MUST
     be a different pool from the one serving connections, or a
-    connection task could await futures only its own pool can run. *)
+    connection task could await futures only its own pool can run.
+
+    [trace_sample] (default 0 = off) traces every Nth request:
+    a sampled request runs under [Sagma_obs.Trace.with_request_full],
+    lands on the completed-trace ring (served by the v4 [Traces]
+    request) and carries an EXPLAIN trailer in v4 replies. A v4 peer's
+    sampling flag forces a trace regardless. [slow_query_ms] (default
+    0. = off) makes every request over the threshold emit a
+    [slow_query] log event with its span tree and cost block — which
+    requires tracing every request, so a nonzero threshold implies
+    sampling them all. Both need metrics collection enabled. *)
 
 val table_names : t -> (string * int) list
 
@@ -29,5 +40,8 @@ val handle_encoded : t -> string -> string
     protocol version, so old clients can decode replies to their own
     requests; undecodable frames get a [Protocol.min_version] reply.
     Brackets the handler with a fresh request id shared by the
-    [Sagma_obs.Log] "request" event and the [Sagma_obs.Audit] trace
-    (when those subsystems are enabled). *)
+    [Sagma_obs.Log] "request" event (which carries
+    [duration_ms]/[bytes_out]) and the [Sagma_obs.Audit] trace (when
+    those subsystems are enabled). Sampled requests (see {!create}) run
+    under a [Sagma_obs.Trace] request context and attach an EXPLAIN
+    trailer to v4 replies. *)

@@ -96,9 +96,13 @@ let recv ?max_frame:(cap = max_frame) ?stop (fd : Unix.file_descr) : string =
   read_exactly ?stop fd !len
 
 (* One client request/response exchange. *)
-let call ?max_frame (fd : Unix.file_descr) (req : Protocol.request) : Protocol.response =
-  send ?max_frame fd (Protocol.encode_request req);
-  Protocol.decode_response (recv ?max_frame fd)
+let call_x ?max_frame ?trace (fd : Unix.file_descr) (req : Protocol.request) :
+    Protocol.response * Protocol.explain option =
+  send ?max_frame fd (Protocol.encode_request ?trace req);
+  Protocol.decode_response_x (recv ?max_frame fd)
+
+let call ?max_frame ?trace (fd : Unix.file_descr) (req : Protocol.request) : Protocol.response =
+  fst (call_x ?max_frame ?trace fd req)
 
 (* Serve one connection until the peer closes (or a deadline fires:
    SO_RCVTIMEO surfaces here as EAGAIN, ending the connection without

@@ -27,8 +27,17 @@ val recv : ?max_frame:int -> ?stop:(unit -> bool) -> Unix.file_descr -> string
     or buffering any payload), or [?stop] turns true during an
     interrupted read. *)
 
-val call : ?max_frame:int -> Unix.file_descr -> Protocol.request -> Protocol.response
-(** One request/response exchange. *)
+val call :
+  ?max_frame:int -> ?trace:Protocol.trace_ctx -> Unix.file_descr -> Protocol.request ->
+  Protocol.response
+(** One request/response exchange. [?trace] attaches a v4 trace context
+    to the request (id and/or sampling flag). *)
+
+val call_x :
+  ?max_frame:int -> ?trace:Protocol.trace_ctx -> Unix.file_descr -> Protocol.request ->
+  Protocol.response * Protocol.explain option
+(** Like {!call} but also returns the v4 EXPLAIN trailer, present when
+    the server traced the request. *)
 
 val serve_connection :
   ?after_request:(unit -> unit) ->

@@ -792,7 +792,14 @@ let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
             chunk;
           (sums, counts_l1, counts_l2)
         in
-        let accumulate chunk = Obs.observe_ms h_chunk_ms (fun () -> accumulate_chunk chunk) in
+        (* The "chunk" span rides the submitting request's trace context
+           (Pool.submit captures it), so pooled chunk work shows up
+           under this bucket's pairing_loop span even when it ran on
+           another domain. *)
+        let accumulate chunk =
+          Trace.with_span "chunk" (fun () ->
+              Obs.observe_ms h_chunk_ms (fun () -> accumulate_chunk chunk))
+        in
         let merge (s1, c1a, c1b) (s2, c2a, c2b) =
           let merge_arr2 a b = Array.map2 (Array.map2 (Bgn.add2 pk)) a b in
           ( (match (s1, s2) with

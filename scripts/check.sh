@@ -38,6 +38,7 @@ salary,dept
 CSV
 "$SERVER" --port "$OBS_PORT" --metrics --audit --workers 4 \
   --request-timeout-ms 10000 \
+  --trace-sample 1 --slow-query-ms 1 \
   --log-json "$OBS_DIR/server.jsonl" > "$OBS_DIR/server.out" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OBS_DIR"' EXIT
@@ -65,25 +66,62 @@ grep -q "^sagma_scheme_agg_rows_total " "$OBS_DIR/exposition.txt"
 grep -q 'sagma_proto_request_ms_bucket{le="+Inf"}' "$OBS_DIR/exposition.txt"
 grep -q "^sagma_proto_request_ms_p50 " "$OBS_DIR/exposition.txt"
 grep -q "^sagma_proto_request_ms_p99 " "$OBS_DIR/exposition.txt"
+# A traced query's reply must carry the EXPLAIN trailer: per-phase
+# timings plus the cost block derived from request-scoped counters.
+"$CLI" remote-query --sum salary --group-by dept --explain \
+  --port "$OBS_PORT" --name smoke --key-file "$OBS_DIR/sagma.key" \
+  > "$OBS_DIR/explain.out"
+grep -q "sales" "$OBS_DIR/explain.out"
+grep -q -- "-- explain (server trace " "$OBS_DIR/explain.out"
+grep -q "cost.agg_rows" "$OBS_DIR/explain.out"
+grep -q "cost.bgn_mul" "$OBS_DIR/explain.out"
+# Export the completed-trace ring as Chrome trace-event JSON and
+# validate its shape: every sampled request is an intact span tree
+# with the aggregate phase and the pairing loop under it.
+"$CLI" trace --port "$OBS_PORT" --out "$OBS_DIR/trace.json"
+python3 -c 'import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "no trace events exported"
+xs = [e for e in events if e.get("ph") == "X"]
+names = {e["name"] for e in xs}
+assert "request" in names, names
+assert "aggregate" in names, names
+assert "pairing_loop" in names, names
+roots = [e for e in xs if e["name"] == "request"]
+assert all("trace_id" in e.get("args", {}) for e in roots), roots
+assert all(e["dur"] >= 0 for e in xs)
+print(f"trace export OK: {len(roots)} request tree(s), {len(xs)} spans")' \
+  "$OBS_DIR/trace.json"
+cp "$OBS_DIR/trace.json" sagma_trace.json
 # The audit ran and flagged nothing.
 "$CLI" stats --port "$OBS_PORT" | grep "^audit: " | grep -q " failures=0"
-# The structured log is non-empty JSON lines including request events.
+# The structured log is non-empty JSON lines including request events
+# (now with duration_ms/bytes_out) and, with --slow-query-ms 1, at
+# least one slow_query event carrying a span tree and cost block.
 [ -s "$OBS_DIR/server.jsonl" ]
 grep -q '"event":"request"' "$OBS_DIR/server.jsonl"
+grep -q '"event":"slow_query"' "$OBS_DIR/server.jsonl"
 python3 -c 'import json, sys
 lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
 assert lines, "empty log"
-assert any(e["event"] == "request" and "ms" in e for e in lines), lines' \
+assert any(e["event"] == "request" and "ms" in e for e in lines), lines
+reqs = [e for e in lines if e["event"] == "request"]
+assert all("duration_ms" in e and "bytes_out" in e for e in reqs), reqs
+slow = [e for e in lines if e["event"] == "slow_query"]
+assert slow, "no slow_query events despite --slow-query-ms 1"
+assert any("spans" in e and "cost_bgn_mul" in e for e in slow), slow' \
   "$OBS_DIR/server.jsonl"
 kill "$SERVER_PID" 2>/dev/null || true
 trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json) =="
+echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
 dune exec bench/main.exe -- json-pr4
+dune exec bench/main.exe -- json-pr5
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -162,6 +200,32 @@ assert st["fast_max_latency_ms"] < st["stall_ms"], st
 
 print(f"BENCH_PR4.json OK: speedup {doc['speedup']}x, "
       f"stalled-client max latency {st['fast_max_latency_ms']:.1f} ms")
+EOF
+
+echo "== validate BENCH_PR5.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR5.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr5"
+total = doc["clients"] * doc["requests_per_client"]
+for mode in ("untraced", "traced"):
+    assert doc[mode]["rps"] > 0, f"{mode}: no throughput recorded"
+    assert doc[mode]["elapsed_ms"] > 0
+# Tracing every request must stay cheap next to the pairing work:
+# the bench itself asserts the bound, re-check it here.
+assert doc["throughput_ratio"] >= doc["ratio_bound"], \
+    f"tracing overhead out of bound: {doc['throughput_ratio']} < {doc['ratio_bound']}"
+assert doc["traces_captured"] >= total, doc["traces_captured"]
+assert doc["explain_ok"], "EXPLAIN trailer missing on traced request"
+assert doc["passed"], doc
+
+print(f"BENCH_PR5.json OK: traced/untraced throughput ratio "
+      f"{doc['throughput_ratio']:.2f} (bound {doc['ratio_bound']}), "
+      f"{doc['traces_captured']} traces captured")
 EOF
 
 echo "== all checks passed =="

@@ -334,20 +334,102 @@ let test_span_disabled_and_exn () =
 
 let test_span_off_domain () =
   with_metrics @@ fun () ->
-  (* The span stack is owned by the main domain; spans opened elsewhere
-     must not corrupt it and instead fall back to a trace.<name>
-     histogram observation. *)
+  (* Trace state is domain-local: a span opened on another domain builds
+     its own intact tree and lands on the shared completed ring — no
+     corruption of this domain's stack, no degraded histogram fallback. *)
   let d = Domain.spawn (fun () -> Trace.with_span "offdom" (fun () -> 13)) in
   Alcotest.(check int) "value passes through off-domain" 13 (Domain.join d);
-  Alcotest.(check int) "no span recorded off-domain" 0 (List.length (Trace.roots ()));
-  let st = List.assoc_opt "trace.offdom" (Metrics.snapshot ()).Metrics.histograms in
-  (match st with
-  | Some h -> Alcotest.(check int) "degraded to one histogram observation" 1 h.Metrics.h_count
-  | None -> Alcotest.fail "expected trace.offdom histogram");
-  (* Main-domain spans keep working afterwards. *)
+  Alcotest.(check (list string)) "off-domain span recorded intact" [ "offdom" ]
+    (span_names (Trace.roots ()));
+  (* Main-domain spans land on the same ring, after it. *)
   Trace.with_span "ondom" (fun () -> ());
-  Alcotest.(check (list string)) "main domain unaffected" [ "ondom" ]
+  Alcotest.(check (list string)) "ring shared across domains" [ "offdom"; "ondom" ]
     (span_names (Trace.roots ()))
+
+let test_with_request_basics () =
+  with_metrics @@ fun () ->
+  let v, root =
+    Trace.with_request (fun () ->
+        Trace.with_span "phase_a" (fun () -> ());
+        Trace.with_span "phase_b" (fun () -> 17))
+  in
+  Alcotest.(check int) "value passes through" 17 v;
+  Alcotest.(check string) "root is the request" "request" root.Trace.name;
+  Alcotest.(check (list string)) "phases in order" [ "phase_a"; "phase_b" ]
+    (span_names root.Trace.children);
+  Alcotest.(check int) "request trees stay off the ambient ring" 0
+    (List.length (Trace.roots ()));
+  (match Trace.requests () with
+   | [ rt ] ->
+     Alcotest.(check bool) "fresh trace id assigned" true (String.length rt.Trace.r_id > 0);
+     Alcotest.(check (list string)) "ring holds the same tree" [ "phase_a"; "phase_b" ]
+       (span_names rt.Trace.r_root.Trace.children)
+   | rts -> Alcotest.failf "expected 1 request trace, got %d" (List.length rts));
+  (* A caller-supplied (wire-propagated) id is preserved verbatim. *)
+  let _, rt = Trace.with_request_full ~trace_id:"client-42" (fun () -> ()) in
+  Alcotest.(check string) "caller id preserved" "client-42" rt.Trace.r_id;
+  (* A raising request still completes its trace, then re-raises. *)
+  (try ignore (Trace.with_request (fun () -> failwith "x")) with Failure _ -> ());
+  Alcotest.(check int) "raising request still recorded" 3
+    (List.length (Trace.requests ()))
+
+let test_pool_inherits_context () =
+  with_metrics @@ fun () ->
+  let module Pool = Sagma_pool.Pool in
+  let pool = Pool.create ~name:"trace-test" ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let total, root =
+    Trace.with_request (fun () ->
+        Trace.with_span "fanout" (fun () ->
+            List.init 4 (fun i ->
+                Pool.submit pool (fun () ->
+                    Trace.with_span (Printf.sprintf "task%d" i) (fun () -> i)))
+            |> List.map Pool.await
+            |> List.fold_left ( + ) 0))
+  in
+  Alcotest.(check int) "futures resolved" 6 total;
+  match root.Trace.children with
+  | [ fanout ] ->
+    Alcotest.(check string) "fanout phase" "fanout" fanout.Trace.name;
+    (* Worker spans attach under the frame open on the submitting domain
+       at submit time — completion order is nondeterministic, the set is
+       not. *)
+    Alcotest.(check (list string)) "worker spans inherited the request context"
+      [ "task0"; "task1"; "task2"; "task3" ]
+      (List.sort compare (span_names fanout.Trace.children));
+    Alcotest.(check int) "no stray ambient roots" 0 (List.length (Trace.roots ()))
+  | cs -> Alcotest.failf "expected 1 fanout child, got %d" (List.length cs)
+
+let test_concurrent_requests_no_leak () =
+  with_metrics @@ fun () ->
+  (* Four domains each run their own request at once. Every tree must
+     come back intact with only its own spans, and every cost scope must
+     see only its own counter bumps. *)
+  let rows_counter = Metrics.counter "scheme.agg.rows" in
+  let ds =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            Trace.with_request_full ~trace_id:(Printf.sprintf "req%d" i) (fun () ->
+                for _ = 1 to 50 do
+                  Trace.with_span (Printf.sprintf "work%d" i) (fun () -> ())
+                done;
+                Metrics.add rows_counter (i + 1))))
+  in
+  let rts = List.map (fun d -> snd (Domain.join d)) ds in
+  List.iteri
+    (fun i rt ->
+      Alcotest.(check string) "trace id survives" (Printf.sprintf "req%d" i) rt.Trace.r_id;
+      Alcotest.(check int) "every span present" 50 (List.length rt.Trace.r_root.Trace.children);
+      List.iter
+        (fun c ->
+          Alcotest.(check string) "no cross-request span leakage"
+            (Printf.sprintf "work%d" i) c.Trace.name)
+        rt.Trace.r_root.Trace.children;
+      Alcotest.(check int) "cost scope isolated per request" (i + 1)
+        rt.Trace.r_cost.Trace.agg_rows)
+    rts;
+  Alcotest.(check int) "all four requests on the ring" 4 (List.length (Trace.requests ()));
+  Alcotest.(check int) "global counter saw every scoped bump" 10 (Metrics.value rows_counter)
 
 (* --- leakage auditor -------------------------------------------------------- *)
 
@@ -485,6 +567,34 @@ let test_query_trace_shape () =
     [ "filter"; "bucket_intersection"; "indicator_coeffs"; "pairing_loop" ]
     (span_names agg.Trace.children)
 
+let test_explain_cost_matches_model () =
+  with_metrics @@ fun () ->
+  (* The per-request cost scope must reproduce the §3.4 analytic model:
+     bgn_mul = rows × blocks per joint bucket (B^arity = 2) × CRT
+     channels, exactly what the global counters already verify — but
+     here as a request-scoped delta, the number an EXPLAIN block ships. *)
+  let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+  let rows, rt = Trace.with_request_full (fun () -> Scheme.query client enc q) in
+  Alcotest.(check int) "three groups" 3 (List.length rows);
+  let channels = Scheme.Crt.channels client.Scheme.pp.Scheme.channels in
+  Alcotest.(check int) "cost.bgn_mul = rows × blocks × channels" (4 * 2 * channels)
+    rt.Trace.r_cost.Trace.bgn_mul;
+  Alcotest.(check int) "cost.agg_rows counts each row once" 4
+    rt.Trace.r_cost.Trace.agg_rows;
+  Alcotest.(check int) "cost.agg_buckets" 2 rt.Trace.r_cost.Trace.agg_buckets;
+  Alcotest.(check bool) "dlog solves attributed" true
+    (rt.Trace.r_cost.Trace.dlog_solves > 0);
+  Alcotest.(check bool) "index postings attributed" true
+    (rt.Trace.r_cost.Trace.sse_postings > 0);
+  (* For a lone request the scoped delta equals the global counter. *)
+  Alcotest.(check int) "scope delta = global counter"
+    (Metrics.value (Metrics.counter "bgn.mul"))
+    rt.Trace.r_cost.Trace.bgn_mul;
+  (* The request tree carries the usual phase spans. *)
+  Alcotest.(check (list string)) "request phases"
+    [ "token"; "aggregate"; "decrypt" ]
+    (List.map (fun (n, _) -> n) (Trace.phase_timings rt.Trace.r_root))
+
 (* --- leakage auditor against the real scheme -------------------------------- *)
 
 let run_audited tok =
@@ -612,7 +722,11 @@ let () =
       ( "trace",
         [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "disabled + exception safety" `Quick test_span_disabled_and_exn;
-          Alcotest.test_case "off-domain fallback" `Quick test_span_off_domain ] );
+          Alcotest.test_case "off-domain spans intact" `Quick test_span_off_domain;
+          Alcotest.test_case "request contexts" `Quick test_with_request_basics;
+          Alcotest.test_case "pool inherits context" `Quick test_pool_inherits_context;
+          Alcotest.test_case "concurrent requests isolated" `Quick
+            test_concurrent_requests_no_leak ] );
       ( "audit",
         [ Alcotest.test_case "record and check" `Quick test_audit_record_and_check;
           Alcotest.test_case "disabled is a no-op" `Quick test_audit_disabled_noop;
@@ -620,7 +734,9 @@ let () =
       ( "scheme counters",
         [ Alcotest.test_case "SUM matches cost model" `Quick test_sum_matches_cost_model;
           Alcotest.test_case "COUNT needs no pairings" `Quick test_count_needs_no_pairings;
-          Alcotest.test_case "query trace shape" `Quick test_query_trace_shape ] );
+          Alcotest.test_case "query trace shape" `Quick test_query_trace_shape;
+          Alcotest.test_case "EXPLAIN cost matches model" `Quick
+            test_explain_cost_matches_model ] );
       ( "scheme audit",
         [ Alcotest.test_case "honest execution passes" `Quick test_scheme_audit_honest_pass;
           Alcotest.test_case "extra probe flagged" `Quick test_scheme_audit_flags_extra_probe;

@@ -68,7 +68,8 @@ let stats_report =
   M.set_enabled false;
   let snap = M.snapshot () in
   M.reset ();
-  { P.sr_snapshot = snap; sr_audit = Sagma_obs.Audit.summary () }
+  { P.sr_snapshot = snap; sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 9.5;
+    sr_start_time = 1234.0 }
 
 let v1_requests =
   [ P.Upload { name = "t"; table = enc };

@@ -298,7 +298,7 @@ let test_v2_only_messages_gated () =
      P.encode_response ~version:1
        (P.Stats_report
           { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; gauges = []; histograms = [] };
-            sr_audit = Sagma_obs.Audit.summary () })
+            sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 0.; sr_start_time = 0. })
    with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "Stats_report encoded into a v1 frame");
@@ -319,7 +319,10 @@ let test_stats_roundtrip () =
   M.observe h 0.5;
   M.observe h 12.0;
   M.set_enabled false;
-  let report = { P.sr_snapshot = M.snapshot (); sr_audit = A.summary () } in
+  let report =
+    { P.sr_snapshot = M.snapshot (); sr_audit = A.summary (); sr_uptime_s = 12.5;
+      sr_start_time = 1000.25 }
+  in
   M.reset ();
   Alcotest.(check bool) "Stats roundtrips" true
     (P.decode_request (P.encode_request P.Stats) = P.Stats);
@@ -327,7 +330,9 @@ let test_stats_roundtrip () =
   (match P.decode_response (P.encode_response resp) with
    | P.Stats_report r ->
      Alcotest.(check bool) "snapshot survives the wire" true (r.P.sr_snapshot = report.P.sr_snapshot);
-     Alcotest.(check bool) "audit summary survives the wire" true (r.P.sr_audit = report.P.sr_audit)
+     Alcotest.(check bool) "audit summary survives the wire" true (r.P.sr_audit = report.P.sr_audit);
+     Alcotest.(check (float 1e-9)) "uptime survives the wire" 12.5 r.P.sr_uptime_s;
+     Alcotest.(check (float 1e-9)) "start time survives the wire" 1000.25 r.P.sr_start_time
    | _ -> Alcotest.fail "expected Stats_report")
 
 let test_stats_via_server () =
@@ -378,7 +383,7 @@ let test_v3_only_constructs_gated () =
   let report =
     { P.sr_snapshot =
         { M.counters = [ ("c", 1) ]; gauges = [ ("g", 2) ]; histograms = [] };
-      sr_audit = Sagma_obs.Audit.summary () }
+      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 3.5; sr_start_time = 77. }
   in
   (match P.decode_response (P.encode_response ~version:2 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -392,6 +397,125 @@ let test_v3_only_constructs_gated () =
      Alcotest.(check bool) "gauges survive a v3 frame" true
        (r.P.sr_snapshot.M.gauges = [ ("g", 2) ])
    | _ -> Alcotest.fail "expected Stats_report")
+
+(* --- v4: trace contexts, EXPLAIN trailers, Trace_dump ---------------------------- *)
+
+module Trace = Sagma_obs.Trace
+
+let sample_cost =
+  { Trace.pairings = 1; miller_steps = 2; bgn_mul = 3; dlog_solves = 4; dlog_giant_steps = 5;
+    sse_postings = 6; agg_rows = 7; agg_buckets = 8; bytes_in = 9; bytes_out = 10 }
+
+(* Patch the tag byte of a frame whose header is magic(2) + version(1):
+   v1–v3 frames put the tag right after the header. *)
+let flip_tag (frame : string) ~(tag : int) : string =
+  String.mapi (fun i c -> if i = 3 then Char.chr tag else c) frame
+
+let test_v4_only_constructs_gated () =
+  (* Trace contexts, Traces/Trace_dump and EXPLAIN trailers do not exist
+     before v4: encoders refuse to emit them... *)
+  (match P.encode_request ~version:3 ~trace:{ P.tc_id = None; tc_sampled = true } P.Stats with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "trace context encoded into a v3 frame");
+  (match P.encode_request ~version:3 P.Traces with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Traces encoded into a v3 frame");
+  (match P.encode_response ~version:3 (P.Trace_dump []) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Trace_dump encoded into a v3 frame");
+  (match
+     P.encode_response ~version:3
+       ~explain:{ P.x_id = "t"; x_timings = []; x_cost = sample_cost } P.Ack
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "explain trailer encoded into a v3 frame");
+  (* ...and forged v3 frames carrying the v4-only tags are malformed —
+     a decode error, not a version mismatch. *)
+  let forged_req = flip_tag (P.encode_request ~version:3 P.List_tables) ~tag:6 in
+  (match P.decode_request forged_req with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v4-only request tag accepted inside a v3 frame");
+  let forged_resp = flip_tag (P.encode_response ~version:3 P.Ack) ~tag:5 in
+  (match P.decode_response forged_resp with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v4-only response tag accepted inside a v3 frame");
+  (* Uptime travels only in v4 Stats_report frames: a v3 encoding drops
+     it and decodes to 0. *)
+  let module M = Sagma_obs.Metrics in
+  let report =
+    { P.sr_snapshot = { M.counters = []; gauges = []; histograms = [] };
+      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 42.0; sr_start_time = 99.0 }
+  in
+  (match P.decode_response (P.encode_response ~version:3 (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check (float 1e-9)) "uptime dropped from a v3 frame" 0. r.P.sr_uptime_s;
+     Alcotest.(check (float 1e-9)) "start time dropped from a v3 frame" 0. r.P.sr_start_time
+   | _ -> Alcotest.fail "expected Stats_report")
+
+let test_v4_trace_ctx_roundtrip () =
+  (* A request carrying a trace context: id and sampling flag survive,
+     and the version/trace-aware decoder exposes them. *)
+  let tc = { P.tc_id = Some "client-7"; tc_sampled = true } in
+  (match P.decode_request_vt (P.encode_request ~trace:tc P.Stats) with
+   | 4, Some tc', P.Stats ->
+     Alcotest.(check (option string)) "trace id" (Some "client-7") tc'.P.tc_id;
+     Alcotest.(check bool) "sampling flag" true tc'.P.tc_sampled
+   | _ -> Alcotest.fail "trace context lost on the wire");
+  (* Without a context the v4 frame still decodes (None), and the plain
+     decoder keeps working on the same bytes. *)
+  (match P.decode_request_vt (P.encode_request P.List_tables) with
+   | 4, None, P.List_tables -> ()
+   | _ -> Alcotest.fail "bare v4 request misdecoded");
+  Alcotest.(check bool) "plain decoder drops the context" true
+    (P.decode_request (P.encode_request ~trace:tc P.Stats) = P.Stats);
+  (* Traces request roundtrips. *)
+  Alcotest.(check bool) "Traces roundtrips" true
+    (P.decode_request (P.encode_request P.Traces) = P.Traces)
+
+let test_v4_explain_roundtrip () =
+  let x =
+    { P.x_id = "t99-1"; x_timings = [ ("aggregate", 1.5); ("decrypt", 0.25) ];
+      x_cost = sample_cost }
+  in
+  (match P.decode_response_x (P.encode_response ~explain:x P.Ack) with
+   | P.Ack, Some x' ->
+     Alcotest.(check string) "explain id" "t99-1" x'.P.x_id;
+     Alcotest.(check (list (pair string (float 1e-9)))) "phase timings"
+       x.P.x_timings x'.P.x_timings;
+     Alcotest.(check bool) "cost block" true (x'.P.x_cost = sample_cost)
+   | _ -> Alcotest.fail "explain trailer lost on the wire");
+  (* No trailer: v4 frames still carry the (empty) option; old decoders
+     of the same response constructor keep working at v3. *)
+  (match P.decode_response_x (P.encode_response P.Ack) with
+   | P.Ack, None -> ()
+   | _ -> Alcotest.fail "bare v4 response misdecoded");
+  Alcotest.(check bool) "v3 Ack still decodes" true
+    (P.decode_response (P.encode_response ~version:3 P.Ack) = P.Ack)
+
+let test_v4_trace_dump_roundtrip () =
+  let leaf = { Trace.name = "pairing_loop"; t0 = 10.5; ms = 3.25; children = [] } in
+  let mid = { Trace.name = "aggregate"; t0 = 10.0; ms = 5.0; children = [ leaf ] } in
+  let root = { Trace.name = "request"; t0 = 9.5; ms = 6.0; children = [ mid ] } in
+  let rt = { Trace.r_id = "t1-1"; r_start = 9.5; r_root = root; r_cost = sample_cost } in
+  (match P.decode_response (P.encode_response (P.Trace_dump [ rt ])) with
+   | P.Trace_dump [ rt' ] ->
+     Alcotest.(check string) "trace id" "t1-1" rt'.Trace.r_id;
+     Alcotest.(check bool) "span tree survives" true (rt'.Trace.r_root = root);
+     Alcotest.(check bool) "cost survives" true (rt'.Trace.r_cost = sample_cost)
+   | _ -> Alcotest.fail "expected Trace_dump");
+  (* A forged frame with a pathologically deep span tree is rejected
+     instead of recursing the decoder off the stack. *)
+  let deep =
+    let rec build n acc =
+      if n = 0 then acc
+      else build (n - 1) { Trace.name = "d"; t0 = 0.; ms = 0.; children = [ acc ] }
+    in
+    build 80 { Trace.name = "leaf"; t0 = 0.; ms = 0.; children = [] }
+  in
+  let rt_deep = { Trace.r_id = "deep"; r_start = 0.; r_root = deep; r_cost = sample_cost } in
+  (match P.decode_response (P.encode_response (P.Trace_dump [ rt_deep ])) with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "80-deep span tree decoded")
 
 (* --- transport over a real socket pair ------------------------------------------- *)
 
@@ -423,8 +547,8 @@ let test_socket_roundtrip () =
 (* A live TCP server on [port] with table "t" preloaded, torn down
    gracefully (stop flag + drain) when [f] returns. *)
 let with_live_server ?(workers = 2) ?(max_conns = 16) ?(request_timeout_ms = 0) ?max_frame
-    ~port f =
-  let state = Server.create () in
+    ?(trace_sample = 0) ?(slow_query_ms = 0.) ~port f =
+  let state = Server.create ~trace_sample ~slow_query_ms () in
   (match Server.handle state (P.Upload { name = "t"; table = enc }) with
    | P.Ack -> ()
    | _ -> Alcotest.fail "preload upload failed");
@@ -568,6 +692,118 @@ let test_max_conns_shed () =
           | P.Tables [ ("t", 15) ] -> ()
           | _ -> Alcotest.fail "server did not recover after shedding"))
 
+(* The PR-5 acceptance test: a --workers 4 server tracing every request,
+   hammered by version-mixed parallel clients. Every sampled v4 reply
+   must carry an EXPLAIN trailer; every captured trace must be one
+   intact tree (aggregate an ancestor of pairing_loop) with a cost block
+   scoped to its own request — no cross-request leakage even though
+   requests run concurrently on pool domains. *)
+let test_traced_parallel_clients () =
+  let module M = Sagma_obs.Metrics in
+  M.reset ();
+  Trace.reset ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ();
+      Trace.reset ())
+    (fun () ->
+      with_live_server ~workers:4 ~trace_sample:1 ~port:7496 (fun _ ->
+          let errors = Atomic.make 0 in
+          let explains = Atomic.make 0 in
+          let threads =
+            List.init 4 (fun i ->
+                Thread.create
+                  (fun i ->
+                    let fd = Transport.connect ~port:7496 in
+                    Fun.protect
+                      ~finally:(fun () -> Unix.close fd)
+                      (fun () ->
+                        for _ = 1 to 3 do
+                          if i = 0 then begin
+                            (* One v2 peer in the mix: its replies must stay
+                               v2-framed with no trailer bytes. *)
+                            Transport.send fd (P.encode_request ~version:2 P.List_tables);
+                            let raw = Transport.recv fd in
+                            if Char.code raw.[2] <> 2 then Atomic.incr errors
+                            else
+                              match P.decode_response raw with
+                              | P.Tables [ ("t", 15) ] -> ()
+                              | _ -> Atomic.incr errors
+                          end
+                          else begin
+                            let tok = Scheme.token client count_query in
+                            match
+                              Transport.call_x
+                                ~trace:{ P.tc_id = Some (Printf.sprintf "cli%d" i);
+                                         tc_sampled = true }
+                                fd (P.Aggregate { name = "t"; token = tok })
+                            with
+                            | P.Aggregates agg, x ->
+                              (match x with
+                               | Some x ->
+                                 Atomic.incr explains;
+                                 if x.P.x_cost.Trace.agg_rows <> 15 then Atomic.incr errors
+                               | None -> Atomic.incr errors);
+                              let results =
+                                List.map
+                                  (fun r ->
+                                    ( List.map Value.to_string r.Scheme.group, r.Scheme.sum,
+                                      r.Scheme.count ))
+                                  (Scheme.decrypt client tok agg ~total_rows:15)
+                              in
+                              if results <> expected_counts then Atomic.incr errors
+                            | _ -> Atomic.incr errors
+                          end
+                        done))
+                  i)
+          in
+          List.iter Thread.join threads;
+          Alcotest.(check int) "all traced parallel clients answered correctly" 0
+            (Atomic.get errors);
+          Alcotest.(check int) "every sampled v4 reply carried an EXPLAIN trailer" 9
+            (Atomic.get explains);
+          (* Pull the completed ring over the v4 Traces RPC and validate
+             every aggregate trace's shape and cost attribution. *)
+          let fd = Transport.connect ~port:7496 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              match Transport.call fd P.Traces with
+              | P.Trace_dump traces ->
+                let rec has name s =
+                  s.Trace.name = name || List.exists (has name) s.Trace.children
+                in
+                let agg_traces =
+                  List.filter
+                    (fun rt ->
+                      List.exists
+                        (fun c -> c.Trace.name = "aggregate")
+                        rt.Trace.r_root.Trace.children)
+                    traces
+                in
+                Alcotest.(check int) "one intact trace per sampled aggregate" 9
+                  (List.length agg_traces);
+                List.iter
+                  (fun rt ->
+                    let agg =
+                      List.find
+                        (fun c -> c.Trace.name = "aggregate")
+                        rt.Trace.r_root.Trace.children
+                    in
+                    Alcotest.(check bool) "aggregate is an ancestor of pairing_loop" true
+                      (has "pairing_loop" agg);
+                    (* Concurrent requests each walked exactly table "t"'s
+                       15 rows: any other number means another request's
+                       counters bled into this scope. *)
+                    Alcotest.(check int) "cost scoped to this request" 15
+                      rt.Trace.r_cost.Trace.agg_rows)
+                  agg_traces;
+                Alcotest.(check bool) "wire-propagated trace ids preserved" true
+                  (List.exists (fun rt -> rt.Trace.r_id = "cli1") agg_traces)
+              | _ -> Alcotest.fail "expected Trace_dump")))
+
 let test_oversized_frame_rejected () =
   with_live_server ~workers:2 ~max_frame:65536 ~port:7495 (fun _ ->
       let fd = Transport.connect ~port:7495 in
@@ -632,7 +868,12 @@ let () =
           Alcotest.test_case "encoder version bounds" `Quick test_encoder_version_bounds;
           Alcotest.test_case "server rejects old frame" `Quick test_server_rejects_old_frame;
           Alcotest.test_case "error code roundtrip" `Quick test_error_code_roundtrip;
-          Alcotest.test_case "v3-only constructs gated" `Quick test_v3_only_constructs_gated ] );
+          Alcotest.test_case "v3-only constructs gated" `Quick test_v3_only_constructs_gated;
+          Alcotest.test_case "v4-only constructs gated" `Quick test_v4_only_constructs_gated ] );
+      ( "v4 tracing",
+        [ Alcotest.test_case "trace context roundtrip" `Quick test_v4_trace_ctx_roundtrip;
+          Alcotest.test_case "explain trailer roundtrip" `Quick test_v4_explain_roundtrip;
+          Alcotest.test_case "trace dump roundtrip" `Quick test_v4_trace_dump_roundtrip ] );
       ( "v1 compat",
         [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
           Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
@@ -644,6 +885,7 @@ let () =
           Alcotest.test_case "stalled client isolated" `Quick test_stalled_client_isolated;
           Alcotest.test_case "mid-request disconnect" `Quick test_midrequest_disconnect;
           Alcotest.test_case "max-conns shed -> Busy" `Quick test_max_conns_shed;
+          Alcotest.test_case "traced parallel clients" `Quick test_traced_parallel_clients;
           Alcotest.test_case "oversized frame rejected" `Quick test_oversized_frame_rejected ] );
       ("properties", props);
     ]
