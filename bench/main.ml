@@ -1044,6 +1044,130 @@ let bench_pr5 () =
   if not passed then
     failwith (Printf.sprintf "bench_pr5: tracing overhead out of bound (ratio %.2f < %.2f)" ratio bound)
 
+(* --- BENCH_PR6.json: pairing-engine speedup ---------------------------------------------- *)
+
+module Pairing = Sagma_pairing.Pairing
+
+(* PR 6 rewrote the Miller loop on Jacobian coordinates in Montgomery
+   form, batched products of pairings under one final exponentiation, and
+   cached fixed-argument precomputation per encrypted table. This bench
+   pins the claim: it times the legacy affine pairing against the batched
+   path µs-for-µs, re-runs the PR 1 two-attribute SUM query, and projects
+   what that query would have cost on the old engine (same pairing count,
+   old per-pairing price). Fails the run if either speedup drops below
+   4× or the `pairings` counter drifts off the n·B^arity·c model. *)
+let bench_pr6 () =
+  header "BENCH_PR6.json: pairing engine old-vs-new (us/pairing) and SUM-query speedup";
+  let drbg = Drbg.create "bench-pr6" in
+  let kp = Bgn.keygen ~bits:64 drbg in
+  let pk = kp.Bgn.pk in
+  let group = pk.Bgn.group in
+  let rng = Drbg.rng drbg in
+  let time_us f =
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.3 do
+      ignore (f ());
+      incr iters
+    done;
+    ((Unix.gettimeofday () -. t0) *. 1_000_000. /. float_of_int !iters, !iters)
+  in
+  let p = Pairing.random_order_n_point group rng in
+  let q = Pairing.random_order_n_point group rng in
+  let t_old_us, old_iters = time_us (fun () -> Pairing.pairing_affine group p q) in
+  let t_scalar_us, _ = time_us (fun () -> Pairing.pairing group p q) in
+  (* The shape Scheme.aggregate actually runs: left arguments precomputed
+     once (the per-table cache), many pairs sharing one final
+     exponentiation. Per-pairing cost is the batch time over its size. *)
+  let batch_size = 8 in
+  let batch =
+    List.init batch_size (fun _ ->
+        ( Pairing.precompute group (Pairing.random_order_n_point group rng),
+          Pairing.random_order_n_point group rng ))
+  in
+  let t_batch_total_us, _ = time_us (fun () -> Pairing.pairing_prod group batch) in
+  let t_batch_us = t_batch_total_us /. float_of_int batch_size in
+  let engine_speedup = t_old_us /. t_batch_us in
+  Printf.printf
+    "pairing  affine %8.1f us   scalar %8.1f us   batched(%d) %8.1f us/pairing   speedup %.1fx (%d affine iters)\n%!"
+    t_old_us t_scalar_us batch_size t_batch_us engine_speedup old_iters;
+  (* End to end: the PR 1 two-attribute SUM workload (60 rows, B = 2,
+     arity 2), instrumented. The legacy estimate swaps each batched
+     pairing back to its affine price and leaves everything else alone —
+     conservative, since the old engine also paid per-step invm in every
+     scalar multiplication. *)
+  let rows = 60 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-pr6-table") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:2 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag"; "l_linestatus" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:
+        [ ("l_returnflag", [ str "A"; str "N"; str "R" ]);
+          ("l_linestatus", [ str "O"; str "F" ]) ]
+      (Drbg.create "pr6-sum")
+  in
+  let enc = Scheme.encrypt_table client table in
+  let q = Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity") in
+  let (results, snap, _, _), query_ms = time_ms (fun () -> run_instrumented client enc q) in
+  let cv n = Option.value (List.assoc_opt n snap.Obs.counters) ~default:0 in
+  let pairings = cv "pairing.pairings" in
+  let prod_calls = cv "pairing.prod_calls" in
+  let precomp_hits = cv "pairing.precomp_hits" in
+  let invm = cv "bigint.invm" in
+  let invm_batch = cv "bigint.invm_batch" in
+  let channels = Sagma_bgn.Crt_channels.channels client.Scheme.pp.Scheme.channels in
+  (* §6 cost model: one pairing per row per block (B^arity = 4) per CRT
+     channel; the engine rewrite must not change what gets counted. *)
+  let expected_pairings = rows * 4 * channels in
+  let legacy_ms =
+    query_ms -. (float_of_int pairings *. t_batch_us /. 1000.)
+    +. (float_of_int pairings *. t_old_us /. 1000.)
+  in
+  let query_speedup = legacy_ms /. query_ms in
+  Printf.printf
+    "sum_two_attrs: %d groups   %8.1f ms (legacy est %8.1f ms, %.1fx)   pairings %d (model %d)\n%!"
+    (List.length results) query_ms legacy_ms query_speedup pairings expected_pairings;
+  Printf.printf "counters: prod_calls %d   precomp_hits %d   invm %d   invm_batch %d\n%!"
+    prod_calls precomp_hits invm invm_batch;
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check (pairings = expected_pairings)
+    (Printf.sprintf "pairings counter %d != n*B^arity*c = %d" pairings expected_pairings);
+  check (engine_speedup >= 4.)
+    (Printf.sprintf "engine speedup %.2fx < 4x" engine_speedup);
+  check (query_speedup >= 4.)
+    (Printf.sprintf "estimated query speedup %.2fx < 4x" query_speedup);
+  check (prod_calls > 0) "pairing.prod_calls stayed zero";
+  check (invm_batch > 0) "bigint.invm_batch stayed zero";
+  check (invm < pairings)
+    (Printf.sprintf "bigint.invm %d did not collapse below pairings %d" invm pairings);
+  let passed = !failures = [] in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema_version\":1,\"bench\":\"pr6\",\"full\":%b,\"rows\":%d,\
+        \"micro\":{\"pairing_affine_us\":%.3f,\"pairing_scalar_us\":%.3f,\
+        \"pairing_batched_us\":%.3f,\"batch_size\":%d,\"engine_speedup\":%.3f},\
+        \"query\":{\"name\":\"sum_two_attrs\",\"result_groups\":%d,\
+        \"query_ms\":%.3f,\"legacy_est_ms\":%.3f,\"query_speedup\":%.3f,\
+        \"pairings\":%d,\"expected_pairings\":%d,\"channels\":%d,\
+        \"prod_calls\":%d,\"precomp_hits\":%d,\"invm\":%d,\"invm_batch\":%d},\
+        \"passed\":%b}"
+       full rows t_old_us t_scalar_us t_batch_us batch_size engine_speedup
+       (List.length results) query_ms legacy_ms query_speedup pairings expected_pairings
+       channels prod_calls precomp_hits invm invm_batch passed);
+  let path = "BENCH_PR6.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  if not passed then
+    failwith ("bench_pr6: " ^ String.concat "; " (List.rev !failures))
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let benches =
@@ -1052,7 +1176,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("json-pr6", bench_pr6); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -1062,7 +1186,7 @@ let () =
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
         ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
-        bench_json; bench_pr3; bench_pr4; bench_pr5; micro ]
+        bench_json; bench_pr3; bench_pr4; bench_pr5; bench_pr6; micro ]
     else
       List.map
         (fun name ->

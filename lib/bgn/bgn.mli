@@ -70,6 +70,24 @@ val rerandomize2 : public_key -> Drbg.t -> c2 -> c2
 val mul : public_key -> c1 -> c1 -> c2
 (** The one ciphertext–ciphertext multiplication: ê(C₁, C₂). *)
 
+type precomp1 = Pairing.Precomp.t
+(** Cached Miller-loop lines for a level-1 ciphertext used as the left
+    argument of many multiplications (see {!Pairing.precompute}). *)
+
+val precompute1 : public_key -> c1 -> precomp1
+
+val mul_many : public_key -> (c1 * c1) list -> c2
+(** [mul_many pk [(a1,b1); ...]] is Σᵢ aᵢ·bᵢ at level 2 — equal to
+    folding {!mul} results with {!add2}, but computed as one product of
+    pairings with a {e single} shared final exponentiation. The empty
+    list yields {!zero2}. [bgn.mul] advances by the list length, exactly
+    as the termwise loop would. *)
+
+val mul_many_pre : public_key -> (precomp1 * c1) list -> c2
+(** Like {!mul_many} for left arguments already precomputed — the hot
+    path of [Scheme.aggregate], which pairs each encrypted value against
+    every block constant of every query. *)
+
 (** {1 Decryption}
 
     Tables are exposed for reuse: building one costs O(√max) group

@@ -148,6 +148,7 @@ let montgomery_threshold_bits = 96
 
 let m_powm = Sagma_obs.Metrics.counter "bigint.powm"
 let m_invm = Sagma_obs.Metrics.counter "bigint.invm"
+let m_invm_batch = Sagma_obs.Metrics.counter "bigint.invm_batch"
 
 let powm base expo m =
   if m.sign <= 0 then invalid_arg "Bigint.powm: modulus <= 0";
@@ -194,6 +195,52 @@ let invm_exn a m =
   match invm a m with
   | Some x -> x
   | None -> failwith "Bigint.invm_exn: not invertible"
+
+(* Montgomery's trick: invert n residues with one egcd and 3(n-1)
+   modular multiplications. Prefix products first, then one inversion
+   of the total product, then back-substitution. Every element must be
+   invertible mod [m]; raises like {!invm_exn} otherwise. *)
+let invm_batch (xs : t array) (m : t) : t array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    Sagma_obs.Metrics.incr m_invm_batch;
+    let prefix = Array.make n zero in
+    let acc = ref one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      acc := mulm !acc xs.(i) m
+    done;
+    let inv = ref (invm_exn !acc m) in
+    let out = Array.make n zero in
+    for i = n - 1 downto 0 do
+      out.(i) <- mulm !inv prefix.(i) m;
+      inv := mulm !inv xs.(i) m
+    done;
+    out
+  end
+
+(* Montgomery-form residues for inner loops that cannot afford the
+   division hiding in [mulm]. The pairing layer keeps its whole Miller
+   loop in this form; conversion in/out happens once per batch. *)
+module Mont = struct
+  type ctx = { m : t; mctx : Montgomery.ctx }
+  type el = int array
+
+  let make (m : t) : ctx =
+    if m.sign <= 0 then invalid_arg "Bigint.Mont.make: modulus <= 0";
+    { m; mctx = Montgomery.make m.mag }
+
+  let of_z (c : ctx) (a : t) : el = Montgomery.to_mont c.mctx (erem a c.m).mag
+  let to_z (c : ctx) (a : el) : t = mk 1 (Montgomery.of_mont c.mctx a)
+  let one (c : ctx) : el = Montgomery.one c.mctx
+  let zero (c : ctx) : el = Array.make (Array.length (Montgomery.one c.mctx)) 0
+  let mul (c : ctx) (a : el) (b : el) : el = Montgomery.mont_mul c.mctx a b
+  let add (c : ctx) (a : el) (b : el) : el = Montgomery.add c.mctx a b
+  let sub (c : ctx) (a : el) (b : el) : el = Montgomery.sub c.mctx a b
+  let is_zero (a : el) : bool = Array.for_all (fun l -> l = 0) a
+  let equal (a : el) (b : el) : bool = a = b
+end
 
 (* Jacobi symbol (a/n) for odd positive n. *)
 let jacobi a n =

@@ -94,6 +94,70 @@ let pad (c : ctx) (a : Nat.t) : int array =
   Array.blit a 0 out 0 (Array.length a);
   out
 
+(* Modular addition/subtraction on k-limb padded residues (< n).
+   Montgomery form is linear, so these work unchanged on Montgomery
+   representatives; the pairing tower uses them between mont_muls. *)
+let add (c : ctx) (a : int array) (b : int array) : int array =
+  let k = c.k in
+  let n = c.n in
+  let out = Array.make k 0 in
+  let carry = ref 0 in
+  for j = 0 to k - 1 do
+    let s = a.(j) + b.(j) + !carry in
+    out.(j) <- s land Nat.limb_mask;
+    carry := s lsr Nat.limb_bits
+  done;
+  let ge =
+    !carry > 0
+    ||
+    let rec cmp i = if i < 0 then true else if out.(i) <> n.(i) then out.(i) > n.(i) else cmp (i - 1) in
+    cmp (k - 1)
+  in
+  if ge then begin
+    (* a + b < 2n, so one subtraction lands in [0, n); a final borrow
+       just cancels the carry limb. *)
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = out.(j) - n.(j) - !borrow in
+      if d < 0 then begin
+        out.(j) <- d + Nat.base;
+        borrow := 1
+      end
+      else begin
+        out.(j) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  out
+
+let sub (c : ctx) (a : int array) (b : int array) : int array =
+  let k = c.k in
+  let out = Array.make k 0 in
+  let borrow = ref 0 in
+  for j = 0 to k - 1 do
+    let d = a.(j) - b.(j) - !borrow in
+    if d < 0 then begin
+      out.(j) <- d + Nat.base;
+      borrow := 1
+    end
+    else begin
+      out.(j) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow = 1 then begin
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let s = out.(j) + c.n.(j) + !carry in
+      out.(j) <- s land Nat.limb_mask;
+      carry := s lsr Nat.limb_bits
+    done
+  end;
+  out
+
+let one (c : ctx) : int array = pad c c.one_mont
+
 (* Convert into / out of Montgomery form. *)
 let to_mont (c : ctx) (a : Nat.t) : int array = mont_mul c (pad c (Nat.rem a c.n)) (pad c c.r2)
 

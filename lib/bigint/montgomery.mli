@@ -19,5 +19,15 @@ val pad : ctx -> Nat.t -> int array
 val to_mont : ctx -> Nat.t -> int array
 val of_mont : ctx -> int array -> Nat.t
 
+val add : ctx -> int array -> int array -> int array
+(** (a + b) mod n on k-limb padded residues (< n); Montgomery form is
+    linear, so this works unchanged on Montgomery representatives. *)
+
+val sub : ctx -> int array -> int array -> int array
+(** (a - b) mod n on k-limb padded residues (< n). *)
+
+val one : ctx -> int array
+(** Montgomery form of 1 (R mod n), k-limb padded. *)
+
 val powm : ctx -> Nat.t -> Nat.t -> Nat.t
 (** base^expo mod n. *)

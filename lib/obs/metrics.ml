@@ -62,7 +62,11 @@ let set_enabled b = enabled := b
 let scope_names : string array =
   [| "pairing.pairings"; "pairing.miller_steps"; "bgn.mul"; "bgn.dlog.solves";
      "bgn.dlog.giant_steps"; "sse.postings_scanned"; "oxt.postings_scanned";
-     "scheme.agg.rows"; "scheme.agg.joint_buckets" |]
+     "scheme.agg.rows"; "scheme.agg.joint_buckets";
+     (* PR 6 multi-pairing engine: request-scoped so EXPLAIN can show the
+        invm collapse and the precomp/product batching next to the
+        unchanged [pairings] count. *)
+     "pairing.prod_calls"; "pairing.precomp_hits"; "bigint.invm"; "bigint.invm_batch" |]
 
 type scope = int Atomic.t array
 

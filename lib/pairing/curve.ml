@@ -156,6 +156,41 @@ let mul (cp : params) (k : Z.t) (pt : point) : point =
 
 let mul_int (cp : params) (k : int) (pt : point) : point = mul cp (Z.of_int k) pt
 
+(* Batch scalar multiplication: run every ladder in Jacobian form and
+   normalize all results with one batched inversion (Montgomery's trick
+   in Bigint) instead of one invm per point. *)
+let mul_batch (cp : params) (pairs : (Z.t * point) array) : point array =
+  let p = cp.p in
+  let jacs =
+    Array.map
+      (fun (k, pt) ->
+        if Z.sign k < 0 then invalid_arg "Curve.mul_batch: negative scalar";
+        match pt with
+        | Infinity -> jac_infinity
+        | Affine (x, y) ->
+          let nbits = Z.num_bits k in
+          let acc = ref jac_infinity in
+          for i = nbits - 1 downto 0 do
+            acc := jac_double cp !acc;
+            if Z.bit k i then acc := jac_add_affine cp !acc x y
+          done;
+          !acc)
+      pairs
+  in
+  let live = ref [] in
+  Array.iteri (fun i q -> if not (Z.is_zero q.jz) then live := i :: !live) jacs;
+  let idxs = Array.of_list (List.rev !live) in
+  let zinvs = Z.invm_batch (Array.map (fun i -> jacs.(i).jz) idxs) p in
+  let out = Array.make (Array.length jacs) Infinity in
+  Array.iteri
+    (fun j i ->
+      let q = jacs.(i) in
+      let zi = zinvs.(j) in
+      let zi2 = Z.mulm zi zi p in
+      out.(i) <- Affine (Z.mulm q.jx zi2 p, Z.mulm q.jy (Z.mulm zi2 zi p) p))
+    idxs;
+  out
+
 (* Sample a uniformly random curve point (never Infinity). *)
 let random_point (cp : params) (rng : Z.rng) : point =
   let p = cp.p in

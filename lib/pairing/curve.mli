@@ -32,6 +32,12 @@ val mul : params -> Z.t -> point -> point
 
 val mul_int : params -> int -> point -> point
 
+val mul_batch : params -> (Z.t * point) array -> point array
+(** [mul_batch cp [|(k1, p1); ...|]] computes every [ki·pi] with a single
+    field inversion shared across the batch ({!Z.invm_batch}) instead of
+    one per point — the cheap way to materialize a table of scalar
+    multiples (e.g. per-block constants in the aggregation loop). *)
+
 val tangent_slope : params -> Z.t -> Z.t -> Z.t
 (** Slope of the tangent at an affine point (used by Miller's algorithm,
     which shares one slope between line evaluation and point update). *)

@@ -10,9 +10,19 @@
    lie in F_p^* (the x-coordinate of φ(Q) is in the base field), and every
    F_p^* value is annihilated by the final exponentiation, because
    (p²−1)/n = (p−1)·(p+1)/n and a^(p−1) = 1. So the Miller loop only
-   accumulates the (F_p²-valued) tangent/chord line evaluations. *)
+   accumulates the (F_p²-valued) tangent/chord line evaluations.
+
+   The production path is inversion-free: [precompute] walks the Miller
+   loop once per left argument in Jacobian coordinates, storing the line
+   coefficients (projectively scaled — the F_p^* scale factors are also
+   annihilated by the final exponentiation) in Montgomery form, and
+   [pairing_prod] evaluates any number of such precomputed lines against
+   their right arguments in one interleaved loop with a single shared
+   final exponentiation. The original affine loop survives as
+   [pairing_affine], the reference the property tests compare against. *)
 
 module Z = Sagma_bigint.Bigint
+module M = Z.Mont
 
 type group = {
   p : Z.t;          (* field prime, p = l*n - 1, p ≡ 3 (mod 4) *)
@@ -20,6 +30,7 @@ type group = {
   l : Z.t;          (* cofactor *)
   curve : Curve.params;
   final_exp : Z.t;  (* (p² − 1) / n *)
+  mont : M.ctx;     (* Montgomery context for F_p (p is odd by construction) *)
 }
 
 (* Construct the group for a given subgroup order [n]: find the smallest
@@ -47,7 +58,7 @@ let make_group ?(rng : Z.rng option) (n : Z.t) : group =
   in
   let l, p = find 4 in
   let final_exp = Z.div (Z.pred (Z.mul p p)) n in
-  { p; n; l; curve = Curve.make_params p; final_exp }
+  { p; n; l; curve = Curve.make_params p; final_exp; mont = M.make p }
 
 (* A uniformly random point of order exactly n. Cofactor clearing leaves
    a point whose order divides n; the is_infinity rejection rules out
@@ -73,7 +84,13 @@ let random_order_n_point ?(factors : Z.t list = []) (g : group) (rng : Z.rng) : 
   in
   go ()
 
-(* One fused Miller step: the line through [t] and [u] (tangent when they
+let m_pairings = Sagma_obs.Metrics.counter "pairing.pairings"
+let m_miller_steps = Sagma_obs.Metrics.counter "pairing.miller_steps"
+let m_prod_calls = Sagma_obs.Metrics.counter "pairing.prod_calls"
+
+(* --- reference affine path --------------------------------------------------
+
+   One fused Miller step: the line through [t] and [u] (tangent when they
    coincide) evaluated at φ(Q), together with t + u — sharing the single
    slope inversion between the line value and the point update. Vertical
    lines return no line factor (eliminated by the final exponentiation). *)
@@ -98,12 +115,9 @@ let miller_step (g : group) (t : Curve.point) (u : Curve.point) ~(xq : Z.t) ~(yq
       (Some { Fp2.re; im = yq }, Curve.Affine (x3, y3))
     end
 
-(* Miller's algorithm computing f_{n,P}(φ(Q)), followed by the final
-   exponentiation. *)
-let m_pairings = Sagma_obs.Metrics.counter "pairing.pairings"
-let m_miller_steps = Sagma_obs.Metrics.counter "pairing.miller_steps"
-
-let pairing (g : group) (pp : Curve.point) (qq : Curve.point) : Fp2.t =
+(* Miller's algorithm computing f_{n,P}(φ(Q)) in affine coordinates (one
+   field inversion per step), followed by the final exponentiation. *)
+let pairing_affine (g : group) (pp : Curve.point) (qq : Curve.point) : Fp2.t =
   match (pp, qq) with
   | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one
   | Curve.Affine _, Curve.Affine (xq, yq) ->
@@ -128,6 +142,208 @@ let pairing (g : group) (pp : Curve.point) (qq : Curve.point) : Fp2.t =
     done;
     Sagma_obs.Metrics.add m_miller_steps !steps;
     Fp2.pow ~p !f g.final_exp
+
+(* --- fixed-argument precomputation ------------------------------------------
+
+   The Miller loop's point ladder depends only on the left argument P and
+   the (fixed) loop schedule of n, never on Q. [precompute] runs that
+   ladder once, in Jacobian coordinates (zero inversions), emitting for
+   every step the coefficients (c0, cx, cy) of the projectively scaled
+   line value  c0 + cx·x_Q + cy·y_Q·i  at φ(Q) = (−x_Q, i·y_Q). The scale
+   factors live in F_p^* and are annihilated by the final exponentiation,
+   so evaluating these lines is exactly equivalent to the affine loop.
+   Coefficients are stored in Montgomery form: [pairing_prod] never
+   leaves Montgomery residues until its final conversion. *)
+
+module Precomp = struct
+  type line = { c0 : M.el; cx : M.el; cy : M.el }
+
+  type t = {
+    point : Curve.point;         (* the fixed left argument *)
+    lines : line option array;   (* one slot per Miller step; None = vertical *)
+  }
+
+  let point (t : t) = t.point
+end
+
+let precompute (g : group) (pp : Curve.point) : Precomp.t =
+  match pp with
+  | Curve.Infinity -> { Precomp.point = pp; lines = [||] }
+  | Curve.Affine (xp, yp) ->
+    let p = g.p in
+    let mc = g.mont in
+    let lines = ref [] in
+    let emit = function
+      | None -> lines := None :: !lines
+      | Some (c0, cx, cy) ->
+        lines :=
+          Some { Precomp.c0 = M.of_z mc c0; cx = M.of_z mc cx; cy = M.of_z mc cy } :: !lines
+    in
+    (* T = (tx, ty, tz) Jacobian, (X/Z², Y/Z³); tz = 0 encodes O. *)
+    let tx = ref xp and ty = ref yp and tz = ref Z.one in
+    let set_infinity () =
+      tx := Z.one;
+      ty := Z.one;
+      tz := Z.zero
+    in
+    (* Doubling step. Slope λ = M/Z3; the tangent at T evaluated at φ(Q),
+       scaled by Z3·Z1Z1 ∈ F_p^*, is
+         (M·X1 − 2A) + M·Z1Z1·x_Q + Z3·Z1Z1·y_Q·i.  *)
+    let dbl () =
+      if Z.is_zero !tz || Z.is_zero !ty then begin
+        emit None;
+        set_infinity ()
+      end
+      else begin
+        let x1 = !tx and y1 = !ty and z1 = !tz in
+        let a = Z.mulm y1 y1 p in
+        let s = Z.erem (Z.shift_left (Z.mul x1 a) 2) p in
+        let z1z1 = Z.mulm z1 z1 p in
+        let m = Z.erem (Z.add (Z.mul_int (Z.mul x1 x1) 3) (Z.mul z1z1 z1z1)) p in
+        let x3 = Z.erem (Z.sub (Z.mul m m) (Z.shift_left s 1)) p in
+        let y3 = Z.erem (Z.sub (Z.mul m (Z.sub s x3)) (Z.shift_left (Z.mul a a) 3)) p in
+        let z3 = Z.erem (Z.shift_left (Z.mul y1 z1) 1) p in
+        let c0 = Z.erem (Z.sub (Z.mul m x1) (Z.shift_left a 1)) p in
+        let cx = Z.mulm m z1z1 p in
+        let cy = Z.mulm z3 z1z1 p in
+        emit (Some (c0, cx, cy));
+        tx := x3;
+        ty := y3;
+        tz := z3
+      end
+    in
+    (* Mixed addition step T := T + P. Slope λ = R/Z3; the chord,
+       anchored at the affine P and scaled by Z3 ∈ F_p^*, is
+         (R·x_P − Z3·y_P) + R·x_Q + Z3·y_Q·i.  *)
+    let add_p () =
+      if Z.is_zero !tz then begin
+        (* T = O: no line, the sum is just P (mirrors the affine step). *)
+        emit None;
+        tx := xp;
+        ty := yp;
+        tz := Z.one
+      end
+      else begin
+        let x1 = !tx and y1 = !ty and z1 = !tz in
+        let z1z1 = Z.mulm z1 z1 p in
+        let u2 = Z.mulm xp z1z1 p in
+        let s2 = Z.mulm yp (Z.mulm z1 z1z1 p) p in
+        let h = Z.subm u2 x1 p in
+        let r = Z.subm s2 y1 p in
+        if Z.is_zero h then begin
+          if Z.is_zero r then
+            (* T = P mid-loop (small-order points): the chord degenerates
+               to the tangent, exactly the affine fallback. *)
+            dbl ()
+          else begin
+            (* Vertical line: F_p-valued at φ(Q), eliminated. *)
+            emit None;
+            set_infinity ()
+          end
+        end
+        else begin
+          let h2 = Z.mulm h h p in
+          let h3 = Z.mulm h2 h p in
+          let x1h2 = Z.mulm x1 h2 p in
+          let x3 = Z.erem (Z.sub (Z.sub (Z.mul r r) h3) (Z.shift_left x1h2 1)) p in
+          let y3 = Z.erem (Z.sub (Z.mul r (Z.sub x1h2 x3)) (Z.mul y1 h3)) p in
+          let z3 = Z.mulm z1 h p in
+          let c0 = Z.erem (Z.sub (Z.mul r xp) (Z.mul z3 yp)) p in
+          emit (Some (c0, r, z3));
+          tx := x3;
+          ty := y3;
+          tz := z3
+        end
+      end
+    in
+    let nbits = Z.num_bits g.n in
+    for i = nbits - 2 downto 0 do
+      dbl ();
+      if Z.bit g.n i then add_p ()
+    done;
+    { Precomp.point = pp; lines = Array.of_list (List.rev !lines) }
+
+(* --- multi-pairing ----------------------------------------------------------
+
+   F_p² arithmetic on Montgomery residues (i² = −1 since p ≡ 3 (mod 4)). *)
+
+type mfp2 = { mre : M.el; mim : M.el }
+
+let mfp2_mul mc a b =
+  let rr = M.mul mc a.mre b.mre and ii = M.mul mc a.mim b.mim in
+  let ri = M.mul mc a.mre b.mim and ir = M.mul mc a.mim b.mre in
+  { mre = M.sub mc rr ii; mim = M.add mc ri ir }
+
+let mfp2_sqr mc a =
+  (* (a+bi)² = (a−b)(a+b) + 2ab·i — two multiplications. *)
+  let s = M.add mc a.mre a.mim and d = M.sub mc a.mre a.mim in
+  { mre = M.mul mc s d; mim = M.mul mc (M.add mc a.mre a.mre) a.mim }
+
+let mfp2_one mc = { mre = M.one mc; mim = M.zero mc }
+
+let mfp2_pow mc a e =
+  let nbits = Z.num_bits e in
+  let acc = ref (mfp2_one mc) in
+  for i = nbits - 1 downto 0 do
+    acc := mfp2_sqr mc !acc;
+    if Z.bit e i then acc := mfp2_mul mc !acc a
+  done;
+  !acc
+
+(* Product of pairings Π ê(P_i, Q_i) with a single interleaved Miller
+   loop and one shared final exponentiation. All pairs share the loop
+   schedule (the bits of n), so the accumulator squares once per step
+   regardless of the number of pairs:  (Π f_i)² · Π l_i = Π (f_i² · l_i).
+   Pairs with an infinity on either side contribute the factor 1. *)
+let pairing_prod (g : group) (pairs : (Precomp.t * Curve.point) list) : Fp2.t =
+  let mc = g.mont in
+  let live =
+    List.filter_map
+      (fun ((pc : Precomp.t), q) ->
+        match (pc.Precomp.point, q) with
+        | Curve.Infinity, _ | _, Curve.Infinity -> None
+        | Curve.Affine _, Curve.Affine (xq, yq) ->
+          Some (pc.Precomp.lines, M.of_z mc xq, M.of_z mc yq))
+      pairs
+  in
+  match live with
+  | [] -> Fp2.one
+  | _ :: _ ->
+    let nlive = List.length live in
+    Sagma_obs.Metrics.incr m_prod_calls;
+    Sagma_obs.Metrics.add m_pairings nlive;
+    let f = ref (mfp2_one mc) in
+    let idx = ref 0 in
+    let steps = ref 0 in
+    let step () =
+      let i = !idx in
+      List.iter
+        (fun (lines, mxq, myq) ->
+          match lines.(i) with
+          | None -> ()
+          | Some { Precomp.c0; cx; cy } ->
+            let re = M.add mc c0 (M.mul mc cx mxq) in
+            let im = M.mul mc cy myq in
+            f := mfp2_mul mc !f { mre = re; mim = im })
+        live;
+      incr idx;
+      incr steps
+    in
+    let nbits = Z.num_bits g.n in
+    for i = nbits - 2 downto 0 do
+      f := mfp2_sqr mc !f;
+      step ();
+      if Z.bit g.n i then step ()
+    done;
+    Sagma_obs.Metrics.add m_miller_steps (!steps * nlive);
+    let r = mfp2_pow mc !f g.final_exp in
+    { Fp2.re = M.to_z mc r.mre; im = M.to_z mc r.mim }
+
+(* The scalar entry point, kept source-compatible: one precomputation,
+   one pair, one final exponentiation. Callers that pair against the
+   same left argument repeatedly should hold a [Precomp.t] instead. *)
+let pairing (g : group) (pp : Curve.point) (qq : Curve.point) : Fp2.t =
+  pairing_prod g [ (precompute g pp, qq) ]
 
 (* G_T helpers (the pairing target group μ_n ⊂ F_p²). *)
 let gt_mul (g : group) a b = Fp2.mul ~p:g.p a b

@@ -5,7 +5,31 @@
     ê(P, Q) = f_{n,P}(φ(Q))^((p²−1)/n) with distortion map
     φ(x, y) = (−x, i·y), computed by Miller's algorithm with denominator
     elimination. It is bilinear, symmetric and non-degenerate — the
-    bilinear group BGN requires. *)
+    bilinear group BGN requires.
+
+    {2 Cost model}
+
+    The production surface is context-oriented:
+
+    - {!precompute} runs the Miller point ladder for a fixed left
+      argument once, in Jacobian coordinates (zero field inversions),
+      and caches the per-step line coefficients in Montgomery form.
+      Cost: one ladder walk, ~|n| steps of a few modular multiplications.
+    - {!pairing_prod} evaluates any number of (precomp, point) pairs in
+      one interleaved Miller loop — the accumulator squares once per
+      step {e regardless of the pair count} — and pays exactly {b one
+      final exponentiation per call}. Marginal cost per extra pair:
+      ~6 Montgomery multiplications per Miller step, no inversions.
+    - {!pairing} is [fun g p q -> pairing_prod g [(precompute g p, q)]]:
+      still the right call for one-off pairings, but callers that pair a
+      fixed left argument repeatedly (or can share a final
+      exponentiation across a sum of products) should use the
+      context-oriented surface; see [Bgn.mul_many].
+
+    {!pairing_affine} is the original affine-coordinate loop (one field
+    inversion per Miller step). It is retained as the reference
+    implementation the property suite compares against and for
+    old-vs-new benchmarking; new code should not call it. *)
 
 module Z = Sagma_bigint.Bigint
 
@@ -15,6 +39,7 @@ type group = {
   l : Z.t;          (** cofactor ℓ *)
   curve : Curve.params;
   final_exp : Z.t;  (** (p² − 1)/n *)
+  mont : Z.Mont.ctx;  (** Montgomery context for F_p, shared by the fast path *)
 }
 
 val make_group : ?rng:Z.rng -> Z.t -> group
@@ -30,8 +55,42 @@ val random_order_n_point : ?factors:Z.t list -> group -> Z.rng -> Curve.point
     proper-divisor order are rejected (BGN keygen passes [q1; q2]).
     @raise Invalid_argument when a factor does not divide n. *)
 
+(** Cached Miller-loop lines for a fixed left argument. Values are
+    immutable once built and safe to share across domains; they are
+    bound to the group that built them and are not serialized (rebuild
+    with {!precompute} after decoding — cheaper than one pairing). *)
+module Precomp : sig
+  type line
+
+  type t = {
+    point : Curve.point;         (** the fixed left argument *)
+    lines : line option array;   (** one slot per Miller step; [None] = vertical *)
+  }
+
+  val point : t -> Curve.point
+end
+
+val precompute : group -> Curve.point -> Precomp.t
+(** One Jacobian Miller-ladder walk for the fixed left argument; no
+    field inversions. Precomputing [Infinity] yields an empty cache
+    whose pairs evaluate to 1. *)
+
+val pairing_prod : group -> (Precomp.t * Curve.point) list -> Fp2.t
+(** [pairing_prod g [(pc1, q1); ...]] is Π ê(P_i, Q_i), computed with a
+    single interleaved Miller loop and {b one} final exponentiation.
+    Pairs with an infinity on either side contribute 1; the empty (or
+    all-infinity) product is 1. Bumps [pairing.pairings] once per live
+    pair and [pairing.prod_calls] once per non-trivial call. *)
+
 val pairing : group -> Curve.point -> Curve.point -> Fp2.t
-(** ê(P, Q); returns 1 when either argument is the point at infinity. *)
+(** ê(P, Q); returns 1 when either argument is the point at infinity.
+    Equivalent to [pairing_prod g [(precompute g p, q)]] — kept for
+    source compatibility and one-off pairings. *)
+
+val pairing_affine : group -> Curve.point -> Curve.point -> Fp2.t
+(** Reference implementation on affine coordinates (one field inversion
+    per Miller step, ~50× a multiplication). Deprecated for production
+    use; retained for property tests and benchmarks. *)
 
 (** Target-group (μ_n ⊆ F_p²) helpers. *)
 

@@ -113,10 +113,10 @@ let aggregate (c : client) (rows : enc_row list) : bucket_aggregate list =
     (fun bucket rows acc ->
       let rows = !rows in
       let sum_cts =
+        (* One product of pairings (single final exponentiation) per
+           channel instead of one pairing per row. *)
         Array.init nch (fun ch ->
-            List.fold_left
-              (fun acc r -> Bgn.add2 pk acc (Bgn.mul pk r.value_cts.(ch) (shift_ct c r ch)))
-              Bgn.zero2 rows)
+            Bgn.mul_many pk (List.map (fun r -> (r.value_cts.(ch), shift_ct c r ch)) rows))
       in
       let count_cts =
         Array.init nch (fun ch ->

@@ -200,7 +200,10 @@ let simulate (pk : Bgn.public_key) (leak : t) (drbg : Drbg.t) : simulated =
             Array.init leak.num_value_columns (fun _ ->
                 Array.init leak.num_channels (fun _ -> zero ()));
           count_ct = zero ();
-          monomial_cts = Array.init leak.num_monomials (fun _ -> zero ()) })
+          monomial_cts = Array.init leak.num_monomials (fun _ -> zero ());
+          pre_values =
+            Array.init leak.num_value_columns (fun _ -> Array.make leak.num_channels None);
+          pre_count = None })
   in
   (* One simulated token per distinct search-pattern tag; program its
      postings from the (first-seen) access pattern. *)

@@ -70,6 +70,11 @@ type enc_row = {
   values : Bgn.c1 array array;  (** k × channels: Enc(v_j mod d_c) *)
   count_ct : Bgn.c1;            (** Enc(1); Enc(0) for dummy rows *)
   monomial_cts : Bgn.c1 array;  (** Enc(Π offsetsᵉ) in storage order *)
+  pre_values : Bgn.precomp1 option array array;
+      (** lazily-filled pairing precomputation per value ciphertext;
+          shaped like [values], starts all-[None], never serialized *)
+  mutable pre_count : Bgn.precomp1 option;
+      (** dito for [count_ct] (paired-count mode) *)
 }
 
 type count_mode =

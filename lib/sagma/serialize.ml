@@ -124,7 +124,13 @@ let get_bgn_pk (s : W.source) : Bgn.public_key =
     W.fail "BGN modulus of %d bits exceeds the %d-bit decode limit" (Z.num_bits n) !max_pk_bits;
   guard "bad BGN public key" (fun () ->
       let group = Pairing.make_group n in
-      { Bgn.group; g; h; e_gg = Pairing.pairing group g g; e_gh = Pairing.pairing group g h })
+      (* One precomputation of g serves both cached level-2 generators. *)
+      let pre_g = Pairing.precompute group g in
+      { Bgn.group;
+        g;
+        h;
+        e_gg = Pairing.pairing_prod group [ (pre_g, g) ];
+        e_gh = Pairing.pairing_prod group [ (pre_g, h) ] })
 
 (* --- configuration and public parameters ------------------------------------- *)
 
@@ -189,7 +195,13 @@ let get_enc_row (s : W.source) : Scheme.enc_row =
   let values = W.get_array s (fun s -> W.get_array s get_point) in
   let count_ct = get_point s in
   let monomial_cts = W.get_array s get_point in
-  { Scheme.values; count_ct; monomial_cts }
+  (* Precomputation caches are never on the wire: they are rebuilt
+     lazily on first aggregation over the decoded table. *)
+  { Scheme.values;
+    count_ct;
+    monomial_cts;
+    pre_values = Array.map (fun chs -> Array.make (Array.length chs) None) values;
+    pre_count = None }
 
 let put_sse_index (s : W.sink) (i : Sse.index) : unit =
   W.put_u32 s i.Sse.entries;

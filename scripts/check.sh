@@ -117,11 +117,12 @@ trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json) =="
+echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
 dune exec bench/main.exe -- json-pr4
 dune exec bench/main.exe -- json-pr5
+dune exec bench/main.exe -- json-pr6
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -226,6 +227,36 @@ assert doc["passed"], doc
 print(f"BENCH_PR5.json OK: traced/untraced throughput ratio "
       f"{doc['throughput_ratio']:.2f} (bound {doc['ratio_bound']}), "
       f"{doc['traces_captured']} traces captured")
+EOF
+
+echo "== validate BENCH_PR6.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR6.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr6"
+micro = doc["micro"]
+assert micro["pairing_affine_us"] > 0 and micro["pairing_batched_us"] > 0
+# The tentpole claim: the Jacobian/Montgomery multi-pairing engine beats
+# the legacy affine pairing by at least 4x per pairing, and the
+# two-attribute SUM query gains at least 4x end to end.
+assert micro["engine_speedup"] >= 4.0, f"engine speedup {micro['engine_speedup']} < 4.0"
+q = doc["query"]
+assert q["query_speedup"] >= 4.0, f"query speedup {q['query_speedup']} < 4.0"
+# The rewrite must not change what gets counted: one pairing per row per
+# block (B^arity) per CRT channel, exactly as before.
+assert q["pairings"] == q["expected_pairings"], (q["pairings"], q["expected_pairings"])
+assert q["prod_calls"] > 0, "no batched pairing calls recorded"
+assert q["invm_batch"] > 0, "batched inversion never used"
+assert q["invm"] < q["pairings"], \
+    f"per-step inversions did not collapse: invm {q['invm']} >= pairings {q['pairings']}"
+assert doc["passed"], doc
+
+print(f"BENCH_PR6.json OK: engine {micro['engine_speedup']:.1f}x, "
+      f"query {q['query_speedup']:.1f}x, pairings {q['pairings']} (model exact)")
 EOF
 
 echo "== all checks passed =="

@@ -98,6 +98,33 @@ let test_bgn_level2_additive () =
   let r = Bgn.rerandomize2 pk drbg (Bgn.mul pk ca cb) in
   Alcotest.(check (option int)) "rerandomize2" (Some 42) (Bgn.dec2 kp table2 ~max:1000 r)
 
+let test_bgn_mul_many () =
+  let table2 = Bgn.make_dec2_table kp ~max:1000 in
+  (* The batched product-of-pairings path must agree with folding mul
+     results through add2: 6*7 + 10*3 + 4*5 = 92. *)
+  let pairs =
+    List.map
+      (fun (a, b) -> (Bgn.enc1_int pk drbg a, Bgn.enc1_int pk drbg b))
+      [ (6, 7); (10, 3); (4, 5) ]
+  in
+  Alcotest.(check (option int)) "mul_many sum of products" (Some 92)
+    (Bgn.dec2 kp table2 ~max:1000 (Bgn.mul_many pk pairs));
+  let folded =
+    List.fold_left (fun acc (a, b) -> Bgn.add2 pk acc (Bgn.mul pk a b)) Bgn.zero2 pairs
+  in
+  Alcotest.(check (option int)) "matches termwise fold" (Some 92)
+    (Bgn.dec2 kp table2 ~max:1000 folded);
+  Alcotest.(check (option int)) "empty batch is zero2" (Some 0)
+    (Bgn.dec2 kp table2 ~max:1000 (Bgn.mul_many pk []));
+  (* Precomputed left arguments: one cache per distinct ciphertext,
+     reused across two different batches. *)
+  let ca = Bgn.enc1_int pk drbg 11 and cb = Bgn.enc1_int pk drbg 2 in
+  let pre = Bgn.precompute1 pk ca in
+  Alcotest.(check (option int)) "mul_many_pre" (Some 22)
+    (Bgn.dec2 kp table2 ~max:1000 (Bgn.mul_many_pre pk [ (pre, cb) ]));
+  Alcotest.(check (option int)) "precomp reused" (Some 33)
+    (Bgn.dec2 kp table2 ~max:1000 (Bgn.mul_many_pre pk [ (pre, Bgn.enc1_int pk drbg 3) ]))
+
 let test_bgn_mul_bilinearity_of_blinding () =
   (* The blinding term must vanish: Enc(m1)·Enc(m2) decrypts to m1·m2
      regardless of the randomness used. Run several times. *)
@@ -229,6 +256,7 @@ let () =
       ( "bgn-level2",
         [ Alcotest.test_case "multiplication" `Quick test_bgn_multiplication;
           Alcotest.test_case "level2 additive" `Quick test_bgn_level2_additive;
+          Alcotest.test_case "mul_many" `Quick test_bgn_mul_many;
           Alcotest.test_case "blinding vanishes" `Quick test_bgn_mul_bilinearity_of_blinding ] );
       ( "crt-channels",
         [ Alcotest.test_case "choose" `Quick test_crt_choose;

@@ -541,7 +541,16 @@ let test_sum_matches_cost_model () =
   Alcotest.(check int) "one joint bucket per dept bucket" 2
     (Metrics.value (Metrics.counter "scheme.agg.joint_buckets"));
   Alcotest.(check bool) "decryption solved discrete logs" true
-    (Metrics.value (Metrics.counter "bgn.dlog.solves") > 0)
+    (Metrics.value (Metrics.counter "bgn.dlog.solves") > 0);
+  (* PR 6: the server side runs batched products of pairings, yet the
+     pairing count itself must still follow the analytic model — and the
+     per-step field inversions of the old affine Miller loop are gone. *)
+  Alcotest.(check int) "pairing.pairings matches bgn.mul" expected_mul
+    (Metrics.value (Metrics.counter "pairing.pairings"));
+  Alcotest.(check bool) "aggregation uses pairing_prod" true
+    (Metrics.value (Metrics.counter "pairing.prod_calls") > 0);
+  Alcotest.(check bool) "invm collapsed below one per pairing" true
+    (Metrics.value (Metrics.counter "bigint.invm") < expected_mul)
 
 let test_count_needs_no_pairings () =
   with_metrics @@ fun () ->

@@ -157,6 +157,39 @@ let t_invm = R.test ~count:200 ~name:"invm inverts exactly the units"
       | Some inv -> Z.equal (Z.mulm a inv m) (Z.erem Z.one m)
       | None -> not (Z.equal (Z.gcd a m) Z.one))
 
+let odd_modulus_gen = Gen.map (fun z -> Z.succ (Z.mul_int (Z.add (Z.abs z) Z.one) 2)) (Gen.bigint ~bits:128 ())
+
+let t_invm_batch = R.test ~count:100 ~name:"invm_batch agrees with per-element invm"
+    (R.arbitrary
+       ~print:(fun (xs, m) ->
+         Printf.sprintf "([%s], %s)"
+           (String.concat "; " (List.map Z.to_string xs))
+           (Z.to_string m))
+       (Gen.pair (Gen.list ~max_len:8 (Gen.bigint ())) modulus_gen))
+    (fun (xs, m) ->
+      (* Keep only units so the batch is well-defined. *)
+      let xs = List.filter (fun x -> Z.equal (Z.gcd x m) Z.one) xs in
+      let arr = Array.of_list xs in
+      let batch = Z.invm_batch arr m in
+      Array.length batch = Array.length arr
+      && Array.for_all2 (fun x inv -> Z.equal inv (Z.invm_exn x m)) arr batch)
+
+let t_mont = R.test ~count:150 ~name:"Mont ring ops match plain modular arithmetic"
+    (R.arbitrary
+       ~print:(fun ((a, b), m) ->
+         Printf.sprintf "((%s, %s), %s)" (Z.to_string a) (Z.to_string b) (Z.to_string m))
+       (Gen.pair (Gen.pair (Gen.bigint ()) (Gen.bigint ())) odd_modulus_gen))
+    (fun ((a, b), m) ->
+      let c = Z.Mont.make m in
+      let ma = Z.Mont.of_z c a and mb = Z.Mont.of_z c b in
+      Z.equal (Z.Mont.to_z c ma) (Z.erem a m)
+      && Z.equal (Z.Mont.to_z c (Z.Mont.mul c ma mb)) (Z.mulm a b m)
+      && Z.equal (Z.Mont.to_z c (Z.Mont.add c ma mb)) (Z.addm a b m)
+      && Z.equal (Z.Mont.to_z c (Z.Mont.sub c ma mb)) (Z.subm a b m)
+      && Z.equal (Z.Mont.to_z c (Z.Mont.one c)) (Z.erem Z.one m)
+      && Z.Mont.is_zero (Z.Mont.zero c)
+      && Z.Mont.equal ma (Z.Mont.of_z c (Z.add a m)))
+
 let t_egcd = R.test ~count:300 ~name:"egcd Bezout identity" z2_arb
     (fun (a, b) ->
       let g, x, y = Z.egcd a b in
@@ -285,5 +318,6 @@ let () =
   R.run ~suite:"test_prop_bigint"
     [ t_add_comm; t_add_assoc; t_mul_comm; t_mul_assoc; t_distrib; t_add_sub; t_neg; t_mul_int;
       t_divmod; t_ediv; t_divmod_native; t_string_rt; t_hex_rt; t_bytes_rt; t_shift; t_num_bits;
-      t_powm_iter; t_powm_add; t_invm; t_egcd; t_crt; t_jacobi_mult; t_jacobi_square; t_sqrtm;
+      t_powm_iter; t_powm_add; t_invm; t_invm_batch; t_mont; t_egcd; t_crt; t_jacobi_mult;
+      t_jacobi_square; t_sqrtm;
       t_random_below; t_division_edges ]

@@ -143,6 +143,87 @@ let t_infinity = R.test ~count:8 ~name:"pairing with infinity is 1" point_arb
 let t_target_order = R.test ~count:6 ~name:"pairing lands in mu_n" point2_arb
     (fun (p, q) -> Pairing.gt_equal (Pairing.gt_pow group (e p q) n61) Pairing.gt_one)
 
+(* --- multi-pairing / precomputation surface ----------------------------------- *)
+
+let t_new_vs_affine = R.test ~count:12 ~name:"fast pairing equals affine reference" point2_arb
+    (fun (p, q) -> Pairing.gt_equal (Pairing.pairing group p q) (Pairing.pairing_affine group p q))
+
+let t_precomp_reuse = R.test ~count:8 ~name:"one precomp serves many right points" point3_arb
+    (fun (p, q, r) ->
+      let pre = Pairing.precompute group p in
+      Pairing.gt_equal (Pairing.pairing_prod group [ (pre, q) ]) (e p q)
+      && Pairing.gt_equal (Pairing.pairing_prod group [ (pre, r) ]) (e p r))
+
+let t_prod_product = R.test ~count:8 ~name:"pairing_prod equals product of pairings"
+    (R.arbitrary
+       ~print:(fun pairs ->
+         String.concat "; " (List.map (fun (p, q) -> pp2 (p, q)) pairs))
+       (Gen.list ~max_len:3 (Gen.pair point_gen point_gen)))
+    (fun pairs ->
+      let prod =
+        Pairing.pairing_prod group
+          (List.map (fun (p, q) -> (Pairing.precompute group p, q)) pairs)
+      in
+      let expected =
+        List.fold_left
+          (fun acc (p, q) -> Pairing.gt_mul group acc (Pairing.pairing_affine group p q))
+          Pairing.gt_one pairs
+      in
+      Pairing.gt_equal prod expected)
+
+let t_prod_infinity = R.test ~count:6 ~name:"pairing_prod skips infinity pairs" point2_arb
+    (fun (p, q) ->
+      let pre_p = Pairing.precompute group p in
+      let pre_inf = Pairing.precompute group Curve.Infinity in
+      Pairing.gt_equal
+        (Pairing.pairing_prod group [ (pre_p, q); (pre_inf, q); (pre_p, Curve.Infinity) ])
+        (e p q)
+      && Pairing.gt_equal (Pairing.pairing_prod group []) Pairing.gt_one)
+
+let t_prod_additive = R.test ~count:8 ~name:"e(P+Q, R) via one pairing_prod call" point3_arb
+    (fun (p, q, r) ->
+      (* Multi-pairing form of the additive law: one call, shared final
+         exponentiation, versus two affine pairings multiplied in G_T. *)
+      let lhs =
+        Pairing.pairing_prod group
+          [ (Pairing.precompute group p, r); (Pairing.precompute group q, r) ]
+      in
+      Pairing.gt_equal lhs (e (Curve.add params p q) r))
+
+let t_mul_batch = R.test ~count:10 ~name:"mul_batch agrees with scalar mul"
+    (R.arbitrary
+       ~print:(fun pairs ->
+         String.concat "; "
+           (List.map (fun (k, pt) -> Printf.sprintf "%s·%s" (Z.to_string k) (Curve.to_string pt)) pairs))
+       (Gen.list ~max_len:5 (Gen.pair scalar_gen point_gen)))
+    (fun pairs ->
+      let arr = Array.of_list pairs in
+      let batch = Curve.mul_batch params arr in
+      Array.length batch = Array.length arr
+      && Array.for_all2 (fun (k, pt) b -> Curve.equal b (Curve.mul params k pt)) arr batch)
+
+let t_composite_prod = R.test ~count:4 ~name:"composite order: fast equals affine on projected points"
+    (R.arbitrary
+       ~print:(fun s -> Printf.sprintf "%S" s)
+       (Gen.bytes_size (Gen.return 16)))
+    (fun seed ->
+      let d = Sagma_crypto.Drbg.create ("compfast|" ^ seed) in
+      let rng = Sagma_crypto.Drbg.rng d in
+      let cp = group_comp.Pairing.curve in
+      let p = Pairing.random_order_n_point group_comp rng in
+      let q = Pairing.random_order_n_point group_comp rng in
+      (* Small-order points make the Miller ladder hit the mid-loop
+         vertical/infinity edge cases; both paths must agree there. *)
+      let p1 = Curve.mul cp q1 p in
+      let q2pt = Curve.mul cp q2 q in
+      Pairing.gt_equal (Pairing.pairing group_comp p1 q) (Pairing.pairing_affine group_comp p1 q)
+      && Pairing.gt_equal
+           (Pairing.pairing group_comp p1 q2pt)
+           (Pairing.pairing_affine group_comp p1 q2pt)
+      && Pairing.gt_equal
+           (Pairing.pairing group_comp q2pt p1)
+           (Pairing.pairing_affine group_comp q2pt p1))
+
 (* --- target group helpers ---------------------------------------------------- *)
 
 let t_gt_ops = R.test ~count:8 ~name:"gt helpers are consistent"
@@ -181,4 +262,6 @@ let () =
   R.run ~suite:"test_prop_pairing"
     [ t_closure; t_add_comm; t_add_assoc; t_identity; t_double; t_mul_distrib; t_mul_assoc;
       t_mul_small; t_order; t_bilinear; t_additive; t_symmetric; t_scalar_slides;
-      t_nondegenerate; t_infinity; t_target_order; t_gt_ops; t_composite ]
+      t_nondegenerate; t_infinity; t_target_order; t_new_vs_affine; t_precomp_reuse;
+      t_prod_product; t_prod_infinity; t_prod_additive; t_mul_batch; t_composite_prod;
+      t_gt_ops; t_composite ]
