@@ -1,0 +1,197 @@
+(* The §4.2 simulator-indistinguishability experiment as a runnable
+   game. One trial = one full SAGMA lifecycle: fresh client keys,
+   encrypt one of the adversary's two equal-leakage tables (or run the
+   simulator on the declared leakage), hand the adversary the server's
+   view, score its guess. *)
+
+module Drbg = Sagma_crypto.Drbg
+module Value = Sagma_db.Value
+module Table = Sagma_db.Table
+module Query = Sagma_db.Query
+module Sse = Sagma_sse.Sse
+module Dbgen = Sagma_prop.Dbgen
+module W = Sagma_wire.Wire
+open Sagma
+
+type variant = Honest | Leaky_sse
+
+module Int_set = Set.Make (Int)
+
+(* --- the adversary's chosen instance ---------------------------------------
+
+   An equal-leakage (table, query list) pair plus the public context the
+   adversary keeps: the dummy plan (it chose the padding) and which
+   query scans the full table. *)
+
+type instance = {
+  config : Config.t;
+  domains : (string * Value.t list) list;
+  t0 : Table.t;
+  t1 : Table.t;
+  queries : Query.t list;
+  dummy_groups : Value.t array list;
+  full_scan : int;    (* index into [queries] of the full GROUP BY scan *)
+  num_real : int;     (* rows per table (they agree) *)
+  num_total : int;    (* + dummy rows: the leaked row count *)
+}
+
+let instance_of_seed (seed : string) : instance =
+  let d = Drbg.create ("sim-ind-instance|" ^ seed) in
+  let sc, t1 = Dbgen.equal_leakage_pair_gen ~max_rows:6 ~max_queries:2 () d in
+  let config =
+    Config.make ~bucket_size:sc.Dbgen.bucket_size ~max_group_attrs:sc.Dbgen.max_group_attrs
+      ~filter_columns:(List.map fst sc.Dbgen.filter_domains)
+      ~value_columns:sc.Dbgen.value_columns
+      ~group_columns:(List.map fst sc.Dbgen.group_domains) ()
+  in
+  (* The coverage detector needs one query whose bucket tokens touch
+     every bucket of a column — a plain full-table GROUP BY. *)
+  let scan = Query.make ~group_by:[ fst (List.hd sc.Dbgen.group_domains) ] Query.Count in
+  let queries = sc.Dbgen.queries @ [ scan ] in
+  (* Two dummy rows: first and last member of each group domain — the
+     §5 padding whose presence in the access patterns is exactly what
+     the leaky variant drops. *)
+  let pick f = Array.of_list (List.map (fun (_, dom) -> f dom) sc.Dbgen.group_domains) in
+  let dummy_groups = [ pick List.hd; pick (fun dom -> List.nth dom (List.length dom - 1)) ] in
+  let num_real = Table.row_count sc.Dbgen.table in
+  { config;
+    domains = sc.Dbgen.group_domains;
+    t0 = sc.Dbgen.table;
+    t1;
+    queries;
+    dummy_groups;
+    full_scan = List.length queries - 1;
+    num_real;
+    num_total = num_real + List.length dummy_groups }
+
+(* --- the adversary's view ---------------------------------------------------
+
+   What the server stores and observes, with PRF token tags
+   canonicalized to first-occurrence classes: real and simulated
+   transcripts never share literal tags (different keys), only the
+   repetition structure — the search pattern — is information. *)
+
+type transcript = {
+  rows : string array;                (* serialized per-row ciphertexts *)
+  index_entries : int;
+  obs : (int * int list) list list;   (* per query: (tag class, access pattern) *)
+}
+
+let canonicalize (per_query : (string * int list) list list) : (int * int list) list list =
+  let classes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (List.map (fun (tag, matches) ->
+         let c =
+           match Hashtbl.find_opt classes tag with
+           | Some c -> c
+           | None ->
+             let c = Hashtbl.length classes in
+             Hashtbl.add classes tag c;
+             c
+         in
+         (c, matches)))
+    per_query
+
+let real_transcript ~(leaky : bool) (inst : instance) (enc : Scheme.enc_table)
+    (tokens : Scheme.token list) : transcript =
+  let leak = Leakage.profile enc tokens in
+  let censor matches =
+    (* The leaky server's index never lists dummy rows (ids at and past
+       [num_real]): its observable access patterns under-report. *)
+    if leaky then List.filter (fun id -> id < inst.num_real) matches else matches
+  in
+  { rows = Array.map (W.encode Serialize.put_enc_row) enc.Scheme.rows;
+    index_entries = Sse.size enc.Scheme.index;
+    obs =
+      canonicalize
+        (List.map
+           (fun (q : Leakage.query_leakage) ->
+             List.map
+               (fun (o : Leakage.sse_observation) ->
+                 (o.Leakage.token_tag, censor o.Leakage.matches))
+               q.Leakage.observations)
+           leak.Leakage.queries) }
+
+let sim_transcript (leak : Leakage.t) (sim : Leakage.simulated) : transcript =
+  (* The simulated view is produced the same way a server would: search
+     the simulated index with the simulated tokens — not by echoing the
+     leakage — so a simulator that failed to replay the leaked patterns
+     would be distinguishable here. *)
+  { rows = Array.map (W.encode Serialize.put_enc_row) sim.Leakage.sim_rows;
+    index_entries = Sse.size sim.Leakage.sim_index;
+    obs =
+      canonicalize
+        (List.map
+           (fun (q : Leakage.query_leakage) ->
+             List.map
+               (fun (o : Leakage.sse_observation) ->
+                 let matches =
+                   match List.assoc_opt o.Leakage.token_tag sim.Leakage.sim_tokens with
+                   | Some tok -> Sse.search sim.Leakage.sim_index tok
+                   | None -> []
+                 in
+                 (o.Leakage.token_tag, matches))
+               q.Leakage.observations)
+           leak.Leakage.queries) }
+
+(* --- the distinguisher ------------------------------------------------------
+
+   Checks the transcript against what the declared leakage licenses; a
+   violation can only come from a deviating real implementation, so it
+   answers "real" — otherwise "simulated". Against an honest scheme
+   neither world violates anything and the guess carries no
+   information. *)
+
+let guesses_real (inst : instance) (tr : transcript) : bool =
+  let full_scan_covers =
+    let covered =
+      List.fold_left
+        (fun acc (_, matches) -> List.fold_left (fun acc id -> Int_set.add id acc) acc matches)
+        Int_set.empty
+        (List.nth tr.obs inst.full_scan)
+    in
+    Int_set.cardinal covered = inst.num_total
+  in
+  let duplicate_rows =
+    let seen = Hashtbl.create (Array.length tr.rows) in
+    Array.exists
+      (fun bytes ->
+        if Hashtbl.mem seen bytes then true
+        else begin
+          Hashtbl.add seen bytes ();
+          false
+        end)
+      tr.rows
+  in
+  (not full_scan_covers) || duplicate_rows
+
+(* --- the game --------------------------------------------------------------- *)
+
+let game ?trials ?confidence ?(variant = Honest) ~(seed : string) () : Game.outcome =
+  let name =
+    match variant with Honest -> "sim-ind-4.2" | Leaky_sse -> "sim-ind-4.2-leaky-sse"
+  in
+  let inst = instance_of_seed seed in
+  let leaky = variant = Leaky_sse in
+  Game.play ?trials ?confidence ~name ~seed (fun d ->
+      let client = Scheme.setup inst.config ~domains:inst.domains d in
+      let tokens = List.map (Scheme.token client) inst.queries in
+      let real = Drbg.bool d in
+      let tr =
+        if real then begin
+          (* A second hidden coin picks which of the adversary's two
+             equal-leakage tables gets encrypted: with equal leakage the
+             transcript must not depend on the choice, so revealing
+             nothing extra to the adversary. *)
+          let t = if Drbg.bool d then inst.t1 else inst.t0 in
+          let enc = Scheme.encrypt_table ~dummy_groups:inst.dummy_groups client t in
+          real_transcript ~leaky inst enc tokens
+        end
+        else begin
+          let enc = Scheme.encrypt_table ~dummy_groups:inst.dummy_groups client inst.t0 in
+          let leak = Leakage.profile enc tokens in
+          let sim = Leakage.simulate client.Scheme.pp.Scheme.bgn_pk leak d in
+          sim_transcript leak sim
+        end
+      in
+      guesses_real inst tr = real)

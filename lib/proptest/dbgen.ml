@@ -105,6 +105,49 @@ let scenario_gen ?(max_rows = 12) ?(max_queries = 3) () : scenario Gen.t =
   { bucket_size; max_group_attrs; value_columns; group_domains; filter_domains; schema; rows;
     table; queries }
 
+(* An equal-leakage pair: the §4.2 leakage function sees only bucket and
+   filter keywords (derived from group/filter cells) plus public shapes,
+   never the aggregated values — so two tables sharing every group and
+   filter cell but differing in a value column have identical leakage
+   under any query sequence. That is exactly the precondition of the
+   simulator-indistinguishability game; the generator enforces it by
+   construction (value columns sit first in the scenario schema), and a
+   property in test_games re-checks it through Leakage.profile. *)
+let equal_leakage_pair_gen ?(max_rows = 8) ?(max_queries = 3) () :
+    (scenario * Table.t) Gen.t =
+ fun d ->
+  let sc = scenario_gen ~max_rows ~max_queries () d in
+  (* At least one row, so "different plaintexts" is satisfiable. *)
+  let sc =
+    if sc.rows <> [] then sc
+    else begin
+      let row =
+        Array.of_list
+          (List.map (fun _ -> Value.Int (Gen.int_edgy 0 99 d)) sc.value_columns
+          @ List.map (fun (_, dom) -> Gen.oneofl dom d) sc.group_domains
+          @ List.map (fun (_, dom) -> Gen.oneofl dom d) sc.filter_domains)
+      in
+      let rows = [ row ] in
+      { sc with rows; table = Table.of_rows sc.schema rows }
+    end
+  in
+  let num_values = List.length sc.value_columns in
+  let rows' =
+    List.map
+      (fun row ->
+        let row' = Array.copy row in
+        for j = 0 to num_values - 1 do
+          (* (v + k) mod 100 with k in [1, 99] never maps v to itself,
+             so every value cell of the twin differs. *)
+          match row'.(j) with
+          | Value.Int v -> row'.(j) <- Value.Int ((v + Gen.int_range 1 99 d) mod 100)
+          | _ -> ()
+        done;
+        row')
+      sc.rows
+  in
+  (sc, Table.of_rows sc.schema rows')
+
 (* Shrinking drops rows first (the usual culprit carrier), then queries. *)
 let scenario_shrink : scenario Shrink.t =
  fun sc ->

@@ -35,6 +35,15 @@ val query_gen :
 
 val scenario_gen : ?max_rows:int -> ?max_queries:int -> unit -> scenario Gen.t
 
+val equal_leakage_pair_gen :
+  ?max_rows:int -> ?max_queries:int -> unit -> (scenario * Table.t) Gen.t
+(** A scenario (with at least one row) plus a twin table with identical
+    group and filter cells but different value-column plaintexts in
+    every row — an equal-leakage pair under the §4.2 leakage function,
+    the chosen-input precondition of the simulator-indistinguishability
+    game ({!Sagma_games.Sim_ind}). Equality of the two
+    [Sagma.Leakage.profile]s is property-checked in [test_games]. *)
+
 val scenario_shrink : scenario Shrink.t
 (** Drops rows first, then queries (never below one query). *)
 

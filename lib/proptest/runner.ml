@@ -64,6 +64,39 @@ let shrink_loop (arb : 'a arbitrary) (prop : 'a -> bool) (x0 : 'a) (why0 : strin
 let case_seed (seed : string) (i : int) : string =
   if i = 0 then seed else Printf.sprintf "%s@%d" seed i
 
+(* --- binomial statistics (shared with the security games) ------------------
+
+   A distinguisher that wins w of n independent trials has observed win
+   rate p̂ = w/n; the Wilson score interval around p̂ is the acceptance
+   region the games use: the scheme passes as long as the interval still
+   contains the blind-guess rate 1/2. Wilson (rather than the normal
+   approximation) stays sane at p̂ near 0 or 1, exactly where a broken
+   scheme lands. *)
+
+let z_for_confidence (c : float) : float =
+  (* Two-sided normal quantiles for the confidence levels the harness
+     uses; anything else maps to the nearest, erring conservative. *)
+  if c >= 0.999 then 3.2905
+  else if c >= 0.99 then 2.5758
+  else if c >= 0.95 then 1.9600
+  else 1.6449
+
+let wilson_interval ~(wins : int) ~(trials : int) ~(z : float) : float * float =
+  if trials <= 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int wins /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = p +. (z2 /. (2.0 *. n)) in
+    let margin = z *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n))) in
+    (Float.max 0.0 ((center -. margin) /. denom), Float.min 1.0 ((center +. margin) /. denom))
+  end
+
+let advantage ~(wins : int) ~(trials : int) : float =
+  if trials <= 0 then 0.0
+  else Float.abs ((float_of_int wins /. float_of_int trials) -. 0.5)
+
 let test ?(count = 100) ~(name : string) (arb : 'a arbitrary) (prop : 'a -> bool) : test =
   let body ~seed ~count =
     let failure = ref None in
@@ -114,7 +147,11 @@ let effective_count (t : test) : int =
     | Some pct -> Stdlib.max 1 (t.count * pct / 100)
     | None -> t.count)
 
-let run ?seed ~(suite : string) (tests : test list) : unit =
+let failure_of ?(seed = default_seed) ?count (t : test) : (string * string) option =
+  let count = match count with Some n -> n | None -> t.count in
+  t.body ~seed ~count
+
+let run_result ?seed ~(suite : string) (tests : test list) : int =
   let seed =
     match env_seed () with
     | Some s -> s
@@ -136,8 +173,9 @@ let run ?seed ~(suite : string) (tests : test list) : unit =
           cs suite;
         Printf.printf "       (equivalently: Runner.run ~seed:%S with count 1)\n%!" cs)
     tests;
-  if !failures > 0 then begin
-    Printf.printf "%s: %d FAILED\n%!" suite !failures;
-    exit 1
-  end
-  else Printf.printf "%s: all passed\n%!" suite
+  if !failures > 0 then Printf.printf "%s: %d FAILED\n%!" suite !failures
+  else Printf.printf "%s: all passed\n%!" suite;
+  !failures
+
+let run ?seed ~(suite : string) (tests : test list) : unit =
+  if run_result ?seed ~suite tests > 0 then exit 1

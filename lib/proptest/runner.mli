@@ -35,7 +35,47 @@ val test : ?count:int -> name:string -> 'a arbitrary -> ('a -> bool) -> test
 
 val default_seed : string
 
+val case_seed : string -> int -> string
+(** [case_seed seed i] is the seed of case [i]: [seed] itself for
+    [i = 0], [seed ^ "@" ^ i] otherwise — the string failure reports
+    print, and the convention the security games ({!Sagma_games.Game})
+    reuse for per-trial replay. *)
+
 val run : ?seed:string -> suite:string -> test list -> unit
 (** Run every test, print one line per property, and [exit 1] when any
     failed — wired as the main of each [test_prop_*] executable under
     [dune runtest]. *)
+
+val run_result : ?seed:string -> suite:string -> test list -> int
+(** Like {!run} but returns the number of failed properties instead of
+    exiting, so harnesses that mix properties with other checks (the
+    games runner) can combine failure counts into one exit status —
+    and so the exit path itself is testable: [run] is exactly
+    [exit 1 iff run_result > 0]. *)
+
+val failure_of : ?seed:string -> ?count:int -> test -> (string * string) option
+(** Run one test silently and return [Some (case_seed, report)] for its
+    first failure (after shrinking), [None] when every case passes.
+    [count] defaults to the test's own count, ignoring the environment
+    overrides. Meta-testing hook: lets a suite assert that a
+    deliberately broken property fails, shrinks, and that its printed
+    seed replays to the same minimal counterexample. *)
+
+(** {1 Binomial statistics}
+
+    Shared by the security games: a distinguisher winning [wins] of
+    [trials] fair-coin trials is statistically indistinguishable from
+    blind guessing as long as 1/2 lies inside the Wilson score interval
+    of its observed win rate. *)
+
+val z_for_confidence : float -> float
+(** Two-sided normal quantile for a confidence level (supported points:
+    0.90, 0.95, 0.99, 0.999; others round to the nearest). *)
+
+val wilson_interval : wins:int -> trials:int -> z:float -> float * float
+(** Wilson score interval [(lo, hi)] for the underlying win probability,
+    clamped to [\[0, 1\]]. Well-behaved at observed rates 0 and 1, where
+    broken schemes land. *)
+
+val advantage : wins:int -> trials:int -> float
+(** Observed distinguishing advantage [|wins/trials - 1/2|]. *)

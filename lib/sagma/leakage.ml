@@ -83,6 +83,38 @@ let profile (et : Scheme.enc_table) (tokens : Scheme.token list) : t =
     index_size = Sse.size et.Scheme.index;
     queries = List.map (of_query et) tokens }
 
+(* --- leakage equality -------------------------------------------------------
+
+   Token tags are PRF outputs, so two leakage profiles taken under
+   different keys (or against a simulator) never share literal tags even
+   when they describe the same view. What is meaningful is the *search
+   pattern* — which observations repeat a tag — so equality compares
+   profiles after renaming each distinct tag to its first-occurrence
+   index. *)
+
+let canonical (leak : t) : t =
+  let classes : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let class_of tag =
+    match Hashtbl.find_opt classes tag with
+    | Some c -> c
+    | None ->
+      let c = Printf.sprintf "#%d" (Hashtbl.length classes) in
+      Hashtbl.add classes tag c;
+      c
+  in
+  { leak with
+    queries =
+      List.map
+        (fun q ->
+          { q with
+            observations =
+              List.map
+                (fun o -> { o with token_tag = class_of o.token_tag })
+                q.observations })
+        leak.queries }
+
+let equal (a : t) (b : t) : bool = canonical a = canonical b
+
 (* --- leakage audit glue ----------------------------------------------------
 
    [Scheme.aggregate] records every index access it performs as an
@@ -232,3 +264,28 @@ let simulate (pk : Bgn.public_key) (leak : t) (drbg : Drbg.t) : simulated =
   { sim_rows;
     sim_index;
     sim_tokens = Hashtbl.fold (fun tag tok acc -> (tag, tok) :: acc) tokens [] }
+
+(* Deterministic byte serialization of a simulated transcript: dictionary
+   entries and tokens are emitted in sorted order so the bytes depend
+   only on the transcript's content, never on hash-table internals —
+   which makes "same DRBG seed ⇒ byte-identical simulation" a testable
+   (and pinned) property. *)
+let transcript_bytes (s : simulated) : string =
+  let module W = Sagma_wire.Wire in
+  let sink = W.sink () in
+  W.put_array sink Serialize.put_enc_row s.sim_rows;
+  let entries =
+    Hashtbl.fold (fun label v acc -> (label, v) :: acc) s.sim_index.Sse.dict []
+    |> List.sort compare
+  in
+  W.put_list sink
+    (fun k (label, v) ->
+      W.put_bytes k label;
+      W.put_bytes k v)
+    entries;
+  W.put_list sink
+    (fun k (tag, tok) ->
+      W.put_bytes k tag;
+      Serialize.put_sse_token k tok)
+    (List.sort compare s.sim_tokens);
+  W.contents sink

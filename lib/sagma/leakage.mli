@@ -40,6 +40,18 @@ val of_query : Scheme.enc_table -> Scheme.token -> query_leakage
 val profile : Scheme.enc_table -> Scheme.token list -> t
 (** Materialize L for a query sequence. *)
 
+val canonical : t -> t
+(** Rename every distinct token tag to its first-occurrence index
+    ([#0], [#1], …). Tags are PRF outputs, so profiles taken under
+    different keys never share literal tags; only the repetition
+    structure (the search pattern) carries information. *)
+
+val equal : t -> t -> bool
+(** Structural equality of {!canonical} forms — the "equal leakage"
+    predicate of the §4.2 games: two (table, query list) pairs with
+    [equal] profiles must be indistinguishable to the server
+    ({!Sagma_games.Sim_ind} checks exactly this). *)
+
 (** {1 Leakage audit}
 
     {!Scheme.aggregate} records every index access it performs as a
@@ -69,3 +81,9 @@ val simulate : Bgn.public_key -> t -> Drbg.t -> simulated
     encryptions of 0 (semantic security), a programmed SSE dictionary
     reproducing the leaked access patterns, random padding to the leaked
     index size. *)
+
+val transcript_bytes : simulated -> string
+(** Deterministic serialization of a simulated transcript (rows, sorted
+    dictionary entries, sorted tokens): same DRBG seed ⇒ byte-identical
+    output, independent of hash-table iteration order. Tested — and
+    pinned to a regression digest — in [test_games]. *)

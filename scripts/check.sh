@@ -24,6 +24,50 @@ SAGMA_PROP_SEED="sagma-fuzz-smoke" SAGMA_PROP_SCALE=100 \
 SAGMA_PROP_SEED="sagma-fuzz-smoke" \
   dune exec test/test_prop_audit.exe
 
+echo "== security games smoke (pinned seed, reduced trials) =="
+# The adversary games (TESTING.md "Security games"): honest schemes must
+# stay inside the Wilson acceptance region, the leaky mutants must be
+# distinguished. 32 trials (16 for sim-ind) stays above the z^2 ~= 10.8
+# floor where an always-winning adversary's interval clears 1/2.
+SAGMA_GAMES_SEED="sagma-games-smoke" SAGMA_GAMES_TRIALS=32 \
+  SAGMA_GAMES_JSON=GAMES.json dune exec test/test_games.exe
+# A lost game must fail the gate: the EXPECT_FAIL run scores a known
+# leaky scheme against the honest expectation, so the suite must exit
+# nonzero — this checks the failure path all the way through the shell.
+if SAGMA_GAMES_EXPECT_FAIL=1 dune exec test/test_games.exe > /dev/null 2>&1; then
+  echo "games negative check FAILED: a lost game exited zero" >&2
+  exit 1
+fi
+echo "games negative check OK (lost game exits nonzero)"
+
+echo "== validate GAMES.json =="
+python3 - <<'EOF'
+import json
+
+doc = json.load(open("GAMES.json"))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+games = {g["game"]: g for g in doc["games"]}
+expected = {
+    "ind-cpa-bgn": False,
+    "ind-cpa-paillier": False,
+    "sim-ind-4.2": False,
+    "ind-cpa-bgn-leaky": True,
+    "ind-cpa-paillier-leaky": True,
+    "sim-ind-4.2-leaky-sse": True,
+}
+assert set(games) == set(expected), set(games)
+for name, broken in expected.items():
+    g = games[name]
+    assert g["distinguished"] == broken, (name, g)
+    assert 0.0 <= g["lo"] <= g["hi"] <= 1.0, g
+    assert abs(g["advantage"] - abs(g["win_rate"] - 0.5)) < 1e-9, g
+    if broken:
+        assert g["lo"] > 0.5, (name, g["lo"])
+        assert g["winning_seeds"], f"{name}: no replayable winning seeds"
+
+print(f"GAMES.json OK: {len(games)} games, mutants distinguished, honest within bound")
+EOF
+
 echo "== observability smoke (server --metrics --audit --log-json + Stats RPC) =="
 OBS_DIR=$(mktemp -d)
 OBS_PORT=7499

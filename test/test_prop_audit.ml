@@ -120,10 +120,64 @@ let t_extra_pairing = R.test ~count:10 ~name:"excess paired rows are flagged"
         Printf.printf "    excess pairing escaped: %s\n" (Query.to_sql q);
         false)
 
+(* --- meta: failing audits shrink and replay ------------------------------------ *)
+
+module Table = Sagma_db.Table
+
+(* A deliberately broken property (it rejects any populated table) must
+   fail, shrink to the minimal (table, query) scenario — one row and one
+   query, since the shrinker drops rows first and never drops the last
+   query — and print a case seed that replays to the byte-identical
+   minimized counterexample. This pins the debugging loop every FAIL in
+   this suite relies on. *)
+let shrink_meta_ok () =
+  (* Greedy shrinking recurses into the first still-failing candidate,
+     so the last scenario the property rejects is the reported minimum. *)
+  let minimal = ref None in
+  let broken =
+    R.test ~count:10 ~name:"audit-meta(deliberately broken)" scenario_arb (fun sc ->
+        let failing = Table.row_count sc.Dbgen.table > 0 in
+        if failing then minimal := Some sc;
+        not failing)
+  in
+  (* The report's first line names the failing case index, which
+     legitimately differs on replay (it becomes case 0); everything from
+     the counterexample block on must match byte-for-byte. *)
+  let minimized_part report =
+    match String.index_opt report '\n' with
+    | Some i -> String.sub report i (String.length report - i)
+    | None -> report
+  in
+  match R.failure_of ~seed:"prop-audit-meta" broken with
+  | None ->
+    Printf.printf "  FAIL meta: deliberately broken property did not fail\n";
+    false
+  | Some (cs, report) ->
+    let sc = Option.get !minimal in
+    let is_minimal =
+      Table.row_count sc.Dbgen.table = 1 && List.length sc.Dbgen.queries = 1
+    in
+    if not is_minimal then
+      Printf.printf "  FAIL meta: shrink did not minimize (rows=%d, queries=%d)\n"
+        (Table.row_count sc.Dbgen.table)
+        (List.length sc.Dbgen.queries);
+    let replayed =
+      match R.failure_of ~seed:cs ~count:1 broken with
+      | Some (cs', report') -> cs' = cs && minimized_part report' = minimized_part report
+      | None -> false
+    in
+    if not replayed then
+      Printf.printf "  FAIL meta: case seed %S did not replay the same minimal case\n" cs;
+    if is_minimal && replayed then
+      Printf.printf "  ok   failing audits shrink to (1 row, 1 query) and replay by seed\n";
+    is_minimal && replayed
+
 let () =
-  R.run ~suite:"test_prop_audit" [ t_honest; t_extra_probe; t_extra_pairing ];
+  let failures =
+    R.run_result ~suite:"test_prop_audit" [ t_honest; t_extra_probe; t_extra_pairing ]
+  in
+  let meta_ok = shrink_meta_ok () in
   Printf.printf "test_prop_audit: %d table/query pairs audited\n" !pairs;
-  if !pairs < 200 then begin
+  if !pairs < 200 then
     Printf.printf "test_prop_audit: FAILED — expected at least 200 audited pairs\n";
-    exit 1
-  end
+  if failures > 0 || (not meta_ok) || !pairs < 200 then exit 1
