@@ -33,6 +33,28 @@ let time_ms f =
 
 let header title = Printf.printf "\n== %s ==\n%!" title
 
+(* --- continuous-bench history ----------------------------------------------- *)
+
+(* Every json-* bench appends its headline numbers to BENCH_HISTORY.jsonl,
+   one schema-versioned line per metric, so runs accumulate into a
+   comparable series; scripts/bench_trend replays the file and fails on
+   noise-adjusted regressions against the best prior run. The commit id
+   comes from CI ($GITHUB_SHA) or falls back to "local". *)
+let append_history ~pr ~bench (metrics : (string * float * string) list) =
+  let commit =
+    match Sys.getenv_opt "GITHUB_SHA" with Some s when s <> "" -> s | _ -> "local"
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_HISTORY.jsonl" in
+  List.iter
+    (fun (metric, value, unit_) ->
+      Printf.fprintf oc
+        "{\"schema_version\":1,\"pr\":%d,\"commit\":%S,\"bench\":%S,\"metric\":%S,\
+         \"value\":%g,\"unit\":%S,\"full\":%b}\n"
+        pr commit bench metric value unit_ full)
+    metrics;
+  close_out oc;
+  Printf.printf "appended %d metrics to BENCH_HISTORY.jsonl\n%!" (List.length metrics)
+
 (* --- Figure 5: processing time vs number of rows --------------------------- *)
 
 (* Group by l_returnflag (B = 2 → 2 buckets over {A, N, R}), SUM and COUNT
@@ -637,6 +659,7 @@ let bench_json () =
           ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity"))) ]
   in
   let buf = Buffer.create 4096 in
+  let hist = ref [] in
   Buffer.add_string buf
     (Printf.sprintf "{\"schema_version\":1,\"bench\":\"json\",\"full\":%b,\"rows\":%d,\"workloads\":["
        full rows);
@@ -644,6 +667,7 @@ let bench_json () =
     (fun i (name, client, enc, q) ->
       if i > 0 then Buffer.add_char buf ',';
       let results, snap, spans, span_ms = run_instrumented client enc q in
+      hist := (name ^ ".aggregate_ms", span_ms "aggregate", "ms") :: !hist;
       Printf.printf "%-22s token %8.1f ms   aggregate %8.1f ms   decrypt %8.1f ms   %d groups\n%!"
         name (span_ms "token") (span_ms "aggregate") (span_ms "decrypt") (List.length results);
       Buffer.add_string buf
@@ -662,7 +686,8 @@ let bench_json () =
   output_string oc (Buffer.contents buf);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:1 ~bench:"json" (List.rev !hist)
 
 (* --- BENCH_PR3.json: counter-derived cost model ------------------------------------------ *)
 
@@ -712,6 +737,7 @@ let bench_pr3 () =
         Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity"))) ]
   in
   let buf = Buffer.create 4096 in
+  let hist = ref [] in
   Buffer.add_string buf
     (Printf.sprintf "{\"schema_version\":1,\"bench\":\"pr3\",\"full\":%b,\"rows\":%d,\"workloads\":["
        full rows);
@@ -729,6 +755,10 @@ let bench_pr3 () =
       let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b in
       Printf.printf "%-18s %12d %14.2f %12d %16.1f\n%!" name pairings
         (ratio pairings agg_rows) dlog_solves (ratio giant_steps dlog_solves);
+      hist :=
+        (name ^ ".aggregate_ms", span_ms "aggregate", "ms")
+        :: (name ^ ".pairings_per_row", ratio pairings agg_rows, "ratio")
+        :: !hist;
       Buffer.add_string buf
         (Printf.sprintf
            "{\"name\":\"%s\",\"rows\":%d,\
@@ -753,7 +783,8 @@ let bench_pr3 () =
   output_string oc (Buffer.contents buf);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:3 ~bench:"pr3" (List.rev !hist)
 
 (* --- BENCH_PR4.json: concurrent serving throughput --------------------------------------- *)
 
@@ -932,7 +963,10 @@ let bench_pr4 () =
   output_string oc (Buffer.contents buf);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1)
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:4 ~bench:"pr4"
+    [ ("sequential_rps", rps seq_elapsed, "req_per_s");
+      ("pooled_rps", rps pool_elapsed, "req_per_s"); ("pool_speedup", speedup, "ratio") ]
 
 (* --- BENCH_PR5.json: request tracing overhead ------------------------------------------- *)
 
@@ -1041,6 +1075,9 @@ let bench_pr5 () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:5 ~bench:"pr5"
+    [ ("untraced_rps", rps off_elapsed, "req_per_s"); ("traced_rps", rps on_elapsed, "req_per_s");
+      ("throughput_ratio", ratio, "ratio") ];
   if not passed then
     failwith (Printf.sprintf "bench_pr5: tracing overhead out of bound (ratio %.2f < %.2f)" ratio bound)
 
@@ -1165,8 +1202,165 @@ let bench_pr6 () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  (* No [pairing_batched_us] in the history: a handful-of-us microbench
+     swings well past the trend tolerance run to run, while the
+     within-run [engine_speedup] ratio self-normalizes machine speed
+     away and the ms-scale query time is coarse enough to gate. *)
+  append_history ~pr:6 ~bench:"pr6"
+    [ ("engine_speedup", engine_speedup, "ratio");
+      ("sum_two_attrs.query_ms", query_ms, "ms") ];
   if not passed then
     failwith ("bench_pr6: " ^ String.concat "; " (List.rev !failures))
+
+(* --- BENCH_PR8.json: resource profiler overhead + per-query allocation ------------------- *)
+
+module Prof = Sagma_obs.Prof
+
+(* PR 8 adds span-attributed allocation sampling and per-request GC
+   deltas, both riding the PR 5 tracing path — so the cost question is
+   the same one: serving the PR 4 workload with --trace-sample 1 AND the
+   profiler on must not halve throughput against the untraced baseline.
+   The second headline number is the per-query allocation of the PR 1
+   two-attribute SUM, in minor words: a machine-independent quantity the
+   trend harness can watch for allocation regressions. *)
+let bench_pr8 () =
+  header "BENCH_PR8.json: profiled serving throughput and per-query allocation";
+  let rows = if full then 60 else 12 in
+  let clients = 4 in
+  let requests = if full then 12 else 6 in
+  let workers = 4 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-pr8") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+      (Drbg.create "pr8-client")
+  in
+  let enc = Scheme.encrypt_table client table in
+  let q = Query.make ~group_by:[ "l_returnflag" ] Query.Count in
+  let req = Rpc.Aggregate { name = "t"; token = Scheme.token client q } in
+  let state ?(trace_sample = 0) () =
+    let s = Rpc_server.create ~trace_sample () in
+    (match Rpc_server.handle s (Rpc.Upload { name = "t"; table = enc }) with
+     | Rpc.Ack -> ()
+     | _ -> failwith "bench_pr8: upload failed");
+    s
+  in
+  let total = clients * requests in
+  (* Untraced baseline: collection off, profiler off. *)
+  Obs.set_enabled false;
+  let off_elapsed, off_ok, _ =
+    with_server ~workers ~port:7466 (state ()) (fun () ->
+        drive_clients ~port:7466 ~clients ~requests ~think_s:0. req)
+  in
+  (* Profiled run: every request traced, allocation sampler on. *)
+  Obs.reset ();
+  Trace.reset ();
+  Prof.reset ();
+  Obs.set_enabled true;
+  Prof.start ();
+  let (on_elapsed, on_ok, _), mode, gc_deltas_ok =
+    Fun.protect
+      ~finally:(fun () ->
+        Prof.stop ();
+        Obs.set_enabled false)
+      (fun () ->
+        with_server ~workers ~port:7467 (state ~trace_sample:1 ()) (fun () ->
+            let timing = drive_clients ~port:7467 ~clients ~requests ~think_s:0. req in
+            (* Every traced request must carry a real GC differential. *)
+            let rts = Trace.requests () in
+            let gc_ok =
+              rts <> []
+              && List.for_all (fun rt -> rt.Trace.r_gc.Trace.gc_minor_words > 0) rts
+            in
+            (timing, Prof.mode_name (), gc_ok)))
+  in
+  if off_ok <> total || on_ok <> total then
+    failwith
+      (Printf.sprintf "bench_pr8: dropped requests (untraced %d/%d, profiled %d/%d)" off_ok total
+         on_ok total);
+  let rps elapsed = float_of_int total /. elapsed in
+  let ratio = rps on_elapsed /. rps off_elapsed in
+  let bound = 0.5 in
+  Printf.printf
+    "untraced %8.1f req/s (%.0f ms)   profiled[%s] %8.1f req/s (%.0f ms)   ratio %.2f (bound %.2f)\n%!"
+    (rps off_elapsed) (off_elapsed *. 1000.) mode (rps on_elapsed) (on_elapsed *. 1000.) ratio
+    bound;
+  (* Per-query allocation: one traced, profiled run of the PR 1
+     two-attribute SUM. The gc block gives the minor words, the
+     allocation table names the site the words belong to. *)
+  let pair_config =
+    Config.make ~bucket_size:2 ~max_group_attrs:2 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag"; "l_linestatus" ] ()
+  in
+  let sum_client =
+    Scheme.setup pair_config
+      ~domains:
+        [ ("l_returnflag", [ str "A"; str "N"; str "R" ]);
+          ("l_linestatus", [ str "O"; str "F" ]) ]
+      (Drbg.create "pr8-sum")
+  in
+  let sum_enc = Scheme.encrypt_table sum_client table in
+  let sum_q = Query.make ~group_by:[ "l_returnflag"; "l_linestatus" ] (Query.Sum "l_quantity") in
+  Obs.reset ();
+  Trace.reset ();
+  Prof.reset ();
+  Obs.set_enabled true;
+  Prof.start ();
+  let alloc_words, top_site, top_words =
+    Fun.protect
+      ~finally:(fun () ->
+        Prof.stop ();
+        Prof.reset ();
+        Obs.set_enabled false;
+        Obs.reset ();
+        Trace.reset ())
+      (fun () ->
+        let _, rt = Trace.with_request_full (fun () -> Scheme.query sum_client sum_enc sum_q) in
+        let top_site, top_words =
+          match rt.Trace.r_alloc with (s, w) :: _ -> (s, w) | [] -> ("(none)", 0)
+        in
+        (rt.Trace.r_gc.Trace.gc_minor_words, top_site, top_words))
+  in
+  Printf.printf "sum_two_attrs: %d minor words/query   top site %s (%d sampled words)\n%!"
+    alloc_words top_site top_words;
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check (ratio >= bound)
+    (Printf.sprintf "profiled throughput ratio %.2f < %.2f" ratio bound);
+  check gc_deltas_ok "a traced request reported a zero GC differential";
+  check (alloc_words > 0) "two-attribute SUM reported zero minor words";
+  check (top_site = "pairing_loop")
+    (Printf.sprintf "top allocation site %S, expected pairing_loop" top_site);
+  let passed = !failures = [] in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema_version\":1,\"bench\":\"pr8\",\"full\":%b,\"rows\":%d,\
+        \"clients\":%d,\"requests_per_client\":%d,\"workers\":%d,\
+        \"profiler_mode\":\"%s\",\
+        \"untraced\":{\"elapsed_ms\":%.3f,\"rps\":%.3f},\
+        \"profiled\":{\"elapsed_ms\":%.3f,\"rps\":%.3f},\
+        \"throughput_ratio\":%.3f,\"ratio_bound\":%.2f,\"gc_deltas_ok\":%b,\
+        \"sum_two_attrs\":{\"alloc_minor_words\":%d,\"top_site\":\"%s\",\
+        \"top_site_words\":%d},\"passed\":%b}"
+       full rows clients requests workers mode (off_elapsed *. 1000.) (rps off_elapsed)
+       (on_elapsed *. 1000.) (rps on_elapsed) ratio bound gc_deltas_ok alloc_words
+       (Obs.json_escape top_site) top_words passed);
+  let path = "BENCH_PR8.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:8 ~bench:"pr8"
+    [ ("untraced_rps", rps off_elapsed, "req_per_s");
+      ("profiled_rps", rps on_elapsed, "req_per_s"); ("throughput_ratio", ratio, "ratio");
+      ("sum_two_attrs.alloc_minor_words", float_of_int alloc_words, "words") ];
+  if not passed then failwith ("bench_pr8: " ^ String.concat "; " (List.rev !failures))
 
 (* --- driver ---------------------------------------------------------------------------- *)
 
@@ -1176,7 +1370,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("json-pr6", bench_pr6); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("json-pr6", bench_pr6); ("json-pr8", bench_pr8); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -1186,7 +1380,7 @@ let () =
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
         ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
-        bench_json; bench_pr3; bench_pr4; bench_pr5; bench_pr6; micro ]
+        bench_json; bench_pr3; bench_pr4; bench_pr5; bench_pr6; bench_pr8; micro ]
     else
       List.map
         (fun name ->

@@ -57,8 +57,9 @@ let parse_where (t : Table.t) (clauses : string list) : (string * Value.t) list 
 (* --- query ----------------------------------------------------------------- *)
 
 let run_query csv schema sql sum count_flag avg group_by where bucket_size threshold seed metrics
-    explain =
-  if metrics || explain then Sagma_obs.Metrics.set_enabled true;
+    explain profile =
+  if metrics || explain || profile then Sagma_obs.Metrics.set_enabled true;
+  if profile then Sagma_obs.Prof.start ();
   let _, table = load_table ~csv ~schema in
   let q =
     match sql with
@@ -159,7 +160,19 @@ let run_query csv schema sql sum count_flag avg group_by where bucket_size thres
       (Trace.phase_timings rt.Trace.r_root);
     List.iter
       (fun (k, v) -> if v > 0 then Printf.printf "  cost.%-19s %10d\n" k v)
-      (Trace.cost_fields rt.Trace.r_cost)
+      (Trace.cost_fields rt.Trace.r_cost);
+    (* The gc block: per-request Gc.quick_stat differential. heap_words
+       is a size, not a delta, so it always prints. *)
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "  gc.%-21s %10d\n" k v)
+      (Trace.gc_fields rt.Trace.r_gc);
+    (match rt.Trace.r_alloc with
+     | [] -> ()
+     | sites ->
+       print_endline "  -- allocation sites (words) --";
+       List.iteri
+         (fun i (span, words) -> if i < 10 then Printf.printf "  alloc.%-19s %10d\n" span words)
+         sites)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -343,7 +356,14 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
          x.Sagma_protocol.Protocol.x_timings;
        List.iter
          (fun (k, v) -> if v > 0 then Printf.printf "  cost.%-19s %10d\n" k v)
-         (Trace.cost_fields x.Sagma_protocol.Protocol.x_cost))
+         (Trace.cost_fields x.Sagma_protocol.Protocol.x_cost);
+       (* v5 servers attach the per-request GC differential. *)
+       match x.Sagma_protocol.Protocol.x_gc with
+       | None -> ()
+       | Some gc ->
+         List.iter
+           (fun (k, v) -> if v <> 0 then Printf.printf "  gc.%-21s %10d\n" k v)
+           (Trace.gc_fields gc))
   | Sagma_protocol.Protocol.Failed { code; message } ->
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
@@ -352,13 +372,34 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
    RPC. Rendered human-readable by default; --prometheus emits the
    text-format exposition (what a scrape endpoint would serve), --json
    the structured snapshot. *)
+(* The v5 gc section rendered as the conventional Prometheus
+   process-level families. *)
+let gc_raw_samples (g : Sagma_protocol.Protocol.gc_stats) : (string * float) list =
+  [ ("ocaml_gc_minor_words_total", g.Sagma_protocol.Protocol.gs_minor_words);
+    ("ocaml_gc_promoted_words_total", g.Sagma_protocol.Protocol.gs_promoted_words);
+    ("ocaml_gc_major_words_total", g.Sagma_protocol.Protocol.gs_major_words);
+    ("ocaml_gc_minor_collections_total",
+     float_of_int g.Sagma_protocol.Protocol.gs_minor_collections);
+    ("ocaml_gc_major_collections_total",
+     float_of_int g.Sagma_protocol.Protocol.gs_major_collections);
+    ("ocaml_gc_compactions_total", float_of_int g.Sagma_protocol.Protocol.gs_compactions);
+    ("ocaml_gc_heap_words", float_of_int g.Sagma_protocol.Protocol.gs_heap_words);
+    ("ocaml_gc_top_heap_words", float_of_int g.Sagma_protocol.Protocol.gs_top_heap_words) ]
+
 let run_stats port prometheus json =
   let fd = Sagma_protocol.Transport.connect ~port in
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
   Unix.close fd;
   match resp with
-  | Sagma_protocol.Protocol.Stats_report { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time } ->
-    if prometheus then print_string (Sagma_obs.Export.prometheus sr_snapshot)
+  | Sagma_protocol.Protocol.Stats_report
+      { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time; sr_gc } ->
+    if prometheus then
+      (* The exposition carries the v4 uptime and the v5 heap/GC state
+         rather than dropping them on the floor. *)
+      print_string
+        (Sagma_obs.Export.prometheus ~uptime_s:sr_uptime_s
+           ~raw:(match sr_gc with Some g -> gc_raw_samples g | None -> [])
+           sr_snapshot)
     else if json then print_endline (Sagma_obs.Metrics.snapshot_to_json sr_snapshot)
     else begin
       (if sr_snapshot.Sagma_obs.Metrics.counters = []
@@ -372,6 +413,17 @@ let run_stats port prometheus json =
           (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour
           t.Unix.tm_min t.Unix.tm_sec
       end;
+      (* The heap line arrived with protocol v5; older servers send no
+         gc section. *)
+      (match sr_gc with
+       | Some g ->
+         let mib words = float_of_int words *. float_of_int (Sys.word_size / 8) /. 1048576. in
+         Printf.printf "heap: %.1f MiB (peak %.1f MiB) minor_gcs=%d major_gcs=%d\n"
+           (mib g.Sagma_protocol.Protocol.gs_heap_words)
+           (mib g.Sagma_protocol.Protocol.gs_top_heap_words)
+           g.Sagma_protocol.Protocol.gs_minor_collections
+           g.Sagma_protocol.Protocol.gs_major_collections
+       | None -> ());
       Printf.printf "audit: requests=%d probes=%d checks=%d failures=%d\n"
         sr_audit.Sagma_obs.Audit.s_requests sr_audit.Sagma_obs.Audit.s_probes
         sr_audit.Sagma_obs.Audit.s_checks_run sr_audit.Sagma_obs.Audit.s_check_failures
@@ -379,6 +431,81 @@ let run_stats port prometheus json =
   | Sagma_protocol.Protocol.Failed { code; message } ->
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
+
+(* --- top: live resource dashboard -------------------------------------------
+
+   Polls the Stats RPC at an interval and renders the operational vitals
+   as rates: req/s and pairings/s from counter deltas between polls, p95
+   latency from the proto.request_ms histogram, pool queue depth and
+   in-flight connections from gauges, shed connections from
+   transport.rejected, heap size from the v5 gc section. --once prints a
+   single frame (rates averaged over the server's uptime) and exits —
+   the scripts/CI mode. *)
+
+let fetch_stats port : Sagma_protocol.Protocol.stats_report =
+  let fd = Sagma_protocol.Transport.connect ~port in
+  let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
+  Unix.close fd;
+  match resp with
+  | Sagma_protocol.Protocol.Stats_report r -> r
+  | Sagma_protocol.Protocol.Failed { code; message } ->
+    failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
+  | _ -> failwith "unexpected response"
+
+let run_top port interval once =
+  let module P = Sagma_protocol.Protocol in
+  let module M = Sagma_obs.Metrics in
+  let counter (r : P.stats_report) name =
+    Option.value ~default:0 (List.assoc_opt name r.P.sr_snapshot.M.counters)
+  in
+  let gauge (r : P.stats_report) name = List.assoc_opt name r.P.sr_snapshot.M.gauges in
+  let render ~clear ~(prev : (P.stats_report * float) option) (r : P.stats_report) =
+    (* Rates: deltas between polls once we have two frames, otherwise
+       (and in --once mode) averages over the server's whole uptime. *)
+    let rate name =
+      match prev with
+      | Some (p, dt) when dt > 0. -> float_of_int (counter r name - counter p name) /. dt
+      | _ -> if r.P.sr_uptime_s > 0. then float_of_int (counter r name) /. r.P.sr_uptime_s else 0.
+    in
+    let p95 =
+      match List.assoc_opt "proto.request_ms" r.P.sr_snapshot.M.histograms with
+      | Some h -> Printf.sprintf "%.1f ms" h.M.h_p95
+      | None -> "-"
+    in
+    let gauge_str name =
+      match gauge r name with Some v -> string_of_int v | None -> "-"
+    in
+    let heap =
+      match r.P.sr_gc with
+      | Some g ->
+        Printf.sprintf "%.1f MiB"
+          (float_of_int g.P.gs_heap_words *. float_of_int (Sys.word_size / 8) /. 1048576.)
+      | None -> "-"
+    in
+    if clear then print_string "\027[2J\027[H";
+    Printf.printf "sagma top — 127.0.0.1:%d — uptime %.1fs%s\n\n" port r.P.sr_uptime_s
+      (match prev with None -> " (rates averaged over uptime)" | Some _ -> "");
+    Printf.printf "  %-22s %10.1f\n" "req/s" (rate "proto.requests");
+    Printf.printf "  %-22s %10s\n" "p95 latency" p95;
+    Printf.printf "  %-22s %10.1f\n" "pairings/s" (rate "pairing.pairings");
+    Printf.printf "  %-22s %10s\n" "pool queue depth" (gauge_str "pool.queue_depth");
+    Printf.printf "  %-22s %10s\n" "inflight connections" (gauge_str "transport.inflight");
+    Printf.printf "  %-22s %10d\n" "shed connections" (counter r "transport.rejected");
+    Printf.printf "  %-22s %10d\n" "requests total" (counter r "proto.requests");
+    Printf.printf "  %-22s %10d\n" "requests failed" (counter r "proto.requests_failed");
+    Printf.printf "  %-22s %10s\n%!" "heap" heap
+  in
+  if once then render ~clear:false ~prev:None (fetch_stats port)
+  else begin
+    let prev = ref None in
+    while true do
+      let t0 = Unix.gettimeofday () in
+      let r = fetch_stats port in
+      render ~clear:true ~prev:!prev r;
+      Unix.sleepf interval;
+      prev := Some (r, Unix.gettimeofday () -. t0)
+    done
+  end
 
 (* Pull the server's completed-trace ring (v4 Traces RPC) and export it
    as Chrome trace-event JSON — loadable in chrome://tracing or
@@ -432,12 +559,19 @@ let query_cmd =
     Arg.(value & flag
          & info [ "explain" ]
              ~doc:"Run the query under a trace context and print per-phase timings plus the \
-                   EXPLAIN cost block (pairings, Miller-loop steps, dlog giant steps, ...).")
+                   EXPLAIN cost block (pairings, Miller-loop steps, dlog giant steps, ...) \
+                   and the per-request gc block (minor/major words, collections, heap growth).")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Start the sampling resource profiler for the query: with --explain, the \
+                   EXPLAIN output gains a span-attributed allocation-site table.")
   in
   Cmd.v (Cmd.info "query" ~doc:"Encrypt a CSV and answer an aggregation query over ciphertexts.")
     Term.(
       const run_query $ csv_arg $ schema_arg $ sql $ sum $ count $ avg $ group_by $ where
-      $ bucket $ threshold $ seed $ metrics $ explain)
+      $ bucket $ threshold $ seed $ metrics $ explain $ profile)
 
 let inspect_cmd =
   let column = Arg.(required & opt (some string) None & info [ "column" ] ~doc:"Column to inspect.") in
@@ -519,6 +653,23 @@ let stats_cmd =
        ~doc:"Fetch a sagma_server's metrics snapshot and audit summary (protocol v2).")
     Term.(const run_stats $ port_arg $ prometheus $ json)
 
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~doc:"Seconds between Stats polls (default 2).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print a single frame (rates averaged over the server's uptime) and exit — \
+                   for scripts and CI.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live resource dashboard for a sagma_server: req/s, p95 latency, pairings/s, pool \
+             queue depth, shed connections and heap size, polled over the Stats RPC.")
+    Term.(const run_top $ port_arg $ interval $ once)
+
 let trace_cmd =
   let out =
     Arg.(value & opt string "sagma_trace.json"
@@ -536,4 +687,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd;
-            stats_cmd; trace_cmd ]))
+            stats_cmd; top_cmd; trace_cmd ]))

@@ -7,6 +7,7 @@
        [--workers N] [--max-conns M] [--request-timeout-ms T] \
        [--max-frame BYTES] [--agg-domains D] \
        [--metrics] [--audit] [--trace-sample N] [--slow-query-ms T] \
+       [--profile] [--prof-rate R] \
        [--log-json FILE] [--log-level LEVEL]
 
    --workers    serve connections on an N-domain pool (default 4;
@@ -34,6 +35,11 @@
    --slow-query-ms  requests slower than T ms emit a slow_query log
                 event with their span tree and cost block; implies
                 tracing every request and --metrics. 0 = off.
+   --profile    start the sampling resource profiler (Sagma_obs.Prof):
+                span-attributed allocation sampling plus per-request GC
+                deltas in EXPLAIN/trace exports. Implies --metrics.
+   --prof-rate  Memprof sampling rate in (0,1] (default 0.001); the
+                span-delta fallback sampler ignores it.
    --log-json   append one JSON object per event (request handled,
                 connection opened/closed) to FILE.
    --log-level  debug|info|warn|error (default info).
@@ -55,6 +61,8 @@ let () =
   let audit = ref false in
   let trace_sample = ref 0 in
   let slow_query_ms = ref 0.0 in
+  let profile = ref false in
+  let prof_rate = ref Sagma_obs.Prof.default_rate in
   let log_json = ref "" in
   let log_level = ref "info" in
   let args =
@@ -75,6 +83,10 @@ let () =
        "Trace every Nth request (span tree + EXPLAIN cost; implies --metrics; 0 = off)");
       ("--slow-query-ms", Arg.Set_float slow_query_ms,
        "Log a slow_query event for requests over T ms (implies tracing all; 0 = off)");
+      ("--profile", Arg.Set profile,
+       "Start the sampling resource profiler (allocation sites + GC deltas; implies --metrics)");
+      ("--prof-rate", Arg.Set_float prof_rate,
+       "Memprof sampling rate in (0,1] (default 0.001)");
       ("--log-json", Arg.Set_string log_json, "Append JSON-lines structured logs to FILE");
       ("--log-level", Arg.Set_string log_level, "Log threshold: debug|info|warn|error (default info)") ]
   in
@@ -90,6 +102,12 @@ let () =
      collection on even without an explicit --metrics (the per-request
      stderr dump stays tied to --metrics itself). *)
   if !trace_sample > 0 || !slow_query_ms > 0.0 then Sagma_obs.Metrics.set_enabled true;
+  (* The profiler's per-request attribution rides the request traces,
+     so --profile drags metrics on too. *)
+  if !profile then begin
+    Sagma_obs.Metrics.set_enabled true;
+    Sagma_obs.Prof.start ~rate:!prof_rate ()
+  end;
   let agg_pool =
     if !agg_domains > 1 then Some (Pool.create ~name:"aggregation" ~workers:(!agg_domains - 1) ())
     else None
@@ -108,13 +126,15 @@ let () =
     (if !audit then " (audit on)" else "")
     (if !trace_sample > 0 then Printf.sprintf " (tracing 1/%d)" !trace_sample else "")
     (if !slow_query_ms > 0.0 then Printf.sprintf " (slow-query %gms)" !slow_query_ms else "")
-    (if !log_json <> "" then Printf.sprintf " (logging to %s)" !log_json else "");
+    ((if !profile then Printf.sprintf " (profiling: %s)" (Sagma_obs.Prof.mode_name ()) else "")
+     ^ if !log_json <> "" then Printf.sprintf " (logging to %s)" !log_json else "");
   Log.info "server.start"
     ~fields:
       [ Log.int "port" !port; Log.int "workers" !workers; Log.int "max_conns" !max_conns;
         Log.int "request_timeout_ms" !request_timeout_ms; Log.int "agg_domains" !agg_domains;
         Log.bool "metrics" !metrics; Log.bool "audit" !audit;
         Log.int "trace_sample" !trace_sample; Log.float "slow_query_ms" !slow_query_ms;
+        Log.str "profiler" (Sagma_obs.Prof.mode_name ());
         Log.int "protocol_version" Sagma_protocol.Protocol.version ];
   let after_request =
     if !metrics then begin
@@ -137,5 +157,14 @@ let () =
   if !metrics then
     Format.eprintf "-- final metrics --@.%a@." Sagma_obs.Metrics.pp_snapshot
       (Sagma_obs.Metrics.snapshot ());
+  if !profile then begin
+    Sagma_obs.Prof.stop ();
+    Format.eprintf "-- top allocation sites --@.";
+    List.iter
+      (fun s ->
+        Format.eprintf "%-24s %12d words %8d samples@." s.Sagma_obs.Prof.site_span
+          s.Sagma_obs.Prof.site_words s.Sagma_obs.Prof.site_samples)
+      (Sagma_obs.Prof.top_sites ())
+  end;
   Log.detach ();
   Printf.printf "sagma_server: stopped\n%!"

@@ -32,9 +32,32 @@ let float_value (v : float) : string =
   else if Float.is_nan v then "NaN"
   else Printf.sprintf "%g" v
 
-let prometheus (s : Metrics.snapshot) : string =
+(* [raw] samples carry their final exposition names (the conventional
+   process-level families "ocaml_gc_*" / "process_*" from
+   {!Prof.gc_samples}/{!Prof.process_samples}); they bypass the sagma
+   namespace. Names ending in "_total" are typed counter, everything
+   else gauge. *)
+let prometheus ?uptime_s ?(raw : (string * float) list = []) (s : Metrics.snapshot) : string =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  (match uptime_s with
+   | Some u ->
+     let m = namespace ^ "_uptime_seconds" in
+     line "# HELP %s Seconds since the server started" m;
+     line "# TYPE %s gauge" m;
+     line "%s %s" m (float_value u)
+   | None -> ());
+  List.iter
+    (fun (name, v) ->
+      let m = sanitize name in
+      let typ =
+        if String.length m > 6 && String.sub m (String.length m - 6) 6 = "_total" then "counter"
+        else "gauge"
+      in
+      line "# HELP %s Process-level sample %s" m name;
+      line "# TYPE %s %s" m typ;
+      line "%s %s" m (float_value v))
+    raw;
   List.iter
     (fun (name, v) ->
       let m = metric_name name ^ "_total" in

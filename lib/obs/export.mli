@@ -10,5 +10,10 @@ val metric_name : string -> string
 (** Registry name → namespaced Prometheus identifier
     (["proto.request_ms"] → ["sagma_proto_request_ms"]). *)
 
-val prometheus : Metrics.snapshot -> string
-(** The full exposition page, one sample per line, newline-terminated. *)
+val prometheus : ?uptime_s:float -> ?raw:(string * float) list -> Metrics.snapshot -> string
+(** The full exposition page, one sample per line, newline-terminated.
+    [uptime_s] adds a [sagma_uptime_seconds] gauge. [raw] samples are
+    emitted under their given names unprefixed — the process-level
+    [ocaml_gc_*]/[process_*] families from {!Prof.gc_samples} and
+    {!Prof.process_samples}; names ending in [_total] are typed
+    counter, everything else gauge. *)

@@ -12,7 +12,15 @@
    [completed_requests]. Both are capped so a long-running server cannot
    grow without bound, and both are read/reset under the same lock —
    the old plain-[ref] completed list raced [roots]/[reset] against
-   whichever domain finished a root span. *)
+   whichever domain finished a root span.
+
+   Resource accounting rides the same structures. Every completed
+   request carries a [gc_delta] (Gc.quick_stat differential over the
+   request, on the domain that ran it), and when the profiler
+   ({!Sagma_obs.Prof}) is active each request also accumulates a
+   span-name → allocated-words table: either from Gc.Memprof samples
+   (via [note_alloc]) or, on runtimes without multicore memprof, from
+   allocation deltas measured at span close (via the [prof_hook]). *)
 
 type span = {
   name : string;
@@ -44,28 +52,73 @@ let cost_fields (c : cost) : (string * int) list =
     ("sse_postings", c.sse_postings); ("agg_rows", c.agg_rows);
     ("agg_buckets", c.agg_buckets); ("bytes_in", c.bytes_in); ("bytes_out", c.bytes_out) ]
 
+(* Per-request GC differential, all in words (one word = 8 bytes on
+   64-bit). Word counts come from [Gc.quick_stat], which on OCaml 5 is
+   domain-local for the allocation counters: a request whose row work
+   ran on pool domains undercounts their share, which is the right
+   trade — the numbers are cheap, monotone, and attribute the
+   coordinating domain's allocation exactly. *)
+type gc_delta = {
+  gc_minor_words : int;
+  gc_promoted_words : int;
+  gc_major_words : int;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_heap_words : int;      (* major heap size when the request finished *)
+  gc_heap_growth : int;     (* heap_words delta over the request *)
+}
+
+let zero_gc =
+  { gc_minor_words = 0; gc_promoted_words = 0; gc_major_words = 0; gc_minor_collections = 0;
+    gc_major_collections = 0; gc_heap_words = 0; gc_heap_growth = 0 }
+
+let gc_fields (g : gc_delta) : (string * int) list =
+  [ ("minor_words", g.gc_minor_words); ("promoted_words", g.gc_promoted_words);
+    ("major_words", g.gc_major_words); ("minor_collections", g.gc_minor_collections);
+    ("major_collections", g.gc_major_collections); ("heap_words", g.gc_heap_words);
+    ("heap_growth", g.gc_heap_growth) ]
+
 type rtrace = {
   r_id : string;
   r_start : float;
   r_root : span;
   mutable r_cost : cost;
+  mutable r_gc : gc_delta;
+  mutable r_alloc : (string * int) list;  (* span name → sampled words, largest first *)
 }
 
 (* --- per-domain state ------------------------------------------------------- *)
 
-type frame = { f_name : string; f_start : float; mutable children_rev : span list }
+(* [f_alloc0] is the domain's allocated-words counter when the frame
+   opened, or -1 when the profiler was off at open time; [f_child_w]
+   accumulates the words charged to same-domain children so the close
+   can compute the frame's self-allocation. *)
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable children_rev : span list;
+  mutable f_alloc0 : float;
+  mutable f_child_w : float;
+}
+
+(* The per-request allocation table (span name → words). Written under
+   [lock]: samples can land from any domain that inherited the request
+   context. *)
+type alloc_tab = (string, int) Hashtbl.t
 
 type dstate = {
   mutable d_base : frame option;  (* inherited parent for pool tasks *)
   mutable d_stack : frame list;   (* frames opened on this domain, innermost first *)
+  mutable d_alloc : alloc_tab option;  (* current request's allocation table *)
 }
 
 let state : dstate Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { d_base = None; d_stack = [] })
+  Domain.DLS.new_key (fun () -> { d_base = None; d_stack = []; d_alloc = None })
 
-(* One lock covers cross-domain frame attachment and both completed
-   rings. Span closes are coarse (request phases and aggregation chunks,
-   never per-row work), so the serialization is unmeasurable. *)
+(* One lock covers cross-domain frame attachment, both completed rings
+   and the per-request allocation tables. Span closes are coarse
+   (request phases and aggregation chunks, never per-row work), so the
+   serialization is unmeasurable. *)
 let lock = Mutex.create ()
 
 let completed_roots : span Queue.t = Queue.create ()
@@ -78,11 +131,73 @@ let push_bounded (q : 'a Queue.t) (v : 'a) : unit =
 
 let now () = Unix.gettimeofday ()
 
+(* --- profiler plumbing ------------------------------------------------------- *)
+
+(* When set, span closes measure their allocation delta and report
+   (name, self words) — the fallback sampler for runtimes where
+   Gc.Memprof is unavailable. Checked once per span close; [None] keeps
+   the tracing fast path free of any Gc call. *)
+let prof_hook : (string -> int -> unit) option Atomic.t = Atomic.make None
+
+let set_prof_hook h = Atomic.set prof_hook h
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let current_span_name () : string option =
+  let st = Domain.DLS.get state in
+  match st.d_stack with
+  | fr :: _ -> Some fr.f_name
+  | [] -> (match st.d_base with Some fr -> Some fr.f_name | None -> None)
+
+(* Charge [words] to [span] in the current request's allocation table
+   (a no-op outside a profiled request). Callable from any domain that
+   inherited the request context — Memprof callbacks run on the
+   allocating domain, which is exactly where d_alloc points at the
+   right table. *)
+let note_alloc ~(span : string) ~(words : int) : unit =
+  if words > 0 then begin
+    let st = Domain.DLS.get state in
+    match st.d_alloc with
+    | None -> ()
+    | Some tab ->
+      Mutex.lock lock;
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tab span) in
+      Hashtbl.replace tab span (prev + words);
+      Mutex.unlock lock
+  end
+
+let frame_alloc_base () =
+  match Atomic.get prof_hook with None -> -1. | Some _ -> allocated_words ()
+
+(* Self-allocation of a closing frame: total words since open minus the
+   words already charged to same-domain children. The total (not the
+   self part) rolls up into the parent's child counter so nesting never
+   double-counts. Returns 0 when the profiler was off at open time or
+   is off now. *)
+let frame_self_words (st : dstate) (fr : frame) : int =
+  if fr.f_alloc0 < 0. then 0
+  else
+    match Atomic.get prof_hook with
+    | None -> 0
+    | Some _ ->
+      let total = allocated_words () -. fr.f_alloc0 in
+      (match st.d_stack with
+       | parent :: _ -> parent.f_child_w <- parent.f_child_w +. total
+       | [] -> ());
+      int_of_float (Float.max 0. (total -. fr.f_child_w))
+
 let close_frame (st : dstate) (fr : frame) : unit =
   let ms = (now () -. fr.f_start) *. 1000. in
   (match st.d_stack with
    | top :: rest when top == fr -> st.d_stack <- rest
    | _ -> () (* unbalanced close: drop rather than corrupt the stack *));
+  let self_w = frame_self_words st fr in
+  if self_w > 0 then begin
+    note_alloc ~span:fr.f_name ~words:self_w;
+    match Atomic.get prof_hook with Some hook -> hook fr.f_name self_w | None -> ()
+  end;
   let sp = { name = fr.f_name; t0 = fr.f_start; ms; children = List.rev fr.children_rev } in
   Mutex.lock lock;
   (match st.d_stack with
@@ -97,7 +212,10 @@ let with_span name f =
   if not !Metrics.enabled then f ()
   else begin
     let st = Domain.DLS.get state in
-    let fr = { f_name = name; f_start = now (); children_rev = [] } in
+    let fr =
+      { f_name = name; f_start = now (); children_rev = [];
+        f_alloc0 = frame_alloc_base (); f_child_w = 0. }
+    in
     st.d_stack <- fr :: st.d_stack;
     match f () with
     | v ->
@@ -110,27 +228,33 @@ let with_span name f =
 
 (* --- context inheritance ----------------------------------------------------- *)
 
-type ctx = { x_parent : frame option; x_scope : Metrics.scope option }
+type ctx = {
+  x_parent : frame option;
+  x_scope : Metrics.scope option;
+  x_alloc : alloc_tab option;
+}
 
 let capture () : ctx =
-  if not !Metrics.enabled then { x_parent = None; x_scope = None }
+  if not !Metrics.enabled then { x_parent = None; x_scope = None; x_alloc = None }
   else begin
     let st = Domain.DLS.get state in
     let parent = match st.d_stack with fr :: _ -> Some fr | [] -> st.d_base in
-    { x_parent = parent; x_scope = Metrics.scope_current () }
+    { x_parent = parent; x_scope = Metrics.scope_current (); x_alloc = st.d_alloc }
   end
 
 let with_ctx (ctx : ctx) (f : unit -> 'a) : 'a =
   let st = Domain.DLS.get state in
-  let saved_base = st.d_base and saved_stack = st.d_stack in
+  let saved_base = st.d_base and saved_stack = st.d_stack and saved_alloc = st.d_alloc in
   let saved_scope = Metrics.scope_swap ctx.x_scope in
   st.d_base <- ctx.x_parent;
   st.d_stack <- [];
+  st.d_alloc <- ctx.x_alloc;
   Fun.protect
     ~finally:(fun () ->
       ignore (Metrics.scope_swap saved_scope);
       st.d_base <- saved_base;
-      st.d_stack <- saved_stack)
+      st.d_stack <- saved_stack;
+      st.d_alloc <- saved_alloc)
     f
 
 (* --- per-request traces ------------------------------------------------------ *)
@@ -149,32 +273,75 @@ let cost_of_scope (sc : Metrics.scope) : cost =
     agg_rows = g "scheme.agg.rows"; agg_buckets = g "scheme.agg.joint_buckets";
     bytes_in = 0; bytes_out = 0 }
 
+let gc_delta_of ~(before : Gc.stat) ~(after : Gc.stat) : gc_delta =
+  { gc_minor_words = int_of_float (after.Gc.minor_words -. before.Gc.minor_words);
+    gc_promoted_words = int_of_float (after.Gc.promoted_words -. before.Gc.promoted_words);
+    gc_major_words = int_of_float (after.Gc.major_words -. before.Gc.major_words);
+    gc_minor_collections = after.Gc.minor_collections - before.Gc.minor_collections;
+    gc_major_collections = after.Gc.major_collections - before.Gc.major_collections;
+    gc_heap_words = after.Gc.heap_words;
+    gc_heap_growth = after.Gc.heap_words - before.Gc.heap_words }
+
 let empty_root = { name = "request"; t0 = 0.; ms = 0.; children = [] }
+
+let alloc_table_entries (tab : alloc_tab) : (string * int) list =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tab [] in
+  Mutex.unlock lock;
+  List.sort (fun (_, a) (_, b) -> compare b a) l
 
 let with_request_full ?trace_id f =
   if not !Metrics.enabled then begin
     let v = f () in
     ( v,
       { r_id = (match trace_id with Some id -> id | None -> ""); r_start = 0.;
-        r_root = empty_root; r_cost = zero_cost } )
+        r_root = empty_root; r_cost = zero_cost; r_gc = zero_gc; r_alloc = [] } )
   end
   else begin
     let id = match trace_id with Some id -> id | None -> next_trace_id () in
     let st = Domain.DLS.get state in
-    let saved_base = st.d_base and saved_stack = st.d_stack in
+    let saved_base = st.d_base and saved_stack = st.d_stack and saved_alloc = st.d_alloc in
     let sc = Metrics.scope_create () in
     let saved_scope = Metrics.scope_swap (Some sc) in
+    let gc0 = Gc.quick_stat () in
     let start = now () in
-    let root = { f_name = "request"; f_start = start; children_rev = [] } in
+    let root =
+      { f_name = "request"; f_start = start; children_rev = [];
+        f_alloc0 = frame_alloc_base (); f_child_w = 0. }
+    in
     st.d_base <- None;
     st.d_stack <- [ root ];
+    st.d_alloc <-
+      (match Atomic.get prof_hook with Some _ -> Some (Hashtbl.create 8) | None -> None);
+    let tab = st.d_alloc in
     let finish () =
       let ms = (now () -. start) *. 1000. in
+      (* Root self-allocation: measure before restoring the stack so the
+         frame's children counter is complete. The stack is forced to
+         [] first so the root's total does not roll up anywhere. *)
+      st.d_stack <- [];
+      let root_w = frame_self_words st root in
       st.d_stack <- saved_stack;
       st.d_base <- saved_base;
+      st.d_alloc <- saved_alloc;
       ignore (Metrics.scope_swap saved_scope);
+      if root_w > 0 then begin
+        (match tab with
+         | Some t ->
+           Mutex.lock lock;
+           let prev = Option.value ~default:0 (Hashtbl.find_opt t "request") in
+           Hashtbl.replace t "request" (prev + root_w);
+           Mutex.unlock lock
+         | None -> ());
+        match Atomic.get prof_hook with Some hook -> hook "request" root_w | None -> ()
+      end;
       let sp = { name = "request"; t0 = start; ms; children = List.rev root.children_rev } in
-      let rt = { r_id = id; r_start = start; r_root = sp; r_cost = cost_of_scope sc } in
+      let gc = gc_delta_of ~before:gc0 ~after:(Gc.quick_stat ()) in
+      let alloc = match tab with Some t -> alloc_table_entries t | None -> [] in
+      let rt =
+        { r_id = id; r_start = start; r_root = sp; r_cost = cost_of_scope sc; r_gc = gc;
+          r_alloc = alloc }
+      in
       Mutex.lock lock;
       push_bounded completed_requests rt;
       Mutex.unlock lock;
@@ -208,6 +375,7 @@ let reset () =
   let st = Domain.DLS.get state in
   st.d_base <- None;
   st.d_stack <- [];
+  st.d_alloc <- None;
   Mutex.lock lock;
   Queue.clear completed_roots;
   Queue.clear completed_requests;
@@ -238,11 +406,24 @@ let cost_to_json (c : cost) : string =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (cost_fields c))
   ^ "}"
 
+let gc_to_json (g : gc_delta) : string =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (gc_fields g))
+  ^ "}"
+
+let alloc_to_json (a : (string * int) list) : string =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (Metrics.json_escape k) v) a)
+  ^ "}"
+
 (* Chrome trace-event JSON (the chrome://tracing / Perfetto format):
    each span becomes one "X" complete event with microsecond timestamps;
    traces are separated by thread id so concurrent requests render as
-   parallel tracks. The root event carries the trace id and cost block
-   in [args]. *)
+   parallel tracks. The root event carries the trace id, cost block, GC
+   differential and (when the profiler ran) allocation table in
+   [args]. *)
 let chrome_json (ts : rtrace list) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -262,8 +443,10 @@ let chrome_json (ts : rtrace list) : string =
       let rec walk (sp : span) =
         let args =
           if sp == rt.r_root then
-            Printf.sprintf ",\"args\":{\"trace_id\":\"%s\",\"cost\":%s}"
-              (Metrics.json_escape rt.r_id) (cost_to_json rt.r_cost)
+            Printf.sprintf ",\"args\":{\"trace_id\":\"%s\",\"cost\":%s,\"gc\":%s%s}"
+              (Metrics.json_escape rt.r_id) (cost_to_json rt.r_cost) (gc_to_json rt.r_gc)
+              (if rt.r_alloc = [] then ""
+               else Printf.sprintf ",\"alloc_words\":%s" (alloc_to_json rt.r_alloc))
           else ""
         in
         emit

@@ -24,7 +24,12 @@
     Spans closed outside any {!with_request} become ambient roots
     ({!roots}); spans closed inside one build that request's tree
     ({!requests}). Both completed stores are mutex-guarded bounded rings
-    capped at 1024 entries, oldest dropped first. *)
+    capped at 1024 entries, oldest dropped first.
+
+    Resource accounting: every completed request carries a GC
+    differential ({!gc_delta}), and while {!Sagma_obs.Prof} is active
+    each request also accumulates a span-name → allocated-words table
+    ([r_alloc]). *)
 
 type span = {
   name : string;
@@ -55,16 +60,40 @@ val cost_fields : cost -> (string * int) list
 (** Every cost field with its stable name, declaration order — for log
     events, CLI printing and JSON emitters. *)
 
+(** Per-request [Gc.quick_stat] differential, all in words. The
+    allocation counters are domain-local on OCaml 5, so a request whose
+    row work ran on pool domains reports the coordinating domain's
+    share. *)
+type gc_delta = {
+  gc_minor_words : int;
+  gc_promoted_words : int;
+  gc_major_words : int;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_heap_words : int;    (** major heap size when the request finished *)
+  gc_heap_growth : int;   (** [heap_words] delta over the request *)
+}
+
+val zero_gc : gc_delta
+
+val gc_fields : gc_delta -> (string * int) list
+(** Every GC field with its stable name, declaration order — mirrors
+    {!cost_fields}. *)
+
 (** A completed request trace: the root span (named ["request"]), its
-    start time, the trace id (client-supplied or generated), and the
-    cost block. [r_cost] is mutable so the server can fill the byte
-    counts after encoding the response; the {!requests} ring holds the
-    same record, so the update is visible in later exports. *)
+    start time, the trace id (client-supplied or generated), the cost
+    block, the GC differential, and the profiler's allocation table
+    (empty unless {!Sagma_obs.Prof} was active; largest site first).
+    [r_cost] is mutable so the server can fill the byte counts after
+    encoding the response; the {!requests} ring holds the same record,
+    so the update is visible in later exports. *)
 type rtrace = {
   r_id : string;
   r_start : float;
   r_root : span;
   mutable r_cost : cost;
+  mutable r_gc : gc_delta;
+  mutable r_alloc : (string * int) list;
 }
 
 val with_span : string -> (unit -> 'a) -> 'a
@@ -81,18 +110,42 @@ val with_request : ?trace_id:string -> (unit -> 'a) -> 'a * span
     with an empty span. *)
 
 val with_request_full : ?trace_id:string -> (unit -> 'a) -> 'a * rtrace
-(** Like {!with_request} but returns the full record (id, start, cost)
-    that was pushed onto the {!requests} ring. *)
+(** Like {!with_request} but returns the full record (id, start, cost,
+    GC differential, allocation table) that was pushed onto the
+    {!requests} ring. *)
 
 val set_cost : rtrace -> cost -> unit
 (** Replace the cost block (the server uses this to fill
     [bytes_in]/[bytes_out] after encoding the response). *)
 
+(** {1 Profiler integration}
+
+    Used by {!Sagma_obs.Prof}; not meant for direct application use. *)
+
+val set_prof_hook : (string -> int -> unit) option -> unit
+(** Install the span-close allocation sampler: with a hook set, every
+    span close measures the domain's allocated-words delta over the
+    span, charges the self part to the closing span's name (both into
+    the current request's table and through the hook), and rolls the
+    total up into the enclosing frame. [None] (the default) keeps span
+    close free of any [Gc] call. *)
+
+val current_span_name : unit -> string option
+(** The innermost open span on this domain (falling back to the
+    inherited parent frame) — what a [Gc.Memprof] callback should
+    attribute its sample to. *)
+
+val note_alloc : span:string -> words:int -> unit
+(** Charge [words] to [span] in the current request's allocation table;
+    a no-op outside a profiled request. Safe from any domain that
+    inherited the request context. *)
+
 (** {1 Context inheritance} *)
 
 type ctx
 (** A capture of the calling domain's tracing position: the innermost
-    open frame plus the installed {!Metrics.scope}. *)
+    open frame, the installed {!Metrics.scope}, and the request's
+    allocation table. *)
 
 val capture : unit -> ctx
 (** Capture on the submitting domain; pass to {!with_ctx} on a worker. *)
@@ -133,8 +186,11 @@ val to_json : span -> string
 val cost_to_json : cost -> string
 (** A flat JSON object keyed by {!cost_fields} names. *)
 
+val gc_to_json : gc_delta -> string
+(** A flat JSON object keyed by {!gc_fields} names. *)
+
 val chrome_json : rtrace list -> string
 (** Chrome trace-event JSON ([{"traceEvents": [...]}]): one "X"
     complete event per span with microsecond timestamps, one thread per
-    trace, the trace id and cost block in the root event's [args] —
-    loadable in chrome://tracing or Perfetto. *)
+    trace, the trace id, cost block and GC/allocation summary in the
+    root event's [args] — loadable in chrome://tracing or Perfetto. *)

@@ -21,7 +21,11 @@
    adds an optional trace context after every request header (trace id +
    sampling flag), an optional EXPLAIN trailer after every response
    payload (per-phase timings + cost block), the Traces request with its
-   TraceDump response, and uptime/start-time fields in StatsReport. Each
+   TraceDump response, and uptime/start-time fields in StatsReport; v5
+   adds resource telemetry: an optional gc section in StatsReport
+   (process-lifetime GC stats and heap size), an optional gc
+   differential in the EXPLAIN trailer, and a GC/allocation summary on
+   every dumped trace. Each
    older frame is a valid newer frame with a different version byte, so
    the decoders accept every supported version and only reject tags
    (and error codes, and trailers) the claimed version does not
@@ -36,7 +40,7 @@ module Audit = Sagma_obs.Audit
 module Trace = Sagma_obs.Trace
 
 let magic = "SG"
-let version = 4
+let version = 5
 let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
@@ -132,11 +136,27 @@ type trace_ctx = { tc_id : string option; tc_sampled : bool }
 
 (* v4: the EXPLAIN block a traced request's response carries — the trace
    id, per-phase wall-clock timings from the span tree, and the cost
-   block of request-scoped counter deltas. *)
+   block of request-scoped counter deltas. v5 adds the per-request GC
+   differential ([None] when decoded from a v4 frame). *)
 type explain = {
   x_id : string;
   x_timings : (string * float) list;
   x_cost : Trace.cost;
+  x_gc : Trace.gc_delta option;  (* v5 *)
+}
+
+(* v5: process-lifetime GC statistics in a StatsReport — the server's
+   [Gc.quick_stat] at reply time, word counts as floats because they
+   are monotone process totals. *)
+type gc_stats = {
+  gs_minor_words : float;
+  gs_promoted_words : float;
+  gs_major_words : float;
+  gs_minor_collections : int;
+  gs_major_collections : int;
+  gs_compactions : int;
+  gs_heap_words : int;
+  gs_top_heap_words : int;
 }
 
 type stats_report = {
@@ -144,6 +164,7 @@ type stats_report = {
   sr_audit : Sagma_obs.Audit.summary;
   sr_uptime_s : float;     (* v4; 0. when decoded from an older frame *)
   sr_start_time : float;   (* v4; epoch seconds, 0. from an older frame *)
+  sr_gc : gc_stats option; (* v5; [None] from an older frame *)
 }
 
 type response =
@@ -217,16 +238,59 @@ let get_cost (s : W.source) : Trace.cost =
   { Trace.pairings; miller_steps; bgn_mul; dlog_solves; dlog_giant_steps; sse_postings;
     agg_rows; agg_buckets; bytes_in; bytes_out }
 
-let put_explain (s : W.sink) (x : explain) : unit =
+(* v5 resource codecs: the per-request GC differential (explain
+   trailer, trace dumps) and the process-lifetime GC stats (Stats
+   report). *)
+
+let put_gc_delta (s : W.sink) (g : Trace.gc_delta) : unit =
+  List.iter (fun (_, v) -> W.put_int s v) (Trace.gc_fields g)
+
+let get_gc_delta (s : W.source) : Trace.gc_delta =
+  let gc_minor_words = W.get_int s in
+  let gc_promoted_words = W.get_int s in
+  let gc_major_words = W.get_int s in
+  let gc_minor_collections = W.get_int s in
+  let gc_major_collections = W.get_int s in
+  let gc_heap_words = W.get_int s in
+  let gc_heap_growth = W.get_int s in
+  { Trace.gc_minor_words; gc_promoted_words; gc_major_words; gc_minor_collections;
+    gc_major_collections; gc_heap_words; gc_heap_growth }
+
+let put_gc_stats (s : W.sink) (g : gc_stats) : unit =
+  W.put_f64 s g.gs_minor_words;
+  W.put_f64 s g.gs_promoted_words;
+  W.put_f64 s g.gs_major_words;
+  W.put_int s g.gs_minor_collections;
+  W.put_int s g.gs_major_collections;
+  W.put_int s g.gs_compactions;
+  W.put_int s g.gs_heap_words;
+  W.put_int s g.gs_top_heap_words
+
+let get_gc_stats (s : W.source) : gc_stats =
+  let gs_minor_words = W.get_f64 s in
+  let gs_promoted_words = W.get_f64 s in
+  let gs_major_words = W.get_f64 s in
+  let gs_minor_collections = W.get_int s in
+  let gs_major_collections = W.get_int s in
+  let gs_compactions = W.get_int s in
+  let gs_heap_words = W.get_int s in
+  let gs_top_heap_words = W.get_int s in
+  { gs_minor_words; gs_promoted_words; gs_major_words; gs_minor_collections;
+    gs_major_collections; gs_compactions; gs_heap_words; gs_top_heap_words }
+
+(* The gc differential travels only in v5 explain trailers: encoding at
+   v4 drops it, decoding a v4 frame yields [None]. *)
+let put_explain ~(version : int) (s : W.sink) (x : explain) : unit =
   W.put_bytes s x.x_id;
   W.put_list s
     (fun s (name, ms) ->
       W.put_bytes s name;
       W.put_f64 s ms)
     x.x_timings;
-  put_cost s x.x_cost
+  put_cost s x.x_cost;
+  if version >= 5 then W.put_option s put_gc_delta x.x_gc
 
-let get_explain (s : W.source) : explain =
+let get_explain ~(version : int) (s : W.source) : explain =
   let x_id = W.get_bytes s in
   let x_timings =
     W.get_list s (fun s ->
@@ -235,7 +299,8 @@ let get_explain (s : W.source) : explain =
         (name, ms))
   in
   let x_cost = get_cost s in
-  { x_id; x_timings; x_cost }
+  let x_gc = if version >= 5 then W.get_option s get_gc_delta else None in
+  { x_id; x_timings; x_cost; x_gc }
 
 let rec put_span (s : W.sink) (sp : Trace.span) : unit =
   W.put_bytes s sp.Trace.name;
@@ -255,23 +320,44 @@ let rec get_span ~(depth : int) (s : W.source) : Trace.span =
   let children = W.get_list s (get_span ~depth:(depth + 1)) in
   { Trace.name; t0; ms; children }
 
-let put_rtrace (s : W.sink) (rt : Trace.rtrace) : unit =
+(* Dumped traces carry their GC differential and allocation table only
+   in v5 frames; a v4 peer gets the v4 shape and a v4 frame decodes to
+   zero/empty resource fields. *)
+let put_rtrace ~(version : int) (s : W.sink) (rt : Trace.rtrace) : unit =
   W.put_bytes s rt.Trace.r_id;
   W.put_f64 s rt.Trace.r_start;
   put_span s rt.Trace.r_root;
-  put_cost s rt.Trace.r_cost
+  put_cost s rt.Trace.r_cost;
+  if version >= 5 then begin
+    put_gc_delta s rt.Trace.r_gc;
+    W.put_list s
+      (fun s (span, words) ->
+        W.put_bytes s span;
+        W.put_int s words)
+      rt.Trace.r_alloc
+  end
 
-let get_rtrace (s : W.source) : Trace.rtrace =
+let get_rtrace ~(version : int) (s : W.source) : Trace.rtrace =
   let r_id = W.get_bytes s in
   let r_start = W.get_f64 s in
   let r_root = get_span ~depth:0 s in
   let r_cost = get_cost s in
-  { Trace.r_id; r_start; r_root; r_cost }
+  let r_gc = if version >= 5 then get_gc_delta s else Trace.zero_gc in
+  let r_alloc =
+    if version >= 5 then
+      W.get_list s (fun s ->
+          let span = W.get_bytes s in
+          let words = W.get_int s in
+          (span, words))
+    else []
+  in
+  { Trace.r_id; r_start; r_root; r_cost; r_gc; r_alloc }
 
 (* A v2 report has no gauges section: encoding at v2 drops the gauges
    (the only consumers of v2 frames predate them), decoding a v2 frame
    yields [gauges = []]. Likewise the v4 uptime/start-time fields are
-   dropped from older encodings and decode to 0. *)
+   dropped from older encodings and decode to 0, and the v5 gc section
+   is dropped from older encodings and decodes to [None]. *)
 let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
   W.put_list s
     (fun s (name, v) ->
@@ -296,7 +382,8 @@ let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
   if version >= 4 then begin
     W.put_f64 s r.sr_uptime_s;
     W.put_f64 s r.sr_start_time
-  end
+  end;
+  if version >= 5 then W.put_option s put_gc_stats r.sr_gc
 
 let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let counters =
@@ -325,9 +412,10 @@ let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let s_check_failures = W.get_int s in
   let sr_uptime_s = if version >= 4 then W.get_f64 s else 0. in
   let sr_start_time = if version >= 4 then W.get_f64 s else 0. in
+  let sr_gc = if version >= 5 then W.get_option s get_gc_stats else None in
   { sr_snapshot = { Metrics.counters; gauges; histograms };
     sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures };
-    sr_uptime_s; sr_start_time }
+    sr_uptime_s; sr_start_time; sr_gc }
 
 (* [?version] lets a caller (or a compat test) emit a frame an older
    peer accepts; only tags the requested version defines are allowed.
@@ -431,8 +519,8 @@ let put_response ?(version = version) ?(explain : explain option) (s : W.sink) (
      if version < 4 then
        invalid_arg "Protocol.put_response: Trace_dump needs protocol version >= 4";
      W.put_u8 s 5;
-     W.put_list s put_rtrace ts);
-  if version >= 4 then W.put_option s put_explain explain
+     W.put_list s (put_rtrace ~version) ts);
+  if version >= 4 then W.put_option s (put_explain ~version) explain
 
 let get_response_x (s : W.source) : response * explain option =
   let v = get_header s in
@@ -451,10 +539,10 @@ let get_response_x (s : W.source) : response * explain option =
       let message = W.get_bytes s in
       Failed { code; message }
     | 4 when v >= 2 -> Stats_report (get_stats_report ~version:v s)
-    | 5 when v >= 4 -> Trace_dump (W.get_list s get_rtrace)
+    | 5 when v >= 4 -> Trace_dump (W.get_list s (get_rtrace ~version:v))
     | t -> W.fail "bad response tag %d for protocol version %d" t v
   in
-  let explain = if v >= 4 then W.get_option s get_explain else None in
+  let explain = if v >= 4 then W.get_option s (get_explain ~version:v) else None in
   (resp, explain)
 
 let get_response (s : W.source) : response = fst (get_response_x s)

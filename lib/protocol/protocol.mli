@@ -5,9 +5,12 @@
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
     Every message is prefixed with the magic {!magic} and a version
-    byte. This build speaks v4 but still decodes v1–v3 frames (v3 = v4
-    minus the per-request trace context, the EXPLAIN response trailer,
-    the [Traces]/[Trace_dump] messages and the uptime fields of
+    byte. This build speaks v5 but still decodes v1–v4 frames (v4 = v5
+    minus the resource-telemetry sections: the gc block of
+    [Stats_report], the gc differential of the EXPLAIN trailer, and the
+    GC/allocation summary on dumped traces; v3 = v4 minus the
+    per-request trace context, the EXPLAIN response trailer, the
+    [Traces]/[Trace_dump] messages and the uptime fields of
     [Stats_report]; v2 = v3 minus the [Busy] error code and the gauges
     section of [Stats_report]; v1 = v2 minus the
     [Stats]/[Stats_report] messages), so old clients keep working
@@ -23,7 +26,7 @@ val magic : string
 
 val version : int
 (** Wire protocol version this build speaks and encodes by default
-    (currently 4). *)
+    (currently 5). *)
 
 val min_version : int
 (** Oldest version the decoders still accept (currently 1). *)
@@ -68,6 +71,22 @@ type explain = {
   x_id : string;
   x_timings : (string * float) list;
   x_cost : Sagma_obs.Trace.cost;
+  x_gc : Sagma_obs.Trace.gc_delta option;
+      (** v5: per-request GC differential; [None] from v4 frames. *)
+}
+
+(** v5: process-lifetime GC statistics in a {!Stats_report} — the
+    server's [Gc.quick_stat] at reply time. Word counts are floats
+    because they are monotone process totals. *)
+type gc_stats = {
+  gs_minor_words : float;
+  gs_promoted_words : float;
+  gs_major_words : float;
+  gs_minor_collections : int;
+  gs_major_collections : int;
+  gs_compactions : int;
+  gs_heap_words : int;
+  gs_top_heap_words : int;
 }
 
 type stats_report = {
@@ -79,6 +98,8 @@ type stats_report = {
       (** v4: seconds since the server started; 0. from older frames. *)
   sr_start_time : float;
       (** v4: server start, epoch seconds; 0. from older frames. *)
+  sr_gc : gc_stats option;
+      (** v5: the server's GC/heap state; [None] from older frames. *)
 }
 
 type response =
@@ -112,7 +133,8 @@ val decode_response_x : string -> response * explain option
     emit a frame an older peer accepts (@raise Invalid_argument if the
     version is outside {!min_version}..{!version}, the message does not
     exist in that version, or [?trace]/[?explain] is passed below v4).
-    The v4 trace context and EXPLAIN trailer travel only in v4 frames;
+    The v4 trace context and EXPLAIN trailer travel only in v4+ frames
+    (and the trailer's gc differential only in v5 frames);
     {!decode_response} silently drops a trailer,
     {!decode_response_x} returns it. *)
 

@@ -63,10 +63,21 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Stats ->
     (* A read-only snapshot: safe to serve even while the registry is
-       being written — counters are atomic, histograms lock per cell. *)
+       being written — counters are atomic, histograms lock per cell.
+       The gc section (v5) is filled unconditionally and dropped by the
+       encoder for older peers. *)
+    let g = Gc.quick_stat () in
     Protocol.Stats_report
       { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary ();
-        sr_uptime_s = Unix.gettimeofday () -. s.started; sr_start_time = s.started }
+        sr_uptime_s = Unix.gettimeofday () -. s.started; sr_start_time = s.started;
+        sr_gc =
+          Some
+            { Protocol.gs_minor_words = g.Gc.minor_words;
+              gs_promoted_words = g.Gc.promoted_words; gs_major_words = g.Gc.major_words;
+              gs_minor_collections = g.Gc.minor_collections;
+              gs_major_collections = g.Gc.major_collections;
+              gs_compactions = g.Gc.compactions; gs_heap_words = g.Gc.heap_words;
+              gs_top_heap_words = g.Gc.top_heap_words } }
   | Protocol.Traces -> Protocol.Trace_dump (Trace.requests ())
   | Protocol.Upload { name; table } ->
     with_lock s (fun () -> Hashtbl.replace s.tables name table);
@@ -200,7 +211,8 @@ let handle_encoded (s : t) (raw : string) : string =
       Protocol.encode_response ~version:!resp_version
         ~explain:
           { Protocol.x_id = rt.Trace.r_id;
-            x_timings = Trace.phase_timings rt.Trace.r_root; x_cost = rt.Trace.r_cost }
+            x_timings = Trace.phase_timings rt.Trace.r_root; x_cost = rt.Trace.r_cost;
+            x_gc = Some rt.Trace.r_gc }
         response
     | _ -> encoded
   in
@@ -234,6 +246,7 @@ let handle_encoded (s : t) (raw : string) : string =
       | Some rt ->
         [ Log.str "trace_id" rt.Trace.r_id; Log.str "spans" (Trace.to_json rt.Trace.r_root) ]
         @ List.map (fun (k, v) -> Log.int ("cost_" ^ k) v) (Trace.cost_fields rt.Trace.r_cost)
+        @ List.map (fun (k, v) -> Log.int ("gc_" ^ k) v) (Trace.gc_fields rt.Trace.r_gc)
       | None -> []
     in
     Log.warn "slow_query"

@@ -840,11 +840,13 @@ let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
         (* The "chunk" span rides the submitting request's trace context
            (Pool.submit captures it), so pooled chunk work shows up
            under this bucket's pairing_loop span even when it ran on
-           another domain. *)
-        let accumulate chunk =
-          Trace.with_span "chunk" (fun () ->
-              Obs.observe_ms h_chunk_ms (fun () -> accumulate_chunk chunk))
+           another domain. Inline row work (no pool, or a bucket too
+           small to split) skips the extra span so the profiler
+           attributes its allocation to pairing_loop itself. *)
+        let accumulate_inline chunk =
+          Obs.observe_ms h_chunk_ms (fun () -> accumulate_chunk chunk)
         in
+        let accumulate chunk = Trace.with_span "chunk" (fun () -> accumulate_inline chunk) in
         let merge (s1, c1a, c1b) (s2, c2a, c2b) =
           let merge_arr2 a b = Array.map2 (Array.map2 (Bgn.add2 pk)) a b in
           ( (match (s1, s2) with
@@ -865,7 +867,7 @@ let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
          [workers + 1]-way parallelism; tiny buckets stay inline. *)
       let workers = match chunk_pool with Some p -> Pool.workers p | None -> 0 in
       let chunk_count = workers + 1 in
-      if workers = 0 || List.length rows < 2 * chunk_count then accumulate rows
+      if workers = 0 || List.length rows < 2 * chunk_count then accumulate_inline rows
       else begin
         (* Round-robin split keeps chunks balanced. *)
         let chunks = Array.make chunk_count [] in

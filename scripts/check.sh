@@ -82,7 +82,7 @@ salary,dept
 CSV
 "$SERVER" --port "$OBS_PORT" --metrics --audit --workers 4 \
   --request-timeout-ms 10000 \
-  --trace-sample 1 --slow-query-ms 1 \
+  --trace-sample 1 --slow-query-ms 1 --profile \
   --log-json "$OBS_DIR/server.jsonl" > "$OBS_DIR/server.out" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$OBS_DIR"' EXIT
@@ -110,6 +110,11 @@ grep -q "^sagma_scheme_agg_rows_total " "$OBS_DIR/exposition.txt"
 grep -q 'sagma_proto_request_ms_bucket{le="+Inf"}' "$OBS_DIR/exposition.txt"
 grep -q "^sagma_proto_request_ms_p50 " "$OBS_DIR/exposition.txt"
 grep -q "^sagma_proto_request_ms_p99 " "$OBS_DIR/exposition.txt"
+# v5 additions: server uptime and the process-level GC gauges derived
+# from the Stats reply's gc section.
+grep -q "^sagma_uptime_seconds " "$OBS_DIR/exposition.txt"
+grep -q "^ocaml_gc_heap_words " "$OBS_DIR/exposition.txt"
+grep -q "^ocaml_gc_minor_words_total " "$OBS_DIR/exposition.txt"
 # A traced query's reply must carry the EXPLAIN trailer: per-phase
 # timings plus the cost block derived from request-scoped counters.
 "$CLI" remote-query --sum salary --group-by dept --explain \
@@ -119,6 +124,16 @@ grep -q "sales" "$OBS_DIR/explain.out"
 grep -q -- "-- explain (server trace " "$OBS_DIR/explain.out"
 grep -q "cost.agg_rows" "$OBS_DIR/explain.out"
 grep -q "cost.bgn_mul" "$OBS_DIR/explain.out"
+# With --profile on the server, the trailer also carries the request's
+# GC differential (v5).
+grep -q "gc.minor_words" "$OBS_DIR/explain.out"
+# The live dashboard's script mode: one frame against the same server.
+"$CLI" top --once --port "$OBS_PORT" > "$OBS_DIR/top.out"
+grep -q "req/s" "$OBS_DIR/top.out"
+grep -q "pairings/s" "$OBS_DIR/top.out"
+grep -q "heap" "$OBS_DIR/top.out"
+grep -q "MiB" "$OBS_DIR/top.out"
+echo "top --once OK"
 # Export the completed-trace ring as Chrome trace-event JSON and
 # validate its shape: every sampled request is an intact span tree
 # with the aggregate phase and the pairing loop under it.
@@ -161,12 +176,13 @@ trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json) =="
+echo "== bench smoke (json targets -> BENCH_PR1..6,8.json + BENCH_HISTORY.jsonl) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
 dune exec bench/main.exe -- json-pr4
 dune exec bench/main.exe -- json-pr5
 dune exec bench/main.exe -- json-pr6
+dune exec bench/main.exe -- json-pr8
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -302,5 +318,75 @@ assert doc["passed"], doc
 print(f"BENCH_PR6.json OK: engine {micro['engine_speedup']:.1f}x, "
       f"query {q['query_speedup']:.1f}x, pairings {q['pairings']} (model exact)")
 EOF
+
+echo "== validate BENCH_PR8.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR8.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr8"
+assert doc["profiler_mode"] in ("memprof", "spans"), doc["profiler_mode"]
+for mode in ("untraced", "profiled"):
+    assert doc[mode]["rps"] > 0, f"{mode}: no throughput recorded"
+    assert doc[mode]["elapsed_ms"] > 0
+# Tracing + profiling every request must not halve throughput.
+assert doc["throughput_ratio"] >= doc["ratio_bound"], \
+    f"profiler overhead out of bound: {doc['throughput_ratio']} < {doc['ratio_bound']}"
+assert doc["gc_deltas_ok"], "a traced request carried no GC differential"
+s = doc["sum_two_attrs"]
+assert s["alloc_minor_words"] > 0, "per-query allocation not recorded"
+assert s["top_site"] == "pairing_loop", s["top_site"]
+assert s["top_site_words"] > 0, s
+assert doc["passed"], doc
+
+print(f"BENCH_PR8.json OK: profiled/untraced ratio {doc['throughput_ratio']:.2f} "
+      f"({doc['profiler_mode']}), SUM allocates {s['alloc_minor_words']} words/query, "
+      f"top site {s['top_site']}")
+EOF
+
+echo "== bench trend (BENCH_HISTORY.jsonl) =="
+# Every json-* bench above appended its headline metrics; the trend gate
+# compares against any prior local runs (first runs pass vacuously).
+[ -s BENCH_HISTORY.jsonl ]
+grep -q '"bench":"pr8"' BENCH_HISTORY.jsonl
+scripts/bench_trend
+# Negative check: a synthetic 2x regression on the newest pr8 run must
+# fail the gate. Build a doctored history in a temp file — halve the
+# throughput metrics and double the allocation — and expect nonzero.
+TREND_DIR=$(mktemp -d)
+trap 'rm -rf "$TREND_DIR"' EXIT
+python3 - "$TREND_DIR/doctored.jsonl" <<'EOF'
+import json, sys
+
+out = open(sys.argv[1], "w")
+entries = [json.loads(l) for l in open("BENCH_HISTORY.jsonl") if l.strip()]
+for e in entries:
+    out.write(json.dumps(e) + "\n")
+# Re-append the last pr8 run with every metric regressed 2x.
+last = {}
+for e in entries:
+    if e["bench"] == "pr8":
+        last[e["metric"]] = e
+assert last, "no pr8 metrics in history"
+for e in last.values():
+    bad = dict(e)
+    lower_better = e["unit"] in ("ms", "us", "s", "words", "bytes")
+    bad["value"] = e["value"] * 2.0 if lower_better else e["value"] / 2.0
+    bad["commit"] = "synthetic-regression"
+    out.write(json.dumps(bad) + "\n")
+out.close()
+EOF
+if scripts/bench_trend "$TREND_DIR/doctored.jsonl" > "$TREND_DIR/trend.out" 2>&1; then
+  echo "bench_trend negative check FAILED: 2x regression passed the gate" >&2
+  cat "$TREND_DIR/trend.out" >&2
+  exit 1
+fi
+grep -q "REGRESSED" "$TREND_DIR/trend.out"
+rm -rf "$TREND_DIR"
+trap - EXIT
+echo "bench_trend negative check OK (2x regression exits nonzero)"
 
 echo "== all checks passed =="

@@ -9,6 +9,7 @@ module Query = Sagma_db.Query
 module Executor = Sagma_db.Executor
 module Metrics = Sagma_obs.Metrics
 module Trace = Sagma_obs.Trace
+module Prof = Sagma_obs.Prof
 module Export = Sagma_obs.Export
 module Log = Sagma_obs.Log
 module Audit = Sagma_obs.Audit
@@ -431,6 +432,115 @@ let test_concurrent_requests_no_leak () =
   Alcotest.(check int) "all four requests on the ring" 4 (List.length (Trace.requests ()));
   Alcotest.(check int) "global counter saw every scoped bump" 10 (Metrics.value rows_counter)
 
+let test_request_ring_eviction_under_load () =
+  with_metrics @@ fun () ->
+  (* Two domains push 700 traced requests each — more than the ring's
+     1024-entry bound. The ring must stay at the bound, evict oldest
+     first, and every surviving tree must still be intact. *)
+  let per_domain = 700 in
+  let ds =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              ignore
+                (Trace.with_request_full ~trace_id:(Printf.sprintf "d%d-%d" d i) (fun () ->
+                     Trace.with_span "work" (fun () -> ())))
+            done))
+  in
+  List.iter Domain.join ds;
+  let reqs = Trace.requests () in
+  Alcotest.(check int) "ring capped at its bound" 1024 (List.length reqs);
+  (* Eviction is oldest-first and each domain pushes its own requests in
+     order, so the survivors from either domain are a contiguous suffix
+     of that domain's submission sequence, ending at its last request. *)
+  List.iter
+    (fun d ->
+      let prefix = Printf.sprintf "d%d-" d in
+      let plen = String.length prefix in
+      let ids =
+        List.filter_map
+          (fun rt ->
+            let id = rt.Trace.r_id in
+            if String.length id > plen && String.sub id 0 plen = prefix then
+              Some (int_of_string (String.sub id plen (String.length id - plen)))
+            else None)
+          reqs
+      in
+      Alcotest.(check bool) (Printf.sprintf "domain %d kept some requests" d) true (ids <> []);
+      Alcotest.(check (list int))
+        (Printf.sprintf "domain %d survivors in submission order" d)
+        (List.sort compare ids) ids;
+      let lo = List.hd ids in
+      Alcotest.(check (list int))
+        (Printf.sprintf "domain %d survivors form a contiguous suffix" d)
+        (List.init (List.length ids) (fun i -> lo + i))
+        ids;
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d newest request survives" d)
+        (per_domain - 1)
+        (List.nth ids (List.length ids - 1)))
+    [ 0; 1 ];
+  (* No torn trees: every survivor carries exactly its one child span. *)
+  List.iter
+    (fun rt ->
+      Alcotest.(check (list string)) "tree intact" [ "work" ]
+        (span_names rt.Trace.r_root.Trace.children))
+    reqs
+
+let test_snapshot_concurrent_with_writers () =
+  with_metrics @@ fun () ->
+  (* Four writer domains hammer a counter, a gauge and a histogram while
+     the main domain snapshots concurrently: every snapshot must be
+     internally consistent (counters monotone across snapshots,
+     cumulative buckets monotone with the +Inf bucket equal to the
+     count), and the final totals must be exact. *)
+  let c = Metrics.counter "test.conc_total" in
+  let g = Metrics.gauge "test.conc_gauge" in
+  let h = Metrics.histogram "test.conc_ms" in
+  let iters = 2000 in
+  let writers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              Metrics.incr c;
+              Metrics.gauge_set g ((d * iters) + i);
+              Metrics.observe h (float_of_int (i mod 50))
+            done))
+  in
+  let last_count = ref 0 in
+  for _ = 1 to 50 do
+    let s = Metrics.snapshot () in
+    (match List.assoc_opt "test.conc_total" s.Metrics.counters with
+     | Some n ->
+       Alcotest.(check bool) "counter monotone and bounded" true
+         (n >= !last_count && n <= 4 * iters);
+       last_count := n
+     | None -> ());
+    match List.assoc_opt "test.conc_ms" s.Metrics.histograms with
+    | Some hist ->
+      let bound = Array.length hist.Metrics.h_buckets in
+      let _, cum_last = hist.Metrics.h_buckets.(bound - 1) in
+      Alcotest.(check int) "+Inf bucket equals count" hist.Metrics.h_count cum_last;
+      let prev = ref 0 in
+      Array.iter
+        (fun (_, cum) ->
+          Alcotest.(check bool) "buckets cumulative-monotone" true (cum >= !prev);
+          prev := cum)
+        hist.Metrics.h_buckets
+    | None -> ()
+  done;
+  List.iter Domain.join writers;
+  let s = Metrics.snapshot () in
+  Alcotest.(check (option int)) "final counter exact" (Some (4 * iters))
+    (List.assoc_opt "test.conc_total" s.Metrics.counters);
+  (match List.assoc_opt "test.conc_ms" s.Metrics.histograms with
+   | Some hist -> Alcotest.(check int) "final histogram count exact" (4 * iters) hist.Metrics.h_count
+   | None -> Alcotest.fail "histogram missing from the final snapshot");
+  match List.assoc_opt "test.conc_gauge" s.Metrics.gauges with
+  | Some v ->
+    Alcotest.(check bool) "gauge holds some writer's last value" true (v >= 1 && v <= 4 * iters)
+  | None -> Alcotest.fail "gauge missing from the final snapshot"
+
 (* --- leakage auditor -------------------------------------------------------- *)
 
 let with_audit f =
@@ -604,6 +714,51 @@ let test_explain_cost_matches_model () =
     [ "token"; "aggregate"; "decrypt" ]
     (List.map (fun (n, _) -> n) (Trace.phase_timings rt.Trace.r_root))
 
+(* --- resource profiler ------------------------------------------------------ *)
+
+let test_request_gc_delta () =
+  with_metrics @@ fun () ->
+  (* The per-request GC differential must be real allocation, bounded by
+     an outer Gc.quick_stat differential taken around the same request:
+     the EXPLAIN gc block can't claim more minor words than the whole
+     enclosing region allocated. *)
+  let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+  let before = Gc.quick_stat () in
+  let rows, rt = Trace.with_request_full (fun () -> Scheme.query client enc q) in
+  let after = Gc.quick_stat () in
+  Alcotest.(check int) "three groups" 3 (List.length rows);
+  let outer = int_of_float (after.Gc.minor_words -. before.Gc.minor_words) in
+  let inner = rt.Trace.r_gc.Trace.gc_minor_words in
+  Alcotest.(check bool) "SUM allocates nonzero minor words" true (inner > 0);
+  Alcotest.(check bool) "request delta bounded by the outer differential" true (inner <= outer);
+  Alcotest.(check bool) "heap size recorded" true (rt.Trace.r_gc.Trace.gc_heap_words > 0)
+
+let test_prof_attributes_pairing_loop () =
+  with_metrics @@ fun () ->
+  Prof.reset ();
+  Prof.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.stop ();
+      Prof.reset ())
+    (fun () ->
+      Alcotest.(check bool) "profiler active" true (Prof.active ());
+      let q = Query.make ~group_by:[ "dept" ] (Query.Sum "salary") in
+      let _, rt = Trace.with_request_full (fun () -> Scheme.query client enc q) in
+      (* A SUM is pairings per row × block × channel: the pairing loop
+         must dominate the request's allocation table. *)
+      (match rt.Trace.r_alloc with
+       | (top, w) :: _ ->
+         Alcotest.(check string) "pairing_loop dominates the request" "pairing_loop" top;
+         Alcotest.(check bool) "with real weight" true (w > 0)
+       | [] -> Alcotest.fail "profiler left the allocation table empty");
+      (* The global site table agrees with the per-request view. *)
+      match Prof.top_sites ~n:1 () with
+      | [ s ] ->
+        Alcotest.(check string) "global top site" "pairing_loop" s.Prof.site_span;
+        Alcotest.(check bool) "samples counted" true (s.Prof.site_samples > 0)
+      | _ -> Alcotest.fail "no allocation sites recorded")
+
 (* --- leakage auditor against the real scheme -------------------------------- *)
 
 let run_audited tok =
@@ -735,7 +890,11 @@ let () =
           Alcotest.test_case "request contexts" `Quick test_with_request_basics;
           Alcotest.test_case "pool inherits context" `Quick test_pool_inherits_context;
           Alcotest.test_case "concurrent requests isolated" `Quick
-            test_concurrent_requests_no_leak ] );
+            test_concurrent_requests_no_leak;
+          Alcotest.test_case "ring eviction under load" `Quick
+            test_request_ring_eviction_under_load;
+          Alcotest.test_case "snapshot vs concurrent writers" `Quick
+            test_snapshot_concurrent_with_writers ] );
       ( "audit",
         [ Alcotest.test_case "record and check" `Quick test_audit_record_and_check;
           Alcotest.test_case "disabled is a no-op" `Quick test_audit_disabled_noop;
@@ -746,6 +905,10 @@ let () =
           Alcotest.test_case "query trace shape" `Quick test_query_trace_shape;
           Alcotest.test_case "EXPLAIN cost matches model" `Quick
             test_explain_cost_matches_model ] );
+      ( "profiler",
+        [ Alcotest.test_case "request gc delta" `Quick test_request_gc_delta;
+          Alcotest.test_case "allocation attributed to pairing_loop" `Quick
+            test_prof_attributes_pairing_loop ] );
       ( "scheme audit",
         [ Alcotest.test_case "honest execution passes" `Quick test_scheme_audit_honest_pass;
           Alcotest.test_case "extra probe flagged" `Quick test_scheme_audit_flags_extra_probe;

@@ -69,7 +69,7 @@ let stats_report =
   let snap = M.snapshot () in
   M.reset ();
   { P.sr_snapshot = snap; sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 9.5;
-    sr_start_time = 1234.0 }
+    sr_start_time = 1234.0; sr_gc = None }
 
 let v1_requests =
   [ P.Upload { name = "t"; table = enc };

@@ -298,7 +298,8 @@ let test_v2_only_messages_gated () =
      P.encode_response ~version:1
        (P.Stats_report
           { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; gauges = []; histograms = [] };
-            sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 0.; sr_start_time = 0. })
+            sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 0.; sr_start_time = 0.;
+            sr_gc = None })
    with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "Stats_report encoded into a v1 frame");
@@ -321,7 +322,7 @@ let test_stats_roundtrip () =
   M.set_enabled false;
   let report =
     { P.sr_snapshot = M.snapshot (); sr_audit = A.summary (); sr_uptime_s = 12.5;
-      sr_start_time = 1000.25 }
+      sr_start_time = 1000.25; sr_gc = None }
   in
   M.reset ();
   Alcotest.(check bool) "Stats roundtrips" true
@@ -383,7 +384,8 @@ let test_v3_only_constructs_gated () =
   let report =
     { P.sr_snapshot =
         { M.counters = [ ("c", 1) ]; gauges = [ ("g", 2) ]; histograms = [] };
-      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 3.5; sr_start_time = 77. }
+      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 3.5; sr_start_time = 77.;
+      sr_gc = None }
   in
   (match P.decode_response (P.encode_response ~version:2 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -425,7 +427,7 @@ let test_v4_only_constructs_gated () =
    | _ -> Alcotest.fail "Trace_dump encoded into a v3 frame");
   (match
      P.encode_response ~version:3
-       ~explain:{ P.x_id = "t"; x_timings = []; x_cost = sample_cost } P.Ack
+       ~explain:{ P.x_id = "t"; x_timings = []; x_cost = sample_cost; x_gc = None } P.Ack
    with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "explain trailer encoded into a v3 frame");
@@ -444,7 +446,8 @@ let test_v4_only_constructs_gated () =
   let module M = Sagma_obs.Metrics in
   let report =
     { P.sr_snapshot = { M.counters = []; gauges = []; histograms = [] };
-      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 42.0; sr_start_time = 99.0 }
+      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 42.0; sr_start_time = 99.0;
+      sr_gc = None }
   in
   (match P.decode_response (P.encode_response ~version:3 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -457,14 +460,14 @@ let test_v4_trace_ctx_roundtrip () =
      and the version/trace-aware decoder exposes them. *)
   let tc = { P.tc_id = Some "client-7"; tc_sampled = true } in
   (match P.decode_request_vt (P.encode_request ~trace:tc P.Stats) with
-   | 4, Some tc', P.Stats ->
+   | 5, Some tc', P.Stats ->
      Alcotest.(check (option string)) "trace id" (Some "client-7") tc'.P.tc_id;
      Alcotest.(check bool) "sampling flag" true tc'.P.tc_sampled
    | _ -> Alcotest.fail "trace context lost on the wire");
   (* Without a context the v4 frame still decodes (None), and the plain
      decoder keeps working on the same bytes. *)
   (match P.decode_request_vt (P.encode_request P.List_tables) with
-   | 4, None, P.List_tables -> ()
+   | 5, None, P.List_tables -> ()
    | _ -> Alcotest.fail "bare v4 request misdecoded");
   Alcotest.(check bool) "plain decoder drops the context" true
     (P.decode_request (P.encode_request ~trace:tc P.Stats) = P.Stats);
@@ -475,7 +478,7 @@ let test_v4_trace_ctx_roundtrip () =
 let test_v4_explain_roundtrip () =
   let x =
     { P.x_id = "t99-1"; x_timings = [ ("aggregate", 1.5); ("decrypt", 0.25) ];
-      x_cost = sample_cost }
+      x_cost = sample_cost; x_gc = None }
   in
   (match P.decode_response_x (P.encode_response ~explain:x P.Ack) with
    | P.Ack, Some x' ->
@@ -496,7 +499,10 @@ let test_v4_trace_dump_roundtrip () =
   let leaf = { Trace.name = "pairing_loop"; t0 = 10.5; ms = 3.25; children = [] } in
   let mid = { Trace.name = "aggregate"; t0 = 10.0; ms = 5.0; children = [ leaf ] } in
   let root = { Trace.name = "request"; t0 = 9.5; ms = 6.0; children = [ mid ] } in
-  let rt = { Trace.r_id = "t1-1"; r_start = 9.5; r_root = root; r_cost = sample_cost } in
+  let rt =
+    { Trace.r_id = "t1-1"; r_start = 9.5; r_root = root; r_cost = sample_cost;
+      r_gc = Trace.zero_gc; r_alloc = [] }
+  in
   (match P.decode_response (P.encode_response (P.Trace_dump [ rt ])) with
    | P.Trace_dump [ rt' ] ->
      Alcotest.(check string) "trace id" "t1-1" rt'.Trace.r_id;
@@ -512,10 +518,95 @@ let test_v4_trace_dump_roundtrip () =
     in
     build 80 { Trace.name = "leaf"; t0 = 0.; ms = 0.; children = [] }
   in
-  let rt_deep = { Trace.r_id = "deep"; r_start = 0.; r_root = deep; r_cost = sample_cost } in
+  let rt_deep =
+    { Trace.r_id = "deep"; r_start = 0.; r_root = deep; r_cost = sample_cost;
+      r_gc = Trace.zero_gc; r_alloc = [] }
+  in
   (match P.decode_response (P.encode_response (P.Trace_dump [ rt_deep ])) with
    | exception W.Decode_error _ -> ()
    | _ -> Alcotest.fail "80-deep span tree decoded")
+
+(* --- v5: GC telemetry on the wire ------------------------------------------------ *)
+
+let sample_gc =
+  { Trace.gc_minor_words = 4096; gc_promoted_words = 512; gc_major_words = 768;
+    gc_minor_collections = 3; gc_major_collections = 1; gc_heap_words = 65536;
+    gc_heap_growth = 8192 }
+
+let sample_gc_stats =
+  { P.gs_minor_words = 1e6; gs_promoted_words = 2e5; gs_major_words = 3e5;
+    gs_minor_collections = 17; gs_major_collections = 4; gs_compactions = 1;
+    gs_heap_words = 1 lsl 20; gs_top_heap_words = 1 lsl 21 }
+
+let empty_snapshot = { Sagma_obs.Metrics.counters = []; gauges = []; histograms = [] }
+
+let test_v5_gc_roundtrip () =
+  (* Stats_report heap stats survive a v5 frame... *)
+  let report =
+    { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary ();
+      sr_uptime_s = 1.5; sr_start_time = 10.; sr_gc = Some sample_gc_stats }
+  in
+  (match P.decode_response (P.encode_response (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "gc stats survive a v5 frame" true (r.P.sr_gc = Some sample_gc_stats)
+   | _ -> Alcotest.fail "expected Stats_report");
+  (* ...the EXPLAIN trailer's gc differential survives... *)
+  let x = { P.x_id = "x"; x_timings = []; x_cost = sample_cost; x_gc = Some sample_gc } in
+  (match P.decode_response_x (P.encode_response ~explain:x P.Ack) with
+   | P.Ack, Some x' ->
+     Alcotest.(check bool) "explain gc survives a v5 frame" true (x'.P.x_gc = Some sample_gc)
+   | _ -> Alcotest.fail "explain trailer lost on the wire");
+  (* ...and so do the trace dump's gc block and allocation table. *)
+  let root = { Trace.name = "request"; t0 = 0.; ms = 1.; children = [] } in
+  let rt =
+    { Trace.r_id = "t5-1"; r_start = 0.; r_root = root; r_cost = sample_cost;
+      r_gc = sample_gc; r_alloc = [ ("pairing_loop", 4000); ("filter", 96) ] }
+  in
+  (match P.decode_response (P.encode_response (P.Trace_dump [ rt ])) with
+   | P.Trace_dump [ rt' ] ->
+     Alcotest.(check bool) "trace gc survives" true (rt'.Trace.r_gc = sample_gc);
+     Alcotest.(check bool) "alloc table survives" true
+       (rt'.Trace.r_alloc = [ ("pairing_loop", 4000); ("filter", 96) ])
+   | _ -> Alcotest.fail "expected Trace_dump")
+
+let test_v5_only_constructs_gated () =
+  (* GC telemetry travels only in v5 frames: v4 encodings silently drop
+     it — the same discipline as v4's uptime in v3 frames. *)
+  let report =
+    { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary ();
+      sr_uptime_s = 2.; sr_start_time = 20.; sr_gc = Some sample_gc_stats }
+  in
+  (match P.decode_response (P.encode_response ~version:4 (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "gc stats dropped from a v4 frame" true (r.P.sr_gc = None);
+     Alcotest.(check (float 1e-9)) "uptime still travels at v4" 2. r.P.sr_uptime_s
+   | _ -> Alcotest.fail "expected Stats_report");
+  let x = { P.x_id = "x"; x_timings = []; x_cost = sample_cost; x_gc = Some sample_gc } in
+  (match P.decode_response_x (P.encode_response ~version:4 ~explain:x P.Ack) with
+   | P.Ack, Some x' ->
+     Alcotest.(check bool) "explain gc dropped from a v4 frame" true (x'.P.x_gc = None)
+   | _ -> Alcotest.fail "explain trailer lost in a v4 frame");
+  let root = { Trace.name = "request"; t0 = 0.; ms = 1.; children = [] } in
+  let rt =
+    { Trace.r_id = "t5-2"; r_start = 0.; r_root = root; r_cost = sample_cost;
+      r_gc = sample_gc; r_alloc = [ ("pairing_loop", 4000) ] }
+  in
+  (match P.decode_response (P.encode_response ~version:4 (P.Trace_dump [ rt ])) with
+   | P.Trace_dump [ rt' ] ->
+     Alcotest.(check bool) "trace gc dropped at v4" true (rt'.Trace.r_gc = Trace.zero_gc);
+     Alcotest.(check bool) "alloc table dropped at v4" true (rt'.Trace.r_alloc = [])
+   | _ -> Alcotest.fail "expected Trace_dump");
+  (* A forged v4 frame that still carries the v5 gc bytes is malformed:
+     the v4 layout ends before them, so the decoder reports trailing
+     garbage instead of smuggling newer fields into an older frame. *)
+  let forged = flip_version (P.encode_response (P.Stats_report report)) ~v:4 in
+  (match P.decode_response forged with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v5 gc bytes accepted inside a v4 frame");
+  let forged_x = flip_version (P.encode_response ~explain:x P.Ack) ~v:4 in
+  (match P.decode_response_x forged_x with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v5 explain gc accepted inside a v4 frame")
 
 (* --- transport over a real socket pair ------------------------------------------- *)
 
@@ -874,6 +965,9 @@ let () =
         [ Alcotest.test_case "trace context roundtrip" `Quick test_v4_trace_ctx_roundtrip;
           Alcotest.test_case "explain trailer roundtrip" `Quick test_v4_explain_roundtrip;
           Alcotest.test_case "trace dump roundtrip" `Quick test_v4_trace_dump_roundtrip ] );
+      ( "v5 resource telemetry",
+        [ Alcotest.test_case "gc telemetry roundtrip" `Quick test_v5_gc_roundtrip;
+          Alcotest.test_case "v5-only constructs gated" `Quick test_v5_only_constructs_gated ] );
       ( "v1 compat",
         [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
           Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
