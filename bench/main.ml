@@ -795,16 +795,16 @@ module Transport = Sagma_protocol.Transport
 (* Runs [f] against a live server on [port], then stops it gracefully.
    The listener polls [stop] a few times per second, so shutdown adds at
    most ~a quarter second per server. *)
-let with_server ~workers ~port ?(max_conns = 64) ?(request_timeout_ms = 0) state f =
+let with_server ~workers ~port ?(max_conns = 64) ?(request_timeout_ms = 0) handler f =
   let stop = Atomic.make false in
   let srv =
     Domain.spawn (fun () ->
         Transport.listen_and_serve ~workers ~max_conns ~request_timeout_ms
           ~stop:(fun () -> Atomic.get stop)
-          ~port state)
+          ~port handler)
   in
   let rec wait_up tries =
-    match Transport.connect ~port with
+    match Transport.connect ~port () with
     | fd -> Unix.close fd
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when tries > 0 ->
       Unix.sleepf 0.02;
@@ -829,7 +829,7 @@ let drive_clients ~port ~clients ~requests ~think_s req =
     List.init clients (fun i ->
         Thread.create
           (fun i ->
-            let fd = Transport.connect ~port in
+            let fd = Transport.connect ~port () in
             Fun.protect
               ~finally:(fun () -> Unix.close fd)
               (fun () ->
@@ -886,7 +886,7 @@ let bench_pr4 () =
   (* Estimate one request's service time, then pick a think time safely
      above it so the pooled win measures overlap, not noise. *)
   let svc_s =
-    with_server ~workers:0 ~port:7461 (state ()) (fun () ->
+    with_server ~workers:0 ~port:7461 (Rpc_server.handle_encoded (state ())) (fun () ->
         let e, _, _ = drive_clients ~port:7461 ~clients:1 ~requests:3 ~think_s:0. req in
         e /. 3.)
   in
@@ -895,11 +895,11 @@ let bench_pr4 () =
      measures overlap rather than raw CPU. *)
   let think_s = Float.min 0.3 (Float.max 0.1 (8. *. svc_s)) in
   let seq_elapsed, seq_ok, seq_max =
-    with_server ~workers:0 ~port:7461 (state ()) (fun () ->
+    with_server ~workers:0 ~port:7461 (Rpc_server.handle_encoded (state ())) (fun () ->
         drive_clients ~port:7461 ~clients ~requests ~think_s req)
   in
   let pool_elapsed, pool_ok, pool_max =
-    with_server ~workers ~port:7462 (state ()) (fun () ->
+    with_server ~workers ~port:7462 (Rpc_server.handle_encoded (state ())) (fun () ->
         drive_clients ~port:7462 ~clients ~requests ~think_s req)
   in
   let total = clients * requests in
@@ -921,11 +921,11 @@ let bench_pr4 () =
   let request_timeout_ms = 300 in
   let fast_requests = 8 in
   let fast_ok, fast_max =
-    with_server ~workers ~port:7463 ~request_timeout_ms (state ()) (fun () ->
+    with_server ~workers ~port:7463 ~request_timeout_ms (Rpc_server.handle_encoded (state ())) (fun () ->
         let staller =
           Thread.create
             (fun () ->
-              let fd = Transport.connect ~port:7463 in
+              let fd = Transport.connect ~port:7463 () in
               ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
               Thread.delay stall_s;
               Unix.close fd)
@@ -1006,7 +1006,7 @@ let bench_pr5 () =
   (* Untraced baseline: metrics collection off, sampling off. *)
   Obs.set_enabled false;
   let off_elapsed, off_ok, off_max =
-    with_server ~workers ~port:7464 (state ()) (fun () ->
+    with_server ~workers ~port:7464 (Rpc_server.handle_encoded (state ())) (fun () ->
         drive_clients ~port:7464 ~clients ~requests ~think_s:0. req)
   in
   (* Traced run: every request gets a span tree and a cost block. *)
@@ -1017,11 +1017,11 @@ let bench_pr5 () =
     Fun.protect
       ~finally:(fun () -> Obs.set_enabled false)
       (fun () ->
-        with_server ~workers ~port:7465 (state ~trace_sample:1 ()) (fun () ->
+        with_server ~workers ~port:7465 (Rpc_server.handle_encoded (state ~trace_sample:1 ())) (fun () ->
             let timing = drive_clients ~port:7465 ~clients ~requests ~think_s:0. req in
             (* One more request through the explicit v4 path, to confirm
                the EXPLAIN trailer rides along when asked for. *)
-            let fd = Transport.connect ~port:7465 in
+            let fd = Transport.connect ~port:7465 () in
             let explain_ok =
               Fun.protect
                 ~finally:(fun () -> Unix.close fd)
@@ -1253,7 +1253,7 @@ let bench_pr8 () =
   (* Untraced baseline: collection off, profiler off. *)
   Obs.set_enabled false;
   let off_elapsed, off_ok, _ =
-    with_server ~workers ~port:7466 (state ()) (fun () ->
+    with_server ~workers ~port:7466 (Rpc_server.handle_encoded (state ())) (fun () ->
         drive_clients ~port:7466 ~clients ~requests ~think_s:0. req)
   in
   (* Profiled run: every request traced, allocation sampler on. *)
@@ -1268,7 +1268,7 @@ let bench_pr8 () =
         Prof.stop ();
         Obs.set_enabled false)
       (fun () ->
-        with_server ~workers ~port:7467 (state ~trace_sample:1 ()) (fun () ->
+        with_server ~workers ~port:7467 (Rpc_server.handle_encoded (state ~trace_sample:1 ())) (fun () ->
             let timing = drive_clients ~port:7467 ~clients ~requests ~think_s:0. req in
             (* Every traced request must carry a real GC differential. *)
             let rts = Trace.requests () in
@@ -1362,6 +1362,155 @@ let bench_pr8 () =
       ("sum_two_attrs.alloc_minor_words", float_of_int alloc_words, "words") ];
   if not passed then failwith ("bench_pr8: " ^ String.concat "; " (List.rev !failures))
 
+(* --- PR 9: scatter-gather sharding ------------------------------------------------------ *)
+
+module Router = Sagma_protocol.Router
+
+(* [with_cluster ~shards ~base_port f] runs [f router] against [shards]
+   live storage nodes (shard i of n on base_port+i) fronted by a query
+   router served on base_port+shards; the table is uploaded through the
+   router so every replica holds it and the router caches its public
+   key. *)
+let with_cluster ~shards ~base_port ~enc f =
+  let rec spin i k =
+    if i = shards then k ()
+    else
+      let s = Rpc_server.create ~shard:(i, shards) () in
+      with_server ~workers:0 ~port:(base_port + i) (Rpc_server.handle_encoded s) (fun () ->
+          spin (i + 1) k)
+  in
+  spin 0 (fun () ->
+      let endpoints = List.init shards (fun i -> string_of_int (base_port + i)) in
+      let router = Router.create endpoints in
+      Fun.protect
+        ~finally:(fun () -> Router.shutdown router)
+        (fun () ->
+          (match Router.handle router (Rpc.Upload { name = "t"; table = enc }) with
+           | Rpc.Ack -> ()
+           | Rpc.Failed { message; _ } -> failwith ("bench_pr9: upload failed: " ^ message)
+           | _ -> failwith "bench_pr9: unexpected upload reply");
+          with_server ~workers:2 ~port:(base_port + shards) (Router.handle_encoded router)
+            (fun () -> f router)))
+
+(* Scatter-gather speedup on a pairing-bound SUM: the same workload
+   against 1 shard and against 4, both through a coordinator, so the
+   only variable is how many nodes split the Miller loops. Wall-clock
+   speedup needs real cores; the merge/identity/no-decrypt invariants
+   hold everywhere and are always asserted. *)
+let bench_pr9 () =
+  header "BENCH_PR9.json: 1-shard vs 4-shard aggregate throughput through the coordinator";
+  let rows = if full then 40 else 12 in
+  let clients = 2 in
+  let requests = if full then 4 else 2 in
+  let shards = 4 in
+  let table = Tpch.generate ~rows (Drbg.create "bench-pr9") in
+  let config =
+    Config.make ~bucket_size:2 ~max_group_attrs:1 ~value_columns:[ "l_quantity" ]
+      ~group_columns:[ "l_returnflag" ] ()
+  in
+  let client =
+    Scheme.setup config
+      ~domains:[ ("l_returnflag", [ str "A"; str "N"; str "R" ]) ]
+      (Drbg.create "pr9-client")
+  in
+  let enc = Scheme.encrypt_table client table in
+  (* SUM keeps the pairings (not the transport) on the critical path —
+     the workload sharding is supposed to split. *)
+  let q = Query.make ~group_by:[ "l_returnflag" ] (Query.Sum "l_quantity") in
+  let tok = Scheme.token client q in
+  let req = Rpc.Aggregate { name = "t"; token = tok } in
+  let total = clients * requests in
+  let run shards base_port =
+    with_cluster ~shards ~base_port ~enc (fun _router ->
+        let elapsed, ok, _ =
+          drive_clients ~port:(base_port + shards) ~clients ~requests ~think_s:0. req
+        in
+        if ok <> total then
+          failwith (Printf.sprintf "bench_pr9: %d-shard run dropped requests (%d/%d)" shards ok total);
+        float_of_int total /. elapsed)
+  in
+  let rps1 = run 1 7471 in
+  let rps4 = run shards 7471 in
+  let speedup = rps4 /. rps1 in
+  (* Invariant run: merged result vs the single-server answer, byte for
+     byte, with the dlog counter proving the coordinator never
+     decrypted. Metrics must be live or the zero delta would be
+     vacuous, so the run brackets set_enabled. *)
+  let dlog = Obs.counter "bgn.dlog.solves" in
+  let merged, solves_during_merge, shard_calls =
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () ->
+        with_cluster ~shards ~base_port:7471 ~enc (fun router ->
+            let calls0 = Obs.value (Obs.counter "router.shard_calls") in
+            let d0 = Obs.value dlog in
+            let merged =
+              match Router.handle router req with
+              | Rpc.Aggregates r -> r
+              | Rpc.Failed { message; _ } -> failwith ("bench_pr9: aggregate failed: " ^ message)
+              | _ -> failwith "bench_pr9: unexpected aggregate reply"
+            in
+            ( merged,
+              Obs.value dlog - d0,
+              Obs.value (Obs.counter "router.shard_calls") - calls0 )))
+  in
+  let direct = Scheme.aggregate enc tok in
+  let byte_identical =
+    Serialize.agg_result_to_string merged = Serialize.agg_result_to_string direct
+  in
+  (* The client-side decrypt does solve dlogs — proving the counter
+     watches the path the zero delta above vouches for. *)
+  Obs.set_enabled true;
+  let d0 = Obs.value dlog in
+  let rows_out =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () -> Scheme.decrypt client tok merged ~total_rows:rows)
+  in
+  let client_solves = Obs.value dlog - d0 in
+  let multi_core = Domain.recommended_domain_count () >= shards in
+  Printf.printf
+    "1 shard %6.2f req/s   %d shards %6.2f req/s   speedup %.2fx%s\n%!" rps1 shards rps4 speedup
+    (if multi_core then ""
+     else " (single-core container: domain overhead dominates; the >=2.5x gate applies on multi-core hosts)");
+  Printf.printf
+    "merged vs single-server: byte_identical=%b   coordinator dlog solves=%d   shard calls=%d   client dlog solves=%d   groups=%d\n%!"
+    byte_identical solves_during_merge shard_calls client_solves (List.length rows_out);
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check byte_identical "merged aggregate differs from the single-server answer";
+  check (solves_during_merge = 0)
+    (Printf.sprintf "coordinator solved %d dlogs during scatter-gather" solves_during_merge);
+  check (shard_calls = shards)
+    (Printf.sprintf "aggregate fanned out to %d shards, expected %d" shard_calls shards);
+  check (client_solves > 0) "client decrypt registered no dlog solves (counter dead?)";
+  check (rows_out <> []) "decrypted result is empty";
+  if multi_core then
+    check (speedup >= 2.5) (Printf.sprintf "%d-shard speedup %.2fx < 2.5x" shards speedup);
+  let passed = !failures = [] in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema_version\":1,\"bench\":\"pr9\",\"full\":%b,\"rows\":%d,\
+        \"clients\":%d,\"requests_per_client\":%d,\"shards\":%d,\
+        \"single\":{\"rps\":%.3f},\"sharded\":{\"rps\":%.3f},\
+        \"speedup\":%.3f,\"speedup_gate\":2.5,\"multi_core\":%b,\
+        \"byte_identical\":%b,\"coordinator_dlog_solves\":%d,\
+        \"shard_calls\":%d,\"client_dlog_solves\":%d,\"passed\":%b}"
+       full rows clients requests shards rps1 rps4 speedup multi_core byte_identical
+       solves_during_merge shard_calls client_solves passed);
+  let path = "BENCH_PR9.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (Buffer.length buf + 1);
+  append_history ~pr:9 ~bench:"pr9"
+    ([ ("single_rps", rps1, "req_per_s"); ("sharded4_rps", rps4, "req_per_s") ]
+     @ (if multi_core then [ ("shard_speedup", speedup, "ratio") ] else []));
+  if not passed then failwith ("bench_pr9: " ^ String.concat "; " (List.rev !failures))
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let benches =
@@ -1370,7 +1519,7 @@ let benches =
     ("table11", table11); ("ablation:karatsuba", ablation_karatsuba);
     ("ablation:crt", ablation_crt); ("ablation:shift-strategy", ablation_shift_strategy);
     ("ablation:bsgs", ablation_bsgs); ("ablation:mapping", ablation_mapping);
-    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("json-pr6", bench_pr6); ("json-pr8", bench_pr8); ("micro", micro) ]
+    ("ablation:attack", ablation_attack); ("ablation:montgomery", ablation_montgomery); ("ablation:joint-index", ablation_joint_index); ("ablation:parallel", ablation_parallel); ("json", bench_json); ("json-pr3", bench_pr3); ("json-pr4", bench_pr4); ("json-pr5", bench_pr5); ("json-pr6", bench_pr6); ("json-pr8", bench_pr8); ("json-pr9", bench_pr9); ("micro", micro) ]
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
@@ -1380,7 +1529,7 @@ let () =
       [ fig5; fig6a; fig6b; fig7; fig8; table9; table10; table11; ablation_karatsuba;
         ablation_crt; ablation_shift_strategy; ablation_bsgs; ablation_mapping;
         ablation_attack; ablation_montgomery; ablation_joint_index; ablation_parallel;
-        bench_json; bench_pr3; bench_pr4; bench_pr5; bench_pr6; bench_pr8; micro ]
+        bench_json; bench_pr3; bench_pr4; bench_pr5; bench_pr6; bench_pr8; bench_pr9; micro ]
     else
       List.map
         (fun name ->

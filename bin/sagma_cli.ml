@@ -276,7 +276,7 @@ let run_remote_upload csv schema group_by value_cols filter_cols bucket_size thr
   let client = Scheme.setup config ~domains (Drbg.create seed) in
   let enc = Scheme.encrypt_table client table in
   write_file key_file (Serialize.client_to_string client);
-  let fd = Sagma_protocol.Transport.connect ~port in
+  let fd = Sagma_protocol.Transport.connect ~port () in
   let resp =
     Sagma_protocol.Transport.call fd (Sagma_protocol.Protocol.Upload { name; table = enc })
   in
@@ -314,7 +314,7 @@ let run_remote_query sum count_flag avg group_by where_raw port name key_file se
   in
   let q = Query.make ~where ~group_by aggregate in
   let tok = Scheme.token client q in
-  let fd = Sagma_protocol.Transport.connect ~port in
+  let fd = Sagma_protocol.Transport.connect ~port () in
   let listing = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.List_tables in
   let total_rows =
     match listing with
@@ -387,12 +387,12 @@ let gc_raw_samples (g : Sagma_protocol.Protocol.gc_stats) : (string * float) lis
     ("ocaml_gc_top_heap_words", float_of_int g.Sagma_protocol.Protocol.gs_top_heap_words) ]
 
 let run_stats port prometheus json =
-  let fd = Sagma_protocol.Transport.connect ~port in
+  let fd = Sagma_protocol.Transport.connect ~port () in
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
   Unix.close fd;
   match resp with
   | Sagma_protocol.Protocol.Stats_report
-      { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time; sr_gc } ->
+      { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time; sr_gc; sr_topology } ->
     if prometheus then
       (* The exposition carries the v4 uptime and the v5 heap/GC state
          rather than dropping them on the floor. *)
@@ -424,6 +424,20 @@ let run_stats port prometheus json =
            g.Sagma_protocol.Protocol.gs_minor_collections
            g.Sagma_protocol.Protocol.gs_major_collections
        | None -> ());
+      (* The topology line arrived with protocol v6; pre-sharding
+         servers send none. *)
+      (match sr_topology with
+       | Some t ->
+         (match t.Sagma_protocol.Protocol.tp_role with
+          | "shard" ->
+            Printf.printf "topology: shard %d/%d\n" t.Sagma_protocol.Protocol.tp_shard_index
+              t.Sagma_protocol.Protocol.tp_shard_count
+          | "coordinator" ->
+            Printf.printf "topology: coordinator over %d shards (%s)\n"
+              t.Sagma_protocol.Protocol.tp_shard_count
+              (String.concat ", " t.Sagma_protocol.Protocol.tp_shards)
+          | role -> Printf.printf "topology: %s\n" role)
+       | None -> ());
       Printf.printf "audit: requests=%d probes=%d checks=%d failures=%d\n"
         sr_audit.Sagma_obs.Audit.s_requests sr_audit.Sagma_obs.Audit.s_probes
         sr_audit.Sagma_obs.Audit.s_checks_run sr_audit.Sagma_obs.Audit.s_check_failures
@@ -443,7 +457,7 @@ let run_stats port prometheus json =
    the scripts/CI mode. *)
 
 let fetch_stats port : Sagma_protocol.Protocol.stats_report =
-  let fd = Sagma_protocol.Transport.connect ~port in
+  let fd = Sagma_protocol.Transport.connect ~port () in
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
   Unix.close fd;
   match resp with
@@ -511,7 +525,7 @@ let run_top port interval once =
    as Chrome trace-event JSON — loadable in chrome://tracing or
    Perfetto. "-" writes to stdout. *)
 let run_trace port out =
-  let fd = Sagma_protocol.Transport.connect ~port in
+  let fd = Sagma_protocol.Transport.connect ~port () in
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Traces in
   Unix.close fd;
   match resp with

@@ -6,12 +6,24 @@
      dune exec bin/sagma_server.exe -- --port 7477 \
        [--workers N] [--max-conns M] [--request-timeout-ms T] \
        [--max-frame BYTES] [--agg-domains D] \
+       [--shard-of I/N | --coordinator HOST:PORT,...] \
        [--metrics] [--audit] [--trace-sample N] [--slow-query-ms T] \
        [--profile] [--prof-rate R] \
        [--log-json FILE] [--log-level LEVEL]
 
    --workers    serve connections on an N-domain pool (default 4;
                 0 = sequential, the pre-concurrency behavior).
+   --shard-of   run as storage node I of an N-shard scatter-gather
+                fleet ("I/N", zero-based): stores every uploaded row
+                but only pairs the rows of slice row mod N = I, so a
+                coordinator can ⊕-merge the partial aggregates.
+   --coordinator  run as the fleet's query router instead of a storage
+                node: fan every request out to the comma-separated
+                shard endpoints, homomorphically merge Aggregate
+                partials (never decrypting), stamp appends with global
+                row ids. Mutually exclusive with --shard-of.
+   --shard-deadline-ms  coordinator-side per-shard call deadline
+                (default 5000; 0 = none).
    --max-conns  shed connections beyond M in flight with a Failed Busy
                 response (default 64).
    --request-timeout-ms  per-connection read/write deadline; a peer
@@ -57,6 +69,9 @@ let () =
   let request_timeout_ms = ref 30000 in
   let max_frame = ref Sagma_protocol.Transport.default_server_max_frame in
   let agg_domains = ref 1 in
+  let shard_of = ref "" in
+  let coordinator = ref "" in
+  let shard_deadline_ms = ref 5000 in
   let metrics = ref false in
   let audit = ref false in
   let trace_sample = ref 0 in
@@ -77,6 +92,12 @@ let () =
        "Largest accepted frame in bytes (default 64 MiB)");
       ("--agg-domains", Arg.Set_int agg_domains,
        "Worker domains per aggregation (default 1 = off)");
+      ("--shard-of", Arg.Set_string shard_of,
+       "Run as storage node I of an N-shard fleet (\"I/N\", zero-based)");
+      ("--coordinator", Arg.Set_string coordinator,
+       "Run as the query router over comma-separated shard endpoints (host:port,...)");
+      ("--shard-deadline-ms", Arg.Set_int shard_deadline_ms,
+       "Coordinator per-shard call deadline in ms (default 5000; 0 = none)");
       ("--metrics", Arg.Set metrics, "Collect metrics; dump counters to stderr per request");
       ("--audit", Arg.Set audit, "Record per-request access-pattern traces (leakage auditor)");
       ("--trace-sample", Arg.Set_int trace_sample,
@@ -108,20 +129,62 @@ let () =
     Sagma_obs.Metrics.set_enabled true;
     Sagma_obs.Prof.start ~rate:!prof_rate ()
   end;
+  if !shard_of <> "" && !coordinator <> "" then
+    raise (Arg.Bad "--shard-of and --coordinator are mutually exclusive");
+  let shard =
+    if !shard_of = "" then None
+    else
+      match String.index_opt !shard_of '/' with
+      | Some k ->
+        (try
+           let i = int_of_string (String.sub !shard_of 0 k) in
+           let n =
+             int_of_string (String.sub !shard_of (k + 1) (String.length !shard_of - k - 1))
+           in
+           Some (i, n)
+         with _ -> raise (Arg.Bad (Printf.sprintf "bad --shard-of %S (want I/N)" !shard_of)))
+      | None -> raise (Arg.Bad (Printf.sprintf "bad --shard-of %S (want I/N)" !shard_of))
+  in
   let agg_pool =
     if !agg_domains > 1 then Some (Pool.create ~name:"aggregation" ~workers:(!agg_domains - 1) ())
     else None
   in
+  let router =
+    if !coordinator = "" then None
+    else
+      let endpoints =
+        String.split_on_char ',' !coordinator
+        |> List.map String.trim
+        |> List.filter (fun e -> e <> "")
+      in
+      Some
+        (Sagma_protocol.Router.create ~deadline_ms:!shard_deadline_ms
+           ~trace_sample:!trace_sample ~slow_query_ms:!slow_query_ms endpoints)
+  in
   let state =
-    Sagma_protocol.Server.create ?agg_pool ~trace_sample:!trace_sample
+    Sagma_protocol.Server.create ?agg_pool ?shard ~trace_sample:!trace_sample
       ~slow_query_ms:!slow_query_ms ()
+  in
+  let handler =
+    match router with
+    | Some r -> Sagma_protocol.Router.handle_encoded r
+    | None -> Sagma_protocol.Server.handle_encoded state
+  in
+  let role =
+    match (router, shard) with
+    | Some r, _ ->
+      let t = Sagma_protocol.Router.topology r in
+      Printf.sprintf " (coordinator over %d shards: %s)" t.Sagma_protocol.Protocol.tp_shard_count
+        (String.concat "," t.Sagma_protocol.Protocol.tp_shards)
+    | None, Some (i, n) -> Printf.sprintf " (shard %d/%d)" i n
+    | None, None -> ""
   in
   let stop = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-  Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s%s%s\n%!"
-    !port !workers !max_conns
+  Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s%s%s%s\n%!"
+    !port !workers !max_conns role
     (if !metrics then " (metrics on)" else "")
     (if !audit then " (audit on)" else "")
     (if !trace_sample > 0 then Printf.sprintf " (tracing 1/%d)" !trace_sample else "")
@@ -132,6 +195,11 @@ let () =
     ~fields:
       [ Log.int "port" !port; Log.int "workers" !workers; Log.int "max_conns" !max_conns;
         Log.int "request_timeout_ms" !request_timeout_ms; Log.int "agg_domains" !agg_domains;
+        Log.str "role"
+          (match (router, shard) with
+           | Some _, _ -> "coordinator"
+           | None, Some (i, n) -> Printf.sprintf "shard %d/%d" i n
+           | None, None -> "single");
         Log.bool "metrics" !metrics; Log.bool "audit" !audit;
         Log.int "trace_sample" !trace_sample; Log.float "slow_query_ms" !slow_query_ms;
         Log.str "profiler" (Sagma_obs.Prof.mode_name ());
@@ -149,9 +217,10 @@ let () =
   Sagma_protocol.Transport.listen_and_serve ?after_request ~workers:!workers
     ~max_conns:!max_conns ~request_timeout_ms:!request_timeout_ms ~max_frame:!max_frame
     ~stop:(fun () -> Atomic.get stop)
-    ~port:!port state;
+    ~port:!port handler;
   (* listen_and_serve only returns once drained: flush the final
      numbers, then the log stream. *)
+  Option.iter Sagma_protocol.Router.shutdown router;
   Option.iter Pool.shutdown agg_pool;
   Log.info "server.stop" ~fields:[ Log.int "port" !port ];
   if !metrics then

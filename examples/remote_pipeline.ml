@@ -58,7 +58,7 @@ let () =
   (* The "server": a thread holding only ciphertexts. *)
   let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let state = Server.create () in
-  let server_thread = Thread.create (fun () -> Transport.serve_connection state server_fd) () in
+  let server_thread = Thread.create (fun () -> Transport.serve_connection (Server.handle_encoded state) server_fd) () in
 
   let call req = Transport.call client_fd req in
   let payload = Serialize.enc_table_to_string enc in
@@ -94,7 +94,7 @@ let () =
     Scheme.append_payload client ~values:[| 999 |] ~groups:[| str "apac"; str "web" |]
       ~filters:[]
   in
-  assert (call (P.Append { name = "sales"; row; keywords }) = P.Ack);
+  assert (call (P.Append { name = "sales"; row; keywords; row_id = None }) = P.Ack);
   print_endline "\nappended one encrypted row remotely; re-querying:";
   run_query (Query.make ~group_by:[ "region" ] (Query.Sum "amount"));
 

@@ -110,10 +110,11 @@ type dstate = {
   mutable d_base : frame option;  (* inherited parent for pool tasks *)
   mutable d_stack : frame list;   (* frames opened on this domain, innermost first *)
   mutable d_alloc : alloc_tab option;  (* current request's allocation table *)
+  mutable d_req_id : string option;  (* id of the request being traced *)
 }
 
 let state : dstate Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { d_base = None; d_stack = []; d_alloc = None })
+  Domain.DLS.new_key (fun () -> { d_base = None; d_stack = []; d_alloc = None; d_req_id = None })
 
 (* One lock covers cross-domain frame attachment, both completed rings
    and the per-request allocation tables. Span closes are coarse
@@ -232,30 +233,55 @@ type ctx = {
   x_parent : frame option;
   x_scope : Metrics.scope option;
   x_alloc : alloc_tab option;
+  x_req_id : string option;
 }
 
 let capture () : ctx =
-  if not !Metrics.enabled then { x_parent = None; x_scope = None; x_alloc = None }
+  if not !Metrics.enabled then { x_parent = None; x_scope = None; x_alloc = None; x_req_id = None }
   else begin
     let st = Domain.DLS.get state in
     let parent = match st.d_stack with fr :: _ -> Some fr | [] -> st.d_base in
-    { x_parent = parent; x_scope = Metrics.scope_current (); x_alloc = st.d_alloc }
+    { x_parent = parent; x_scope = Metrics.scope_current (); x_alloc = st.d_alloc;
+      x_req_id = st.d_req_id }
   end
 
 let with_ctx (ctx : ctx) (f : unit -> 'a) : 'a =
   let st = Domain.DLS.get state in
   let saved_base = st.d_base and saved_stack = st.d_stack and saved_alloc = st.d_alloc in
+  let saved_req_id = st.d_req_id in
   let saved_scope = Metrics.scope_swap ctx.x_scope in
   st.d_base <- ctx.x_parent;
   st.d_stack <- [];
   st.d_alloc <- ctx.x_alloc;
+  st.d_req_id <- ctx.x_req_id;
   Fun.protect
     ~finally:(fun () ->
       ignore (Metrics.scope_swap saved_scope);
       st.d_base <- saved_base;
       st.d_stack <- saved_stack;
-      st.d_alloc <- saved_alloc)
+      st.d_alloc <- saved_alloc;
+      st.d_req_id <- saved_req_id)
     f
+
+(* The id of the request currently being traced on this domain (set by
+   [with_request_full], inherited through [capture]/[with_ctx]). A
+   query router propagates this across the coordinator → shard hop as
+   the v4 trace context, so both nodes record the same trace id. *)
+let current_request_id () : string option = (Domain.DLS.get state).d_req_id
+
+(* Graft an already-completed span — e.g. one rebuilt from a shard's
+   EXPLAIN timings — under the innermost open frame, so a distributed
+   request renders as one tree. No-op outside any open span. *)
+let attach_span (sp : span) : unit =
+  if !Metrics.enabled then begin
+    let st = Domain.DLS.get state in
+    match (st.d_stack, st.d_base) with
+    | fr :: _, _ | [], Some fr ->
+      Mutex.lock lock;
+      fr.children_rev <- sp :: fr.children_rev;
+      Mutex.unlock lock
+    | [], None -> ()
+  end
 
 (* --- per-request traces ------------------------------------------------------ *)
 
@@ -301,6 +327,7 @@ let with_request_full ?trace_id f =
     let id = match trace_id with Some id -> id | None -> next_trace_id () in
     let st = Domain.DLS.get state in
     let saved_base = st.d_base and saved_stack = st.d_stack and saved_alloc = st.d_alloc in
+    let saved_req_id = st.d_req_id in
     let sc = Metrics.scope_create () in
     let saved_scope = Metrics.scope_swap (Some sc) in
     let gc0 = Gc.quick_stat () in
@@ -311,6 +338,7 @@ let with_request_full ?trace_id f =
     in
     st.d_base <- None;
     st.d_stack <- [ root ];
+    st.d_req_id <- Some id;
     st.d_alloc <-
       (match Atomic.get prof_hook with Some _ -> Some (Hashtbl.create 8) | None -> None);
     let tab = st.d_alloc in
@@ -324,6 +352,7 @@ let with_request_full ?trace_id f =
       st.d_stack <- saved_stack;
       st.d_base <- saved_base;
       st.d_alloc <- saved_alloc;
+      st.d_req_id <- saved_req_id;
       ignore (Metrics.scope_swap saved_scope);
       if root_w > 0 then begin
         (match tab with
@@ -376,6 +405,7 @@ let reset () =
   st.d_base <- None;
   st.d_stack <- [];
   st.d_alloc <- None;
+  st.d_req_id <- None;
   Mutex.lock lock;
   Queue.clear completed_roots;
   Queue.clear completed_requests;

@@ -118,6 +118,19 @@ val set_cost : rtrace -> cost -> unit
 (** Replace the cost block (the server uses this to fill
     [bytes_in]/[bytes_out] after encoding the response). *)
 
+val current_request_id : unit -> string option
+(** The id of the request currently being traced on this domain — set
+    by {!with_request_full}, inherited through {!capture}/{!with_ctx},
+    [None] outside a traced request. A query router propagates this
+    across the coordinator → shard hop (as the v4 trace context of its
+    shard calls), so both nodes record the same trace id. *)
+
+val attach_span : span -> unit
+(** Graft an already-completed span — e.g. one rebuilt from a shard's
+    EXPLAIN timings — as a child of the innermost open span, so a
+    distributed request renders as one tree. No-op outside any open
+    span or with metrics disabled. *)
+
 (** {1 Profiler integration}
 
     Used by {!Sagma_obs.Prof}; not meant for direct application use. *)

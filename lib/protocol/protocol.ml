@@ -25,7 +25,11 @@
    adds resource telemetry: an optional gc section in StatsReport
    (process-lifetime GC stats and heap size), an optional gc
    differential in the EXPLAIN trailer, and a GC/allocation summary on
-   every dumped trace. Each
+   every dumped trace; v6 adds scatter-gather sharding: an optional
+   topology section in StatsReport (node role, shard index/count,
+   coordinator shard endpoints) and an optional explicit row id on
+   Append so a coordinator can stamp the global row position (and hence
+   the owning shard) when fanning an append across replicas. Each
    older frame is a valid newer frame with a different version byte, so
    the decoders accept every supported version and only reject tags
    (and error codes, and trailers) the claimed version does not
@@ -40,7 +44,7 @@ module Audit = Sagma_obs.Audit
 module Trace = Sagma_obs.Trace
 
 let magic = "SG"
-let version = 5
+let version = 6
 let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
@@ -118,7 +122,18 @@ type request =
       (** Store an encrypted table under [name] (replaces silently). *)
   | Aggregate of { name : string; token : Scheme.token }
       (** Run AggGrpBy (Algorithm 5) over table [name]. *)
-  | Append of { name : string; row : Scheme.enc_row; keywords : Sse.token list }
+  | Append of {
+      name : string;
+      row : Scheme.enc_row;
+      keywords : Sse.token list;
+      row_id : int option;
+          (** v6: the row's global position, stamped by a coordinator
+              fanning the append across shard replicas so every replica
+              agrees on the id (and hence on the owning shard,
+              [row_id mod shard_count]). [None] — every direct client
+              append — means "next local position". Dropped from
+              encodings below v6. *)
+    }
       (** Append one encrypted row; the server extends the SSE postings of
           each keyword token itself (leaking those keywords' identities —
           the usual dynamic-SSE update leakage). *)
@@ -159,12 +174,25 @@ type gc_stats = {
   gs_top_heap_words : int;
 }
 
+(* v6: the node's place in a scatter-gather deployment, carried in a
+   StatsReport so operators (and the CLI) can see the cluster shape from
+   any node. A standalone server reports ["single"], a storage node
+   ["shard"] with its index/count, a query router ["coordinator"] with
+   the endpoints it fans out to. *)
+type topology = {
+  tp_role : string;         (* "single" | "shard" | "coordinator" *)
+  tp_shard_index : int;     (* this node's slice, -1 for non-shards *)
+  tp_shard_count : int;     (* fleet size; 1 for a standalone server *)
+  tp_shards : string list;  (* coordinator only: "host:port" endpoints *)
+}
+
 type stats_report = {
   sr_snapshot : Sagma_obs.Metrics.snapshot;
   sr_audit : Sagma_obs.Audit.summary;
   sr_uptime_s : float;     (* v4; 0. when decoded from an older frame *)
   sr_start_time : float;   (* v4; epoch seconds, 0. from an older frame *)
   sr_gc : gc_stats option; (* v5; [None] from an older frame *)
+  sr_topology : topology option; (* v6; [None] from an older frame *)
 }
 
 type response =
@@ -265,6 +293,21 @@ let put_gc_stats (s : W.sink) (g : gc_stats) : unit =
   W.put_int s g.gs_compactions;
   W.put_int s g.gs_heap_words;
   W.put_int s g.gs_top_heap_words
+
+(* v6 topology codecs (StatsReport section). *)
+
+let put_topology (s : W.sink) (t : topology) : unit =
+  W.put_bytes s t.tp_role;
+  W.put_int s t.tp_shard_index;
+  W.put_int s t.tp_shard_count;
+  W.put_list s W.put_bytes t.tp_shards
+
+let get_topology (s : W.source) : topology =
+  let tp_role = W.get_bytes s in
+  let tp_shard_index = W.get_int s in
+  let tp_shard_count = W.get_int s in
+  let tp_shards = W.get_list s W.get_bytes in
+  { tp_role; tp_shard_index; tp_shard_count; tp_shards }
 
 let get_gc_stats (s : W.source) : gc_stats =
   let gs_minor_words = W.get_f64 s in
@@ -383,7 +426,8 @@ let put_stats_report ~(version : int) (s : W.sink) (r : stats_report) : unit =
     W.put_f64 s r.sr_uptime_s;
     W.put_f64 s r.sr_start_time
   end;
-  if version >= 5 then W.put_option s put_gc_stats r.sr_gc
+  if version >= 5 then W.put_option s put_gc_stats r.sr_gc;
+  if version >= 6 then W.put_option s put_topology r.sr_topology
 
 let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let counters =
@@ -413,9 +457,10 @@ let get_stats_report ~(version : int) (s : W.source) : stats_report =
   let sr_uptime_s = if version >= 4 then W.get_f64 s else 0. in
   let sr_start_time = if version >= 4 then W.get_f64 s else 0. in
   let sr_gc = if version >= 5 then W.get_option s get_gc_stats else None in
+  let sr_topology = if version >= 6 then W.get_option s get_topology else None in
   { sr_snapshot = { Metrics.counters; gauges; histograms };
     sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures };
-    sr_uptime_s; sr_start_time; sr_gc }
+    sr_uptime_s; sr_start_time; sr_gc; sr_topology }
 
 (* [?version] lets a caller (or a compat test) emit a frame an older
    peer accepts; only tags the requested version defines are allowed.
@@ -436,11 +481,14 @@ let put_request ?(version = version) ?(trace : trace_ctx option) (s : W.sink) (r
     W.put_u8 s 1;
     W.put_bytes s name;
     Serialize.put_token s token
-  | Append { name; row; keywords } ->
+  | Append { name; row; keywords; row_id } ->
     W.put_u8 s 2;
     W.put_bytes s name;
     Serialize.put_enc_row s row;
-    W.put_list s Serialize.put_sse_token keywords
+    W.put_list s Serialize.put_sse_token keywords;
+    (* A pre-v6 peer assigns the next local position itself, which is
+       exactly what dropping the field means. *)
+    if version >= 6 then W.put_option s W.put_int row_id
   | List_tables -> W.put_u8 s 3
   | Drop name ->
     W.put_u8 s 4;
@@ -472,7 +520,8 @@ let get_request_vt (s : W.source) : int * trace_ctx option * request =
       let name = W.get_bytes s in
       let row = Serialize.get_enc_row s in
       let keywords = W.get_list s Serialize.get_sse_token in
-      Append { name; row; keywords }
+      let row_id = if v >= 6 then W.get_option s W.get_int else None in
+      Append { name; row; keywords; row_id }
     | 3 -> List_tables
     | 4 -> Drop (W.get_bytes s)
     | 5 when v >= 2 -> Stats

@@ -5,7 +5,9 @@
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
     Every message is prefixed with the magic {!magic} and a version
-    byte. This build speaks v5 but still decodes v1–v4 frames (v4 = v5
+    byte. This build speaks v6 but still decodes v1–v5 frames (v5 = v6
+    minus the scatter-gather sharding constructs: the topology section
+    of [Stats_report] and the explicit row id on [Append]; v4 = v5
     minus the resource-telemetry sections: the gc block of
     [Stats_report], the gc differential of the EXPLAIN trailer, and the
     GC/allocation summary on dumped traces; v3 = v4 minus the
@@ -26,7 +28,7 @@ val magic : string
 
 val version : int
 (** Wire protocol version this build speaks and encodes by default
-    (currently 5). *)
+    (currently 6). *)
 
 val min_version : int
 (** Oldest version the decoders still accept (currently 1). *)
@@ -49,7 +51,17 @@ val error_code_to_string : error_code -> string
 type request =
   | Upload of { name : string; table : Scheme.enc_table }
   | Aggregate of { name : string; token : Scheme.token }
-  | Append of { name : string; row : Scheme.enc_row; keywords : Sse.token list }
+  | Append of {
+      name : string;
+      row : Scheme.enc_row;
+      keywords : Sse.token list;
+      row_id : int option;
+          (** v6: the global row position a coordinator stamps when
+              fanning an append across shard replicas, so every replica
+              agrees on the id (and the owning shard,
+              [row_id mod shard_count]). [None] means "next local
+              position". Dropped from encodings below v6. *)
+    }
       (** The server extends each keyword token's postings itself —
           standard dynamic-SSE update leakage. *)
   | List_tables
@@ -89,6 +101,19 @@ type gc_stats = {
   gs_top_heap_words : int;
 }
 
+(** v6: the node's place in a scatter-gather deployment, carried in a
+    {!Stats_report} so operators can see the cluster shape from any
+    node: ["single"] for a standalone server, ["shard"] (with
+    index/count) for a storage node serving slice
+    [row mod tp_shard_count = tp_shard_index], ["coordinator"] (with
+    the endpoint list) for a query router. *)
+type topology = {
+  tp_role : string;
+  tp_shard_index : int;     (** -1 for non-shards *)
+  tp_shard_count : int;     (** 1 for a standalone server *)
+  tp_shards : string list;  (** coordinator only: "host:port" endpoints *)
+}
+
 type stats_report = {
   sr_snapshot : Sagma_obs.Metrics.snapshot;
       (** The snapshot's gauges travel only in v3+ frames: encoding at
@@ -100,6 +125,8 @@ type stats_report = {
       (** v4: server start, epoch seconds; 0. from older frames. *)
   sr_gc : gc_stats option;
       (** v5: the server's GC/heap state; [None] from older frames. *)
+  sr_topology : topology option;
+      (** v6: the node's cluster role; [None] from older frames. *)
 }
 
 type response =

@@ -1,0 +1,287 @@
+(* The query router of a scatter-gather deployment (protocol v6).
+
+   Speaks the same wire protocol as a storage server, but owns no rows:
+   every request is routed to a fleet of shard endpoints and the
+   replies are combined. The interesting case is [Aggregate]: the fan
+   out queries all shards concurrently (over {!Sagma_pool}), each shard
+   pairs only the rows it owns ([Server] created with [?shard]), and
+   the per-bucket level-2 partial sums come back ⊕-mergeable — BGN
+   ciphertexts are additively homomorphic — so the router combines them
+   with {!Sagma.Scheme.merge_agg_results} using only the table's PUBLIC
+   key and returns one [Aggregates] reply. The router never decrypts
+   anything (it has no secret key to decrypt with); the client pays a
+   single decrypt, same as against one server.
+
+   Storage is replicated: [Upload] and [Append] fan to every shard (the
+   SSE index is PRF-opaque, so rows cannot be partitioned server-side),
+   with appends stamped with the coordinator's global row id (v6) so
+   replicas stay aligned and the owning shard — [row_id mod count] — is
+   deterministic.
+
+   Tracing: when the router's own request is sampled, each shard call
+   carries the router's trace id as its v4 trace context (with the
+   sampling flag forced), so coordinator and shards record the same
+   id; the shard's EXPLAIN phase timings are grafted back under the
+   router's per-shard span, rendering the distributed request as one
+   tree: request → fanout → shard:N → remote:aggregate.
+
+   Version-mixed fleets: the router remembers, per shard, the highest
+   protocol version the shard accepted (starting at {!Protocol.version})
+   and steps down on [Failed Version_unsupported] replies — a v5 shard
+   behind a v6 coordinator keeps working, it just never sees v6-only
+   constructs (its appends fall back to local row numbering, which
+   matches the coordinator's as long as replicas stay aligned). *)
+
+module P = Protocol
+module Obs = Sagma_obs.Metrics
+module Audit = Sagma_obs.Audit
+module Trace = Sagma_obs.Trace
+module Pool = Sagma_pool.Pool
+module Scheme = Sagma.Scheme
+module Bgn = Sagma.Scheme.Bgn
+
+let m_fanouts = Obs.counter "router.fanouts"
+let m_shard_calls = Obs.counter "router.shard_calls"
+let m_shard_errors = Obs.counter "router.shard_errors"
+let m_merges = Obs.counter "router.merges"
+let m_downgrades = Obs.counter "router.version_downgrades"
+
+type shard = {
+  sh_endpoint : string;          (* as configured, for messages/topology *)
+  sh_host : string option;       (* None = loopback *)
+  sh_port : int;
+  mutable sh_version : int;      (* highest protocol version the shard accepted *)
+}
+
+type t = {
+  lock : Mutex.t;
+  shards : shard array;
+  pool : Pool.t;  (* fan-out pool — distinct from any connection-serving pool *)
+  (* Per-table state gleaned from the uploads that passed through: the
+     BGN public key (all ⊕-merging needs) and the global row count
+     (appends are stamped with it so every replica agrees on ids). *)
+  pks : (string, Bgn.public_key) Hashtbl.t;
+  row_counts : (string, int) Hashtbl.t;
+  deadline_ms : int;
+  trace_sample : int;
+  slow_query_ms : float;
+  started : float;
+}
+
+(* "host:port" (host optional — ":7501" or "7501" mean loopback). *)
+let parse_endpoint (ep : string) : string option * int =
+  let bad () = invalid_arg (Printf.sprintf "Router: bad shard endpoint %S (want host:port)" ep) in
+  let host, port_s =
+    match String.rindex_opt ep ':' with
+    | Some i -> (String.sub ep 0 i, String.sub ep (i + 1) (String.length ep - i - 1))
+    | None -> ("", ep)
+  in
+  match int_of_string_opt port_s with
+  | Some p when p > 0 && p < 65536 -> ((if host = "" then None else Some host), p)
+  | _ -> bad ()
+
+let create ?(deadline_ms = 5000) ?fanout_workers ?(trace_sample = 0) ?(slow_query_ms = 0.)
+    (endpoints : string list) : t =
+  if endpoints = [] then invalid_arg "Router.create: need at least one shard endpoint";
+  let shards =
+    Array.of_list
+      (List.map
+         (fun ep ->
+           let sh_host, sh_port = parse_endpoint ep in
+           { sh_endpoint = ep; sh_host; sh_port; sh_version = P.version })
+         endpoints)
+  in
+  let workers =
+    match fanout_workers with Some w -> w | None -> min (Array.length shards) 8
+  in
+  { lock = Mutex.create (); shards; pool = Pool.create ~name:"fanout" ~workers ();
+    pks = Hashtbl.create 8; row_counts = Hashtbl.create 8; deadline_ms; trace_sample;
+    slow_query_ms; started = Unix.gettimeofday () }
+
+let shutdown (r : t) : unit = Pool.shutdown r.pool
+
+let with_lock (r : t) (f : unit -> 'a) : 'a =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+let shard_label (i : int) (sh : shard) : string =
+  Printf.sprintf "shard %d (%s)" i sh.sh_endpoint
+
+let topology (r : t) : P.topology =
+  { P.tp_role = "coordinator"; tp_shard_index = -1; tp_shard_count = Array.length r.shards;
+    tp_shards = Array.to_list (Array.map (fun s -> s.sh_endpoint) r.shards) }
+
+(* One shard exchange: fresh connection, the router's deadline on both
+   directions, the request encoded at the shard's cached version, and a
+   downgrade-and-retry on [Version_unsupported] so a fleet can mix
+   protocol generations. *)
+let call_shard (r : t) (sh : shard) (req : P.request) : P.response * P.explain option =
+  Obs.incr m_shard_calls;
+  let trace =
+    match Trace.current_request_id () with
+    | Some id -> Some { P.tc_id = Some id; tc_sampled = true }
+    | None -> None
+  in
+  let deadline = float_of_int r.deadline_ms /. 1000. in
+  let rec attempt v =
+    let fd = Transport.connect ?host:sh.sh_host ~port:sh.sh_port () in
+    let resp, x =
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          if deadline > 0. then
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO deadline
+             with Unix.Unix_error _ | Invalid_argument _ -> ());
+          Transport.send fd
+            (P.encode_request ~version:v ?trace:(if v >= 4 then trace else None) req);
+          P.decode_response_x (Transport.recv fd))
+    in
+    match resp with
+    | P.Failed { code = P.Version_unsupported; _ } when v > P.min_version ->
+      Obs.incr m_downgrades;
+      attempt (v - 1)
+    | _ ->
+      sh.sh_version <- v;
+      (resp, x)
+  in
+  attempt sh.sh_version
+
+(* [call_shard] with every failure mode — unreachable endpoint,
+   deadline, malformed reply, or the shard's own [Failed] — turned into
+   a [Failed] response naming the shard, so the client always learns
+   which node broke the query. *)
+let safe_call (r : t) (i : int) (sh : shard) (req : P.request) :
+    P.response * P.explain option =
+  let label = shard_label i sh in
+  match call_shard r sh req with
+  | P.Failed { code; message }, x ->
+    Obs.incr m_shard_errors;
+    (P.Failed { code; message = Printf.sprintf "%s: %s" label message }, x)
+  | ok -> ok
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Obs.incr m_shard_errors;
+    (P.failed P.Internal_error "%s: deadline exceeded after %d ms" label r.deadline_ms, None)
+  | exception Unix.Unix_error (e, _, _) ->
+    Obs.incr m_shard_errors;
+    (P.failed P.Internal_error "%s: %s" label (Unix.error_message e), None)
+  | exception (Failure msg | Sagma_wire.Wire.Decode_error msg) ->
+    Obs.incr m_shard_errors;
+    (P.failed P.Internal_error "%s: %s" label msg, None)
+
+(* Query every shard concurrently on the fan-out pool. Each call runs
+   under a "shard:N" span (the pool inherits the router's trace
+   context, so these land under "fanout" in the request tree), and a
+   traced shard's EXPLAIN phase timings are grafted back as
+   "remote:..." child spans — the cross-node stitch. *)
+let fanout (r : t) (req : P.request) : (P.response * P.explain option) array =
+  Obs.incr m_fanouts;
+  Trace.with_span "fanout" @@ fun () ->
+  let futures =
+    Array.mapi
+      (fun i sh ->
+        Pool.submit r.pool (fun () ->
+            Trace.with_span (Printf.sprintf "shard:%d" i) (fun () ->
+                let ((_, x) as result) = safe_call r i sh req in
+                (match x with
+                 | Some { P.x_timings; _ } ->
+                   List.iter
+                     (fun (name, ms) ->
+                       Trace.attach_span
+                         { Trace.name = "remote:" ^ name;
+                           t0 = Unix.gettimeofday () -. (ms /. 1000.); ms; children = [] })
+                     x_timings
+                 | None -> ());
+                result)))
+      r.shards
+  in
+  Array.map Pool.await futures
+
+let first_failure (results : (P.response * P.explain option) array) : P.response option =
+  Array.find_map
+    (fun (resp, _) -> match resp with P.Failed _ -> Some resp | _ -> None)
+    results
+
+let handle (r : t) (req : P.request) : P.response =
+  match req with
+  | P.Stats ->
+    P.Stats_report
+      { P.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary ();
+        sr_uptime_s = Unix.gettimeofday () -. r.started; sr_start_time = r.started;
+        sr_gc = Some (Server.gc_stats_now ()); sr_topology = Some (topology r) }
+  | P.Traces -> P.Trace_dump (Trace.requests ())
+  | P.List_tables ->
+    (* Replicas are identical by construction; one shard speaks for
+       the fleet. *)
+    fst (safe_call r 0 r.shards.(0) P.List_tables)
+  | P.Upload { name; table } -> begin
+    match Server.validate_table_name name with
+    | Some msg -> P.failed P.Bad_request "%s" msg
+    | None -> (
+      let results = fanout r req in
+      match first_failure results with
+      | Some f -> f
+      | None ->
+        (* Remember what ⊕-merging and append stamping need: the
+           table's public key and its global row count. *)
+        with_lock r (fun () ->
+            Hashtbl.replace r.pks name table.Scheme.pp.Scheme.bgn_pk;
+            Hashtbl.replace r.row_counts name (Array.length table.Scheme.rows));
+        P.Ack)
+  end
+  | P.Drop name -> (
+    let results = fanout r req in
+    with_lock r (fun () ->
+        Hashtbl.remove r.pks name;
+        Hashtbl.remove r.row_counts name);
+    match first_failure results with Some f -> f | None -> P.Ack)
+  | P.Append { name; row; keywords; row_id = _ } ->
+    (* The whole read-stamp-fanout-commit holds the lock so concurrent
+       appends through the router get distinct row ids in order. *)
+    with_lock r (fun () ->
+        match Hashtbl.find_opt r.row_counts name with
+        | None ->
+          P.failed P.No_such_table
+            "no such table %S (uploads must pass through this coordinator)" name
+        | Some next -> (
+          let stamped = P.Append { name; row; keywords; row_id = Some next } in
+          let results = fanout r stamped in
+          match first_failure results with
+          | Some f -> f
+          | None ->
+            Hashtbl.replace r.row_counts name (next + 1);
+            P.Ack))
+  | P.Aggregate { name; _ } -> begin
+    match with_lock r (fun () -> Hashtbl.find_opt r.pks name) with
+    | None ->
+      P.failed P.No_such_table
+        "no such table %S (uploads must pass through this coordinator)" name
+    | Some pk -> (
+      let results = fanout r req in
+      let parts = ref [] in
+      let failure = ref None in
+      Array.iteri
+        (fun i (resp, _) ->
+          match (resp, !failure) with
+          | _, Some _ -> ()
+          | P.Aggregates a, None -> parts := a :: !parts
+          | (P.Failed _ as f), None -> failure := Some f
+          | _, None ->
+            failure :=
+              Some
+                (P.failed P.Internal_error "%s: unexpected reply to Aggregate"
+                   (shard_label i r.shards.(i))))
+        results;
+      match !failure with
+      | Some f -> f
+      | None ->
+        (* ⊕-merge of the per-shard partials: public-key group
+           operations only — the router cannot and does not decrypt. *)
+        Obs.incr m_merges;
+        P.Aggregates
+          (Trace.with_span "merge" (fun () ->
+               Scheme.merge_agg_results pk (List.rev !parts))))
+  end
+
+let handle_encoded (r : t) (raw : string) : string =
+  Server.pipeline ~trace_sample:r.trace_sample ~slow_query_ms:r.slow_query_ms (handle r) raw

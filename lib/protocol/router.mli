@@ -1,0 +1,60 @@
+(** The query router (coordinator) of a scatter-gather deployment.
+
+    Speaks the same wire protocol as a storage server but owns no rows:
+    [Aggregate] fans out to every shard concurrently (over
+    [Sagma_pool]), each shard — a [Server] created with [?shard] —
+    pairs only the rows it owns, and the per-bucket partial sums come
+    back ⊕-mergeable ([Sagma.Scheme.merge_agg_results], public key
+    only). The router NEVER decrypts; the client pays one decrypt, same
+    as against a single server, and receives bytes identical to the
+    single-server answer.
+
+    [Upload]/[Append] fan to every shard (storage is replicated — the
+    SSE index is PRF-opaque and cannot be split server-side); appends
+    are stamped with the coordinator's global row id (v6) so replicas
+    stay aligned and the compute owner [row_id mod count] is stable.
+
+    Fault handling: any unreachable, timed-out or failing shard turns
+    the reply into [Failed] naming that shard, within the per-call
+    deadline. Version-mixed fleets work: the router caches each shard's
+    accepted protocol version and steps down on
+    [Failed Version_unsupported] (a v5 shard simply never sees v6-only
+    constructs).
+
+    Tracing: when the router's request is sampled, shard calls carry
+    the router's trace id as their v4 trace context, and shard EXPLAIN
+    timings are grafted back under the per-shard spans — the
+    distributed request renders as one tree:
+    request → fanout → shard:N → remote:aggregate. *)
+
+type t
+
+val create :
+  ?deadline_ms:int ->
+  ?fanout_workers:int ->
+  ?trace_sample:int ->
+  ?slow_query_ms:float ->
+  string list ->
+  t
+(** [create endpoints] builds a router over the given shard endpoints
+    ("host:port"; a bare port means loopback). [deadline_ms] (default
+    5000) bounds each shard call's reads and writes, so a dead shard
+    yields a prompt [Failed] instead of a hang; 0 disables.
+    [fanout_workers] sizes the internal fan-out pool (default
+    [min shards 8]) — it is always distinct from any connection-serving
+    pool, as required by [Sagma_pool]. [trace_sample]/[slow_query_ms]
+    as in [Server.create].
+    @raise Invalid_argument on an empty or unparsable endpoint list. *)
+
+val shutdown : t -> unit
+(** Shut the fan-out pool down (idempotent via [Sagma_pool]). *)
+
+val topology : t -> Protocol.topology
+(** The ["coordinator"] topology this router reports in v6 Stats. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+
+val handle_encoded : t -> string -> string
+(** [Server.pipeline] over {!handle}: same metrics, logging, audit
+    bracketing, sampling and version-mirrored framing as a storage
+    server's [Server.handle_encoded]. *)

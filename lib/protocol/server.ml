@@ -4,7 +4,14 @@
    (semantically secure ciphertexts, the SSE index, public parameters),
    and every operation is expressible from public data — aggregation is
    {!Sagma.Scheme.aggregate}, appends extend SSE postings from tokens.
-   The handler is transport-agnostic; {!Transport} adds framing. *)
+   The handler is transport-agnostic; {!Transport} adds framing.
+
+   A server can also be one storage node of a scatter-gather fleet
+   ([?shard]): storage stays replicated (each node holds every uploaded
+   row — the SSE index is PRF-opaque, so the server cannot split it),
+   but compute is partitioned: aggregation only pairs the rows the node
+   owns ([row mod count = index]), so a coordinator ({!Router}) can
+   ⊕-merge the per-shard partials into the full answer. *)
 
 module Sse = Sagma_sse.Sse
 module Scheme = Sagma.Scheme
@@ -20,6 +27,31 @@ let m_bytes_in = Obs.counter "proto.bytes_in"
 let m_bytes_out = Obs.counter "proto.bytes_out"
 let h_request_ms = Obs.histogram "proto.request_ms"
 
+(* Registry keys outlive any client's ability to drop them only if we
+   let arbitrary strings in; an empty name is invisible in listings and
+   a multi-MiB one is a memory-amplification vector. *)
+let max_table_name_len = 1024
+
+let validate_table_name (name : string) : string option =
+  if name = "" then Some "table name must not be empty"
+  else if String.length name > max_table_name_len then
+    Some
+      (Printf.sprintf "table name too long (%d bytes, max %d)" (String.length name)
+         max_table_name_len)
+  else None
+
+(* One registered table: the immutable snapshot plus a per-token
+   posting-count cache keyed by {!Sse.token_id}. Without the cache every
+   append re-walks each keyword's postings ([Sse.search]) under the
+   registry lock just to learn the next counter — O(postings) per
+   keyword, quadratic over a stream of appends. The first append of a
+   token pays one search; after that the counter is O(1). Upload
+   replaces the whole entry, so the cache can never outlive its index. *)
+type entry = {
+  mutable table : Scheme.enc_table;
+  post_counts : (string, int) Hashtbl.t;
+}
+
 (* Connection handlers may run on several pool domains at once, so the
    table registry takes a lock around every access. Aggregation — the
    expensive part — runs OUTSIDE the lock on a snapshot: [enc_table]
@@ -30,15 +62,20 @@ let h_request_ms = Obs.histogram "proto.request_ms"
    connections (a task awaiting futures on its own pool deadlocks). *)
 type t = {
   lock : Mutex.t;
-  tables : (string, Scheme.enc_table) Hashtbl.t;
+  tables : (string, entry) Hashtbl.t;
   agg_pool : Pool.t option;
+  shard : (int * int) option;  (* (index, count) storage-node slice *)
   trace_sample : int;      (* trace every Nth request; 0 disables *)
   slow_query_ms : float;   (* requests over this emit a slow_query event; 0. disables *)
   started : float;         (* epoch seconds, for Stats uptime *)
 }
 
-let create ?agg_pool ?(trace_sample = 0) ?(slow_query_ms = 0.) () : t =
-  { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool; trace_sample;
+let create ?agg_pool ?shard ?(trace_sample = 0) ?(slow_query_ms = 0.) () : t =
+  (match shard with
+   | Some (i, n) when n < 1 || i < 0 || i >= n ->
+     invalid_arg (Printf.sprintf "Server.create: shard %d/%d out of range" i n)
+   | _ -> ());
+  { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool; shard; trace_sample;
     slow_query_ms; started = Unix.gettimeofday () }
 
 let with_lock (s : t) (f : unit -> 'a) : 'a =
@@ -47,7 +84,7 @@ let with_lock (s : t) (f : unit -> 'a) : 'a =
 
 let table_names (s : t) : (string * int) list =
   with_lock s (fun () ->
-      Hashtbl.fold (fun name et acc -> (name, Array.length et.Scheme.rows) :: acc) s.tables [])
+      Hashtbl.fold (fun name e acc -> (name, Array.length e.table.Scheme.rows) :: acc) s.tables [])
   |> List.sort compare
 
 let request_kind : Protocol.request -> string = function
@@ -59,29 +96,43 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Stats -> "stats"
   | Protocol.Traces -> "traces"
 
+(* The v5 gc section of a Stats reply — also used by {!Router}. *)
+let gc_stats_now () : Protocol.gc_stats =
+  let g = Gc.quick_stat () in
+  { Protocol.gs_minor_words = g.Gc.minor_words; gs_promoted_words = g.Gc.promoted_words;
+    gs_major_words = g.Gc.major_words; gs_minor_collections = g.Gc.minor_collections;
+    gs_major_collections = g.Gc.major_collections; gs_compactions = g.Gc.compactions;
+    gs_heap_words = g.Gc.heap_words; gs_top_heap_words = g.Gc.top_heap_words }
+
 let handle (s : t) (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Stats ->
     (* A read-only snapshot: safe to serve even while the registry is
        being written — counters are atomic, histograms lock per cell.
-       The gc section (v5) is filled unconditionally and dropped by the
-       encoder for older peers. *)
-    let g = Gc.quick_stat () in
+       The gc (v5) and topology (v6) sections are filled
+       unconditionally and dropped by the encoder for older peers. *)
     Protocol.Stats_report
       { Protocol.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary ();
         sr_uptime_s = Unix.gettimeofday () -. s.started; sr_start_time = s.started;
-        sr_gc =
+        sr_gc = Some (gc_stats_now ());
+        sr_topology =
           Some
-            { Protocol.gs_minor_words = g.Gc.minor_words;
-              gs_promoted_words = g.Gc.promoted_words; gs_major_words = g.Gc.major_words;
-              gs_minor_collections = g.Gc.minor_collections;
-              gs_major_collections = g.Gc.major_collections;
-              gs_compactions = g.Gc.compactions; gs_heap_words = g.Gc.heap_words;
-              gs_top_heap_words = g.Gc.top_heap_words } }
+            (match s.shard with
+             | Some (i, n) ->
+               { Protocol.tp_role = "shard"; tp_shard_index = i; tp_shard_count = n;
+                 tp_shards = [] }
+             | None ->
+               { Protocol.tp_role = "single"; tp_shard_index = -1; tp_shard_count = 1;
+                 tp_shards = [] }) }
   | Protocol.Traces -> Protocol.Trace_dump (Trace.requests ())
-  | Protocol.Upload { name; table } ->
-    with_lock s (fun () -> Hashtbl.replace s.tables name table);
-    Protocol.Ack
+  | Protocol.Upload { name; table } -> begin
+    match validate_table_name name with
+    | Some msg -> Protocol.failed Protocol.Bad_request "%s" msg
+    | None ->
+      with_lock s (fun () ->
+          Hashtbl.replace s.tables name { table; post_counts = Hashtbl.create 8 });
+      Protocol.Ack
+  end
   | Protocol.List_tables -> Protocol.Tables (table_names s)
   | Protocol.Drop name ->
     if
@@ -96,50 +147,86 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
        requests pay for the lookup, not for each other's pairings. *)
     match with_lock s (fun () -> Hashtbl.find_opt s.tables name) with
     | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
-    | Some et -> (
+    | Some e -> (
+      let et = with_lock s (fun () -> e.table) in
+      (* A storage node only pairs the rows of its slice; the
+         coordinator ⊕-merges the per-shard partials back into the
+         full answer. *)
+      let owned =
+        match s.shard with
+        | Some (i, n) when n > 1 -> Some (fun r -> r mod n = i)
+        | _ -> None
+      in
       (* The "aggregate" span mirrors Scheme.query's client-side phase
          name, so a sampled server trace reads request → aggregate →
          filter/bucket_intersection/indicator_coeffs/pairing_loop. *)
       try
         Protocol.Aggregates
-          (Trace.with_span "aggregate" (fun () -> Scheme.aggregate ?pool:s.agg_pool et token))
+          (Trace.with_span "aggregate" (fun () ->
+               Scheme.aggregate ?pool:s.agg_pool ?owned et token))
       with
       | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
       | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)
   end
-  | Protocol.Append { name; row; keywords } ->
+  | Protocol.Append { name; row; keywords; row_id } ->
     (* The whole read-modify-write stays under the lock so two
        concurrent appends cannot lose one row. *)
     with_lock s (fun () ->
         match Hashtbl.find_opt s.tables name with
         | None -> Protocol.failed Protocol.No_such_table "no such table %S" name
-        | Some et when et.Scheme.index_mode = Scheme.Oxt_conjunctive ->
+        | Some e when e.table.Scheme.index_mode = Scheme.Oxt_conjunctive ->
           ignore (row, keywords);
           Protocol.failed Protocol.Unsupported
             "remote appends are unsupported for OXT-indexed tables"
-        | Some et -> (
-          try
-            let id = Array.length et.Scheme.rows in
-            let index =
-              List.fold_left
-                (fun index tok ->
-                  let counter = List.length (Sse.search index tok) in
-                  Sse.add_with_token index tok ~counter id)
-                et.Scheme.index keywords
-            in
-            Hashtbl.replace s.tables name
-              { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
-            Protocol.Ack
-          with
-          | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
-          | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg))
+        | Some e -> (
+          let et = e.table in
+          let local = Array.length et.Scheme.rows in
+          match row_id with
+          | Some id when id <> local ->
+            (* A coordinator-stamped id that is not our next position
+               means this replica diverged from the fleet; refusing is
+               the only answer that keeps the ownership arithmetic
+               ([id mod count]) meaningful. *)
+            Protocol.failed Protocol.Bad_request
+              "append out of sync: coordinator row id %d, local next row %d" id local
+          | _ -> (
+            try
+              let id = local in
+              (* Each keyword's next counter comes from the cache when
+                 warm; a cold token pays one [Sse.search]. The cache is
+                 committed only after every [add_with_token] succeeded,
+                 so a failed append cannot desynchronize it. *)
+              let index, bumped =
+                List.fold_left
+                  (fun (index, bumped) tok ->
+                    let tid = Sse.token_id tok in
+                    let counter =
+                      match List.assoc_opt tid bumped with
+                      | Some c -> c
+                      | None -> (
+                        match Hashtbl.find_opt e.post_counts tid with
+                        | Some c -> c
+                        | None -> List.length (Sse.search index tok))
+                    in
+                    (Sse.add_with_token index tok ~counter id, (tid, counter + 1) :: bumped))
+                  (et.Scheme.index, []) keywords
+              in
+              List.iter (fun (tid, c) -> Hashtbl.replace e.post_counts tid c) bumped;
+              e.table <- { et with Scheme.rows = Array.append et.Scheme.rows [| row |]; index };
+              Protocol.Ack
+            with
+            | Invalid_argument msg -> Protocol.failed Protocol.Bad_request "%s" msg
+            | Failure msg -> Protocol.failed Protocol.Internal_error "%s" msg)))
 
 (* Handle a raw encoded request, never letting an exception cross the
    transport boundary. Each request gets a fresh id shared by its log
    lines and its audit trace: the audit brackets the whole handler, so
    every index probe [Scheme.aggregate] fires lands in this request's
-   trace. *)
-let handle_encoded (s : t) (raw : string) : string =
+   trace. Generic over the actual request handler so the storage
+   server ({!handle}) and the query router ({!Router.handle}) share
+   the metrics/tracing/framing pipeline. *)
+let pipeline ~(trace_sample : int) ~(slow_query_ms : float)
+    (handle : Protocol.request -> Protocol.response) (raw : string) : string =
   Obs.incr m_requests;
   Obs.add m_bytes_in (String.length raw);
   let req_id = Log.next_request_id () in
@@ -169,18 +256,18 @@ let handle_encoded (s : t) (raw : string) : string =
           let sampled =
             !Obs.enabled
             && ((match tc with Some { Protocol.tc_sampled = true; _ } -> true | _ -> false)
-               || (s.trace_sample > 0 && req_id mod s.trace_sample = 0)
-               || s.slow_query_ms > 0.)
+               || (trace_sample > 0 && req_id mod trace_sample = 0)
+               || slow_query_ms > 0.)
           in
           if sampled then begin
             let trace_id =
               match tc with Some { Protocol.tc_id = Some id; _ } -> Some id | _ -> None
             in
-            let resp, rt = Trace.with_request_full ?trace_id (fun () -> handle s req) in
+            let resp, rt = Trace.with_request_full ?trace_id (fun () -> handle req) in
             rtrace := Some rt;
             resp
           end
-          else handle s req
+          else handle req
         with
         | Sagma_wire.Wire.Decode_error msg ->
           Protocol.failed Protocol.Bad_request "malformed request: %s" msg
@@ -196,25 +283,38 @@ let handle_encoded (s : t) (raw : string) : string =
   (match response with Protocol.Failed _ -> Obs.incr m_failed | _ -> ());
   (* Fill the byte counts into the trace's cost block (the completed
      ring holds the same record, so exports see them too), then attach
-     the EXPLAIN trailer for v4 peers. Re-encoding for the trailer is
-     confined to sampled v4 requests. *)
+     the EXPLAIN trailer for v4 peers. [bytes_out] must describe the
+     frame that actually leaves — trailer included — but the trailer
+     itself embeds the cost block, and the varint width of [bytes_out]
+     depends on its value; iterate to the (immediately reached)
+     fixpoint instead of reporting the trailer-less first encoding.
+     Re-encoding is confined to sampled v4 requests. *)
   let encoded = Protocol.encode_response ~version:!resp_version response in
-  (match !rtrace with
-   | Some rt ->
-     Trace.set_cost rt
-       { rt.Trace.r_cost with
-         Trace.bytes_in = String.length raw; bytes_out = String.length encoded }
-   | None -> ());
   let encoded =
     match !rtrace with
     | Some rt when !resp_version >= 4 ->
-      Protocol.encode_response ~version:!resp_version
-        ~explain:
-          { Protocol.x_id = rt.Trace.r_id;
-            x_timings = Trace.phase_timings rt.Trace.r_root; x_cost = rt.Trace.r_cost;
-            x_gc = Some rt.Trace.r_gc }
-        response
-    | _ -> encoded
+      let encode_with bytes_out =
+        Trace.set_cost rt
+          { rt.Trace.r_cost with Trace.bytes_in = String.length raw; bytes_out };
+        Protocol.encode_response ~version:!resp_version
+          ~explain:
+            { Protocol.x_id = rt.Trace.r_id;
+              x_timings = Trace.phase_timings rt.Trace.r_root; x_cost = rt.Trace.r_cost;
+              x_gc = Some rt.Trace.r_gc }
+          response
+      in
+      let rec fix guess attempts =
+        let e = encode_with guess in
+        if String.length e = guess || attempts <= 0 then e
+        else fix (String.length e) (attempts - 1)
+      in
+      fix (String.length encoded) 4
+    | Some rt ->
+      Trace.set_cost rt
+        { rt.Trace.r_cost with
+          Trace.bytes_in = String.length raw; bytes_out = String.length encoded };
+      encoded
+    | None -> encoded
   in
   Obs.add m_bytes_out (String.length encoded);
   let duration_ms = (Unix.gettimeofday () -. t0) *. 1000. in
@@ -240,7 +340,7 @@ let handle_encoded (s : t) (raw : string) : string =
       in
       Log.info "request" ~fields:(base @ audit_fields)
   end;
-  if s.slow_query_ms > 0. && duration_ms > s.slow_query_ms && Log.enabled Log.Warn then begin
+  if slow_query_ms > 0. && duration_ms > slow_query_ms && Log.enabled Log.Warn then begin
     let trace_fields =
       match !rtrace with
       | Some rt ->
@@ -252,7 +352,10 @@ let handle_encoded (s : t) (raw : string) : string =
     Log.warn "slow_query"
       ~fields:
         ([ Log.int "req" req_id; Log.str "kind" !kind; Log.float "duration_ms" duration_ms;
-           Log.float "threshold_ms" s.slow_query_ms ]
+           Log.float "threshold_ms" slow_query_ms ]
         @ trace_fields)
   end;
   encoded
+
+let handle_encoded (s : t) (raw : string) : string =
+  pipeline ~trace_sample:s.trace_sample ~slow_query_ms:s.slow_query_ms (handle s) raw

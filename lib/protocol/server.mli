@@ -9,13 +9,27 @@ module Scheme = Sagma.Scheme
 type t
 
 val create :
-  ?agg_pool:Sagma_pool.Pool.t -> ?trace_sample:int -> ?slow_query_ms:float -> unit -> t
+  ?agg_pool:Sagma_pool.Pool.t ->
+  ?shard:int * int ->
+  ?trace_sample:int ->
+  ?slow_query_ms:float ->
+  unit ->
+  t
 (** [create ()] builds an empty, thread-safe server state: request
     handlers may run concurrently (registry accesses take an internal
     lock; aggregation runs lock-free on immutable table snapshots).
     [agg_pool] parallelizes row work inside each aggregation — it MUST
     be a different pool from the one serving connections, or a
     connection task could await futures only its own pool can run.
+
+    [shard:(i, n)] makes this a storage node of an [n]-shard
+    scatter-gather fleet (see {!Router}): storage stays replicated
+    (uploads and appends land on every node — the SSE index is
+    PRF-opaque and cannot be split server-side), but aggregation only
+    pairs the rows of slice [row mod n = i], so the fleet divides the
+    pairing work and a coordinator ⊕-merges the partials. The node
+    reports role ["shard"] in its v6 Stats topology.
+    @raise Invalid_argument unless [0 <= i < n].
 
     [trace_sample] (default 0 = off) traces every Nth request:
     a sampled request runs under [Sagma_obs.Trace.with_request_full],
@@ -31,6 +45,25 @@ val table_names : t -> (string * int) list
 
 val request_kind : Protocol.request -> string
 (** Stable kebab-case name of the request constructor (log field). *)
+
+val validate_table_name : string -> string option
+(** [Some message] when a table name must be rejected with
+    [Bad_request] — empty, or longer than 1024 bytes (an unlistable or
+    memory-amplifying registry key). Shared with {!Router}. *)
+
+val gc_stats_now : unit -> Protocol.gc_stats
+(** The process's current [Gc.quick_stat] as the v5 Stats section. *)
+
+val pipeline :
+  trace_sample:int ->
+  slow_query_ms:float ->
+  (Protocol.request -> Protocol.response) ->
+  string ->
+  string
+(** The encoded-request pipeline {!handle_encoded} is built on, generic
+    over the actual handler so a query router ({!Router}) shares the
+    metrics, logging, audit bracketing, sampling, version-mirroring and
+    EXPLAIN-trailer machinery of the storage server. *)
 
 val handle : t -> Protocol.request -> Protocol.response
 

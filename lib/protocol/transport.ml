@@ -110,13 +110,16 @@ let call ?max_frame ?trace (fd : Unix.file_descr) (req : Protocol.request) : Pro
    mid-reply, a send deadline — end this connection the same way
    instead of escaping to the accept loop. [after_request] runs once
    per handled request — the server binary hooks periodic metric dumps
-   here. *)
-let serve_connection ?(after_request = fun () -> ()) ?max_frame ?stop (state : Server.t)
-    (fd : Unix.file_descr) : unit =
+   here. The [handler] is any raw-frame function — a storage server's
+   [Server.handle_encoded state], a query router's
+   [Router.handle_encoded router] — so the serving loops are agnostic
+   to the node's role. *)
+let serve_connection ?(after_request = fun () -> ()) ?max_frame ?stop
+    (handler : string -> string) (fd : Unix.file_descr) : unit =
   let rec loop () =
     match recv ?max_frame ?stop fd with
     | raw ->
-      (match send ?stop fd (Server.handle_encoded state raw) with
+      (match send ?stop fd (handler raw) with
        | () ->
          after_request ();
          loop ()
@@ -131,7 +134,7 @@ let peer_name = function
 
 let listen_and_serve ?(backlog = 64) ?after_request ?(workers = 0) ?(max_conns = 64)
     ?request_timeout_ms ?(max_frame = default_server_max_frame)
-    ?(stop = fun () -> false) ~(port : int) (state : Server.t) : unit =
+    ?(stop = fun () -> false) ~(port : int) (handler : string -> string) : unit =
   (* A peer that disappears mid-reply must surface as EPIPE on the
      write, handled per-connection — not as a SIGPIPE killing the whole
      process. *)
@@ -189,7 +192,7 @@ let listen_and_serve ?(backlog = 64) ?after_request ?(workers = 0) ?(max_conns =
         close_conn conn;
         Log.info "conn.closed" ~fields:[ Log.str "peer" peer ])
       (fun () ->
-        try serve_connection ?after_request ~max_frame ~stop state conn with _ -> ())
+        try serve_connection ?after_request ~max_frame ~stop handler conn with _ -> ())
   in
   (* Over the limit: answer with a structured Busy failure (framed at
      the current protocol version — the request is unread, so the
@@ -255,7 +258,21 @@ let listen_and_serve ?(backlog = 64) ?after_request ?(workers = 0) ?(max_conns =
   Pool.shutdown pool;
   Log.info "server.drained" ~fields:[ Log.int "rejected" (Obs.value m_rejected) ]
 
-let connect ~(port : int) : Unix.file_descr =
+let resolve_host (host : string) : Unix.inet_addr =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "Transport.connect: cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let connect ?host ~(port : int) () : Unix.file_descr =
+  let addr = match host with None -> Unix.inet_addr_loopback | Some h -> resolve_host h in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (match Unix.connect sock (Unix.ADDR_INET (addr, port)) with
+   | () -> ()
+   | exception e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
   sock

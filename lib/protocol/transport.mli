@@ -43,14 +43,17 @@ val serve_connection :
   ?after_request:(unit -> unit) ->
   ?max_frame:int ->
   ?stop:(unit -> bool) ->
-  Server.t ->
+  (string -> string) ->
   Unix.file_descr ->
   unit
 (** Serve one connection until the peer closes, a read/write deadline
     set on the fd fires, or a send fails (e.g. [EPIPE] from a peer gone
     mid-reply) — never letting an I/O error escape. [after_request]
     runs after each handled request (e.g. to dump metrics
-    periodically). *)
+    periodically). The handler maps one raw request frame to one raw
+    response frame — [Server.handle_encoded state] for a storage node,
+    [Router.handle_encoded router] for a coordinator — so the serving
+    loops are agnostic to the node's role. *)
 
 val listen_and_serve :
   ?backlog:int ->
@@ -61,9 +64,10 @@ val listen_and_serve :
   ?max_frame:int ->
   ?stop:(unit -> bool) ->
   port:int ->
-  Server.t ->
+  (string -> string) ->
   unit
-(** Accept loop on localhost. With [?workers = 0] (the default)
+(** Accept loop on localhost, serving the given raw-frame handler (see
+    {!serve_connection}). With [?workers = 0] (the default)
     connections are served sequentially on the calling domain; with
     [?workers = n > 0] each connection becomes a task on an [n]-domain
     pool, so slow clients no longer block fast ones. Ignores SIGPIPE
@@ -85,4 +89,7 @@ val listen_and_serve :
     [transport.rejected], [transport.accept_retries], plus the pool's
     [pool.tasks]/[pool.queue_depth]. *)
 
-val connect : port:int -> Unix.file_descr
+val connect : ?host:string -> port:int -> unit -> Unix.file_descr
+(** TCP connection to [host:port] (default loopback). [?host] accepts a
+    dotted quad or a resolvable name; @raise Failure when it resolves
+    to nothing. *)

@@ -627,12 +627,24 @@ let block_vector ~(bucket_size : int) ~(arity : int) (idx : int) : int array =
   go (arity - 1) idx;
   v
 
+(* Joint buckets in canonical (lexicographic bucket-vector) order. The
+   enumeration order of [joint_bucket_rows] depends on the token source
+   and, under sharding, on which rows a node owns — sorting makes the
+   encoding deterministic, so a coordinator's ⊕-merge of per-shard
+   partials is byte-identical to the single-server answer. *)
+let sort_buckets (buckets : bucket_aggregate list) : bucket_aggregate list =
+  List.sort (fun a b -> compare a.bucket_ids b.bucket_ids) buckets
+
 (* [aggregate et tok] is Algorithm 5 (pure server side). Row work within
    each joint bucket is split across worker domains when [pool] is given
    (a long-lived pool, spawned once per process) or when [domains] > 1
    (a transient pool spanning this one call) — never one spawn per
-   bucket. *)
-let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
+   bucket. [owned] restricts the pairing work to the rows this node is
+   responsible for in a sharded deployment (storage is replicated,
+   compute is partitioned): rows failing the predicate are excluded
+   before any pairing, and joint buckets left empty are dropped, so the
+   per-shard partials ⊕-combine to exactly the unsharded answer. *)
+let aggregate ?(domains = 1) ?pool ?owned (et : enc_table) (tok : token) : agg_result =
   let pp = et.pp in
   let pk = pp.bgn_pk in
   let n = Bgn.n pk in
@@ -663,7 +675,10 @@ let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
     | [] -> None
     | s0 :: rest -> Some (List.fold_left Int_set.inter s0 rest)
   in
-  let keep r = match filtered with None -> true | Some s -> Int_set.mem r s in
+  let keep r =
+    (match filtered with None -> true | Some s -> Int_set.mem r s)
+    && (match owned with None -> true | Some f -> f r)
+  in
   (* Materialize the joint buckets: per-attribute mode intersects the
      queried columns' bucket posting lists; joint mode reads each joint
      bucket's rows in one SSE query. *)
@@ -901,7 +916,50 @@ let aggregate ?(domains = 1) ?pool (et : enc_table) (tok : token) : agg_result =
         Trace.with_span "pairing_loop" (fun () ->
             List.map (aggregate_bucket chunk_pool) joint_bucket_rows))
   in
-  { buckets; touched_rows = !touched }
+  { buckets = sort_buckets buckets; touched_rows = !touched }
+
+(* ⊕-combine per-node partial aggregates (scatter-gather merge). Every
+   ciphertext is additively homomorphic, so summing the level-2 (and
+   level-1 count) components bucket-by-bucket yields exactly the
+   aggregate a single server would have produced over the union of the
+   parts' rows — no decryption anywhere. Buckets are matched on their
+   joint bucket vector; a bucket present in only some parts passes
+   through unchanged (its rows all lived on those nodes). *)
+let merge_agg_results (pk : Bgn.public_key) (parts : agg_result list) : agg_result =
+  let merge_opt f a b =
+    match (a, b) with
+    | Some a, Some b -> Some (f a b)
+    | a, None -> a
+    | None, b -> b
+  in
+  let merge_blocks (a : block_aggregates) (b : block_aggregates) : block_aggregates =
+    {
+      sums = merge_opt (Array.map2 (Array.map2 (Bgn.add2 pk))) a.sums b.sums;
+      counts_l1 = merge_opt (Array.map2 (Bgn.add1 pk)) a.counts_l1 b.counts_l1;
+      counts_l2 = merge_opt (Array.map2 (Bgn.add2 pk)) a.counts_l2 b.counts_l2;
+    }
+  in
+  let tbl : (int list, bucket_aggregate) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun part ->
+      List.iter
+        (fun b ->
+          let key = Array.to_list b.bucket_ids in
+          match Hashtbl.find_opt tbl key with
+          | None -> Hashtbl.add tbl key b
+          | Some prev ->
+            Hashtbl.replace tbl key
+              {
+                bucket_ids = prev.bucket_ids;
+                group_size = prev.group_size + b.group_size;
+                blocks = merge_blocks prev.blocks b.blocks;
+              })
+        part.buckets)
+    parts;
+  {
+    buckets = sort_buckets (Hashtbl.fold (fun _ b acc -> b :: acc) tbl []);
+    touched_rows = List.fold_left (fun acc p -> acc + p.touched_rows) 0 parts;
+  }
 
 (* --- decryption (Algorithm 6) -------------------------------------------- *)
 

@@ -228,14 +228,37 @@ val audited_oxt_search :
     probe. *)
 
 val aggregate :
-  ?domains:int -> ?pool:Sagma_pool.Pool.t -> enc_table -> token -> agg_result
+  ?domains:int ->
+  ?pool:Sagma_pool.Pool.t ->
+  ?owned:(int -> bool) ->
+  enc_table ->
+  token ->
+  agg_result
 (** Algorithm 5. Deliberately takes only public data — no keys.
     Row work within each joint bucket is split across worker domains
     (the paper's multi-core parallelization): pass [pool] to reuse a
     long-lived pool spawned once per process (the caller runs one chunk
     itself, so a [w]-worker pool gives [w + 1]-way parallelism), or
     [domains] > 1 for a transient pool spanning this one call. [pool]
-    wins when both are given. *)
+    wins when both are given.
+
+    [owned] restricts pairing work to the rows this node is responsible
+    for in a sharded deployment (replicated storage, partitioned
+    compute): rows failing the predicate are dropped before any pairing
+    and joint buckets left empty disappear, so per-shard partials
+    {!merge_agg_results}-combine to exactly the unsharded answer.
+
+    Buckets are returned in canonical (lexicographic bucket-vector)
+    order, so equal aggregates serialize to equal bytes regardless of
+    how the work was partitioned. *)
+
+val merge_agg_results : Bgn.public_key -> agg_result list -> agg_result
+(** ⊕-combine per-node partial aggregates (the coordinator's
+    scatter-gather merge): per-bucket level-2 sums and level-2 counts
+    via [Bgn.add2], level-1 counts via [Bgn.add1], group sizes and
+    touched-row counts added — no decryption anywhere. Buckets are
+    matched on their joint bucket vector; one present in only some
+    parts passes through unchanged. Needs only the public key. *)
 
 (** {1 Decryption (Algorithm 6)} *)
 

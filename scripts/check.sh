@@ -176,13 +176,78 @@ trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1..6,8.json + BENCH_HISTORY.jsonl) =="
+echo "== cluster smoke (2 shards + coordinator, v6 scatter-gather) =="
+CL_DIR=$(mktemp -d)
+SHARD0_PORT=7501
+SHARD1_PORT=7502
+COORD_PORT=7503
+cat > "$CL_DIR/data.csv" <<'CSV'
+salary,dept
+1000,sales
+2000,finance
+3000,sales
+4000,facility
+CSV
+# Two storage nodes, each owning half the row space, plus a query
+# router fanning out over them. --metrics on the shards lets the
+# coordinator's sampled requests pull EXPLAIN trailers back for span
+# grafting; --trace-sample 1 on the coordinator traces every request.
+"$SERVER" --port "$SHARD0_PORT" --shard-of 0/2 --metrics \
+  > "$CL_DIR/shard0.out" 2>&1 &
+SHARD0_PID=$!
+"$SERVER" --port "$SHARD1_PORT" --shard-of 1/2 --metrics \
+  > "$CL_DIR/shard1.out" 2>&1 &
+SHARD1_PID=$!
+sleep 1
+"$SERVER" --port "$COORD_PORT" \
+  --coordinator "127.0.0.1:$SHARD0_PORT,127.0.0.1:$SHARD1_PORT" \
+  --trace-sample 1 > "$CL_DIR/coord.out" 2>&1 &
+COORD_PID=$!
+trap 'kill "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID" 2>/dev/null || true; rm -rf "$CL_DIR"' EXIT
+sleep 1
+grep -q "shard 0/2" "$CL_DIR/shard0.out"
+grep -q "coordinator over 2 shards" "$CL_DIR/coord.out"
+# Upload and a remote GROUP BY, both through the coordinator: the
+# shards each pair only their slice and the router ⊕-merges the
+# partials — the client sees one ordinary answer.
+"$CLI" remote-upload --csv "$CL_DIR/data.csv" --schema "salary:int,dept:str" \
+  --group-by dept --values salary --filters dept --threshold 1 \
+  --port "$COORD_PORT" --name cluster --key-file "$CL_DIR/sagma.key"
+"$CLI" remote-query --sum salary --group-by dept \
+  --port "$COORD_PORT" --name cluster --key-file "$CL_DIR/sagma.key" \
+  > "$CL_DIR/query.out"
+grep -q "sales" "$CL_DIR/query.out"
+grep -q "4000" "$CL_DIR/query.out"
+# The v6 Stats topology line names each node's role.
+"$CLI" stats --port "$COORD_PORT" | grep -q "^topology: coordinator over 2 shards"
+"$CLI" stats --port "$SHARD0_PORT" | grep -q "^topology: shard 0/2"
+# The distributed request renders as ONE stitched span tree on the
+# coordinator: request -> fanout -> shard:N -> remote:<phase>, the
+# remote spans grafted from each shard's EXPLAIN trailer.
+"$CLI" trace --port "$COORD_PORT" --out "$CL_DIR/cluster_trace.json"
+python3 -c 'import json, sys
+doc = json.load(open(sys.argv[1]))
+xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+names = {e["name"] for e in xs}
+assert "fanout" in names, names
+assert "shard:0" in names and "shard:1" in names, names
+remote = [n for n in names if n.startswith("remote:")]
+assert remote, f"no grafted shard spans in {names}"
+print(f"cluster trace OK: stitched spans {sorted(names)}")' \
+  "$CL_DIR/cluster_trace.json"
+kill "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$CL_DIR"
+echo "cluster smoke OK"
+
+echo "== bench smoke (json targets -> BENCH_PR1..6,8,9.json + BENCH_HISTORY.jsonl) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
 dune exec bench/main.exe -- json-pr4
 dune exec bench/main.exe -- json-pr5
 dune exec bench/main.exe -- json-pr6
 dune exec bench/main.exe -- json-pr8
+dune exec bench/main.exe -- json-pr9
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -347,11 +412,43 @@ print(f"BENCH_PR8.json OK: profiled/untraced ratio {doc['throughput_ratio']:.2f}
       f"top site {s['top_site']}")
 EOF
 
+echo "== validate BENCH_PR9.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR9.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr9"
+assert doc["shards"] == 4, doc["shards"]
+for mode in ("single", "sharded"):
+    assert doc[mode]["rps"] > 0, f"{mode}: no throughput recorded"
+# Core correctness holds everywhere: the coordinator's ⊕-merged answer
+# is byte-identical to the single-server one, computed without a single
+# decrypt, with every shard queried.
+assert doc["byte_identical"], "merged aggregate differs from the single-server answer"
+assert doc["coordinator_dlog_solves"] == 0, doc["coordinator_dlog_solves"]
+assert doc["shard_calls"] == doc["shards"], (doc["shard_calls"], doc["shards"])
+assert doc["client_dlog_solves"] > 0, "decrypt counter dead"
+# The tentpole claim — near-linear scatter-gather scaling — needs real
+# cores; the bench gates it only on multi-core hosts (CI qualifies).
+if doc["multi_core"]:
+    assert doc["speedup"] >= doc["speedup_gate"], \
+        f"4-shard speedup {doc['speedup']} < {doc['speedup_gate']}"
+assert doc["passed"], doc
+
+print(f"BENCH_PR9.json OK: 4-shard speedup {doc['speedup']:.2f}x "
+      f"({'gated' if doc['multi_core'] else 'single-core, gate deferred'}), "
+      f"merge byte-identical, 0 coordinator decrypts")
+EOF
+
 echo "== bench trend (BENCH_HISTORY.jsonl) =="
 # Every json-* bench above appended its headline metrics; the trend gate
 # compares against any prior local runs (first runs pass vacuously).
 [ -s BENCH_HISTORY.jsonl ]
 grep -q '"bench":"pr8"' BENCH_HISTORY.jsonl
+grep -q '"bench":"pr9"' BENCH_HISTORY.jsonl
 scripts/bench_trend
 # Negative check: a synthetic 2x regression on the newest pr8 run must
 # fail the gate. Build a doctored history in a temp file — halve the

@@ -69,12 +69,20 @@ let stats_report =
   let snap = M.snapshot () in
   M.reset ();
   { P.sr_snapshot = snap; sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 9.5;
-    sr_start_time = 1234.0; sr_gc = None }
+    sr_start_time = 1234.0; sr_gc = None;
+    (* v6 shard topology: encoded in the current-version corpus, dropped
+       from the v1 reframings. *)
+    sr_topology =
+      Some
+        { P.tp_role = "coordinator"; tp_shard_index = -1; tp_shard_count = 2;
+          tp_shards = [ "7481"; "host:7482" ] } }
 
 let v1_requests =
   [ P.Upload { name = "t"; table = enc };
     P.Aggregate { name = "t"; token };
-    P.Append { name = "t"; row = append_row; keywords = append_keywords };
+    P.Append { name = "t"; row = append_row; keywords = append_keywords; row_id = None };
+    (* The v6 coordinator-stamped row id; older encodings drop it. *)
+    P.Append { name = "t"; row = append_row; keywords = append_keywords; row_id = Some 8 };
     P.List_tables;
     P.Drop "t" ]
 
@@ -230,6 +238,28 @@ let t_garbage = R.test ~count:300 ~name:"garbage never crashes the decoders"
       well_behaved (fun s -> ignore (P.decode_request s)) s
       && well_behaved (fun s -> ignore (P.decode_response s)) s)
 
+(* v6 constructs (stamped append row ids, shard topology) reframed into
+   a v5 frame must read as trailing garbage: the v5 layout ends before
+   those bytes, so the decoder rejects the forgery instead of smuggling
+   newer fields into an older frame. *)
+let reframe v frame = String.mapi (fun i c -> if i = 2 then Char.chr v else c) frame
+
+let t_v5_reframe = R.test ~count:1 ~name:"v6 bytes inside a v5 frame are trailing garbage"
+    (R.arbitrary ~print:(fun () -> "()") (Gen.return ()))
+    (fun () ->
+      let append_v6 =
+        P.encode_request
+          (P.Append { name = "t"; row = append_row; keywords = append_keywords; row_id = Some 8 })
+      in
+      let stats_v6 = P.encode_response (P.Stats_report stats_report) in
+      (match P.decode_request (reframe 5 append_v6) with
+       | _ -> false
+       | exception W.Decode_error _ -> true)
+      &&
+      match P.decode_response (reframe 5 stats_v6) with
+      | _ -> false
+      | exception W.Decode_error _ -> true)
+
 (* --- the server absorbs anything ---------------------------------------------- *)
 
 let server =
@@ -277,4 +307,5 @@ let () =
   R.run ~suite:"test_prop_wire"
     [ t_int_rt; t_u62_rt; t_u32_rt; t_bytes_rt; t_compound_rt; t_count_guard; t_z_rt;
       t_value_rt; t_request_canonical; t_response_canonical; t_v1_canonical; t_truncation;
-      t_mutation; t_garbage; t_server_valid; t_server_mutated; t_server_garbage ]
+      t_mutation; t_garbage; t_v5_reframe; t_server_valid; t_server_mutated;
+      t_server_garbage ]

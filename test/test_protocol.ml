@@ -157,7 +157,7 @@ let test_server_remote_append () =
       ~filters:[ ("f", vi 0) ]
   in
   Alcotest.(check bool) "append ok" true
-    (Server.handle state (P.Append { name = "t"; row; keywords }) = P.Ack);
+    (Server.handle state (P.Append { name = "t"; row; keywords; row_id = None }) = P.Ack);
   let tok = Scheme.token client query in
   match Server.handle state (P.Aggregate { name = "t"; token = tok }) with
   | P.Aggregates agg ->
@@ -299,7 +299,7 @@ let test_v2_only_messages_gated () =
        (P.Stats_report
           { P.sr_snapshot = { Sagma_obs.Metrics.counters = []; gauges = []; histograms = [] };
             sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 0.; sr_start_time = 0.;
-            sr_gc = None })
+            sr_gc = None; sr_topology = None })
    with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "Stats_report encoded into a v1 frame");
@@ -322,7 +322,7 @@ let test_stats_roundtrip () =
   M.set_enabled false;
   let report =
     { P.sr_snapshot = M.snapshot (); sr_audit = A.summary (); sr_uptime_s = 12.5;
-      sr_start_time = 1000.25; sr_gc = None }
+      sr_start_time = 1000.25; sr_gc = None; sr_topology = None }
   in
   M.reset ();
   Alcotest.(check bool) "Stats roundtrips" true
@@ -385,7 +385,7 @@ let test_v3_only_constructs_gated () =
     { P.sr_snapshot =
         { M.counters = [ ("c", 1) ]; gauges = [ ("g", 2) ]; histograms = [] };
       sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 3.5; sr_start_time = 77.;
-      sr_gc = None }
+      sr_gc = None; sr_topology = None }
   in
   (match P.decode_response (P.encode_response ~version:2 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -447,7 +447,7 @@ let test_v4_only_constructs_gated () =
   let report =
     { P.sr_snapshot = { M.counters = []; gauges = []; histograms = [] };
       sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 42.0; sr_start_time = 99.0;
-      sr_gc = None }
+      sr_gc = None; sr_topology = None }
   in
   (match P.decode_response (P.encode_response ~version:3 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -460,14 +460,14 @@ let test_v4_trace_ctx_roundtrip () =
      and the version/trace-aware decoder exposes them. *)
   let tc = { P.tc_id = Some "client-7"; tc_sampled = true } in
   (match P.decode_request_vt (P.encode_request ~trace:tc P.Stats) with
-   | 5, Some tc', P.Stats ->
+   | 6, Some tc', P.Stats ->
      Alcotest.(check (option string)) "trace id" (Some "client-7") tc'.P.tc_id;
      Alcotest.(check bool) "sampling flag" true tc'.P.tc_sampled
    | _ -> Alcotest.fail "trace context lost on the wire");
   (* Without a context the v4 frame still decodes (None), and the plain
      decoder keeps working on the same bytes. *)
   (match P.decode_request_vt (P.encode_request P.List_tables) with
-   | 5, None, P.List_tables -> ()
+   | 6, None, P.List_tables -> ()
    | _ -> Alcotest.fail "bare v4 request misdecoded");
   Alcotest.(check bool) "plain decoder drops the context" true
     (P.decode_request (P.encode_request ~trace:tc P.Stats) = P.Stats);
@@ -544,7 +544,7 @@ let test_v5_gc_roundtrip () =
   (* Stats_report heap stats survive a v5 frame... *)
   let report =
     { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary ();
-      sr_uptime_s = 1.5; sr_start_time = 10.; sr_gc = Some sample_gc_stats }
+      sr_uptime_s = 1.5; sr_start_time = 10.; sr_gc = Some sample_gc_stats; sr_topology = None }
   in
   (match P.decode_response (P.encode_response (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -574,7 +574,7 @@ let test_v5_only_constructs_gated () =
      it — the same discipline as v4's uptime in v3 frames. *)
   let report =
     { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary ();
-      sr_uptime_s = 2.; sr_start_time = 20.; sr_gc = Some sample_gc_stats }
+      sr_uptime_s = 2.; sr_start_time = 20.; sr_gc = Some sample_gc_stats; sr_topology = None }
   in
   (match P.decode_response (P.encode_response ~version:4 (P.Stats_report report)) with
    | P.Stats_report r ->
@@ -613,7 +613,7 @@ let test_v5_only_constructs_gated () =
 let test_socket_roundtrip () =
   let client_fd, server_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let state = Server.create () in
-  let server_thread = Thread.create (fun () -> Transport.serve_connection state server_fd) () in
+  let server_thread = Thread.create (fun () -> Transport.serve_connection (Server.handle_encoded state) server_fd) () in
   (* Upload, list, aggregate, drop — all over the framed byte stream. *)
   Alcotest.(check bool) "upload" true
     (Transport.call client_fd (P.Upload { name = "remote"; table = enc }) = P.Ack);
@@ -648,10 +648,10 @@ let with_live_server ?(workers = 2) ?(max_conns = 16) ?(request_timeout_ms = 0) 
     Domain.spawn (fun () ->
         Transport.listen_and_serve ~workers ~max_conns ~request_timeout_ms ?max_frame
           ~stop:(fun () -> Atomic.get stop)
-          ~port state)
+          ~port (Server.handle_encoded state))
   in
   let rec wait_up tries =
-    match Transport.connect ~port with
+    match Transport.connect ~port () with
     | fd -> Unix.close fd
     | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
       Unix.sleepf 0.02;
@@ -685,7 +685,7 @@ let test_parallel_clients () =
         List.init 3 (fun i ->
             Thread.create
               (fun i ->
-                let fd = Transport.connect ~port:7491 in
+                let fd = Transport.connect ~port:7491 () in
                 Fun.protect
                   ~finally:(fun () -> Unix.close fd)
                   (fun () ->
@@ -714,7 +714,7 @@ let test_stalled_client_isolated () =
       let staller =
         Thread.create
           (fun () ->
-            let fd = Transport.connect ~port:7492 in
+            let fd = Transport.connect ~port:7492 () in
             (* Two bytes of a frame header, then silence: the read
                deadline must reclaim this connection's worker without
                touching anyone else's. *)
@@ -724,7 +724,7 @@ let test_stalled_client_isolated () =
           ()
       in
       Thread.delay 0.05;
-      let fd = Transport.connect ~port:7492 in
+      let fd = Transport.connect ~port:7492 () in
       let max_latency = ref 0. in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
@@ -747,13 +747,13 @@ let test_midrequest_disconnect () =
   with_live_server ~workers:2 ~port:7493 (fun _ ->
       (* A peer that dies mid-frame: header promising 100 bytes, 10
          delivered, then gone. *)
-      let fd = Transport.connect ~port:7493 in
+      let fd = Transport.connect ~port:7493 () in
       let partial = Bytes.of_string "\x00\x00\x00\x64partial..." in
       ignore (Unix.write fd partial 0 (Bytes.length partial));
       Unix.close fd;
       Unix.sleepf 0.05;
       (* The server must shrug that connection off and keep serving. *)
-      let fd = Transport.connect ~port:7493 in
+      let fd = Transport.connect ~port:7493 () in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
@@ -765,9 +765,9 @@ let test_max_conns_shed () =
   with_live_server ~workers:2 ~max_conns:1 ~port:7494 (fun _ ->
       Unix.sleepf 0.05;
       (* occupies the single in-flight slot *)
-      let holder = Transport.connect ~port:7494 in
+      let holder = Transport.connect ~port:7494 () in
       Unix.sleepf 0.2;
-      let shed = Transport.connect ~port:7494 in
+      let shed = Transport.connect ~port:7494 () in
       (match P.decode_response (Transport.recv shed) with
        | P.Failed { code = P.Busy; _ } -> ()
        | _ -> Alcotest.fail "expected Failed Busy over the limit");
@@ -775,7 +775,7 @@ let test_max_conns_shed () =
       Unix.close holder;
       Unix.sleepf 0.2;
       (* slot freed: the next client is served normally again *)
-      let fd = Transport.connect ~port:7494 in
+      let fd = Transport.connect ~port:7494 () in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
@@ -807,7 +807,7 @@ let test_traced_parallel_clients () =
             List.init 4 (fun i ->
                 Thread.create
                   (fun i ->
-                    let fd = Transport.connect ~port:7496 in
+                    let fd = Transport.connect ~port:7496 () in
                     Fun.protect
                       ~finally:(fun () -> Unix.close fd)
                       (fun () ->
@@ -857,7 +857,7 @@ let test_traced_parallel_clients () =
             (Atomic.get explains);
           (* Pull the completed ring over the v4 Traces RPC and validate
              every aggregate trace's shape and cost attribution. *)
-          let fd = Transport.connect ~port:7496 in
+          let fd = Transport.connect ~port:7496 () in
           Fun.protect
             ~finally:(fun () -> Unix.close fd)
             (fun () ->
@@ -897,7 +897,7 @@ let test_traced_parallel_clients () =
 
 let test_oversized_frame_rejected () =
   with_live_server ~workers:2 ~max_frame:65536 ~port:7495 (fun _ ->
-      let fd = Transport.connect ~port:7495 in
+      let fd = Transport.connect ~port:7495 () in
       (* Header claiming 64 MiB against a 64 KiB cap: the server must
          drop the connection up front instead of buffering the claim. *)
       let header = Bytes.create 4 in
@@ -907,13 +907,351 @@ let test_oversized_frame_rejected () =
        | _ -> Alcotest.fail "oversized frame should sever the connection"
        | exception Failure _ -> ());
       Unix.close fd;
-      let fd = Transport.connect ~port:7495 in
+      let fd = Transport.connect ~port:7495 () in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
           match Transport.call fd P.List_tables with
           | P.Tables [ ("t", 15) ] -> ()
           | _ -> Alcotest.fail "server did not survive an oversized frame"))
+
+(* --- v6: scatter-gather sharding -------------------------------------------------- *)
+
+module Router = Sagma_protocol.Router
+module Sse = Sagma_sse.Sse
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let sample_topology =
+  { P.tp_role = "shard"; tp_shard_index = 1; tp_shard_count = 4;
+    tp_shards = [ "7481"; "7482"; "host:7483"; "7484" ] }
+
+let test_v6_topology_gated () =
+  (* The shard topology travels only in v6 Stats_report frames. *)
+  let report =
+    { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary ();
+      sr_uptime_s = 1.; sr_start_time = 10.; sr_gc = Some sample_gc_stats;
+      sr_topology = Some sample_topology }
+  in
+  (match P.decode_response (P.encode_response (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "topology survives a v6 frame" true
+       (r.P.sr_topology = Some sample_topology)
+   | _ -> Alcotest.fail "expected Stats_report");
+  (* A v5 encoding drops it — and keeps the v5 gc section intact. *)
+  (match P.decode_response (P.encode_response ~version:5 (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "topology dropped from a v5 frame" true (r.P.sr_topology = None);
+     Alcotest.(check bool) "gc stats still travel at v5" true (r.P.sr_gc = Some sample_gc_stats)
+   | _ -> Alcotest.fail "expected Stats_report");
+  (* A forged v5 frame still carrying the v6 topology bytes is
+     malformed: the v5 layout ends before them, so the decoder reports
+     trailing garbage instead of smuggling topology into an old frame. *)
+  let forged = flip_version (P.encode_response (P.Stats_report report)) ~v:5 in
+  match P.decode_response forged with
+  | exception W.Decode_error _ -> ()
+  | _ -> Alcotest.fail "v6 topology bytes accepted inside a v5 frame"
+
+let test_v6_append_row_id_gated () =
+  let row, keywords =
+    Scheme.append_payload client ~values:[| 1 |] ~groups:[| str "x" |] ~filters:[ ("f", vi 0) ]
+  in
+  let req = P.Append { name = "t"; row; keywords; row_id = Some 15 } in
+  (* The coordinator-stamped row id survives a v6 frame... *)
+  (match P.decode_request (P.encode_request req) with
+   | P.Append { row_id = Some 15; _ } -> ()
+   | _ -> Alcotest.fail "row id lost on the wire");
+  (* ...a v5 encoding drops it (the shard assigns its local next
+     position — the pre-sharding behavior)... *)
+  (match P.decode_request (P.encode_request ~version:5 req) with
+   | P.Append { row_id = None; _ } -> ()
+   | _ -> Alcotest.fail "row id leaked into a v5 frame");
+  (* ...and a forged v5 frame still carrying the id bytes is trailing
+     garbage. *)
+  let forged = flip_version (P.encode_request req) ~v:5 in
+  match P.decode_request forged with
+  | exception W.Decode_error _ -> ()
+  | _ -> Alcotest.fail "v6 row id bytes accepted inside a v5 frame"
+
+(* Upload accepted any table name — including "" and multi-MiB strings
+   that bloat every List_tables reply. Empty and oversized names are now
+   Bad_request; anything else, however weird, round-trips. *)
+let test_table_name_validation () =
+  let state = Server.create () in
+  (match Server.handle state (P.Upload { name = ""; table = enc }) with
+   | P.Failed { code = P.Bad_request; _ } -> ()
+   | _ -> Alcotest.fail "empty table name accepted");
+  let big = String.make (2 * 1024 * 1024) 'a' in
+  (match Server.handle state (P.Upload { name = big; table = enc }) with
+   | P.Failed { code = P.Bad_request; _ } -> ()
+   | _ -> Alcotest.fail "multi-MiB table name accepted");
+  (match Server.handle state (P.Drop "") with
+   | P.Failed _ -> ()
+   | _ -> Alcotest.fail "dropping the empty name succeeded");
+  (* Weird-but-bounded names (spaces, NUL, non-UTF-8 bytes) are data,
+     not errors. *)
+  let weird = "we ird\ttable\xc3\xa9\x00name" in
+  Alcotest.(check bool) "weird name uploads" true
+    (Server.handle state (P.Upload { name = weird; table = enc }) = P.Ack);
+  (match Server.handle state P.List_tables with
+   | P.Tables [ (n, 15) ] when n = weird -> ()
+   | _ -> Alcotest.fail "weird name mangled in listing");
+  Alcotest.(check bool) "weird name drops" true (Server.handle state (P.Drop weird) = P.Ack)
+
+(* Append recomputed every keyword's posting counter with a full
+   [Sse.search] under the registry lock — O(postings) per append. The
+   per-token counter cache makes warm appends O(1): against a
+   10k-posting token, the first append pays one search and the rest
+   scan nothing. *)
+let test_append_posting_count_cached () =
+  let module M = Sagma_obs.Metrics in
+  let fat_tok = Sse.token (Sse.gen (Drbg.create "pr9-fat")) "fat-keyword" in
+  let postings = 10_000 in
+  let dict = Hashtbl.copy enc.Scheme.index.Sse.dict in
+  for c = 0 to postings - 1 do
+    let label, value = Sse.entry fat_tok c (c mod 15) in
+    Hashtbl.add dict label value
+  done;
+  let fat_enc =
+    { enc with Scheme.index = { Sse.dict; entries = enc.Scheme.index.Sse.entries + postings } }
+  in
+  let state = Server.create () in
+  (match Server.handle state (P.Upload { name = "t"; table = fat_enc }) with
+   | P.Ack -> ()
+   | _ -> Alcotest.fail "upload failed");
+  let row, _ =
+    Scheme.append_payload client ~values:[| 1 |] ~groups:[| str "x" |] ~filters:[ ("f", vi 0) ]
+  in
+  let append () =
+    match Server.handle state (P.Append { name = "t"; row; keywords = [ fat_tok ]; row_id = None }) with
+    | P.Ack -> ()
+    | _ -> Alcotest.fail "append failed"
+  in
+  M.reset ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ())
+    (fun () ->
+      let scanned () =
+        match List.assoc_opt "sse.postings_scanned" (M.snapshot ()).M.counters with
+        | Some n -> n
+        | None -> 0
+      in
+      append ();
+      let cold = scanned () in
+      Alcotest.(check bool)
+        (Printf.sprintf "cold append walked the %d postings once (%d)" postings cold)
+        true (cold >= postings);
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 50 do append () done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "warm appends scan no postings" cold (scanned ());
+      Alcotest.(check bool)
+        (Printf.sprintf "50 warm appends took %.0f ms" (elapsed *. 1000.))
+        true (elapsed < 2.))
+
+(* The EXPLAIN cost block's bytes_out was filled from the response's
+   first encoding, before the v4 trailer itself was attached — always
+   short. It must equal the final frame length, trailer included. *)
+let test_explain_bytes_out_exact () =
+  let module M = Sagma_obs.Metrics in
+  let state = Server.create ~trace_sample:1 () in
+  ignore (Server.handle state (P.Upload { name = "t"; table = enc }));
+  M.reset ();
+  Trace.reset ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ();
+      Trace.reset ())
+    (fun () ->
+      let tok = Scheme.token client query in
+      let raw =
+        Server.handle_encoded state
+          (P.encode_request
+             ~trace:{ P.tc_id = None; tc_sampled = true }
+             (P.Aggregate { name = "t"; token = tok }))
+      in
+      match P.decode_response_x raw with
+      | P.Aggregates _, Some x ->
+        Alcotest.(check int) "bytes_out equals the final frame length" (String.length raw)
+          x.P.x_cost.Trace.bytes_out
+      | _, None -> Alcotest.fail "sampled reply carried no EXPLAIN trailer"
+      | _ -> Alcotest.fail "expected a traced aggregate reply")
+
+(* A live TCP endpoint serving an arbitrary raw-frame handler — the
+   building block for the cluster tests below. *)
+let with_handler ~port handler f =
+  let stop = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Transport.listen_and_serve ~workers:0 ~max_conns:16 ~request_timeout_ms:0
+          ~stop:(fun () -> Atomic.get stop)
+          ~port handler)
+  in
+  let rec wait_up tries =
+    match Transport.connect ~port () with
+    | fd -> Unix.close fd
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      wait_up (tries - 1)
+  in
+  wait_up 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join srv)
+    f
+
+let test_coordinator_scatter_gather () =
+  let s0 = Server.create ~shard:(0, 2) () in
+  let s1 = Server.create ~shard:(1, 2) () in
+  with_handler ~port:7481 (Server.handle_encoded s0) (fun () ->
+      with_handler ~port:7482 (Server.handle_encoded s1) (fun () ->
+          let r = Router.create [ "7481"; "7482" ] in
+          Fun.protect
+            ~finally:(fun () -> Router.shutdown r)
+            (fun () ->
+              (match Router.handle r (P.Upload { name = "t"; table = enc }) with
+               | P.Ack -> ()
+               | P.Failed { message; _ } -> Alcotest.failf "coordinator upload: %s" message
+               | _ -> Alcotest.fail "unexpected upload reply");
+              let tok = Scheme.token client query in
+              let merged =
+                match Router.handle r (P.Aggregate { name = "t"; token = tok }) with
+                | P.Aggregates a -> a
+                | P.Failed { message; _ } -> Alcotest.failf "coordinator aggregate: %s" message
+                | _ -> Alcotest.fail "unexpected aggregate reply"
+              in
+              (* The ⊕-merged partials are byte-identical to the answer a
+                 single unsharded server computes. *)
+              Alcotest.(check string) "merged result byte-identical to the single-server answer"
+                (Serialize.agg_result_to_string (Scheme.aggregate enc tok))
+                (Serialize.agg_result_to_string merged);
+              (* An append fans to every replica (with a stamped global
+                 row id) and shows up in the next merged aggregate. *)
+              let row, keywords =
+                Scheme.append_payload client ~values:[| 55 |] ~groups:[| str "x" |]
+                  ~filters:[ ("f", vi 0) ]
+              in
+              (match Router.handle r (P.Append { name = "t"; row; keywords; row_id = None }) with
+               | P.Ack -> ()
+               | P.Failed { message; _ } -> Alcotest.failf "coordinator append: %s" message
+               | _ -> Alcotest.fail "unexpected append reply");
+              match Router.handle r (P.Aggregate { name = "t"; token = tok }) with
+              | P.Aggregates agg ->
+                let results = Scheme.decrypt client tok agg ~total_rows:16 in
+                let x_row = List.find (fun r -> r.Scheme.group = [ str "x" ]) results in
+                let _, sum_before, count_before =
+                  List.find (fun (g, _, _) -> g = [ "x" ]) expected
+                in
+                Alcotest.(check int) "appended sum visible through the coordinator"
+                  (sum_before + 55) x_row.Scheme.sum;
+                Alcotest.(check int) "appended count visible through the coordinator"
+                  (count_before + 1) x_row.Scheme.count
+              | _ -> Alcotest.fail "unexpected aggregate reply after append")))
+
+let test_coordinator_shard_down () =
+  let s0 = Server.create ~shard:(0, 2) () in
+  with_handler ~port:7483 (Server.handle_encoded s0) (fun () ->
+      (* Nothing listens on :7484 — connection refused, instantly. *)
+      let r = Router.create ~deadline_ms:1000 [ "7483"; "7484" ] in
+      Fun.protect
+        ~finally:(fun () -> Router.shutdown r)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Router.handle r (P.Upload { name = "t"; table = enc }) with
+           | P.Failed { message; _ } ->
+             Alcotest.(check bool)
+               (Printf.sprintf "failure names the dead shard: %s" message)
+               true (contains message "shard 1")
+           | _ -> Alcotest.fail "upload through a half-dead fleet succeeded");
+          Alcotest.(check bool) "refused connection fails fast" true
+            (Unix.gettimeofday () -. t0 < 3.));
+      (* A shard that accepts (kernel backlog) but never answers must be
+         cut off by the per-call deadline, not hang the coordinator. *)
+      let silent = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt silent Unix.SO_REUSEADDR true;
+      Unix.bind silent (Unix.ADDR_INET (Unix.inet_addr_loopback, 7484));
+      Unix.listen silent 1;
+      Fun.protect
+        ~finally:(fun () -> Unix.close silent)
+        (fun () ->
+          let r = Router.create ~deadline_ms:500 [ "7483"; "7484" ] in
+          Fun.protect
+            ~finally:(fun () -> Router.shutdown r)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              (match Router.handle r (P.Upload { name = "t"; table = enc }) with
+               | P.Failed { message; _ } ->
+                 Alcotest.(check bool)
+                   (Printf.sprintf "deadline failure names the silent shard: %s" message)
+                   true
+                   (contains message "shard 1" && contains message "deadline")
+               | _ -> Alcotest.fail "upload through a silent shard succeeded");
+              let elapsed = Unix.gettimeofday () -. t0 in
+              Alcotest.(check bool)
+                (Printf.sprintf "deadline honored (%.0f ms)" (elapsed *. 1000.))
+                true
+                (elapsed >= 0.4 && elapsed < 5.))))
+
+let test_coordinator_version_mixed_fleet () =
+  let s0 = Server.create ~shard:(0, 2) () in
+  let s1 = Server.create ~shard:(1, 2) () in
+  (* Simulate a v5-era binary for shard 1: it rejects v6 frames the way
+     the real pre-v6 server rejects future versions — a structured
+     Version_unsupported framed at min_version — and serves v5 frames
+     normally. *)
+  let v5_handler raw =
+    if String.length raw > 2 && Char.code raw.[2] > 5 then
+      P.encode_response ~version:P.min_version
+        (P.Failed
+           { code = P.Version_unsupported;
+             message = "frame version 6 newer than 5: this server speaks 5" })
+    else Server.handle_encoded s1 raw
+  in
+  with_handler ~port:7485 (Server.handle_encoded s0) (fun () ->
+      with_handler ~port:7486 v5_handler (fun () ->
+          let r = Router.create [ "7485"; "7486" ] in
+          Fun.protect
+            ~finally:(fun () -> Router.shutdown r)
+            (fun () ->
+              (* The router steps down to v5 for that shard and the
+                 fleet still answers. *)
+              (match Router.handle r (P.Upload { name = "t"; table = enc }) with
+               | P.Ack -> ()
+               | P.Failed { message; _ } -> Alcotest.failf "mixed-fleet upload: %s" message
+               | _ -> Alcotest.fail "unexpected upload reply");
+              (* Appends still work: the v5 encoding drops the stamped
+                 row id, and the v5 shard assigns the same position
+                 locally because replicas are aligned. *)
+              let row, keywords =
+                Scheme.append_payload client ~values:[| 7 |] ~groups:[| str "y" |]
+                  ~filters:[ ("f", vi 1) ]
+              in
+              (match Router.handle r (P.Append { name = "t"; row; keywords; row_id = None }) with
+               | P.Ack -> ()
+               | P.Failed { message; _ } -> Alcotest.failf "mixed-fleet append: %s" message
+               | _ -> Alcotest.fail "unexpected append reply");
+              let tok = Scheme.token client query in
+              match Router.handle r (P.Aggregate { name = "t"; token = tok }) with
+              | P.Aggregates merged ->
+                let results = Scheme.decrypt client tok merged ~total_rows:16 in
+                let y_row = List.find (fun r -> r.Scheme.group = [ str "y" ]) results in
+                let _, sum_before, count_before =
+                  List.find (fun (g, _, _) -> g = [ "y" ]) expected
+                in
+                Alcotest.(check int) "mixed-fleet merged sum" (sum_before + 7) y_row.Scheme.sum;
+                Alcotest.(check int) "mixed-fleet merged count" (count_before + 1)
+                  y_row.Scheme.count
+              | P.Failed { message; _ } -> Alcotest.failf "mixed-fleet aggregate: %s" message
+              | _ -> Alcotest.fail "unexpected aggregate reply")))
 
 let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
 
@@ -968,6 +1306,15 @@ let () =
       ( "v5 resource telemetry",
         [ Alcotest.test_case "gc telemetry roundtrip" `Quick test_v5_gc_roundtrip;
           Alcotest.test_case "v5-only constructs gated" `Quick test_v5_only_constructs_gated ] );
+      ( "v6 sharding",
+        [ Alcotest.test_case "topology gated" `Quick test_v6_topology_gated;
+          Alcotest.test_case "append row id gated" `Quick test_v6_append_row_id_gated;
+          Alcotest.test_case "table name validation" `Quick test_table_name_validation;
+          Alcotest.test_case "append posting-count cache" `Quick test_append_posting_count_cached;
+          Alcotest.test_case "explain bytes_out exact" `Quick test_explain_bytes_out_exact;
+          Alcotest.test_case "coordinator scatter-gather" `Quick test_coordinator_scatter_gather;
+          Alcotest.test_case "coordinator shard down" `Quick test_coordinator_shard_down;
+          Alcotest.test_case "version-mixed fleet" `Quick test_coordinator_version_mixed_fleet ] );
       ( "v1 compat",
         [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
           Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
