@@ -386,13 +386,119 @@ let gc_raw_samples (g : Sagma_protocol.Protocol.gc_stats) : (string * float) lis
     ("ocaml_gc_heap_words", float_of_int g.Sagma_protocol.Protocol.gs_heap_words);
     ("ocaml_gc_top_heap_words", float_of_int g.Sagma_protocol.Protocol.gs_top_heap_words) ]
 
-let run_stats port prometheus json =
+(* Split a federated series name into its base and the shard id its
+   {shard="i"} label carries (None for unlabeled fleet aggregates). *)
+let split_shard name =
+  match String.index_opt name '{' with
+  | None -> (name, None)
+  | Some i ->
+    let base = String.sub name 0 i in
+    let rest = String.sub name i (String.length name - i) in
+    let pfx = "{shard=\"" in
+    let shard =
+      if String.length rest > String.length pfx && String.sub rest 0 (String.length pfx) = pfx
+      then
+        let j = String.length pfx in
+        match String.index_from_opt rest j '"' with
+        | Some k -> int_of_string_opt (String.sub rest j (k - j))
+        | None -> None
+      else None
+    in
+    (base, shard)
+
+(* The per-shard column view of a coordinator's federated snapshot:
+   every series that arrived labeled {shard="i"} becomes a column next
+   to the unlabeled fleet aggregate. *)
+let render_cluster (r : Sagma_protocol.Protocol.stats_report) =
+  let module P = Sagma_protocol.Protocol in
+  let module M = Sagma_obs.Metrics in
+  let tbl = Hashtbl.create 64 in
+  let shard_ids = ref [] in
+  let note (base, sh) v =
+    match sh with
+    | None -> ()
+    | Some i ->
+      if not (List.mem i !shard_ids) then shard_ids := i :: !shard_ids;
+      Hashtbl.replace tbl (base, i) v
+  in
+  List.iter (fun (n, v) -> note (split_shard n) v) r.P.sr_snapshot.M.counters;
+  List.iter (fun (n, v) -> note (split_shard n) v) r.P.sr_snapshot.M.gauges;
+  let shards = List.sort compare !shard_ids in
+  if shards = [] then
+    print_endline
+      "no per-shard series in this snapshot (expected a coordinator running with --metrics)"
+  else begin
+    (match r.P.sr_topology with
+     | Some t when t.P.tp_role = "coordinator" ->
+       Printf.printf "coordinator over %d shards (%s)\n\n" t.P.tp_shard_count
+         (String.concat ", " t.P.tp_shards)
+     | _ -> ());
+    let bases =
+      List.sort_uniq compare (Hashtbl.fold (fun (b, _) _ acc -> b :: acc) tbl [])
+    in
+    Printf.printf "%-34s %12s" "series" "fleet";
+    List.iter (fun i -> Printf.printf " %12s" (Printf.sprintf "shard %d" i)) shards;
+    print_newline ();
+    List.iter
+      (fun base ->
+        let fleet =
+          match List.assoc_opt base r.P.sr_snapshot.M.counters with
+          | Some v -> string_of_int v
+          | None -> (
+            match List.assoc_opt base r.P.sr_snapshot.M.gauges with
+            | Some v -> string_of_int v
+            | None -> "-")
+        in
+        Printf.printf "%-34s %12s" base fleet;
+        List.iter
+          (fun i ->
+            match Hashtbl.find_opt tbl (base, i) with
+            | Some v -> Printf.printf " %12d" v
+            | None -> Printf.printf " %12s" "-")
+          shards;
+        print_newline ())
+      bases;
+    (* Latency: the per-shard histograms next to the fleet-merged one. *)
+    let hists = Hashtbl.create 16 in
+    List.iter
+      (fun (n, h) ->
+        match split_shard n with
+        | base, Some i -> Hashtbl.replace hists (base, i) h.M.h_p95
+        | _ -> ())
+      r.P.sr_snapshot.M.histograms;
+    let hbases =
+      List.sort_uniq compare (Hashtbl.fold (fun (b, _) _ acc -> b :: acc) hists [])
+    in
+    if hbases <> [] then begin
+      Printf.printf "\n%-34s %12s" "p95 (ms)" "fleet";
+      List.iter (fun i -> Printf.printf " %12s" (Printf.sprintf "shard %d" i)) shards;
+      print_newline ();
+      List.iter
+        (fun base ->
+          let fleet =
+            match List.assoc_opt base r.P.sr_snapshot.M.histograms with
+            | Some h -> Printf.sprintf "%.1f" h.M.h_p95
+            | None -> "-"
+          in
+          Printf.printf "%-34s %12s" base fleet;
+          List.iter
+            (fun i ->
+              match Hashtbl.find_opt hists (base, i) with
+              | Some p -> Printf.printf " %12.1f" p
+              | None -> Printf.printf " %12s" "-")
+            shards;
+          print_newline ())
+        hbases
+    end
+  end
+
+let run_stats port prometheus json cluster =
   let fd = Sagma_protocol.Transport.connect ~port () in
   let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Stats in
   Unix.close fd;
   match resp with
   | Sagma_protocol.Protocol.Stats_report
-      { sr_snapshot; sr_audit; sr_uptime_s; sr_start_time; sr_gc; sr_topology } ->
+      ({ sr_snapshot; sr_audit; sr_uptime_s; sr_start_time; sr_gc; sr_topology } as report) ->
     if prometheus then
       (* The exposition carries the v4 uptime and the v5 heap/GC state
          rather than dropping them on the floor. *)
@@ -400,7 +506,12 @@ let run_stats port prometheus json =
         (Sagma_obs.Export.prometheus ~uptime_s:sr_uptime_s
            ~raw:(match sr_gc with Some g -> gc_raw_samples g | None -> [])
            sr_snapshot)
-    else if json then print_endline (Sagma_obs.Metrics.snapshot_to_json sr_snapshot)
+    else if json then
+      (* One object carrying the whole report: snapshot, uptime, the v5
+         gc block, the audit summary and the v6 topology — not just the
+         bare snapshot. *)
+      print_endline (Sagma_protocol.Protocol.stats_report_to_json report)
+    else if cluster then render_cluster report
     else begin
       (if sr_snapshot.Sagma_obs.Metrics.counters = []
           && sr_snapshot.Sagma_obs.Metrics.histograms = []
@@ -507,7 +618,35 @@ let run_top port interval once =
     Printf.printf "  %-22s %10d\n" "shed connections" (counter r "transport.rejected");
     Printf.printf "  %-22s %10d\n" "requests total" (counter r "proto.requests");
     Printf.printf "  %-22s %10d\n" "requests failed" (counter r "proto.requests_failed");
-    Printf.printf "  %-22s %10s\n%!" "heap" heap
+    Printf.printf "  %-22s %10s\n" "heap" heap;
+    (* Against a coordinator, the federated snapshot carries each
+       shard's series labeled {shard="i"}: render them as columns. *)
+    let shard_ids =
+      List.filter_map
+        (fun (n, _) -> match split_shard n with _, Some i -> Some i | _ -> None)
+        r.P.sr_snapshot.M.counters
+      |> List.sort_uniq compare
+    in
+    if shard_ids <> [] then begin
+      Printf.printf "\n  %-8s %10s %10s %10s %12s\n" "shard" "req/s" "requests" "failed"
+        "p95 (ms)";
+      List.iter
+        (fun i ->
+          let l name = Sagma_obs.Export.labeled name [ ("shard", string_of_int i) ] in
+          let p95 =
+            match List.assoc_opt (l "proto.request_ms") r.P.sr_snapshot.M.histograms with
+            | Some h -> Printf.sprintf "%.1f" h.M.h_p95
+            | None -> "-"
+          in
+          Printf.printf "  %-8d %10.1f %10d %10d %12s\n" i
+            (rate (l "proto.requests"))
+            (counter r (l "proto.requests"))
+            (counter r (l "proto.requests_failed"))
+            p95)
+        shard_ids
+    end;
+    print_string "";
+    flush stdout
   in
   if once then render ~clear:false ~prev:None (fetch_stats port)
   else begin
@@ -540,6 +679,73 @@ let run_trace port out =
   | Sagma_protocol.Protocol.Failed { code; message } ->
     failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
   | _ -> failwith "unexpected response"
+
+(* --- health: fleet health & alerting (protocol v7) ---------------------------
+
+   One Health RPC: status word, uptime, currently-firing watchdog
+   alerts, and — against a coordinator — the per-shard reachability
+   block the background prober maintains. The command exits non-zero
+   while the target is anything but a clean "ok", so scripts and CI can
+   gate on it. --watch re-polls and redraws like top. *)
+
+let fetch_health port : Sagma_protocol.Protocol.health_report =
+  let fd = Sagma_protocol.Transport.connect ~port () in
+  let resp = Sagma_protocol.Transport.call fd Sagma_protocol.Protocol.Health in
+  Unix.close fd;
+  match resp with
+  | Sagma_protocol.Protocol.Health_report r -> r
+  | Sagma_protocol.Protocol.Failed { code = Sagma_protocol.Protocol.Version_unsupported; _ } ->
+    failwith "server does not speak protocol v7 (no Health RPC; upgrade the server)"
+  | Sagma_protocol.Protocol.Failed { code; message } ->
+    failwith (Printf.sprintf "%s: %s" (Sagma_protocol.Protocol.error_code_to_string code) message)
+  | _ -> failwith "unexpected response"
+
+let health_ok (r : Sagma_protocol.Protocol.health_report) =
+  r.Sagma_protocol.Protocol.hr_status = "ok" && r.Sagma_protocol.Protocol.hr_alerts = []
+
+let render_health port (r : Sagma_protocol.Protocol.health_report) =
+  let module P = Sagma_protocol.Protocol in
+  let module W = Sagma_obs.Watchdog in
+  Printf.printf "127.0.0.1:%d: %s (uptime %.1fs)\n" port r.P.hr_status r.P.hr_uptime_s;
+  (match r.P.hr_alerts with
+   | [] -> ()
+   | alerts ->
+     print_endline "alerts:";
+     List.iter
+       (fun a ->
+         Printf.printf "  %-24s firing %.1fs  value %g vs threshold %g  %s\n" a.W.a_rule
+           (max 0. (Unix.gettimeofday () -. a.W.a_since))
+           a.W.a_value a.W.a_threshold a.W.a_message)
+       alerts);
+  match r.P.hr_shards with
+  | [] -> ()
+  | shards ->
+    print_endline "shards:";
+    List.iter
+      (fun s ->
+        Printf.printf "  %d %-22s %-4s v%d  rtt %6.1fms  failures %d%s\n" s.P.shc_index
+          s.P.shc_endpoint
+          (if s.P.shc_reachable then "up" else "DOWN")
+          s.P.shc_version s.P.shc_rtt_ms s.P.shc_failures
+          (if s.P.shc_last_error = "" then ""
+           else Printf.sprintf "  last error: %s" s.P.shc_last_error))
+      shards
+
+let run_health port json watch interval =
+  if watch then
+    while true do
+      let r = fetch_health port in
+      print_string "\027[2J\027[H";
+      render_health port r;
+      flush stdout;
+      Unix.sleepf interval
+    done
+  else begin
+    let r = fetch_health port in
+    if json then print_endline (Sagma_protocol.Protocol.health_report_to_json r)
+    else render_health port r;
+    if not (health_ok r) then exit 1
+  end
 
 (* --- cmdliner wiring ----------------------------------------------------------- *)
 
@@ -661,11 +867,22 @@ let stats_cmd =
     Arg.(value & flag
          & info [ "prometheus" ] ~doc:"Emit the Prometheus text-format exposition.")
   in
-  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the whole stats report as one JSON object (snapshot, uptime, gc, \
+                   audit, topology).")
+  in
+  let cluster =
+    Arg.(value & flag
+         & info [ "cluster" ]
+             ~doc:"Against a coordinator: render each {shard=\"i\"}-labeled series as a \
+                   per-shard column next to the fleet aggregate.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Fetch a sagma_server's metrics snapshot and audit summary (protocol v2).")
-    Term.(const run_stats $ port_arg $ prometheus $ json)
+    Term.(const run_stats $ port_arg $ prometheus $ json $ cluster)
 
 let top_cmd =
   let interval =
@@ -695,10 +912,29 @@ let trace_cmd =
              (protocol v4; view in chrome://tracing or Perfetto).")
     Term.(const run_trace $ port_arg $ out)
 
+let health_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the health report as one JSON object.")
+  in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ] ~doc:"Re-poll and redraw at --interval instead of exiting.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~doc:"Seconds between polls with --watch (default 2).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Fetch a sagma_server's v7 health report: status, firing SLO alerts and (on a \
+             coordinator) per-shard reachability. Exits non-zero unless the status is a \
+             clean \"ok\" with no alerts.")
+    Term.(const run_health $ port_arg $ json $ watch $ interval)
+
 let () =
   let info = Cmd.info "sagma" ~version:"1.0.0" ~doc:"Secure aggregation grouped by multiple attributes." in
   exit
     (Cmd.eval
        (Cmd.group info
           [ query_cmd; inspect_cmd; storage_cmd; demo_cmd; remote_upload_cmd; remote_query_cmd;
-            stats_cmd; top_cmd; trace_cmd ]))
+            stats_cmd; top_cmd; trace_cmd; health_cmd ]))

@@ -55,12 +55,25 @@
    --log-json   append one JSON object per event (request handled,
                 connection opened/closed) to FILE.
    --log-level  debug|info|warn|error (default info).
+   --probe-interval-ms  coordinator only: background-probe each shard
+                every T ms, maintaining the per-shard health state v7
+                Health reports and fast-failing fan-out to known-down
+                shards (default 1000; 0 = off).
+   --watchdog-interval-ms  evaluate the SLO watchdog rules every T ms;
+                firing/resolved transitions emit `alert` log events and
+                active alerts ride in v7 Health replies
+                (default 1000; 0 disables the watchdog).
+   --alert-rules  replace the default watchdog rules with FILE (one
+                `name source cmp threshold` per line; see
+                Sagma_obs.Watchdog.parse_rules).
 
-   SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
-   in-flight requests, flush logs and a final metrics snapshot. *)
+   SIGINT/SIGTERM trigger a graceful shutdown: stop accepting (health
+   turns "draining"), drain in-flight requests, flush logs and a final
+   metrics snapshot. *)
 
 module Log = Sagma_obs.Log
 module Pool = Sagma_pool.Pool
+module Watchdog = Sagma_obs.Watchdog
 
 let () =
   let port = ref 7477 in
@@ -80,6 +93,9 @@ let () =
   let prof_rate = ref Sagma_obs.Prof.default_rate in
   let log_json = ref "" in
   let log_level = ref "info" in
+  let probe_interval_ms = ref 1000 in
+  let watchdog_interval_ms = ref 1000 in
+  let alert_rules = ref "" in
   let args =
     [ ("--port", Arg.Set_int port, "Listen port (default 7477)");
       ("--workers", Arg.Set_int workers,
@@ -109,7 +125,13 @@ let () =
       ("--prof-rate", Arg.Set_float prof_rate,
        "Memprof sampling rate in (0,1] (default 0.001)");
       ("--log-json", Arg.Set_string log_json, "Append JSON-lines structured logs to FILE");
-      ("--log-level", Arg.Set_string log_level, "Log threshold: debug|info|warn|error (default info)") ]
+      ("--log-level", Arg.Set_string log_level, "Log threshold: debug|info|warn|error (default info)");
+      ("--probe-interval-ms", Arg.Set_int probe_interval_ms,
+       "Coordinator shard-probe period in ms (default 1000; 0 = off)");
+      ("--watchdog-interval-ms", Arg.Set_int watchdog_interval_ms,
+       "SLO watchdog evaluation period in ms (default 1000; 0 = off)");
+      ("--alert-rules", Arg.Set_string alert_rules,
+       "Replace the default watchdog rules with FILE (name source cmp threshold per line)") ]
   in
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -149,6 +171,25 @@ let () =
     if !agg_domains > 1 then Some (Pool.create ~name:"aggregation" ~workers:(!agg_domains - 1) ())
     else None
   in
+  let rules =
+    if !alert_rules = "" then None
+    else begin
+      let text =
+        try
+          let ic = open_in_bin !alert_rules in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic; s
+        with Sys_error e -> raise (Arg.Bad (Printf.sprintf "--alert-rules: %s" e))
+      in
+      match Watchdog.parse_rules text with
+      | Ok rs -> Some rs
+      | Error e -> raise (Arg.Bad (Printf.sprintf "--alert-rules %s: %s" !alert_rules e))
+    end
+  in
+  let watchdog =
+    if !watchdog_interval_ms > 0 then Some (Watchdog.create ?rules ()) else None
+  in
   let router =
     if !coordinator = "" then None
     else
@@ -159,11 +200,13 @@ let () =
       in
       Some
         (Sagma_protocol.Router.create ~deadline_ms:!shard_deadline_ms
-           ~trace_sample:!trace_sample ~slow_query_ms:!slow_query_ms endpoints)
+           ~trace_sample:!trace_sample ~slow_query_ms:!slow_query_ms
+           ~probe_interval_ms:!probe_interval_ms ?watchdog endpoints)
   in
+  Option.iter Sagma_protocol.Router.start_probes router;
   let state =
     Sagma_protocol.Server.create ?agg_pool ?shard ~trace_sample:!trace_sample
-      ~slow_query_ms:!slow_query_ms ()
+      ~slow_query_ms:!slow_query_ms ?watchdog ()
   in
   let handler =
     match router with
@@ -180,9 +223,42 @@ let () =
     | None, None -> ""
   in
   let stop = Atomic.make false in
-  let request_stop _ = Atomic.set stop true in
+  let request_stop _ =
+    Atomic.set stop true;
+    (* Health flips to "draining" the moment the signal lands, so peers
+       polling v7 Health see the shutdown before the listener closes. *)
+    Sagma_protocol.Server.set_draining state true;
+    Option.iter (fun r -> Sagma_protocol.Router.set_draining r true) router
+  in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  (* The watchdog poll loop runs on its own domain: it only reads the
+     metrics snapshot and the router's down-shard count, so it never
+     contends with request handling. *)
+  let watchdog_domain =
+    match watchdog with
+    | None -> None
+    | Some wd ->
+      Some
+        (Domain.spawn (fun () ->
+             let interval = float_of_int !watchdog_interval_ms /. 1000.0 in
+             while not (Atomic.get stop) do
+               (try
+                  let shards_down =
+                    match router with
+                    | Some r -> Sagma_protocol.Router.down_count r
+                    | None -> 0
+                  in
+                  Watchdog.poll wd ~snapshot:(Sagma_obs.Metrics.snapshot ()) ~shards_down
+                with _ -> ());
+               (* Sleep in short slices so shutdown stays prompt. *)
+               let slept = ref 0.0 in
+               while (not (Atomic.get stop)) && !slept < interval do
+                 Unix.sleepf 0.05;
+                 slept := !slept +. 0.05
+               done
+             done))
+  in
   Printf.printf "sagma_server: listening on 127.0.0.1:%d (workers %d, max-conns %d)%s%s%s%s%s%s\n%!"
     !port !workers !max_conns role
     (if !metrics then " (metrics on)" else "")
@@ -203,6 +279,8 @@ let () =
         Log.bool "metrics" !metrics; Log.bool "audit" !audit;
         Log.int "trace_sample" !trace_sample; Log.float "slow_query_ms" !slow_query_ms;
         Log.str "profiler" (Sagma_obs.Prof.mode_name ());
+        Log.int "probe_interval_ms" (if router = None then 0 else !probe_interval_ms);
+        Log.int "watchdog_interval_ms" !watchdog_interval_ms;
         Log.int "protocol_version" Sagma_protocol.Protocol.version ];
   let after_request =
     if !metrics then begin
@@ -220,6 +298,7 @@ let () =
     ~port:!port handler;
   (* listen_and_serve only returns once drained: flush the final
      numbers, then the log stream. *)
+  Option.iter Domain.join watchdog_domain;
   Option.iter Sagma_protocol.Router.shutdown router;
   Option.iter Pool.shutdown agg_pool;
   Log.info "server.stop" ~fields:[ Log.int "port" !port ];

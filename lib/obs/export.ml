@@ -6,7 +6,14 @@
    full fixed-grid cumulative buckets (le="...", +Inf last) plus _sum and
    _count, and the snapshot's p50/p95/p99 estimates ride along as gauges
    so dashboards need no PromQL histogram_quantile to get first-look
-   latencies. *)
+   latencies.
+
+   Fleet federation (PR 10) introduces *labeled* series: a snapshot
+   entry named "proto.requests{shard=\"1\"}" (built with {!labeled})
+   renders as sagma_proto_requests_total{shard="1"}. Only the base name
+   is sanitized; the label block travels verbatim, so label values must
+   be escaped with {!escape_label_value} when the series is built —
+   {!labeled} does it for you. *)
 
 let namespace = "sagma"
 
@@ -20,7 +27,36 @@ let sanitize (name : string) : string =
       | _ -> '_')
     name
 
-let metric_name (name : string) : string = namespace ^ "_" ^ sanitize name
+(* Prometheus label values escape backslash, double-quote and newline
+   (the exposition format's only escapes). Hostile shard endpoints —
+   quotes, newlines injecting fake samples — must round-trip as data. *)
+let escape_label_value (v : string) : string =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labeled (name : string) (labels : (string * string) list) : string =
+  match labels with
+  | [] -> name
+  | _ ->
+    let pair (k, v) = Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v) in
+    name ^ "{" ^ String.concat "," (List.map pair labels) ^ "}"
+
+(* Split "base{...}" into the sanitizable base and the opaque label
+   block (empty for unlabeled names). *)
+let split_labels (name : string) : string * string =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+
+let metric_name (name : string) : string = namespace ^ "_" ^ sanitize (fst (split_labels name))
 
 (* Label values and the `le` bound: Prometheus renders +Inf literally. *)
 let le_value (bound : float) : string =
@@ -32,6 +68,12 @@ let float_value (v : float) : string =
   else if Float.is_nan v then "NaN"
   else Printf.sprintf "%g" v
 
+(* Merge a series' own label block with an extra label (the histogram
+   `le` bound): {shard="1"} + le → {shard="1",le="..."} . *)
+let with_label (labels : string) (extra : string) : string =
+  if labels = "" then "{" ^ extra ^ "}"
+  else String.sub labels 0 (String.length labels - 1) ^ "," ^ extra ^ "}"
+
 (* [raw] samples carry their final exposition names (the conventional
    process-level families "ocaml_gc_*" / "process_*" from
    {!Prof.gc_samples}/{!Prof.process_samples}); they bypass the sagma
@@ -40,11 +82,20 @@ let float_value (v : float) : string =
 let prometheus ?uptime_s ?(raw : (string * float) list = []) (s : Metrics.snapshot) : string =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  (* HELP/TYPE are per family: labeled series of one family share them,
+     and a duplicate TYPE line is a parse error for real scrapers. *)
+  let seen = Hashtbl.create 64 in
+  let header (m : string) (typ : string) (help : string) : unit =
+    if not (Hashtbl.mem seen m) then begin
+      Hashtbl.add seen m ();
+      line "# HELP %s %s" m help;
+      line "# TYPE %s %s" m typ
+    end
+  in
   (match uptime_s with
    | Some u ->
      let m = namespace ^ "_uptime_seconds" in
-     line "# HELP %s Seconds since the server started" m;
-     line "# TYPE %s gauge" m;
+     header m "gauge" "Seconds since the server started";
      line "%s %s" m (float_value u)
    | None -> ());
   List.iter
@@ -54,41 +105,43 @@ let prometheus ?uptime_s ?(raw : (string * float) list = []) (s : Metrics.snapsh
         if String.length m > 6 && String.sub m (String.length m - 6) 6 = "_total" then "counter"
         else "gauge"
       in
-      line "# HELP %s Process-level sample %s" m name;
-      line "# TYPE %s %s" m typ;
+      header m typ (Printf.sprintf "Process-level sample %s" name);
       line "%s %s" m (float_value v))
     raw;
   List.iter
     (fun (name, v) ->
-      let m = metric_name name ^ "_total" in
-      line "# HELP %s SAGMA counter %s" m name;
-      line "# TYPE %s counter" m;
-      line "%s %d" m v)
+      let base, labels = split_labels name in
+      let m = metric_name base ^ "_total" in
+      header m "counter" (Printf.sprintf "SAGMA counter %s" base);
+      line "%s%s %d" m labels v)
     s.Metrics.counters;
   List.iter
     (fun (name, v) ->
-      let m = metric_name name in
-      line "# HELP %s SAGMA gauge %s" m name;
-      line "# TYPE %s gauge" m;
-      line "%s %d" m v)
+      let base, labels = split_labels name in
+      let m = metric_name base in
+      header m "gauge" (Printf.sprintf "SAGMA gauge %s" base);
+      line "%s%s %d" m labels v)
     s.Metrics.gauges;
   List.iter
     (fun (name, h) ->
-      let m = metric_name name in
-      line "# HELP %s SAGMA histogram %s" m name;
-      line "# TYPE %s histogram" m;
+      let base, labels = split_labels name in
+      let m = metric_name base in
+      header m "histogram" (Printf.sprintf "SAGMA histogram %s" base);
       Array.iter
-        (fun (bound, cum) -> line "%s_bucket{le=\"%s\"} %d" m (le_value bound) cum)
+        (fun (bound, cum) ->
+          line "%s_bucket%s %d" m
+            (with_label labels (Printf.sprintf "le=\"%s\"" (le_value bound)))
+            cum)
         h.Metrics.h_buckets;
-      line "%s_sum %s" m (float_value h.Metrics.h_sum);
-      line "%s_count %d" m h.Metrics.h_count;
+      line "%s_sum%s %s" m labels (float_value h.Metrics.h_sum);
+      line "%s_count%s %d" m labels h.Metrics.h_count;
       (* Quantile estimates as companion gauges (histogram series may not
          carry a `quantile` label themselves). *)
       List.iter
         (fun (suffix, v) ->
           let g = m ^ "_" ^ suffix in
-          line "# TYPE %s gauge" g;
-          line "%s %s" g (float_value v))
+          header g "gauge" (Printf.sprintf "SAGMA histogram quantile %s %s" base suffix);
+          line "%s%s %s" g labels (float_value v))
         [ ("p50", h.Metrics.h_p50); ("p95", h.Metrics.h_p95); ("p99", h.Metrics.h_p99) ])
     s.Metrics.histograms;
   Buffer.contents buf

@@ -4,11 +4,29 @@
     [sagma_<name>_total], histograms as the conventional
     [_bucket{le="..."}]/[_sum]/[_count] family over the fixed
     {!Metrics.bucket_bounds} grid, and the snapshot's p50/p95/p99
-    estimates as companion [_p50]/[_p95]/[_p99] gauges. *)
+    estimates as companion [_p50]/[_p95]/[_p99] gauges.
+
+    Snapshot entries may carry a label block in their name — built with
+    {!labeled}, e.g. ["proto.requests{shard=\"1\"}"] — which renders as
+    a labeled Prometheus series
+    ([sagma_proto_requests_total{shard="1"}]). A coordinator uses this
+    to expose per-shard series next to the fleet aggregates. *)
 
 val metric_name : string -> string
 (** Registry name → namespaced Prometheus identifier
-    (["proto.request_ms"] → ["sagma_proto_request_ms"]). *)
+    (["proto.request_ms"] → ["sagma_proto_request_ms"]). A label block
+    is dropped: [metric_name "a.b{shard=\"1\"}" = "sagma_a_b"]. *)
+
+val escape_label_value : string -> string
+(** Prometheus label-value escaping: backslash, double-quote and
+    newline. Everything else — including hostile endpoint strings —
+    passes through verbatim. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled name [("shard", "1")]] is ["name{shard=\"1\"}"]: the
+    snapshot-entry spelling of a labeled series. Label names are
+    sanitized, label values escaped with {!escape_label_value}; an empty
+    label list returns [name] unchanged. *)
 
 val prometheus : ?uptime_s:float -> ?raw:(string * float) list -> Metrics.snapshot -> string
 (** The full exposition page, one sample per line, newline-terminated.
@@ -16,4 +34,6 @@ val prometheus : ?uptime_s:float -> ?raw:(string * float) list -> Metrics.snapsh
     emitted under their given names unprefixed — the process-level
     [ocaml_gc_*]/[process_*] families from {!Prof.gc_samples} and
     {!Prof.process_samples}; names ending in [_total] are typed
-    counter, everything else gauge. *)
+    counter, everything else gauge. HELP/TYPE headers are emitted once
+    per family, so labeled and unlabeled series of one family share
+    them. *)

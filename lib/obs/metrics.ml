@@ -302,6 +302,65 @@ let snapshot () : snapshot =
   Mutex.unlock registry_lock;
   { counters = cs; gauges = gs; histograms = hs }
 
+(* --- fleet federation --------------------------------------------------------
+
+   A coordinator merges its shards' snapshots into one fleet view:
+   counters and gauges sum pointwise by name, histograms merge
+   bucket-wise (every histogram shares the fixed grid) with the
+   quantiles re-estimated from the merged buckets. *)
+
+let merge_assoc (a : (string * int) list) (b : (string * int) list) : (string * int) list =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v + (match Hashtbl.find_opt tbl k with Some v0 -> v0 | None -> 0)))
+    (a @ b);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let merge_hist_stats (a : hist_stats) (b : hist_stats) : hist_stats =
+  if a.h_count = 0 then b
+  else if b.h_count = 0 then a
+  else begin
+    let base = if Array.length a.h_buckets >= Array.length b.h_buckets then a else b in
+    (* Cumulative counts add pointwise on a shared grid; the lookup by
+       bound keeps a foreign peer's shorter grid from misaligning. *)
+    let cum_at (h : hist_stats) (bound : float) : int =
+      Array.fold_left (fun acc (b', cum) -> if b' <= bound && cum > acc then cum else acc) 0
+        h.h_buckets
+    in
+    let h_buckets =
+      Array.map (fun (bound, _) -> (bound, cum_at a bound + cum_at b bound)) base.h_buckets
+    in
+    let raw = Array.make (Array.length h_buckets) 0 in
+    let prev = ref 0 in
+    Array.iteri
+      (fun i (_, cum) ->
+        raw.(i) <- cum - !prev;
+        prev := cum)
+      h_buckets;
+    let h_count = a.h_count + b.h_count in
+    let h_min = Float.min a.h_min b.h_min in
+    let h_max = Float.max a.h_max b.h_max in
+    let quantile = quantile_of_buckets ~count:h_count ~min_v:h_min ~max_v:h_max raw in
+    { h_count; h_sum = a.h_sum +. b.h_sum; h_min; h_max; h_buckets; h_p50 = quantile 0.50;
+      h_p95 = quantile 0.95; h_p99 = quantile 0.99 }
+  end
+
+let merge_snapshots (a : snapshot) (b : snapshot) : snapshot =
+  let merge_hists xs ys =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (k, h) ->
+        Hashtbl.replace tbl k
+          (match Hashtbl.find_opt tbl k with None -> h | Some h0 -> merge_hist_stats h0 h))
+      (xs @ ys);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  in
+  { counters = merge_assoc a.counters b.counters; gauges = merge_assoc a.gauges b.gauges;
+    histograms = merge_hists a.histograms b.histograms }
+
 let reset () =
   Mutex.lock registry_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;

@@ -124,6 +124,17 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
+val merge_hist_stats : hist_stats -> hist_stats -> hist_stats
+(** Combine two histograms of the same metric from different nodes:
+    counts, sums and cumulative buckets add pointwise (all histograms
+    share {!bucket_bounds}), min/max widen, and p50/p95/p99 are
+    re-estimated from the merged buckets. *)
+
+val merge_snapshots : snapshot -> snapshot -> snapshot
+(** Fleet federation: pointwise sum of counters and gauges by name,
+    {!merge_hist_stats} on histograms. Used by a coordinator merging its
+    shards' [Stats] replies into one fleet-wide view. *)
+
 val reset : unit -> unit
 (** Zero every registered counter and histogram (registration is kept). *)
 

@@ -29,11 +29,15 @@
    topology section in StatsReport (node role, shard index/count,
    coordinator shard endpoints) and an optional explicit row id on
    Append so a coordinator can stamp the global row position (and hence
-   the owning shard) when fanning an append across replicas. Each
-   older frame is a valid newer frame with a different version byte, so
-   the decoders accept every supported version and only reject tags
-   (and error codes, and trailers) the claimed version does not
-   define. *)
+   the owning shard) when fanning an append across replicas; v7 adds
+   fleet health: a Health request with its HealthReport response —
+   node status (ok/degraded/draining), uptime, the watchdog's active
+   alerts, and on coordinators a per-shard block (reachability,
+   consecutive probe failures, last error, negotiated version, EWMA
+   probe RTT). Each older frame is a valid newer frame with a different
+   version byte, so the decoders accept every supported version and
+   only reject tags (and error codes, and trailers) the claimed version
+   does not define. *)
 
 module W = Sagma_wire.Wire
 module Sse = Sagma_sse.Sse
@@ -42,9 +46,10 @@ module Serialize = Sagma.Serialize
 module Metrics = Sagma_obs.Metrics
 module Audit = Sagma_obs.Audit
 module Trace = Sagma_obs.Trace
+module Watchdog = Sagma_obs.Watchdog
 
 let magic = "SG"
-let version = 6
+let version = 7
 let min_version = 1
 
 exception Version_mismatch of { expected : int; got : int }
@@ -143,6 +148,9 @@ type request =
       (** v2: fetch the server's metrics snapshot and audit summary. *)
   | Traces
       (** v4: fetch the server's completed request-trace ring. *)
+  | Health
+      (** v7: fetch the node's health — status, uptime, active alerts,
+          and (on a coordinator) the per-shard probe state. *)
 
 (* v4: a request may carry a trace context right after the header — a
    client-supplied id to correlate across systems and a sampling flag
@@ -195,6 +203,29 @@ type stats_report = {
   sr_topology : topology option; (* v6; [None] from an older frame *)
 }
 
+(* v7: one shard's health as the coordinator's prober sees it. The
+   block carries only reachability and timing data — nothing the §4.2
+   leakage function does not already license. *)
+type shard_health = {
+  shc_index : int;           (* shard slot in the fan-out order *)
+  shc_endpoint : string;     (* "host:port" *)
+  shc_reachable : bool;
+  shc_since : float;         (* epoch seconds the shard has been up (or down) since *)
+  shc_failures : int;        (* consecutive probe/call failures, 0 when healthy *)
+  shc_last_error : string;   (* "" when none recorded *)
+  shc_version : int;         (* negotiated wire version from the downgrade ladder *)
+  shc_rtt_ms : float;        (* EWMA probe round-trip, 0. before the first success *)
+}
+
+(* v7: the answer to Health. [hr_shards] is empty on single servers and
+   storage shards; a coordinator reports one entry per shard. *)
+type health_report = {
+  hr_status : string;        (* "ok" | "degraded" | "draining" *)
+  hr_uptime_s : float;
+  hr_alerts : Watchdog.alert list;  (* the watchdog's currently-firing alerts *)
+  hr_shards : shard_health list;
+}
+
 type response =
   | Ack
   | Tables of (string * int) list  (** table name, row count *)
@@ -202,6 +233,7 @@ type response =
   | Failed of { code : error_code; message : string }
   | Stats_report of stats_report  (** v2: answer to {!Stats} *)
   | Trace_dump of Trace.rtrace list  (** v4: answer to {!Traces} *)
+  | Health_report of health_report  (** v7: answer to {!Health} *)
 
 let failed code fmt = Printf.ksprintf (fun message -> Failed { code; message }) fmt
 
@@ -462,6 +494,58 @@ let get_stats_report ~(version : int) (s : W.source) : stats_report =
     sr_audit = { Audit.s_requests; s_probes; s_checks_run; s_check_failures };
     sr_uptime_s; sr_start_time; sr_gc; sr_topology }
 
+(* v7 health codecs. *)
+
+let put_alert (s : W.sink) (a : Watchdog.alert) : unit =
+  W.put_bytes s a.Watchdog.a_rule;
+  W.put_f64 s a.Watchdog.a_since;
+  W.put_f64 s a.Watchdog.a_value;
+  W.put_f64 s a.Watchdog.a_threshold;
+  W.put_bytes s a.Watchdog.a_message
+
+let get_alert (s : W.source) : Watchdog.alert =
+  let a_rule = W.get_bytes s in
+  let a_since = W.get_f64 s in
+  let a_value = W.get_f64 s in
+  let a_threshold = W.get_f64 s in
+  let a_message = W.get_bytes s in
+  { Watchdog.a_rule; a_since; a_value; a_threshold; a_message }
+
+let put_shard_health (s : W.sink) (sh : shard_health) : unit =
+  W.put_int s sh.shc_index;
+  W.put_bytes s sh.shc_endpoint;
+  W.put_bool s sh.shc_reachable;
+  W.put_f64 s sh.shc_since;
+  W.put_int s sh.shc_failures;
+  W.put_bytes s sh.shc_last_error;
+  W.put_int s sh.shc_version;
+  W.put_f64 s sh.shc_rtt_ms
+
+let get_shard_health (s : W.source) : shard_health =
+  let shc_index = W.get_int s in
+  let shc_endpoint = W.get_bytes s in
+  let shc_reachable = W.get_bool s in
+  let shc_since = W.get_f64 s in
+  let shc_failures = W.get_int s in
+  let shc_last_error = W.get_bytes s in
+  let shc_version = W.get_int s in
+  let shc_rtt_ms = W.get_f64 s in
+  { shc_index; shc_endpoint; shc_reachable; shc_since; shc_failures; shc_last_error;
+    shc_version; shc_rtt_ms }
+
+let put_health_report (s : W.sink) (h : health_report) : unit =
+  W.put_bytes s h.hr_status;
+  W.put_f64 s h.hr_uptime_s;
+  W.put_list s put_alert h.hr_alerts;
+  W.put_list s put_shard_health h.hr_shards
+
+let get_health_report (s : W.source) : health_report =
+  let hr_status = W.get_bytes s in
+  let hr_uptime_s = W.get_f64 s in
+  let hr_alerts = W.get_list s get_alert in
+  let hr_shards = W.get_list s get_shard_health in
+  { hr_status; hr_uptime_s; hr_alerts; hr_shards }
+
 (* [?version] lets a caller (or a compat test) emit a frame an older
    peer accepts; only tags the requested version defines are allowed.
    [?trace] is the v4 trace context, written (as an option) right after
@@ -499,6 +583,9 @@ let put_request ?(version = version) ?(trace : trace_ctx option) (s : W.sink) (r
   | Traces ->
     if version < 4 then invalid_arg "Protocol.put_request: Traces needs protocol version >= 4";
     W.put_u8 s 6
+  | Health ->
+    if version < 7 then invalid_arg "Protocol.put_request: Health needs protocol version >= 7";
+    W.put_u8 s 7
 
 (* Returns the frame's version and trace context alongside the request,
    so a server can frame its reply at the peer's version and honor the
@@ -526,6 +613,7 @@ let get_request_vt (s : W.source) : int * trace_ctx option * request =
     | 4 -> Drop (W.get_bytes s)
     | 5 when v >= 2 -> Stats
     | 6 when v >= 4 -> Traces
+    | 7 when v >= 7 -> Health
     | t -> W.fail "bad request tag %d for protocol version %d" t v
   in
   (v, trace, req)
@@ -568,7 +656,12 @@ let put_response ?(version = version) ?(explain : explain option) (s : W.sink) (
      if version < 4 then
        invalid_arg "Protocol.put_response: Trace_dump needs protocol version >= 4";
      W.put_u8 s 5;
-     W.put_list s (put_rtrace ~version) ts);
+     W.put_list s (put_rtrace ~version) ts
+   | Health_report h ->
+     if version < 7 then
+       invalid_arg "Protocol.put_response: Health_report needs protocol version >= 7";
+     W.put_u8 s 6;
+     put_health_report s h);
   if version >= 4 then W.put_option s (put_explain ~version) explain
 
 let get_response_x (s : W.source) : response * explain option =
@@ -589,6 +682,7 @@ let get_response_x (s : W.source) : response * explain option =
       Failed { code; message }
     | 4 when v >= 2 -> Stats_report (get_stats_report ~version:v s)
     | 5 when v >= 4 -> Trace_dump (W.get_list s (get_rtrace ~version:v))
+    | 6 when v >= 7 -> Health_report (get_health_report s)
     | t -> W.fail "bad response tag %d for protocol version %d" t v
   in
   let explain = if v >= 4 then W.get_option s (get_explain ~version:v) else None in
@@ -610,3 +704,74 @@ let encode_response ?version ?explain (r : response) : string =
 
 let decode_response_x (s : string) : response * explain option = W.decode get_response_x s
 let decode_response (s : string) : response = fst (decode_response_x s)
+
+(* --- JSON rendering ----------------------------------------------------------
+
+   `sagma_cli stats --json` must carry everything the human and
+   Prometheus paths render — snapshot, uptime/start-time, audit
+   summary, GC block, topology — as one object; it used to print only
+   the snapshot. Kept here next to the types so the shape and the codec
+   evolve together. *)
+
+let json_float (v : float) : string =
+  if Float.is_nan v || v = infinity || v = neg_infinity then "null"
+  else Printf.sprintf "%.17g" v
+
+let stats_report_to_json (r : stats_report) : string =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"snapshot\":%s" (Metrics.snapshot_to_json r.sr_snapshot);
+  add ",\"uptime_s\":%s,\"start_time\":%s" (json_float r.sr_uptime_s)
+    (json_float r.sr_start_time);
+  add ",\"audit\":{\"requests\":%d,\"probes\":%d,\"checks_run\":%d,\"check_failures\":%d}"
+    r.sr_audit.Audit.s_requests r.sr_audit.Audit.s_probes r.sr_audit.Audit.s_checks_run
+    r.sr_audit.Audit.s_check_failures;
+  (match r.sr_gc with
+   | None -> add ",\"gc\":null"
+   | Some g ->
+     add
+       ",\"gc\":{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\
+        \"minor_collections\":%d,\"major_collections\":%d,\"compactions\":%d,\
+        \"heap_words\":%d,\"top_heap_words\":%d}"
+       (json_float g.gs_minor_words) (json_float g.gs_promoted_words)
+       (json_float g.gs_major_words) g.gs_minor_collections g.gs_major_collections
+       g.gs_compactions g.gs_heap_words g.gs_top_heap_words);
+  (match r.sr_topology with
+   | None -> add ",\"topology\":null"
+   | Some t ->
+     add ",\"topology\":{\"role\":\"%s\",\"shard_index\":%d,\"shard_count\":%d,\"shards\":[%s]}"
+       (Metrics.json_escape t.tp_role) t.tp_shard_index t.tp_shard_count
+       (String.concat ","
+          (List.map (fun e -> "\"" ^ Metrics.json_escape e ^ "\"") t.tp_shards)));
+  add "}";
+  Buffer.contents buf
+
+let health_report_to_json (h : health_report) : string =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"status\":\"%s\",\"uptime_s\":%s" (Metrics.json_escape h.hr_status)
+    (json_float h.hr_uptime_s);
+  add ",\"alerts\":[%s]"
+    (String.concat ","
+       (List.map
+          (fun (a : Watchdog.alert) ->
+            Printf.sprintf
+              "{\"rule\":\"%s\",\"since\":%s,\"value\":%s,\"threshold\":%s,\"message\":\"%s\"}"
+              (Metrics.json_escape a.Watchdog.a_rule) (json_float a.Watchdog.a_since)
+              (json_float a.Watchdog.a_value) (json_float a.Watchdog.a_threshold)
+              (Metrics.json_escape a.Watchdog.a_message))
+          h.hr_alerts));
+  add ",\"shards\":[%s]}"
+    (String.concat ","
+       (List.map
+          (fun sh ->
+            Printf.sprintf
+              "{\"index\":%d,\"endpoint\":\"%s\",\"reachable\":%b,\"since\":%s,\
+               \"failures\":%d,\"last_error\":\"%s\",\"version\":%d,\"rtt_ms\":%s}"
+              sh.shc_index
+              (Metrics.json_escape sh.shc_endpoint)
+              sh.shc_reachable (json_float sh.shc_since) sh.shc_failures
+              (Metrics.json_escape sh.shc_last_error) sh.shc_version
+              (json_float sh.shc_rtt_ms))
+          h.hr_shards));
+  Buffer.contents buf

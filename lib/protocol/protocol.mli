@@ -5,7 +5,9 @@
     returned encrypted aggregates. Framing is {!Transport}'s job.
 
     Every message is prefixed with the magic {!magic} and a version
-    byte. This build speaks v6 but still decodes v1–v5 frames (v5 = v6
+    byte. This build speaks v7 but still decodes v1–v6 frames (v6 = v7
+    minus the fleet-health constructs: the [Health]/[Health_report]
+    pair; v5 = v6
     minus the scatter-gather sharding constructs: the topology section
     of [Stats_report] and the explicit row id on [Append]; v4 = v5
     minus the resource-telemetry sections: the gc block of
@@ -28,7 +30,7 @@ val magic : string
 
 val version : int
 (** Wire protocol version this build speaks and encodes by default
-    (currently 6). *)
+    (currently 7). *)
 
 val min_version : int
 (** Oldest version the decoders still accept (currently 1). *)
@@ -70,6 +72,10 @@ type request =
       (** v2: fetch the server's metrics snapshot and audit summary. *)
   | Traces
       (** v4: fetch the server's completed request-trace ring. *)
+  | Health
+      (** v7: fetch the node's health — status, uptime, the watchdog's
+          active alerts, and (on a coordinator) the per-shard probe
+          state. *)
 
 (** v4: the optional trace context after a request header — a
     client-supplied id to correlate across systems, and a sampling flag
@@ -129,6 +135,29 @@ type stats_report = {
       (** v6: the node's cluster role; [None] from older frames. *)
 }
 
+(** v7: one shard's health as the coordinator's prober sees it. The
+    block carries only reachability/timing data — nothing the §4.2
+    leakage function does not already license. *)
+type shard_health = {
+  shc_index : int;          (** shard slot in the fan-out order *)
+  shc_endpoint : string;    (** "host:port" *)
+  shc_reachable : bool;
+  shc_since : float;        (** epoch seconds up (or down) since *)
+  shc_failures : int;       (** consecutive probe/call failures *)
+  shc_last_error : string;  (** [""] when none recorded *)
+  shc_version : int;        (** negotiated version from the downgrade ladder *)
+  shc_rtt_ms : float;       (** EWMA probe RTT; 0. before the first success *)
+}
+
+(** v7: the answer to {!Health}. [hr_shards] is empty on single servers
+    and storage shards; a coordinator reports one entry per shard. *)
+type health_report = {
+  hr_status : string;  (** ["ok"] | ["degraded"] | ["draining"] *)
+  hr_uptime_s : float;
+  hr_alerts : Sagma_obs.Watchdog.alert list;  (** currently-firing alerts *)
+  hr_shards : shard_health list;
+}
+
 type response =
   | Ack
   | Tables of (string * int) list  (** name, row count *)
@@ -136,9 +165,19 @@ type response =
   | Failed of { code : error_code; message : string }
   | Stats_report of stats_report  (** v2: answer to {!Stats} *)
   | Trace_dump of Sagma_obs.Trace.rtrace list  (** v4: answer to {!Traces} *)
+  | Health_report of health_report  (** v7: answer to {!Health} *)
 
 val failed : error_code -> ('a, unit, string, response) format4 -> 'a
 (** [failed code fmt ...] builds a {!Failed} response. *)
+
+val stats_report_to_json : stats_report -> string
+(** One JSON object carrying everything a {!Stats_report} holds —
+    [snapshot], [uptime_s]/[start_time], [audit], [gc] (or null),
+    [topology] (or null) — so `sagma stats --json` drops nothing the
+    human and Prometheus paths render. *)
+
+val health_report_to_json : health_report -> string
+(** One JSON object: [status], [uptime_s], [alerts], [shards]. *)
 
 val encode_request : ?version:int -> ?trace:trace_ctx -> request -> string
 val decode_request : string -> request

@@ -1,4 +1,4 @@
-(* The query router of a scatter-gather deployment (protocol v6).
+(* The query router of a scatter-gather deployment (protocol v6/v7).
 
    Speaks the same wire protocol as a storage server, but owns no rows:
    every request is routed to a fleet of shard endpoints and the
@@ -28,14 +28,28 @@
    Version-mixed fleets: the router remembers, per shard, the highest
    protocol version the shard accepted (starting at {!Protocol.version})
    and steps down on [Failed Version_unsupported] replies — a v5 shard
-   behind a v6 coordinator keeps working, it just never sees v6-only
+   behind a v7 coordinator keeps working, it just never sees newer
    constructs (its appends fall back to local row numbering, which
-   matches the coordinator's as long as replicas stay aligned). *)
+   matches the coordinator's as long as replicas stay aligned).
+
+   Fleet health (v7): with [?probe_interval_ms] set, a background
+   domain probes every shard on a small dedicated {!Sagma_pool} —
+   [Health] for v7 shards, [List_tables] for older ones — maintaining
+   per-shard state (up/down since, consecutive-failure streak, last
+   error, EWMA probe RTT) that is served in [Health_report], exported
+   as router.shard_up{shard="..."} gauges, and used to fast-fail
+   fan-out calls to known-down shards (the prober keeps watching, so a
+   recovered shard rejoins within one interval). Direct shard traffic
+   feeds the same state opportunistically: a transport-level failure
+   marks the shard down, any reply marks it up. *)
 
 module P = Protocol
 module Obs = Sagma_obs.Metrics
+module Export = Sagma_obs.Export
 module Audit = Sagma_obs.Audit
 module Trace = Sagma_obs.Trace
+module Log = Sagma_obs.Log
+module Watchdog = Sagma_obs.Watchdog
 module Pool = Sagma_pool.Pool
 module Scheme = Sagma.Scheme
 module Bgn = Sagma.Scheme.Bgn
@@ -45,12 +59,23 @@ let m_shard_calls = Obs.counter "router.shard_calls"
 let m_shard_errors = Obs.counter "router.shard_errors"
 let m_merges = Obs.counter "router.merges"
 let m_downgrades = Obs.counter "router.version_downgrades"
+let m_probes = Obs.counter "router.probes"
+let m_probe_failures = Obs.counter "router.probe_failures"
+let m_fast_fails = Obs.counter "router.fast_fails"
 
 type shard = {
   sh_endpoint : string;          (* as configured, for messages/topology *)
   sh_host : string option;       (* None = loopback *)
   sh_port : int;
   mutable sh_version : int;      (* highest protocol version the shard accepted *)
+  (* Health state, guarded by the router's [hlock] (not the request
+     lock — probes must never wait on an in-flight append fan-out). *)
+  mutable sh_up : bool;
+  mutable sh_since : float;      (* epoch seconds of the last up/down transition *)
+  mutable sh_failures : int;     (* consecutive probe/call failures *)
+  mutable sh_last_error : string;
+  mutable sh_rtt_ms : float;     (* EWMA probe RTT; 0. before the first sample *)
+  sh_up_gauge : Obs.gauge;       (* router.shard_up{endpoint=...,shard=...} ∈ {0,1} *)
 }
 
 type t = {
@@ -66,6 +91,14 @@ type t = {
   trace_sample : int;
   slow_query_ms : float;
   started : float;
+  (* Fleet health. *)
+  hlock : Mutex.t;
+  probe_interval_ms : int;          (* 0 = probing (and fast-fail) off *)
+  probe_pool : Pool.t option;
+  probe_stop : bool Atomic.t;
+  mutable probe_domain : unit Domain.t option;
+  watchdog : Watchdog.t option;     (* alerts served in v7 Health replies *)
+  draining : bool Atomic.t;
 }
 
 (* "host:port" (host optional — ":7501" or "7501" mean loopback). *)
@@ -80,15 +113,36 @@ let parse_endpoint (ep : string) : string option * int =
   | Some p when p > 0 && p < 65536 -> ((if host = "" then None else Some host), p)
   | _ -> bad ()
 
+let shard_label (i : int) (sh : shard) : string =
+  Printf.sprintf "shard %d (%s)" i sh.sh_endpoint
+
+(* Forward declaration dance is avoided by defining the probe loop after
+   [call_shard]; [create] stores the domain once spawned. *)
 let create ?(deadline_ms = 5000) ?fanout_workers ?(trace_sample = 0) ?(slow_query_ms = 0.)
-    (endpoints : string list) : t =
+    ?(probe_interval_ms = 0) ?watchdog (endpoints : string list) : t =
   if endpoints = [] then invalid_arg "Router.create: need at least one shard endpoint";
+  let now = Unix.gettimeofday () in
   let shards =
     Array.of_list
-      (List.map
-         (fun ep ->
+      (List.mapi
+         (fun i ep ->
            let sh_host, sh_port = parse_endpoint ep in
-           { sh_endpoint = ep; sh_host; sh_port; sh_version = P.version })
+           (* Labeled gauge: the exposition page serves one
+              router_shard_up series per shard. Endpoints are
+              operator-supplied strings, hence the escaping in
+              [Export.labeled]. *)
+           let g =
+             Obs.gauge
+               (Export.labeled "router.shard_up"
+                  [ ("shard", string_of_int i); ("endpoint", ep) ])
+           in
+           Obs.gauge_set g 1;
+           (* Optimistic start: a shard is presumed up until a probe or
+              call says otherwise, so a freshly booted fleet is never
+              fast-failed before its first probe. *)
+           { sh_endpoint = ep; sh_host; sh_port; sh_version = P.version; sh_up = true;
+             sh_since = now; sh_failures = 0; sh_last_error = ""; sh_rtt_ms = 0.;
+             sh_up_gauge = g })
          endpoints)
   in
   let workers =
@@ -96,20 +150,89 @@ let create ?(deadline_ms = 5000) ?fanout_workers ?(trace_sample = 0) ?(slow_quer
   in
   { lock = Mutex.create (); shards; pool = Pool.create ~name:"fanout" ~workers ();
     pks = Hashtbl.create 8; row_counts = Hashtbl.create 8; deadline_ms; trace_sample;
-    slow_query_ms; started = Unix.gettimeofday () }
-
-let shutdown (r : t) : unit = Pool.shutdown r.pool
+    slow_query_ms; started = now; hlock = Mutex.create (); probe_interval_ms;
+    probe_pool =
+      (if probe_interval_ms > 0 then
+         Some (Pool.create ~name:"probe" ~workers:(min (Array.length shards) 4) ())
+       else None);
+    probe_stop = Atomic.make false; probe_domain = None; watchdog;
+    draining = Atomic.make false }
 
 let with_lock (r : t) (f : unit -> 'a) : 'a =
   Mutex.lock r.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
 
-let shard_label (i : int) (sh : shard) : string =
-  Printf.sprintf "shard %d (%s)" i sh.sh_endpoint
-
 let topology (r : t) : P.topology =
   { P.tp_role = "coordinator"; tp_shard_index = -1; tp_shard_count = Array.length r.shards;
     tp_shards = Array.to_list (Array.map (fun s -> s.sh_endpoint) r.shards) }
+
+(* --- per-shard health state ------------------------------------------------ *)
+
+let ewma_alpha = 0.3
+
+let record_success (r : t) (i : int) (sh : shard) (rtt_ms : float) : unit =
+  Mutex.lock r.hlock;
+  let was_down = not sh.sh_up in
+  sh.sh_up <- true;
+  if was_down then sh.sh_since <- Unix.gettimeofday ();
+  sh.sh_failures <- 0;
+  sh.sh_rtt_ms <-
+    (if sh.sh_rtt_ms = 0. then rtt_ms
+     else ((1. -. ewma_alpha) *. sh.sh_rtt_ms) +. (ewma_alpha *. rtt_ms));
+  Mutex.unlock r.hlock;
+  Obs.gauge_set sh.sh_up_gauge 1;
+  if was_down then
+    Log.info "shard_up"
+      ~fields:[ Log.int "shard" i; Log.str "endpoint" sh.sh_endpoint ]
+
+let record_failure (r : t) (i : int) (sh : shard) (msg : string) : unit =
+  Obs.incr m_probe_failures;
+  Mutex.lock r.hlock;
+  let was_up = sh.sh_up in
+  sh.sh_up <- false;
+  if was_up then sh.sh_since <- Unix.gettimeofday ();
+  sh.sh_failures <- sh.sh_failures + 1;
+  sh.sh_last_error <- msg;
+  let failures = sh.sh_failures in
+  Mutex.unlock r.hlock;
+  Obs.gauge_set sh.sh_up_gauge 0;
+  if was_up then
+    Log.warn "shard_down"
+      ~fields:
+        [ Log.int "shard" i; Log.str "endpoint" sh.sh_endpoint; Log.str "error" msg;
+          Log.int "failures" failures ]
+
+let shard_health (r : t) : P.shard_health list =
+  Mutex.lock r.hlock;
+  let out =
+    Array.to_list
+      (Array.mapi
+         (fun i sh ->
+           { P.shc_index = i; shc_endpoint = sh.sh_endpoint; shc_reachable = sh.sh_up;
+             shc_since = sh.sh_since; shc_failures = sh.sh_failures;
+             shc_last_error = sh.sh_last_error; shc_version = sh.sh_version;
+             shc_rtt_ms = sh.sh_rtt_ms })
+         r.shards)
+  in
+  Mutex.unlock r.hlock;
+  out
+
+let down_count (r : t) : int =
+  Mutex.lock r.hlock;
+  let n = Array.fold_left (fun acc sh -> if sh.sh_up then acc else acc + 1) 0 r.shards in
+  Mutex.unlock r.hlock;
+  n
+
+(* --- shard calls ----------------------------------------------------------- *)
+
+(* The downgrade ladder must stop at the oldest version that can still
+   encode the request — probing a v6 shard with Health would otherwise
+   try to emit Health in a v6 frame ([Invalid_argument]). *)
+let request_min_version : P.request -> int = function
+  | P.Stats -> 2
+  | P.Traces -> 4
+  | P.Health -> 7
+  | _ -> P.min_version
 
 (* One shard exchange: fresh connection, the router's deadline on both
    directions, the request encoded at the shard's cached version, and a
@@ -123,6 +246,7 @@ let call_shard (r : t) (sh : shard) (req : P.request) : P.response * P.explain o
     | None -> None
   in
   let deadline = float_of_int r.deadline_ms /. 1000. in
+  let floor = request_min_version req in
   let rec attempt v =
     let fd = Transport.connect ?host:sh.sh_host ~port:sh.sh_port () in
     let resp, x =
@@ -138,36 +262,139 @@ let call_shard (r : t) (sh : shard) (req : P.request) : P.response * P.explain o
           P.decode_response_x (Transport.recv fd))
     in
     match resp with
-    | P.Failed { code = P.Version_unsupported; _ } when v > P.min_version ->
+    | P.Failed { code = P.Version_unsupported; _ } when v > floor ->
       Obs.incr m_downgrades;
       attempt (v - 1)
+    | P.Failed { code = P.Version_unsupported; _ } ->
+      (* The shard is older than this request's floor: reachable, but
+         the request cannot be downgraded to it. Leave the cached
+         version alone — it reflects what the shard actually accepted. *)
+      (resp, x)
     | _ ->
       sh.sh_version <- v;
       (resp, x)
   in
-  attempt sh.sh_version
+  attempt (max sh.sh_version floor)
 
 (* [call_shard] with every failure mode — unreachable endpoint,
    deadline, malformed reply, or the shard's own [Failed] — turned into
    a [Failed] response naming the shard, so the client always learns
-   which node broke the query. *)
+   which node broke the query. Transport-level failures mark the shard
+   down for the prober; any decoded reply marks it up. When probing is
+   on, a known-down shard is fast-failed without a connect attempt —
+   the background prober notices recovery within one interval. *)
 let safe_call (r : t) (i : int) (sh : shard) (req : P.request) :
     P.response * P.explain option =
   let label = shard_label i sh in
+  if r.probe_interval_ms > 0 && not sh.sh_up then begin
+    Obs.incr m_fast_fails;
+    Obs.incr m_shard_errors;
+    ( P.failed P.Internal_error "%s: down (%d consecutive failures): %s" label sh.sh_failures
+        sh.sh_last_error,
+      None )
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let lived () = record_success r i sh ((Unix.gettimeofday () -. t0) *. 1000.) in
+    match call_shard r sh req with
+    | P.Failed { code; message }, x ->
+      (* An application-level failure from a live shard (no such table,
+         bad request, ...) is not unhealth — the shard answered. *)
+      Obs.incr m_shard_errors;
+      lived ();
+      (P.Failed { code; message = Printf.sprintf "%s: %s" label message }, x)
+    | resp, x ->
+      lived ();
+      (resp, x)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Obs.incr m_shard_errors;
+      let msg = Printf.sprintf "deadline exceeded after %d ms" r.deadline_ms in
+      record_failure r i sh msg;
+      (P.failed P.Internal_error "%s: %s" label msg, None)
+    | exception Unix.Unix_error (e, _, _) ->
+      Obs.incr m_shard_errors;
+      let msg = Unix.error_message e in
+      record_failure r i sh msg;
+      (P.failed P.Internal_error "%s: %s" label msg, None)
+    | exception (Failure msg | Sagma_wire.Wire.Decode_error msg) ->
+      Obs.incr m_shard_errors;
+      record_failure r i sh msg;
+      (P.failed P.Internal_error "%s: %s" label msg, None)
+  end
+
+(* --- background probing ---------------------------------------------------- *)
+
+(* One lightweight probe: [Health] once a shard is known to speak v7,
+   [List_tables] otherwise (the ladder in [call_shard] then settles
+   [sh_version], after which pre-v7 shards keep being probed cheaply).
+   Runs outside [safe_call] so a probe is never itself fast-failed. *)
+let probe_shard (r : t) (i : int) (sh : shard) : unit =
+  Obs.incr m_probes;
+  let t0 = Unix.gettimeofday () in
+  let finish_ok () = record_success r i sh ((Unix.gettimeofday () -. t0) *. 1000.) in
+  let req = if sh.sh_version >= 7 then P.Health else P.List_tables in
   match call_shard r sh req with
-  | P.Failed { code; message }, x ->
-    Obs.incr m_shard_errors;
-    (P.Failed { code; message = Printf.sprintf "%s: %s" label message }, x)
-  | ok -> ok
+  | P.Failed { code = P.Version_unsupported; _ }, _ -> begin
+    (* Reachable but older than v7: re-probe with a v1 request so the
+       ladder can negotiate the shard's real version. *)
+    match call_shard r sh P.List_tables with
+    | _, _ -> finish_ok ()
+    | exception Unix.Unix_error (e, _, _) -> record_failure r i sh (Unix.error_message e)
+    | exception (Failure msg | Sagma_wire.Wire.Decode_error msg) -> record_failure r i sh msg
+  end
+  | _, _ ->
+    (* Any decoded reply — Health_report, Tables, even an application
+       Failed — proves the shard is alive and answering. *)
+    finish_ok ()
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-    Obs.incr m_shard_errors;
-    (P.failed P.Internal_error "%s: deadline exceeded after %d ms" label r.deadline_ms, None)
-  | exception Unix.Unix_error (e, _, _) ->
-    Obs.incr m_shard_errors;
-    (P.failed P.Internal_error "%s: %s" label (Unix.error_message e), None)
-  | exception (Failure msg | Sagma_wire.Wire.Decode_error msg) ->
-    Obs.incr m_shard_errors;
-    (P.failed P.Internal_error "%s: %s" label msg, None)
+    record_failure r i sh (Printf.sprintf "deadline exceeded after %d ms" r.deadline_ms)
+  | exception Unix.Unix_error (e, _, _) -> record_failure r i sh (Unix.error_message e)
+  | exception (Failure msg | Sagma_wire.Wire.Decode_error msg) -> record_failure r i sh msg
+
+let probe_all (r : t) : unit =
+  match r.probe_pool with
+  | None -> ()
+  | Some pool ->
+    let futures =
+      Array.mapi (fun i sh -> Pool.submit pool (fun () -> probe_shard r i sh)) r.shards
+    in
+    Array.iter Pool.await futures
+
+(* The probe loop runs on its own domain (never a pool task — it awaits
+   pool futures), sleeping in short slices so shutdown stays prompt. *)
+let start_probes (r : t) : unit =
+  if r.probe_interval_ms > 0 && r.probe_domain = None then
+    r.probe_domain <-
+      Some
+        (Domain.spawn (fun () ->
+             let slice = 0.05 in
+             let interval = float_of_int r.probe_interval_ms /. 1000. in
+             let rec nap left =
+               if left > 0. && not (Atomic.get r.probe_stop) then begin
+                 Unix.sleepf (Float.min slice left);
+                 nap (left -. slice)
+               end
+             in
+             let rec loop () =
+               if not (Atomic.get r.probe_stop) then begin
+                 (try probe_all r with _ -> ());
+                 nap interval;
+                 loop ()
+               end
+             in
+             loop ()))
+
+let shutdown (r : t) : unit =
+  Atomic.set r.probe_stop true;
+  (match r.probe_domain with
+   | Some d ->
+     r.probe_domain <- None;
+     Domain.join d
+   | None -> ());
+  (match r.probe_pool with Some p -> Pool.shutdown p | None -> ());
+  Pool.shutdown r.pool
+
+let set_draining (r : t) (d : bool) : unit = Atomic.set r.draining d
 
 (* Query every shard concurrently on the fan-out pool. Each call runs
    under a "shard:N" span (the pool inherits the router's trace
@@ -202,18 +429,66 @@ let first_failure (results : (P.response * P.explain option) array) : P.response
     (fun (resp, _) -> match resp with P.Failed _ -> Some resp | _ -> None)
     results
 
+(* --- stats federation ------------------------------------------------------ *)
+
+(* Rename every series of a shard's snapshot into its labeled form:
+   proto.requests → proto.requests{shard="1"}. *)
+let label_snapshot (i : int) (s : Obs.snapshot) : Obs.snapshot =
+  let tag name = Export.labeled name [ ("shard", string_of_int i) ] in
+  { Obs.counters = List.map (fun (n, v) -> (tag n, v)) s.Obs.counters;
+    gauges = List.map (fun (n, v) -> (tag n, v)) s.Obs.gauges;
+    histograms = List.map (fun (n, h) -> (tag n, h)) s.Obs.histograms }
+
+(* The coordinator's Stats reply covers the fleet: its own snapshot is
+   ⊕-merged with every reachable shard's into unlabeled fleet
+   aggregates, and each shard's snapshot additionally rides along as
+   {shard="i"}-labeled series. Unreachable or pre-v2 shards are
+   skipped — a Stats scrape must degrade, never fail. *)
+let federated_snapshot (r : t) : Obs.snapshot =
+  let own = Obs.snapshot () in
+  let results = fanout r P.Stats in
+  let fleet = ref own in
+  let labeled = ref [] in
+  Array.iteri
+    (fun i (resp, _) ->
+      match resp with
+      | P.Stats_report rep ->
+        fleet := Obs.merge_snapshots !fleet rep.P.sr_snapshot;
+        labeled := label_snapshot i rep.P.sr_snapshot :: !labeled
+      | _ -> ())
+    results;
+  List.fold_left
+    (fun acc s ->
+      { Obs.counters = acc.Obs.counters @ s.Obs.counters;
+        gauges = acc.Obs.gauges @ s.Obs.gauges;
+        histograms = acc.Obs.histograms @ s.Obs.histograms })
+    !fleet (List.rev !labeled)
+
 let handle (r : t) (req : P.request) : P.response =
   match req with
   | P.Stats ->
     P.Stats_report
-      { P.sr_snapshot = Obs.snapshot (); sr_audit = Audit.summary ();
+      { P.sr_snapshot = federated_snapshot r; sr_audit = Audit.summary ();
         sr_uptime_s = Unix.gettimeofday () -. r.started; sr_start_time = r.started;
         sr_gc = Some (Server.gc_stats_now ()); sr_topology = Some (topology r) }
   | P.Traces -> P.Trace_dump (Trace.requests ())
+  | P.Health ->
+    let shards = shard_health r in
+    let alerts = match r.watchdog with Some w -> Watchdog.active w | None -> [] in
+    P.Health_report
+      { P.hr_status =
+          Server.health_status ~draining:(Atomic.get r.draining) ~alerts ~shards;
+        hr_uptime_s = Unix.gettimeofday () -. r.started; hr_alerts = alerts;
+        hr_shards = shards }
   | P.List_tables ->
-    (* Replicas are identical by construction; one shard speaks for
-       the fleet. *)
-    fst (safe_call r 0 r.shards.(0) P.List_tables)
+    (* Replicas are identical by construction; one (live) shard speaks
+       for the fleet. *)
+    let i =
+      let n = Array.length r.shards in
+      let rec find k = if k >= n then 0 else if r.shards.(k).sh_up then k else find (k + 1) in
+      find 0
+    in
+    fst (safe_call r i r.shards.(i) P.List_tables)
   | P.Upload { name; table } -> begin
     match Server.validate_table_name name with
     | Some msg -> P.failed P.Bad_request "%s" msg

@@ -25,7 +25,16 @@
     the router's trace id as their v4 trace context, and shard EXPLAIN
     timings are grafted back under the per-shard spans — the
     distributed request renders as one tree:
-    request → fanout → shard:N → remote:aggregate. *)
+    request → fanout → shard:N → remote:aggregate.
+
+    Fleet health (v7): with [?probe_interval_ms] set, a background
+    prober maintains per-shard reachability state (up/down since,
+    failure streak, EWMA RTT) served in [Health_report], exported as
+    [router.shard_up]{shard="..."} gauges, and used to fast-fail
+    fan-out calls to known-down shards until a probe sees them recover.
+    The Stats reply federates: the coordinator's own snapshot is merged
+    with every reachable shard's into fleet aggregates, with each
+    shard's series riding along labeled {shard="i"}. *)
 
 type t
 
@@ -34,6 +43,8 @@ val create :
   ?fanout_workers:int ->
   ?trace_sample:int ->
   ?slow_query_ms:float ->
+  ?probe_interval_ms:int ->
+  ?watchdog:Sagma_obs.Watchdog.t ->
   string list ->
   t
 (** [create endpoints] builds a router over the given shard endpoints
@@ -44,10 +55,36 @@ val create :
     [min shards 8]) — it is always distinct from any connection-serving
     pool, as required by [Sagma_pool]. [trace_sample]/[slow_query_ms]
     as in [Server.create].
+
+    [probe_interval_ms] (default 0 = off) enables background health
+    probing at that period — call {!start_probes} to actually start the
+    loop — and with it the fast-fail of calls to known-down shards.
+    [watchdog] serves that watchdog's firing alerts in v7 [Health]
+    replies (the caller runs the poll loop, feeding it
+    {!down_count}).
     @raise Invalid_argument on an empty or unparsable endpoint list. *)
 
+val start_probes : t -> unit
+(** Spawn the background probe domain (a no-op when
+    [probe_interval_ms] is 0 or the loop already runs). Each round
+    probes every shard on a small dedicated pool — [Health] once a
+    shard is known to speak v7, [List_tables] for older peers — and
+    updates the per-shard state. Stopped by {!shutdown}. *)
+
 val shutdown : t -> unit
-(** Shut the fan-out pool down (idempotent via [Sagma_pool]). *)
+(** Stop the probe loop (if running) and shut the pools down
+    (idempotent via [Sagma_pool]). *)
+
+val set_draining : t -> bool -> unit
+(** Flip the v7 health status to ["draining"] — and back. *)
+
+val shard_health : t -> Protocol.shard_health list
+(** The per-shard block a v7 [Health_report] carries, one entry per
+    shard in fan-out order. *)
+
+val down_count : t -> int
+(** How many shards are currently marked unreachable — the watchdog's
+    [Shards_down] signal. *)
 
 val topology : t -> Protocol.topology
 (** The ["coordinator"] topology this router reports in v6 Stats. *)

@@ -20,6 +20,7 @@ module Log = Sagma_obs.Log
 module Audit = Sagma_obs.Audit
 module Trace = Sagma_obs.Trace
 module Pool = Sagma_pool.Pool
+module Watchdog = Sagma_obs.Watchdog
 
 let m_requests = Obs.counter "proto.requests"
 let m_failed = Obs.counter "proto.requests_failed"
@@ -68,15 +69,30 @@ type t = {
   trace_sample : int;      (* trace every Nth request; 0 disables *)
   slow_query_ms : float;   (* requests over this emit a slow_query event; 0. disables *)
   started : float;         (* epoch seconds, for Stats uptime *)
+  watchdog : Watchdog.t option;  (* active alerts served in v7 Health replies *)
+  draining : bool Atomic.t;      (* graceful shutdown begun: Health says "draining" *)
 }
 
-let create ?agg_pool ?shard ?(trace_sample = 0) ?(slow_query_ms = 0.) () : t =
+let create ?agg_pool ?shard ?(trace_sample = 0) ?(slow_query_ms = 0.) ?watchdog () : t =
   (match shard with
    | Some (i, n) when n < 1 || i < 0 || i >= n ->
      invalid_arg (Printf.sprintf "Server.create: shard %d/%d out of range" i n)
    | _ -> ());
   { lock = Mutex.create (); tables = Hashtbl.create 8; agg_pool; shard; trace_sample;
-    slow_query_ms; started = Unix.gettimeofday () }
+    slow_query_ms; started = Unix.gettimeofday (); watchdog;
+    draining = Atomic.make false }
+
+let set_draining (s : t) (d : bool) : unit = Atomic.set s.draining d
+
+(* The v7 health summary shared by the storage server and (with a
+   per-shard block) the {!Router}: draining beats everything, any
+   firing alert means degraded, a down shard likewise. *)
+let health_status ~(draining : bool) ~(alerts : Watchdog.alert list)
+    ~(shards : Protocol.shard_health list) : string =
+  if draining then "draining"
+  else if alerts <> [] || List.exists (fun sh -> not sh.Protocol.shc_reachable) shards then
+    "degraded"
+  else "ok"
 
 let with_lock (s : t) (f : unit -> 'a) : 'a =
   Mutex.lock s.lock;
@@ -95,6 +111,7 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Drop _ -> "drop"
   | Protocol.Stats -> "stats"
   | Protocol.Traces -> "traces"
+  | Protocol.Health -> "health"
 
 (* The v5 gc section of a Stats reply — also used by {!Router}. *)
 let gc_stats_now () : Protocol.gc_stats =
@@ -125,6 +142,13 @@ let handle (s : t) (req : Protocol.request) : Protocol.response =
                { Protocol.tp_role = "single"; tp_shard_index = -1; tp_shard_count = 1;
                  tp_shards = [] }) }
   | Protocol.Traces -> Protocol.Trace_dump (Trace.requests ())
+  | Protocol.Health ->
+    let alerts = match s.watchdog with Some w -> Watchdog.active w | None -> [] in
+    Protocol.Health_report
+      { Protocol.hr_status =
+          health_status ~draining:(Atomic.get s.draining) ~alerts ~shards:[];
+        hr_uptime_s = Unix.gettimeofday () -. s.started; hr_alerts = alerts;
+        hr_shards = [] }
   | Protocol.Upload { name; table } -> begin
     match validate_table_name name with
     | Some msg -> Protocol.failed Protocol.Bad_request "%s" msg

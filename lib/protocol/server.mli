@@ -13,6 +13,7 @@ val create :
   ?shard:int * int ->
   ?trace_sample:int ->
   ?slow_query_ms:float ->
+  ?watchdog:Sagma_obs.Watchdog.t ->
   unit ->
   t
 (** [create ()] builds an empty, thread-safe server state: request
@@ -39,7 +40,24 @@ val create :
     0. = off) makes every request over the threshold emit a
     [slow_query] log event with its span tree and cost block — which
     requires tracing every request, so a nonzero threshold implies
-    sampling them all. Both need metrics collection enabled. *)
+    sampling them all. Both need metrics collection enabled.
+
+    [watchdog] serves that watchdog's currently-firing alerts in v7
+    [Health] replies (the caller runs the poll loop); without one the
+    alert list is always empty. *)
+
+val set_draining : t -> bool -> unit
+(** Flip the v7 health status to ["draining"] (graceful shutdown has
+    begun) — and back, should the drain be aborted. *)
+
+val health_status :
+  draining:bool ->
+  alerts:Sagma_obs.Watchdog.alert list ->
+  shards:Protocol.shard_health list ->
+  string
+(** The v7 status word: ["draining"] wins, then any firing alert or
+    unreachable shard means ["degraded"], else ["ok"]. Shared with
+    {!Router}. *)
 
 val table_names : t -> (string * int) list
 

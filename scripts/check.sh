@@ -176,7 +176,7 @@ trap - EXIT
 rm -rf "$OBS_DIR"
 echo "observability smoke OK"
 
-echo "== cluster smoke (2 shards + coordinator, v6 scatter-gather) =="
+echo "== cluster smoke (2 shards + coordinator, v6 scatter-gather, v7 health) =="
 CL_DIR=$(mktemp -d)
 SHARD0_PORT=7501
 SHARD1_PORT=7502
@@ -201,7 +201,8 @@ SHARD1_PID=$!
 sleep 1
 "$SERVER" --port "$COORD_PORT" \
   --coordinator "127.0.0.1:$SHARD0_PORT,127.0.0.1:$SHARD1_PORT" \
-  --trace-sample 1 > "$CL_DIR/coord.out" 2>&1 &
+  --trace-sample 1 --probe-interval-ms 200 --watchdog-interval-ms 200 \
+  --log-json "$CL_DIR/coord.jsonl" > "$CL_DIR/coord.out" 2>&1 &
 COORD_PID=$!
 trap 'kill "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID" 2>/dev/null || true; rm -rf "$CL_DIR"' EXIT
 sleep 1
@@ -235,12 +236,78 @@ remote = [n for n in names if n.startswith("remote:")]
 assert remote, f"no grafted shard spans in {names}"
 print(f"cluster trace OK: stitched spans {sorted(names)}")' \
   "$CL_DIR/cluster_trace.json"
+# --- v7 fleet health: probe, kill a shard, alert, recover -------------
+# With both shards up the coordinator's health report is "ok" and the
+# health subcommand exits zero.
+"$CLI" health --port "$COORD_PORT" > "$CL_DIR/health_ok.out"
+grep -q ": ok (uptime" "$CL_DIR/health_ok.out"
+grep -q "$SHARD1_PORT" "$CL_DIR/health_ok.out"
+# Federated Prometheus: the coordinator serves per-shard labeled series
+# next to the fleet aggregates, plus the router's liveness gauges.
+"$CLI" stats --port "$COORD_PORT" --prometheus > "$CL_DIR/coord_expo.txt"
+grep -q '{shard="0"}' "$CL_DIR/coord_expo.txt"
+grep -q '{shard="1"}' "$CL_DIR/coord_expo.txt"
+grep -q '^sagma_router_shard_up{shard="0",endpoint=' "$CL_DIR/coord_expo.txt"
+# Per-shard columns in the human view, and the --json satellite fix:
+# one whole report object, not just the counter map.
+"$CLI" stats --port "$COORD_PORT" --cluster > "$CL_DIR/cluster_stats.out"
+grep -q "shard 0" "$CL_DIR/cluster_stats.out"
+grep -q "shard 1" "$CL_DIR/cluster_stats.out"
+"$CLI" stats --port "$COORD_PORT" --json > "$CL_DIR/stats.json"
+python3 -c 'import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "snapshot" in doc and "uptime_s" in doc and "topology" in doc, doc.keys()
+assert doc["snapshot"]["counters"], "empty counter map in stats --json"
+assert doc["topology"]["role"] == "coordinator", doc["topology"]' \
+  "$CL_DIR/stats.json"
+# SIGKILL shard 1: within a couple of probe intervals the coordinator
+# must notice, flip the health status to degraded naming the dead
+# shard, exit nonzero from `sagma_cli health`, and log a structured
+# firing `alert` event for the shard-down rule.
+kill -9 "$SHARD1_PID" 2>/dev/null || true
+i=0
+while "$CLI" health --port "$COORD_PORT" > "$CL_DIR/health_degraded.out" 2>&1; do
+  i=$((i+1))
+  [ "$i" -lt 50 ] || { echo "health never went degraded after shard kill" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q ": degraded (uptime" "$CL_DIR/health_degraded.out"
+grep -q "DOWN" "$CL_DIR/health_degraded.out"
+grep -q "$SHARD1_PORT" "$CL_DIR/health_degraded.out"
+i=0
+until grep -q '"event":"alert"' "$CL_DIR/coord.jsonl" 2>/dev/null; do
+  i=$((i+1))
+  [ "$i" -lt 50 ] || { echo "no alert event in coordinator log" >&2; exit 1; }
+  sleep 0.1
+done
+grep '"event":"alert"' "$CL_DIR/coord.jsonl" | grep '"state":"firing"' \
+  | grep -q '"rule":"shard-down"'
+# Restart the shard: recovery probing must bring it back, resolve the
+# alert, and flip the health exit status back to zero.
+"$SERVER" --port "$SHARD1_PORT" --shard-of 1/2 --metrics \
+  > "$CL_DIR/shard1b.out" 2>&1 &
+SHARD1_PID=$!
+trap 'kill "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID" 2>/dev/null || true; rm -rf "$CL_DIR"' EXIT
+i=0
+until "$CLI" health --port "$COORD_PORT" > "$CL_DIR/health_recovered.out" 2>&1; do
+  i=$((i+1))
+  [ "$i" -lt 100 ] || { echo "health never recovered after shard restart" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q ": ok (uptime" "$CL_DIR/health_recovered.out"
+i=0
+until grep '"event":"alert"' "$CL_DIR/coord.jsonl" | grep -q '"state":"resolved"'; do
+  i=$((i+1))
+  [ "$i" -lt 50 ] || { echo "shard-down alert never resolved" >&2; exit 1; }
+  sleep 0.1
+done
+echo "fleet health kill/alert/recover OK"
 kill "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID" 2>/dev/null || true
 trap - EXIT
 rm -rf "$CL_DIR"
 echo "cluster smoke OK"
 
-echo "== bench smoke (json targets -> BENCH_PR1..6,8,9.json + BENCH_HISTORY.jsonl) =="
+echo "== bench smoke (json targets -> BENCH_PR1..6,8,9,10.json + BENCH_HISTORY.jsonl) =="
 dune exec bench/main.exe -- json
 dune exec bench/main.exe -- json-pr3
 dune exec bench/main.exe -- json-pr4
@@ -248,6 +315,7 @@ dune exec bench/main.exe -- json-pr5
 dune exec bench/main.exe -- json-pr6
 dune exec bench/main.exe -- json-pr8
 dune exec bench/main.exe -- json-pr9
+dune exec bench/main.exe -- json-pr10
 
 echo "== validate BENCH_PR1.json =="
 python3 - <<'EOF'
@@ -443,12 +511,43 @@ print(f"BENCH_PR9.json OK: 4-shard speedup {doc['speedup']:.2f}x "
       f"merge byte-identical, 0 coordinator decrypts")
 EOF
 
+echo "== validate BENCH_PR10.json =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_PR10.json") as f:
+    doc = json.load(f)
+
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "pr10"
+assert doc["shards"] == 2, doc["shards"]
+for mode in ("probes_off", "probes_on"):
+    assert doc[mode]["rps"] > 0, f"{mode}: no throughput recorded"
+# Health probing + the SLO watchdog must ride along nearly for free
+# next to the pairing work.
+assert doc["overhead_ratio"] >= doc["ratio_gate"], \
+    f"health overhead out of bound: {doc['overhead_ratio']} < {doc['ratio_gate']}"
+# A killed shard must be detected within two probe intervals, the
+# shard-down alert must fire, and recovery must resolve it.
+assert doc["detect_latency_s"] < doc["detect_gate_s"], \
+    f"detection {doc['detect_latency_s']}s >= gate {doc['detect_gate_s']}s"
+assert doc["recover_latency_s"] >= 0, doc["recover_latency_s"]
+assert doc["alert_fired"], "shard-down alert never fired"
+assert doc["alert_resolved"], "shard-down alert never resolved"
+assert doc["passed"], doc
+
+print(f"BENCH_PR10.json OK: health overhead ratio {doc['overhead_ratio']:.2f} "
+      f"(gate {doc['ratio_gate']}), shard kill detected in "
+      f"{doc['detect_latency_s'] * 1000:.0f} ms, alert fired+resolved")
+EOF
+
 echo "== bench trend (BENCH_HISTORY.jsonl) =="
 # Every json-* bench above appended its headline metrics; the trend gate
 # compares against any prior local runs (first runs pass vacuously).
 [ -s BENCH_HISTORY.jsonl ]
 grep -q '"bench":"pr8"' BENCH_HISTORY.jsonl
 grep -q '"bench":"pr9"' BENCH_HISTORY.jsonl
+grep -q '"bench":"pr10"' BENCH_HISTORY.jsonl
 scripts/bench_trend
 # Negative check: a synthetic 2x regression on the newest pr8 run must
 # fail the gate. Build a doctored history in a temp file — halve the

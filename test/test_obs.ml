@@ -225,6 +225,212 @@ let test_prometheus_exposition () =
         | _ -> Alcotest.failf "malformed exposition line %S" l)
     (String.split_on_char '\n' text)
 
+(* --- label escaping & federated exposition (PR 10) --------------------------- *)
+
+let test_label_escaping () =
+  Alcotest.(check string) "backslash" "a\\\\b" (Export.escape_label_value "a\\b");
+  Alcotest.(check string) "double quote" "a\\\"b" (Export.escape_label_value "a\"b");
+  Alcotest.(check string) "newline" "a\\nb" (Export.escape_label_value "a\nb");
+  Alcotest.(check string) "benign passes through" "host:7482" (Export.escape_label_value "host:7482");
+  Alcotest.(check string) "no labels, no block" "router.shard_up" (Export.labeled "router.shard_up" []);
+  Alcotest.(check string) "labeled builds the block"
+    "proto.requests{shard=\"1\"}"
+    (Export.labeled "proto.requests" [ ("shard", "1") ]);
+  (* A hostile endpoint string — quotes, backslashes, a newline that
+     would otherwise inject a fake sample line — stays one escaped label
+     value. *)
+  let hostile = "shard\"0\"\\host\nname" in
+  let name = Export.labeled "router.shard_up" [ ("endpoint", hostile) ] in
+  Alcotest.(check string) "hostile endpoint escaped"
+    "router.shard_up{endpoint=\"shard\\\"0\\\"\\\\host\\nname\"}" name;
+  Alcotest.(check bool) "no raw newline survives" false (String.contains name '\n');
+  (* Rendered, the series is still a single well-formed line. *)
+  let text = Export.prometheus { Metrics.counters = []; gauges = [ (name, 1) ]; histograms = [] } in
+  Alcotest.(check bool) "exposition keeps the escaped block" true
+    (contains text "sagma_router_shard_up{endpoint=\"shard\\\"0\\\"\\\\host\\nname\"} 1");
+  (* Label *keys* are sanitized like metric names (an attacker-chosen
+     key cannot break out of the block either). *)
+  Alcotest.(check string) "label key sanitized" "m{bad_key=\"v\"}"
+    (Export.labeled "m" [ ("bad key", "v") ])
+
+let test_labeled_exposition () =
+  with_metrics @@ fun () ->
+  Metrics.add (Metrics.counter "proto.requests") 10;
+  Metrics.add (Metrics.counter (Export.labeled "proto.requests" [ ("shard", "0") ])) 4;
+  Metrics.add (Metrics.counter (Export.labeled "proto.requests" [ ("shard", "1") ])) 6;
+  Metrics.observe (Metrics.histogram (Export.labeled "proto.request_ms" [ ("shard", "0") ])) 1.0;
+  let text = Export.prometheus (Metrics.snapshot ()) in
+  Alcotest.(check bool) "fleet aggregate unlabeled" true
+    (contains text "sagma_proto_requests_total 10");
+  Alcotest.(check bool) "shard 0 labeled sample" true
+    (contains text "sagma_proto_requests_total{shard=\"0\"} 4");
+  Alcotest.(check bool) "shard 1 labeled sample" true
+    (contains text "sagma_proto_requests_total{shard=\"1\"} 6");
+  (* One TYPE header per family, not per labeled series — a duplicate
+     TYPE line is a parse error for a real scraper. *)
+  let occurrences needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else go (i + 1) (if String.sub text i nl = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "counter TYPE emitted once" 1
+    (occurrences "# TYPE sagma_proto_requests_total counter");
+  (* The histogram's `le` merges into the series' own label block. *)
+  Alcotest.(check bool) "bucket merges le into the block" true
+    (contains text "sagma_proto_request_ms_bucket{shard=\"0\",le=\"+Inf\"} 1");
+  Alcotest.(check bool) "labeled sum" true (contains text "sagma_proto_request_ms_sum{shard=\"0\"} 1")
+
+let test_merge_hist_stats () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "merge.ms" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 2.0;
+  let s1 = List.assoc "merge.ms" (Metrics.snapshot ()).Metrics.histograms in
+  Metrics.reset ();
+  Metrics.observe (Metrics.histogram "merge.ms") 100.0;
+  let s2 = List.assoc "merge.ms" (Metrics.snapshot ()).Metrics.histograms in
+  let m = Metrics.merge_hist_stats s1 s2 in
+  Alcotest.(check int) "counts add" 3 m.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) "sums add" 103.0 m.Metrics.h_sum;
+  Alcotest.(check (float 1e-9)) "min widens" 1.0 m.Metrics.h_min;
+  Alcotest.(check (float 1e-9)) "max widens" 100.0 m.Metrics.h_max;
+  (* The +Inf bucket of the merge carries every observation. *)
+  let _, inf_cum = m.Metrics.h_buckets.(Array.length m.Metrics.h_buckets - 1) in
+  Alcotest.(check int) "+Inf cumulative is the total" 3 inf_cum;
+  (* Quantiles are re-estimated from the merged buckets: the p99 must
+     land near the 100ms outlier, not near the 2ms side. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "merged p99 tracks the slow node (%.3f)" m.Metrics.h_p99)
+    true (m.Metrics.h_p99 > 50.0);
+  (* Merging with an empty histogram is the identity. *)
+  Metrics.reset ();
+  ignore (Metrics.histogram "merge.ms");
+  let empty =
+    match List.assoc_opt "merge.ms" (Metrics.snapshot ()).Metrics.histograms with
+    | Some e -> e
+    | None ->
+      { Metrics.h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0.; h_buckets = [||]; h_p50 = 0.;
+        h_p95 = 0.; h_p99 = 0. }
+  in
+  Alcotest.(check bool) "empty is the identity" true (Metrics.merge_hist_stats s1 empty = s1)
+
+let test_merge_snapshots () =
+  let s1 =
+    { Metrics.counters = [ ("a", 1); ("b", 2) ]; gauges = [ ("g", 5) ]; histograms = [] }
+  in
+  let s2 =
+    { Metrics.counters = [ ("b", 3); ("c", 4) ]; gauges = [ ("g", 7); ("h", 1) ]; histograms = [] }
+  in
+  let m = Metrics.merge_snapshots s1 s2 in
+  Alcotest.(check (list (pair string int))) "counters sum pointwise"
+    [ ("a", 1); ("b", 5); ("c", 4) ] m.Metrics.counters;
+  Alcotest.(check (list (pair string int))) "gauges sum pointwise"
+    [ ("g", 12); ("h", 1) ] m.Metrics.gauges
+
+(* --- SLO watchdog ------------------------------------------------------------ *)
+
+module Watchdog = Sagma_obs.Watchdog
+
+let empty_snap = { Metrics.counters = []; gauges = []; histograms = [] }
+
+let test_watchdog_rules_roundtrip () =
+  (* Every default rule survives its own file syntax. *)
+  List.iter
+    (fun r ->
+      match Watchdog.parse_rules (Watchdog.rule_to_string r) with
+      | Ok [ r' ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %s" (Watchdog.rule_to_string r))
+          true (r = r')
+      | Ok _ -> Alcotest.fail "one rule parsed to many"
+      | Error e -> Alcotest.failf "default rule failed to parse: %s" e)
+    Watchdog.default_rules;
+  (* Comments, blank lines and every source form parse. *)
+  (match
+     Watchdog.parse_rules
+       "# slo rules\n\nerr ratio:proto.requests_failed/proto.requests > 0.25\nrps rate:proto.requests > 1000\nqd gauge:pool.queue_depth > 64\nslow p99:proto.request_ms > 250\ndown shards_down > 0\nidle rate:proto.requests < 0.5\n"
+   with
+   | Ok rules -> Alcotest.(check int) "six rules parsed" 6 (List.length rules)
+   | Error e -> Alcotest.failf "rule file rejected: %s" e);
+  (* Errors name the offending line. *)
+  (match Watchdog.parse_rules "ok gauge:g > 1\nbroken nonsense" with
+   | Error e ->
+     Alcotest.(check bool) (Printf.sprintf "error names line 2: %s" e) true (contains e "line 2")
+   | Ok _ -> Alcotest.fail "malformed rule accepted");
+  match Watchdog.parse_rules "x gauge:g >= 5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown comparator accepted"
+
+let test_watchdog_fire_resolve () =
+  let rule =
+    { Watchdog.r_name = "qd"; r_source = Watchdog.Gauge "pool.queue_depth";
+      r_cmp = Watchdog.Gt; r_threshold = 10. }
+  in
+  let wd = Watchdog.create ~rules:[ rule ] () in
+  let snap depth = { empty_snap with Metrics.gauges = [ ("pool.queue_depth", depth) ] } in
+  Watchdog.poll ~now:100. wd ~snapshot:(snap 5) ~shards_down:0;
+  Alcotest.(check int) "below threshold: quiet" 0 (Watchdog.firing_count wd);
+  Watchdog.poll ~now:101. wd ~snapshot:(snap 20) ~shards_down:0;
+  (match Watchdog.active wd with
+   | [ a ] ->
+     Alcotest.(check string) "alert names the rule" "qd" a.Watchdog.a_rule;
+     Alcotest.(check (float 1e-9)) "since stamps the firing edge" 101. a.Watchdog.a_since;
+     Alcotest.(check (float 1e-9)) "value recorded" 20. a.Watchdog.a_value;
+     Alcotest.(check bool) "message readable" true (contains a.Watchdog.a_message "qd")
+   | l -> Alcotest.failf "expected one alert, got %d" (List.length l));
+  (* Still breaching: the alert stays, its since unchanged (steady state,
+     no re-fire). *)
+  Watchdog.poll ~now:105. wd ~snapshot:(snap 30) ~shards_down:0;
+  (match Watchdog.active wd with
+   | [ a ] ->
+     Alcotest.(check (float 1e-9)) "since survives steady firing" 101. a.Watchdog.a_since;
+     Alcotest.(check (float 1e-9)) "value tracks the latest poll" 30. a.Watchdog.a_value
+   | l -> Alcotest.failf "expected one alert, got %d" (List.length l));
+  Watchdog.poll ~now:106. wd ~snapshot:(snap 3) ~shards_down:0;
+  Alcotest.(check int) "back under threshold: resolved" 0 (Watchdog.firing_count wd)
+
+let test_watchdog_ratio_and_rate_need_history () =
+  let rules =
+    [ { Watchdog.r_name = "err";
+        r_source = Watchdog.Ratio ("proto.requests_failed", "proto.requests");
+        r_cmp = Watchdog.Gt; r_threshold = 0.5 };
+      { Watchdog.r_name = "rps"; r_source = Watchdog.Rate "proto.requests";
+        r_cmp = Watchdog.Gt; r_threshold = 10. } ]
+  in
+  let wd = Watchdog.create ~rules () in
+  let snap total failed =
+    { empty_snap with
+      Metrics.counters = [ ("proto.requests", total); ("proto.requests_failed", failed) ] }
+  in
+  (* First poll: no history, delta rules stay silent even though the
+     lifetime ratio breaches. *)
+  Watchdog.poll ~now:0. wd ~snapshot:(snap 4 3) ~shards_down:0;
+  Alcotest.(check int) "first poll silent" 0 (Watchdog.firing_count wd);
+  (* No traffic since: a zero denominator is not a 100% error rate. *)
+  Watchdog.poll ~now:1. wd ~snapshot:(snap 4 3) ~shards_down:0;
+  Alcotest.(check int) "zero-delta denominator silent" 0 (Watchdog.firing_count wd);
+  (* 16 new requests in 1s, 12 failed: both rules breach on the delta. *)
+  Watchdog.poll ~now:2. wd ~snapshot:(snap 20 15) ~shards_down:0;
+  Alcotest.(check int) "ratio and rate fire on deltas" 2 (Watchdog.firing_count wd);
+  (* The next second is clean and slow: both resolve. *)
+  Watchdog.poll ~now:4. wd ~snapshot:(snap 21 15) ~shards_down:0;
+  Alcotest.(check int) "clean interval resolves both" 0 (Watchdog.firing_count wd)
+
+let test_watchdog_shards_down () =
+  (* The default pack includes shard-down; feed it the router's count. *)
+  let wd = Watchdog.create () in
+  Watchdog.poll ~now:50. wd ~snapshot:empty_snap ~shards_down:1;
+  (match Watchdog.active wd with
+   | [ a ] ->
+     Alcotest.(check string) "shard-down fires" "shard-down" a.Watchdog.a_rule;
+     Alcotest.(check (float 1e-9)) "count recorded" 1. a.Watchdog.a_value
+   | l -> Alcotest.failf "expected exactly shard-down, got %d alerts" (List.length l));
+  Watchdog.poll ~now:51. wd ~snapshot:empty_snap ~shards_down:0;
+  Alcotest.(check int) "recovery resolves it" 0 (Watchdog.firing_count wd)
+
 (* --- structured logging ----------------------------------------------------- *)
 
 let read_lines path =
@@ -878,6 +1084,17 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
           Alcotest.test_case "quantile estimates" `Quick test_quantiles;
           Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition ] );
+      ( "federation",
+        [ Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "labeled exposition" `Quick test_labeled_exposition;
+          Alcotest.test_case "merge hist stats" `Quick test_merge_hist_stats;
+          Alcotest.test_case "merge snapshots" `Quick test_merge_snapshots ] );
+      ( "watchdog",
+        [ Alcotest.test_case "rules roundtrip + parse errors" `Quick test_watchdog_rules_roundtrip;
+          Alcotest.test_case "fire and resolve" `Quick test_watchdog_fire_resolve;
+          Alcotest.test_case "ratio/rate need history" `Quick
+            test_watchdog_ratio_and_rate_need_history;
+          Alcotest.test_case "shard-down via router count" `Quick test_watchdog_shards_down ] );
       ( "log",
         [ Alcotest.test_case "JSON-lines events" `Quick test_log_jsonl;
           Alcotest.test_case "level threshold" `Quick test_log_threshold;

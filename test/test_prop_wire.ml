@@ -77,6 +77,20 @@ let stats_report =
         { P.tp_role = "coordinator"; tp_shard_index = -1; tp_shard_count = 2;
           tp_shards = [ "7481"; "host:7482" ] } }
 
+(* A v7 health report exercising every codec branch: an alert list, a
+   mixed up/down shard block, empty and non-empty strings. *)
+let health_report =
+  { P.hr_status = "degraded"; hr_uptime_s = 33.25;
+    hr_alerts =
+      [ { Sagma_obs.Watchdog.a_rule = "error-rate"; a_since = 500.5; a_value = 0.8;
+          a_threshold = 0.5; a_message = "error-rate breached" } ];
+    hr_shards =
+      [ { P.shc_index = 0; shc_endpoint = "7481"; shc_reachable = true; shc_since = 400.0;
+          shc_failures = 0; shc_last_error = ""; shc_version = 7; shc_rtt_ms = 0.5 };
+        { P.shc_index = 1; shc_endpoint = "host:7482"; shc_reachable = false;
+          shc_since = 450.75; shc_failures = 4; shc_last_error = "Connection refused";
+          shc_version = 5; shc_rtt_ms = 2.25 } ] }
+
 let v1_requests =
   [ P.Upload { name = "t"; table = enc };
     P.Aggregate { name = "t"; token };
@@ -92,8 +106,10 @@ let v1_responses =
     P.Aggregates agg;
     P.Failed { code = P.No_such_table; message = "no such table" } ]
 
-let request_corpus = List.map P.encode_request (v1_requests @ [ P.Stats ])
-let response_corpus = List.map P.encode_response (v1_responses @ [ P.Stats_report stats_report ])
+let request_corpus = List.map P.encode_request (v1_requests @ [ P.Stats; P.Health ])
+let response_corpus =
+  List.map P.encode_response
+    (v1_responses @ [ P.Stats_report stats_report; P.Health_report health_report ])
 
 (* v1 reframings of every message that exists in v1: the v2 decoders
    must keep accepting these, and the fuzz contract holds for them too. *)
@@ -260,6 +276,23 @@ let t_v5_reframe = R.test ~count:1 ~name:"v6 bytes inside a v5 frame are trailin
       | _ -> false
       | exception W.Decode_error _ -> true)
 
+(* Same forgery at the v7 boundary: a Health request (tag 7) and a
+   Health_report (tag 6) reframed as v6 claim tags that version never
+   defined, so both must be rejected — forged v6 frames cannot smuggle
+   the fleet-health constructs to a v6 peer. *)
+let t_v6_reframe = R.test ~count:1 ~name:"v7 bytes inside a v6 frame are trailing garbage"
+    (R.arbitrary ~print:(fun () -> "()") (Gen.return ()))
+    (fun () ->
+      let health_v7 = P.encode_request P.Health in
+      let report_v7 = P.encode_response (P.Health_report health_report) in
+      (match P.decode_request (reframe 6 health_v7) with
+       | _ -> false
+       | exception W.Decode_error _ -> true)
+      &&
+      match P.decode_response (reframe 6 report_v7) with
+      | _ -> false
+      | exception W.Decode_error _ -> true)
+
 (* --- the server absorbs anything ---------------------------------------------- *)
 
 let server =
@@ -307,5 +340,5 @@ let () =
   R.run ~suite:"test_prop_wire"
     [ t_int_rt; t_u62_rt; t_u32_rt; t_bytes_rt; t_compound_rt; t_count_guard; t_z_rt;
       t_value_rt; t_request_canonical; t_response_canonical; t_v1_canonical; t_truncation;
-      t_mutation; t_garbage; t_v5_reframe; t_server_valid; t_server_mutated;
+      t_mutation; t_garbage; t_v5_reframe; t_v6_reframe; t_server_valid; t_server_mutated;
       t_server_garbage ]

@@ -460,14 +460,14 @@ let test_v4_trace_ctx_roundtrip () =
      and the version/trace-aware decoder exposes them. *)
   let tc = { P.tc_id = Some "client-7"; tc_sampled = true } in
   (match P.decode_request_vt (P.encode_request ~trace:tc P.Stats) with
-   | 6, Some tc', P.Stats ->
+   | v, Some tc', P.Stats when v = P.version ->
      Alcotest.(check (option string)) "trace id" (Some "client-7") tc'.P.tc_id;
      Alcotest.(check bool) "sampling flag" true tc'.P.tc_sampled
    | _ -> Alcotest.fail "trace context lost on the wire");
-  (* Without a context the v4 frame still decodes (None), and the plain
-     decoder keeps working on the same bytes. *)
+  (* Without a context the current-version frame still decodes (None),
+     and the plain decoder keeps working on the same bytes. *)
   (match P.decode_request_vt (P.encode_request P.List_tables) with
-   | 6, None, P.List_tables -> ()
+   | v, None, P.List_tables when v = P.version -> ()
    | _ -> Alcotest.fail "bare v4 request misdecoded");
   Alcotest.(check bool) "plain decoder drops the context" true
     (P.decode_request (P.encode_request ~trace:tc P.Stats) = P.Stats);
@@ -1253,6 +1253,162 @@ let test_coordinator_version_mixed_fleet () =
               | P.Failed { message; _ } -> Alcotest.failf "mixed-fleet aggregate: %s" message
               | _ -> Alcotest.fail "unexpected aggregate reply")))
 
+(* --- v7: fleet health & alerting --------------------------------------------------- *)
+
+module Wd = Sagma_obs.Watchdog
+
+let sample_alert =
+  { Wd.a_rule = "error-rate"; a_since = 1000.5; a_value = 0.75; a_threshold = 0.5;
+    a_message = "error-rate: ratio:proto.requests_failed/proto.requests = 0.75 > 0.5" }
+
+let sample_shard_health =
+  { P.shc_index = 1; shc_endpoint = "host:7482"; shc_reachable = false; shc_since = 2000.25;
+    shc_failures = 3; shc_last_error = "Connection refused"; shc_version = 5;
+    shc_rtt_ms = 1.75 }
+
+let sample_health_report =
+  { P.hr_status = "degraded"; hr_uptime_s = 42.5; hr_alerts = [ sample_alert ];
+    hr_shards =
+      [ { sample_shard_health with P.shc_index = 0; shc_endpoint = "7481"; shc_reachable = true;
+          shc_failures = 0; shc_last_error = ""; shc_version = 7 };
+        sample_shard_health ] }
+
+let test_v7_health_gated () =
+  (* The Health request and its report round-trip at the current
+     version, alerts and shard block intact. *)
+  (match P.decode_request (P.encode_request P.Health) with
+   | P.Health -> ()
+   | _ -> Alcotest.fail "Health request lost on the wire");
+  (match P.decode_response (P.encode_response (P.Health_report sample_health_report)) with
+   | P.Health_report hr ->
+     Alcotest.(check bool) "health report survives a v7 frame" true (hr = sample_health_report)
+   | _ -> Alcotest.fail "expected Health_report");
+  (* Neither construct exists before v7: the encoder refuses to frame
+     them for an old peer instead of emitting bytes it cannot label. *)
+  (match P.encode_request ~version:6 P.Health with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Health encoded into a v6 frame");
+  (match P.encode_response ~version:6 (P.Health_report sample_health_report) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Health_report encoded into a v6 frame");
+  (* Forged v6 frames carrying the v7 bytes are trailing garbage: tag 7
+     (request) and tag 6 (response) are undefined at v6. *)
+  (match P.decode_request (flip_version (P.encode_request P.Health) ~v:6) with
+   | exception W.Decode_error _ -> ()
+   | _ -> Alcotest.fail "v7 Health bytes accepted inside a v6 frame");
+  match
+    P.decode_response (flip_version (P.encode_response (P.Health_report sample_health_report)) ~v:6)
+  with
+  | exception W.Decode_error _ -> ()
+  | _ -> Alcotest.fail "v7 Health_report bytes accepted inside a v6 frame"
+
+let test_v7_old_peer_stats_unchanged () =
+  (* The v7 bump must not disturb what older peers see: a v6-framed
+     Stats_report still round-trips with its topology, and v5 keeps the
+     gc section. *)
+  let report =
+    { P.sr_snapshot = empty_snapshot; sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 1.;
+      sr_start_time = 10.; sr_gc = Some sample_gc_stats; sr_topology = Some sample_topology }
+  in
+  (match P.decode_response (P.encode_response ~version:6 (P.Stats_report report)) with
+   | P.Stats_report r ->
+     Alcotest.(check bool) "v6 stats round-trips under a v7 codebase" true
+       (r.P.sr_topology = Some sample_topology && r.P.sr_gc = Some sample_gc_stats)
+   | _ -> Alcotest.fail "expected Stats_report");
+  match P.decode_request (P.encode_request ~version:1 P.List_tables) with
+  | P.List_tables -> ()
+  | _ -> Alcotest.fail "v1 request no longer decodes"
+
+let test_stats_report_json () =
+  (* The whole report as one JSON object — snapshot, uptime, gc, audit
+     and topology — not just the bare snapshot (`sagma stats --json`). *)
+  let report =
+    { P.sr_snapshot =
+        { Sagma_obs.Metrics.counters = [ ("proto.requests", 17) ]; gauges = [ ("pool.queue_depth", 2) ];
+          histograms = [] };
+      sr_audit = Sagma_obs.Audit.summary (); sr_uptime_s = 12.5; sr_start_time = 99.25;
+      sr_gc = Some sample_gc_stats; sr_topology = Some sample_topology }
+  in
+  let j = P.stats_report_to_json report in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "stats json carries %s" needle) true (contains j needle))
+    [ "\"snapshot\":"; "\"proto.requests\":17"; "\"pool.queue_depth\":2"; "\"uptime_s\":12.5";
+      "\"start_time\":99.25"; "\"audit\":"; "\"gc\":"; "\"topology\":"; "\"role\":\"shard\"" ];
+  (* Without the optional sections the keys stay present but null, so
+     consumers need no key-existence probing. *)
+  let bare = { report with P.sr_gc = None; sr_topology = None } in
+  let j = P.stats_report_to_json bare in
+  Alcotest.(check bool) "absent gc is null" true (contains j "\"gc\":null");
+  Alcotest.(check bool) "absent topology is null" true (contains j "\"topology\":null")
+
+let test_health_report_json () =
+  let j = P.health_report_to_json sample_health_report in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "health json carries %s" needle) true (contains j needle))
+    [ "\"status\":\"degraded\""; "\"uptime_s\":42.5"; "\"rule\":\"error-rate\"";
+      "\"endpoint\":\"host:7482\""; "\"reachable\":false"; "\"last_error\":\"Connection refused\"" ]
+
+let test_coordinator_health_probing () =
+  let s0 = Server.create ~shard:(0, 2) () in
+  let s1 = Server.create ~shard:(1, 2) () in
+  with_handler ~port:7497 (Server.handle_encoded s0) (fun () ->
+      let r = Router.create ~deadline_ms:1000 ~probe_interval_ms:50 [ "7497"; "7498" ] in
+      Fun.protect
+        ~finally:(fun () -> Router.shutdown r)
+        (fun () ->
+          Router.start_probes r;
+          with_handler ~port:7498 (Server.handle_encoded s1) (fun () ->
+              (* Probes must see both shards up and negotiate v7. *)
+              let rec wait_up tries =
+                let h = Router.shard_health r in
+                if
+                  List.for_all (fun s -> s.P.shc_reachable && s.P.shc_version = P.version) h
+                  && Router.down_count r = 0
+                then ()
+                else if tries = 0 then Alcotest.fail "probes never saw both shards up at v7"
+                else begin
+                  Unix.sleepf 0.05;
+                  wait_up (tries - 1)
+                end
+              in
+              wait_up 100;
+              match Router.handle r P.Health with
+              | P.Health_report hr ->
+                Alcotest.(check string) "healthy fleet is ok" "ok" hr.P.hr_status;
+                Alcotest.(check int) "report carries both shards" 2 (List.length hr.P.hr_shards)
+              | _ -> Alcotest.fail "expected Health_report");
+          (* Shard 1's listener is gone now: the prober must notice
+             within a couple of intervals... *)
+          let rec wait_down tries =
+            if Router.down_count r >= 1 then ()
+            else if tries = 0 then Alcotest.fail "prober never noticed the dead shard"
+            else begin
+              Unix.sleepf 0.05;
+              wait_down (tries - 1)
+            end
+          in
+          wait_down 100;
+          (match Router.handle r P.Health with
+           | P.Health_report hr ->
+             Alcotest.(check string) "half-dead fleet is degraded" "degraded" hr.P.hr_status;
+             let sh1 = List.nth hr.P.hr_shards 1 in
+             Alcotest.(check bool) "shard 1 reported unreachable" false sh1.P.shc_reachable;
+             Alcotest.(check bool) "failure streak recorded" true (sh1.P.shc_failures > 0)
+           | _ -> Alcotest.fail "expected Health_report");
+          (* ...and fan-out to the known-down shard fast-fails without
+             waiting on a connect. *)
+          let t0 = Unix.gettimeofday () in
+          (match Router.handle r (P.Upload { name = "t"; table = enc }) with
+           | P.Failed { message; _ } ->
+             Alcotest.(check bool)
+               (Printf.sprintf "fast-fail names the down shard: %s" message)
+               true (contains message "shard 1")
+           | _ -> Alcotest.fail "upload to a known-down fleet succeeded");
+          Alcotest.(check bool) "known-down shard fails fast" true
+            (Unix.gettimeofday () -. t0 < 0.5)))
+
 let qprop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
 
 let props =
@@ -1315,6 +1471,12 @@ let () =
           Alcotest.test_case "coordinator scatter-gather" `Quick test_coordinator_scatter_gather;
           Alcotest.test_case "coordinator shard down" `Quick test_coordinator_shard_down;
           Alcotest.test_case "version-mixed fleet" `Quick test_coordinator_version_mixed_fleet ] );
+      ( "v7 fleet health",
+        [ Alcotest.test_case "health constructs gated" `Quick test_v7_health_gated;
+          Alcotest.test_case "old-peer stats unchanged" `Quick test_v7_old_peer_stats_unchanged;
+          Alcotest.test_case "stats report json" `Quick test_stats_report_json;
+          Alcotest.test_case "health report json" `Quick test_health_report_json;
+          Alcotest.test_case "coordinator health probing" `Quick test_coordinator_health_probing ] );
       ( "v1 compat",
         [ Alcotest.test_case "v1 frames still served" `Quick test_v1_frames_still_served;
           Alcotest.test_case "v2-only messages gated" `Quick test_v2_only_messages_gated;
